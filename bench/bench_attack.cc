@@ -1,0 +1,71 @@
+// §5 "Robustness to attack": sybil clones injected into both copies.
+//
+// Paper setup: Facebook snapshot; copies at s = 0.75; in each copy every
+// node v gains a malicious clone w, and each u in N(v) links to w with
+// probability 0.5; seeds 10%, threshold 2. Paper result: 46,955 correct vs
+// 114 wrong matches out of 63,731 possible — the attack barely dents the
+// algorithm because impostor pairs are always outcompeted by the pair of
+// genuine accounts (which stays in the scored pool as a blocker).
+//
+// Here: FB stand-in at 0.5 scale, same attack; we also sweep the attack
+// strength. Shape to check: precision stays near 100% and recall near the
+// no-attack level; sybils themselves stay unmatched.
+
+#include "bench_common.h"
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/datasets.h"
+#include "reconcile/sampling/attack.h"
+#include "reconcile/sampling/independent.h"
+
+namespace reconcile {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Attack experiment — sybil clones wired to each victim's neighbours",
+      "§5 'Robustness to attack' (paper: 46,955 good vs 114 bad at l=10%, T=2)",
+      "FB stand-in 0.5 scale, s=0.75 copies, clone attach prob swept, l=10%");
+
+  Graph fb = MakeFacebookStandin(bench::kBenchScale, 0xA70001);
+  IndependentSampleOptions sample;
+  sample.s1 = sample.s2 = 0.75;
+  RealizationPair clean = SampleIndependent(fb, sample, 0xA70002);
+
+  Table table({"attack attach prob", "good", "bad", "precision",
+               "recall(all)"});
+  {
+    SeedOptions seeds;
+    seeds.fraction = 0.10;
+    MatcherConfig config;
+    config.min_score = 2;
+    ExperimentResult r = RunMatcherExperiment(clean, seeds, config, 0xA70003);
+    table.AddRow({"no attack", std::to_string(r.quality.new_good),
+                  std::to_string(r.quality.new_bad),
+                  bench::PercentCell(r.quality.precision),
+                  bench::PercentCell(r.quality.recall_all)});
+  }
+  for (double attach : {0.25, 0.50, 0.75}) {
+    AttackOptions attack;
+    attack.attach_prob = attach;
+    RealizationPair attacked = ApplyAttack(clean, attack, 0xA70004);
+    SeedOptions seeds;
+    seeds.fraction = 0.10;
+    MatcherConfig config;
+    config.min_score = 2;
+    ExperimentResult r =
+        RunMatcherExperiment(attacked, seeds, config, 0xA70005);
+    table.AddRow({FormatDouble(attach, 2), std::to_string(r.quality.new_good),
+                  std::to_string(r.quality.new_bad),
+                  bench::PercentCell(r.quality.precision),
+                  bench::PercentCell(r.quality.recall_all)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper shape: the attack costs a little recall and a "
+               "handful of errors — nothing like the collapse a naive "
+               "feature-based matcher would suffer.\n\n";
+}
+
+}  // namespace
+}  // namespace reconcile
+
+int main() { reconcile::Run(); }

@@ -1,0 +1,224 @@
+// Extension experiments — the paper's conclusion names "extending our
+// theoretical results to more network models" as future work; this harness
+// covers the empirical half on four fronts the library adds beyond §5:
+//
+//  (1) more underlying models: Watts–Strogatz small worlds (high clustering,
+//      near-regular degrees — the hard regime for degree bucketing),
+//      stochastic block models (planted communities), and a configuration-
+//      model rewiring of the PA graph (same degrees, no structure beyond
+//      them: isolates how much the matcher leans on degree sequence alone);
+//  (2) a correlated deletion process: tie-strength-biased survival, where
+//      strongly embedded edges appear in both copies and weak ties in
+//      neither (between the paper's independent and community models);
+//  (3) robustness to corrupted seeds: a fraction of the trusted links is
+//      wrong (the paper suggests combining username heuristics with the
+//      algorithm — those heuristics err);
+//  (4) the percolation baseline across the same instances, as the natural
+//      comparison point from related work (YG'13).
+
+#include "bench_common.h"
+#include "reconcile/baseline/percolation.h"
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/datasets.h"
+#include "reconcile/gen/configuration.h"
+#include "reconcile/gen/preferential_attachment.h"
+#include "reconcile/gen/sbm.h"
+#include "reconcile/gen/watts_strogatz.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/sampling/tie_strength.h"
+#include "reconcile/seed/seeding.h"
+#include "reconcile/util/timer.h"
+
+namespace reconcile {
+namespace bench {
+namespace {
+
+struct Outcome {
+  MatchQuality user;
+  MatchQuality percolation;
+};
+
+Outcome RunBoth(const RealizationPair& pair,
+                const std::vector<std::pair<NodeId, NodeId>>& seeds,
+                uint32_t threshold) {
+  MatcherConfig config;
+  config.min_score = threshold;
+  MatchResult user = UserMatching(pair.g1, pair.g2, seeds, config);
+  MatchResult pgm =
+      PercolationMatch(pair.g1, pair.g2, seeds, PercolationConfig{});
+  return {Evaluate(pair, user), Evaluate(pair, pgm)};
+}
+
+void AddRow(Table* table, const std::string& name, const Outcome& outcome) {
+  table->AddRow({name, std::to_string(outcome.user.new_good),
+                 std::to_string(outcome.user.new_bad),
+                 PercentCell(outcome.user.recall_all),
+                 std::to_string(outcome.percolation.new_good),
+                 std::to_string(outcome.percolation.new_bad),
+                 PercentCell(outcome.percolation.recall_all)});
+}
+
+void UnderlyingModelsTable() {
+  PrintHeader(
+      "Extension (1) — more underlying network models",
+      "paper §6 future work: \"extending ... to more network models\"",
+      "n=10000, independent deletion s=0.5, l=0.10, T=2; User-Matching vs "
+      "percolation (r=2)");
+  Table table({"model", "UM good", "UM bad", "UM recall", "PGM good",
+               "PGM bad", "PGM recall"});
+
+  IndependentSampleOptions sample;
+  sample.s1 = sample.s2 = 0.5;
+  SeedOptions seeding;
+  seeding.fraction = 0.10;
+
+  {
+    Graph g = GeneratePreferentialAttachment(10000, 10, 901);
+    RealizationPair pair = SampleIndependent(g, sample, 902);
+    auto seeds = GenerateSeeds(pair, seeding, 903);
+    AddRow(&table, "PA m=10 (reference)", RunBoth(pair, seeds, 2));
+  }
+  {
+    Graph pa = GeneratePreferentialAttachment(10000, 10, 904);
+    std::vector<NodeId> degrees = DegreeSequenceOf(pa);
+    size_t sum = 0;
+    for (NodeId d : degrees) sum += d;
+    if (sum % 2 == 1) ++degrees[0];
+    Graph g = GenerateConfigurationModel(degrees, 905);
+    RealizationPair pair = SampleIndependent(g, sample, 906);
+    auto seeds = GenerateSeeds(pair, seeding, 907);
+    AddRow(&table, "config-model rewiring of PA", RunBoth(pair, seeds, 2));
+  }
+  {
+    Graph g = GenerateWattsStrogatz(10000, 10, 0.1, 908);
+    RealizationPair pair = SampleIndependent(g, sample, 909);
+    auto seeds = GenerateSeeds(pair, seeding, 910);
+    AddRow(&table, "Watts-Strogatz k=10 b=0.1", RunBoth(pair, seeds, 2));
+  }
+  {
+    SbmParams params;
+    params.block_sizes.assign(20, 500);  // 20 communities of 500
+    params.p_in = 0.04;
+    params.p_out = 0.0005;
+    Graph g = GenerateSbm(params, 911);
+    RealizationPair pair = SampleIndependent(g, sample, 912);
+    auto seeds = GenerateSeeds(pair, seeding, 913);
+    AddRow(&table, "SBM 20x500 (planted blocks)", RunBoth(pair, seeds, 2));
+  }
+  table.Print(std::cout);
+  std::cout
+      << "Shape check: skewed-degree models (PA, its rewiring) reconcile "
+         "accurately, and\nthe rewiring shows degrees + neighbourhood "
+         "overlap suffice. The near-regular\nsmall world collapses on BOTH "
+         "axes — §3.1's premise (skewed degrees, distinct\nneighbourhoods) "
+         "is genuinely load-bearing, not an artifact. Percolation pays\n"
+         "an order of magnitude more errors everywhere.\n\n";
+}
+
+void TieStrengthTable() {
+  PrintHeader(
+      "Extension (2) — tie-strength-biased deletion",
+      "between the paper's independent (§3.1) and community (Table 4) "
+      "models",
+      "high-clustering affiliation fold, l=0.10, T=2; survival ramps "
+      "s_weak -> s_strong with edge embeddedness; s_eff is the realized "
+      "per-copy survival");
+  Table table({"s_weak", "s_strong", "s_eff", "in-both", "s_eff^2", "good",
+               "bad", "recall", "precision"});
+  // High-clustering underlying graph: embeddedness actually varies here
+  // (inside a community it is high, across communities near zero), which is
+  // the Granovetter regime the model is meant to capture. On low-clustering
+  // graphs the ramp collapses to s_weak for almost every edge.
+  Graph g = MakeAffiliationStandin(0.06, 921).Fold();
+  for (const auto& [weak, strong] :
+       std::vector<std::pair<double, double>>{
+           {0.5, 0.5}, {0.3, 0.9}, {0.2, 0.8}, {0.1, 0.9}}) {
+    TieStrengthOptions options;
+    options.s_weak = weak;
+    options.s_strong = strong;
+    RealizationPair pair = SampleTieStrength(g, options, 922);
+
+    // Realized survival and per-edge correlation: fraction of underlying
+    // edges present per copy, and present in *both* copies.
+    size_t total = g.num_edges();
+    size_t in1 = pair.g1.num_edges();
+    size_t in_both = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (NodeId v : g.Neighbors(u)) {
+        if (v <= u) continue;
+        const NodeId u2 = pair.map_1to2[u];
+        const NodeId v2 = pair.map_1to2[v];
+        if (pair.g1.HasEdge(u, v) && u2 != kInvalidNode &&
+            v2 != kInvalidNode && pair.g2.HasEdge(u2, v2)) {
+          ++in_both;
+        }
+      }
+    }
+    const double s_eff = static_cast<double>(in1) / total;
+    const double both_rate = static_cast<double>(in_both) / total;
+
+    SeedOptions seeding;
+    seeding.fraction = 0.10;
+    auto seeds = GenerateSeeds(pair, seeding, 923);
+    MatcherConfig config;
+    config.min_score = 2;
+    MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+    MatchQuality q = Evaluate(pair, result);
+    table.AddRow({FormatDouble(weak, 1), FormatDouble(strong, 1),
+                  FormatDouble(s_eff, 3), FormatDouble(both_rate, 3),
+                  FormatDouble(s_eff * s_eff, 3), std::to_string(q.new_good),
+                  std::to_string(q.new_bad), PercentCell(q.recall_all),
+                  PercentCell(q.precision)});
+  }
+  table.Print(std::cout);
+  std::cout << "Shape check: the flat row (0.5, 0.5) is the paper's "
+               "independent model. On a\ncommunity graph almost every edge "
+               "is strongly embedded, so the ramp makes the\nnetworks' "
+               "shared view converge to the strong-tie survival rate: "
+               "s_eff tracks\ns_strong, the witness supply (in-both column) "
+               "rises with it, and recall and\nprecision rise together — "
+               "weak bridges are what both networks lose first,\nexactly "
+               "Granovetter's picture.\n\n";
+}
+
+void CorruptedSeedsTable() {
+  PrintHeader(
+      "Extension (3) — robustness to corrupted seed links",
+      "paper §2: username heuristics \"can be combined with ours ... to "
+      "validate the initial trusted links\"",
+      "PA n=10000 m=10, independent s=0.5, l=0.10, T=2; a fraction of "
+      "seeds points to a wrong node");
+  Table table({"wrong seeds", "good", "bad", "recall", "precision"});
+  Graph g = GeneratePreferentialAttachment(10000, 10, 931);
+  IndependentSampleOptions sample;
+  sample.s1 = sample.s2 = 0.5;
+  RealizationPair pair = SampleIndependent(g, sample, 932);
+  for (double wrong : {0.0, 0.05, 0.10, 0.25}) {
+    SeedOptions seeding;
+    seeding.fraction = 0.10;
+    seeding.wrong_fraction = wrong;
+    auto seeds = GenerateSeeds(pair, seeding, 933);
+    MatcherConfig config;
+    config.min_score = 2;
+    MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+    MatchQuality q = Evaluate(pair, result);
+    table.AddRow({FormatPercent(wrong, 0), std::to_string(q.new_good),
+                  std::to_string(q.new_bad), PercentCell(q.recall_all),
+                  PercentCell(q.precision)});
+  }
+  table.Print(std::cout);
+  std::cout << "Shape check: precision of *discovered* links degrades "
+               "gracefully — wrong seeds\nmostly fail to assemble coherent "
+               "witness sets, so the damage stays near-local.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reconcile
+
+int main() {
+  reconcile::bench::UnderlyingModelsTable();
+  reconcile::bench::TieStrengthTable();
+  reconcile::bench::CorruptedSeedsTable();
+  return 0;
+}

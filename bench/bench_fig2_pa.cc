@@ -1,0 +1,58 @@
+// Figure 2: preferential attachment + independent random deletion.
+//
+// Paper setup: PA graph with 1,000,000 nodes, m = 20; each copy keeps edges
+// with s = 0.5; seed link probability swept; thresholds T in {2,...,5}.
+// Paper result: precision is 100% at every threshold and seed probability;
+// recall approaches the identifiable set as l grows and as T shrinks.
+//
+// Here: same generator and process at 50,000 nodes (laptop scale). The
+// shape to check: zero-or-near-zero errors everywhere, recall rising with
+// l, falling with T.
+
+#include "bench_common.h"
+#include "reconcile/core/matcher.h"
+#include "reconcile/gen/preferential_attachment.h"
+#include "reconcile/sampling/independent.h"
+
+namespace reconcile {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 2 — User-Matching on preferential attachment",
+      "Fig. 2 (PA, n=1M, m=20, s=0.5; recall vs seed prob per threshold)",
+      "PA n=20000 m=20, s1=s2=0.5, T in {2,3,4,5}, l in {2%,5%,10%,20%}");
+
+  Graph g = GeneratePreferentialAttachment(20000, 20, 0xF160001);
+  IndependentSampleOptions sample;
+  sample.s1 = sample.s2 = 0.5;
+  RealizationPair pair = SampleIndependent(g, sample, 0xF160002);
+  std::cout << "underlying edges: " << g.num_edges()
+            << ", copy1: " << pair.g1.num_edges()
+            << ", copy2: " << pair.g2.num_edges()
+            << ", identifiable nodes: " << pair.NumIdentifiable() << "\n\n";
+
+  Table table({"seed prob", "T", "good", "bad", "precision", "recall(all)"});
+  for (double l : {0.02, 0.05, 0.10, 0.20}) {
+    for (uint32_t threshold : {2u, 3u, 4u, 5u}) {
+      SeedOptions seeds;
+      seeds.fraction = l;
+      MatcherConfig config;
+      config.min_score = threshold;
+      ExperimentResult r = RunMatcherExperiment(pair, seeds, config, 0xF160003);
+      table.AddRow({FormatPercent(l, 0), std::to_string(threshold),
+                    std::to_string(r.quality.new_good),
+                    std::to_string(r.quality.new_bad),
+                    bench::PercentCell(r.quality.precision),
+                    bench::PercentCell(r.quality.recall_all)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper shape: precision 100% throughout; recall grows with "
+               "seed probability and shrinks mildly with T.\n\n";
+}
+
+}  // namespace
+}  // namespace reconcile
+
+int main() { reconcile::Run(); }

@@ -1,0 +1,73 @@
+// Figure 4: precision and recall as a function of node degree, for the
+// DBLP and Gowalla time-sliced experiments.
+//
+// Paper result: precision is high across all degree bands; recall is poor
+// for degree <= 5 (too little structure survives in both slices), improves
+// sharply with degree, and exceeds ~50% above degree 10.
+
+#include "bench_common.h"
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/datasets.h"
+#include "reconcile/sampling/timeslice.h"
+
+namespace reconcile {
+namespace {
+
+void RunBands(const RealizationPair& pair, const std::string& name,
+              uint64_t seed) {
+  SeedOptions seeds;
+  seeds.fraction = 0.10;
+  MatcherConfig config;
+  config.min_score = 2;
+  ExperimentResult r = RunMatcherExperiment(pair, seeds, config, seed);
+  std::vector<DegreeBandQuality> bands =
+      EvaluateByDegree(pair, r.match, {5, 10, 20, 50, 100});
+
+  std::cout << name << " (T=2, l=10%)\n";
+  Table table({"degree band", "identifiable", "good", "bad", "precision",
+               "recall"});
+  for (const DegreeBandQuality& band : bands) {
+    std::string label =
+        band.max_degree == kInvalidNode
+            ? std::to_string(band.min_degree) + "+"
+            : std::to_string(band.min_degree) + "-" +
+                  std::to_string(band.max_degree);
+    table.AddRow({label, std::to_string(band.identifiable),
+                  std::to_string(band.new_good), std::to_string(band.new_bad),
+                  bench::PercentCell(band.precision),
+                  bench::PercentCell(band.recall)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 4 — precision/recall vs degree (DBLP, Gowalla)",
+      "Fig. 4 (precision high everywhere; recall low below degree 5, strong "
+      "above 10)",
+      "same time-sliced stand-ins as Table 5; bands 1-5, 6-10, 11-20, ...");
+
+  {
+    Graph dblp = MakeDblpStandin(bench::kBenchScale, 0xDB0001);
+    TimesliceOptions slices;
+    slices.repeat_lambda = 1.0;
+    RealizationPair pair = SampleTimeslice(dblp, slices, 0xDB0002);
+    RunBands(pair, "DBLP-like", 0xF40001);
+  }
+  {
+    Graph gowalla = MakeGowallaStandin(bench::kBenchScale, 0x60A0001);
+    TimesliceOptions slices;
+    slices.repeat_lambda = 1.5;
+    slices.participation = 0.8;
+    RealizationPair pair = SampleTimeslice(gowalla, slices, 0x60A0002);
+    RunBands(pair, "Gowalla-like", 0xF40002);
+  }
+  std::cout << "Paper shape: recall climbs steeply with degree; precision "
+               "stays high in every band.\n\n";
+}
+
+}  // namespace
+}  // namespace reconcile
+
+int main() { reconcile::Run(); }

@@ -1,0 +1,140 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: graph
+// construction, generators, the witness-scoring MapReduce, the flat count
+// map and end-to-end matching at small scale (sequential vs parallel).
+
+#include <benchmark/benchmark.h>
+
+#include "reconcile/core/matcher.h"
+#include "reconcile/gen/chung_lu.h"
+#include "reconcile/gen/erdos_renyi.h"
+#include "reconcile/gen/preferential_attachment.h"
+#include "reconcile/gen/rmat.h"
+#include "reconcile/mr/mapreduce.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/seed/seeding.h"
+#include "reconcile/util/flat_hash_map.h"
+
+namespace reconcile {
+namespace {
+
+void BM_FlatCountMapInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    FlatCountMap map(n);
+    for (size_t i = 0; i < n; ++i) {
+      map.AddCount(HashMix64(i) | 1, 1);
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FlatCountMapInsert)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_GraphFromEdgeList(benchmark::State& state) {
+  Graph source = GenerateErdosRenyi(static_cast<NodeId>(state.range(0)),
+                                    20.0 / static_cast<double>(state.range(0)),
+                                    42);
+  EdgeList edges(source.num_nodes());
+  for (NodeId u = 0; u < source.num_nodes(); ++u) {
+    for (NodeId v : source.Neighbors(u)) {
+      if (v > u) edges.Add(u, v);
+    }
+  }
+  for (auto _ : state) {
+    EdgeList copy = edges;
+    Graph g = Graph::FromEdgeList(std::move(copy));
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(edges.size()));
+}
+BENCHMARK(BM_GraphFromEdgeList)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_GenerateErdosRenyi(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    Graph g = GenerateErdosRenyi(n, 20.0 / n, 7);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_GenerateErdosRenyi)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_GeneratePreferentialAttachment(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    Graph g = GeneratePreferentialAttachment(n, 10, 7);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_GeneratePreferentialAttachment)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_GenerateRmat(benchmark::State& state) {
+  RmatParams params;
+  params.scale = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Graph g = GenerateRmat(params, 7);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_GenerateRmat)->Arg(14)->Arg(16);
+
+void BM_GenerateChungLu(benchmark::State& state) {
+  std::vector<double> weights =
+      PowerLawWeights(static_cast<NodeId>(state.range(0)), 2.5, 20.0);
+  for (auto _ : state) {
+    Graph g = GenerateChungLu(weights, 7);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_GenerateChungLu)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_CountByKey(benchmark::State& state) {
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  constexpr size_t kItems = 100000;
+  for (auto _ : state) {
+    auto shards = mr::CountByKey(&pool, kItems, 16, 8, [](size_t i, auto emit) {
+      emit(HashMix64(i) % 5000);
+      emit(HashMix64(i * 31) % 5000);
+    });
+    benchmark::DoNotOptimize(shards.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * kItems));
+}
+BENCHMARK(BM_CountByKey)->Arg(1)->Arg(2)->Arg(4);
+
+// End-to-end matching on a PA graph: incremental vs recompute engine and
+// one vs many threads.
+void MatchBenchmark(benchmark::State& state, bool incremental, int threads) {
+  Graph g = GeneratePreferentialAttachment(8000, 10, 5);
+  RealizationPair pair = SampleIndependent(g, {}, 6);
+  SeedOptions seed_options;
+  seed_options.fraction = 0.1;
+  auto seeds = GenerateSeeds(pair, seed_options, 7);
+  MatcherConfig config;
+  config.use_incremental_scoring = incremental;
+  config.num_threads = threads;
+  for (auto _ : state) {
+    MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+    benchmark::DoNotOptimize(result.NumLinks());
+  }
+}
+
+void BM_MatchIncremental1T(benchmark::State& state) {
+  MatchBenchmark(state, true, 1);
+}
+void BM_MatchIncremental2T(benchmark::State& state) {
+  MatchBenchmark(state, true, 2);
+}
+void BM_MatchRecompute1T(benchmark::State& state) {
+  MatchBenchmark(state, false, 1);
+}
+BENCHMARK(BM_MatchIncremental1T)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatchIncremental2T)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatchRecompute1T)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace reconcile
+
+BENCHMARK_MAIN();

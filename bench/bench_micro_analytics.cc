@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the analytics and baseline
+// layers added on top of the core matcher: graph statistics (k-core,
+// clustering, assortativity), the structural-feature pipeline, percolation
+// matching, and the confidence audit. Complements bench_micro.cc, which
+// covers the substrate hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "reconcile/baseline/feature_matching.h"
+#include "reconcile/baseline/percolation.h"
+#include "reconcile/core/confidence.h"
+#include "reconcile/core/matcher.h"
+#include "reconcile/gen/configuration.h"
+#include "reconcile/gen/preferential_attachment.h"
+#include "reconcile/gen/sbm.h"
+#include "reconcile/graph/statistics.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/seed/seeding.h"
+
+namespace reconcile {
+namespace {
+
+Graph BenchGraph(int64_t n) {
+  return GeneratePreferentialAttachment(static_cast<NodeId>(n), 8, 515);
+}
+
+void BM_CoreNumbers(benchmark::State& state) {
+  Graph g = BenchGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CoreNumbers(g));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_CoreNumbers)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_GlobalClustering(benchmark::State& state) {
+  Graph g = BenchGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GlobalClustering(g));
+  }
+}
+BENCHMARK(BM_GlobalClustering)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_DegreeAssortativity(benchmark::State& state) {
+  Graph g = BenchGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DegreeAssortativity(g));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.degree_sum()));
+}
+BENCHMARK(BM_DegreeAssortativity)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_FullStatisticsBlock(benchmark::State& state) {
+  Graph g = BenchGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeStatistics(g));
+  }
+}
+BENCHMARK(BM_FullStatisticsBlock)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_ConfigurationModel(benchmark::State& state) {
+  Graph reference = BenchGraph(state.range(0));
+  std::vector<NodeId> degrees = DegreeSequenceOf(reference);
+  size_t sum = 0;
+  for (NodeId d : degrees) sum += d;
+  if (sum % 2 == 1) ++degrees[0];
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateConfigurationModel(degrees, ++seed));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sum / 2));
+}
+BENCHMARK(BM_ConfigurationModel)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_SbmGeneration(benchmark::State& state) {
+  SbmParams params;
+  const NodeId block = static_cast<NodeId>(state.range(0));
+  params.block_sizes = {block, block, block, block};
+  params.p_in = 0.02;
+  params.p_out = 0.0005;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateSbm(params, ++seed));
+  }
+}
+BENCHMARK(BM_SbmGeneration)->Arg(1 << 11)->Arg(1 << 13);
+
+void BM_StructuralFeatures(benchmark::State& state) {
+  Graph g = BenchGraph(1 << 12);
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeStructuralFeatures(g, depth));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_StructuralFeatures)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PercolationMatch(benchmark::State& state) {
+  Graph g = BenchGraph(state.range(0));
+  IndependentSampleOptions options;
+  options.s1 = 0.8;
+  options.s2 = 0.8;
+  RealizationPair pair = SampleIndependent(g, options, 717);
+  SeedOptions seed_options;
+  seed_options.fraction = 0.1;
+  auto seeds = GenerateSeeds(pair, seed_options, 719);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PercolationMatch(pair.g1, pair.g2, seeds, PercolationConfig{}));
+  }
+}
+BENCHMARK(BM_PercolationMatch)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_ConfidenceAudit(benchmark::State& state) {
+  Graph g = BenchGraph(state.range(0));
+  IndependentSampleOptions options;
+  options.s1 = 0.7;
+  options.s2 = 0.7;
+  RealizationPair pair = SampleIndependent(g, options, 727);
+  SeedOptions seed_options;
+  seed_options.fraction = 0.1;
+  auto seeds = GenerateSeeds(pair, seed_options, 729);
+  MatchResult result = UserMatching(pair.g1, pair.g2, seeds, MatcherConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeLinkSupport(pair.g1, pair.g2, result));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(result.NumLinks()));
+}
+BENCHMARK(BM_ConfidenceAudit)->Arg(1 << 12)->Arg(1 << 14);
+
+}  // namespace
+}  // namespace reconcile
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Table 3: Facebook and Enron under the random (independent) deletion model.
+//
+// Paper setup (left): Facebook WOSN snapshot (63,731 nodes / 1.5M edges),
+// s = 0.5; seed prob in {5%, 10%, 20%}; thresholds {2, 4, 5}. Headline:
+// error well under 1% everywhere; e.g. at 20%/T=2: 41,472 good / 203 bad.
+// With s = 0.75, at 5%/T=2: 46,626 good / 20 bad.
+// Paper setup (right): Enron (36,692 nodes / 368k edges), much sparser;
+// s = 0.5, seed prob 10%, thresholds {3, 4, 5}; error among new links 4.8%
+// at T=5 scale... (3,426 good / 61 bad at T=5).
+//
+// Here: Chung-Lu stand-ins at half scale (same average degree / skew); the
+// shape to check: sub-1% error on the Facebook-like graph at every cell,
+// recall limited by the ~28% of nodes with degree <= 5; Enron-like graph
+// much lower recall (sparse) with small absolute error counts.
+
+#include "bench_common.h"
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/datasets.h"
+#include "reconcile/sampling/independent.h"
+
+namespace reconcile {
+namespace {
+
+void RunGrid(const RealizationPair& pair, const std::string& name,
+             const std::vector<double>& seed_probs,
+             const std::vector<uint32_t>& thresholds, uint64_t seed) {
+  std::cout << name << ": copy1 " << pair.g1.num_edges() << " edges, copy2 "
+            << pair.g2.num_edges() << " edges, identifiable "
+            << pair.NumIdentifiable() << "\n";
+  Table table({"seed prob", "T", "good", "bad", "error rate"});
+  for (double l : seed_probs) {
+    for (uint32_t threshold : thresholds) {
+      SeedOptions seeds;
+      seeds.fraction = l;
+      MatcherConfig config;
+      config.min_score = threshold;
+      ExperimentResult r = RunMatcherExperiment(pair, seeds, config, seed);
+      table.AddRow({FormatPercent(l, 0), std::to_string(threshold),
+                    std::to_string(r.quality.new_good),
+                    std::to_string(r.quality.new_bad),
+                    bench::PercentCell(r.quality.error_rate)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Table 3 — Facebook (left) and Enron (right), random deletion",
+      "Tab. 3 (FB: l in {5,10,20}%, T in {2,4,5}; Enron: l=10%, T in {3,4,5})",
+      "Chung-Lu stand-ins at 0.5 scale; s=0.5 (plus FB s=0.75 headline row)");
+
+  {
+    Graph fb = MakeFacebookStandin(bench::kBenchScale, 0xFB0001);
+    IndependentSampleOptions sample;
+    sample.s1 = sample.s2 = 0.5;
+    RealizationPair pair = SampleIndependent(fb, sample, 0xFB0002);
+    RunGrid(pair, "Facebook-like, s=0.5", {0.05, 0.10, 0.20}, {2, 4, 5},
+            0xFB0003);
+  }
+  {
+    Graph fb = MakeFacebookStandin(bench::kBenchScale, 0xFB0001);
+    IndependentSampleOptions sample;
+    sample.s1 = sample.s2 = 0.75;
+    RealizationPair pair = SampleIndependent(fb, sample, 0xFB0004);
+    RunGrid(pair, "Facebook-like, s=0.75 (headline)", {0.05}, {2}, 0xFB0005);
+  }
+  {
+    Graph enron = MakeEnronStandin(bench::kBenchScale, 0xE40001);
+    IndependentSampleOptions sample;
+    sample.s1 = sample.s2 = 0.5;
+    RealizationPair pair = SampleIndependent(enron, sample, 0xE40002);
+    RunGrid(pair, "Enron-like, s=0.5", {0.10}, {3, 4, 5}, 0xE40003);
+  }
+  std::cout << "Paper shape: FB error well under 1% in every cell; FB s=0.75 "
+               "near-zero error; Enron-like sparse graph has far lower "
+               "recall and slightly higher (but still small) error.\n\n";
+}
+
+}  // namespace
+}  // namespace reconcile
+
+int main() { reconcile::Run(); }

@@ -1,0 +1,57 @@
+// Table 4: Affiliation Network under correlated community deletion.
+//
+// Paper setup: Affiliation Network model (60,026 users / 8.07M folded
+// edges) as the underlying graph; in each copy every interest (community)
+// is deleted wholesale with probability 0.25, then the copy is the fold of
+// the survivors. Seed prob 10%. Paper result: zero errors at thresholds
+// {2, 3, 4} with ~55k good matches (93% of users).
+//
+// Here: AN stand-in at 0.1 scale (6k users). Shape to check: precision at
+// or near 100% despite whole communities flipping between the copies.
+
+#include "bench_common.h"
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/datasets.h"
+#include "reconcile/sampling/community.h"
+
+namespace reconcile {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Table 4 — Affiliation Network, correlated community deletion",
+      "Tab. 4 (l=10%, T in {2,3,4}; paper: 0 errors, ~55.9k good at T=2)",
+      "AN stand-in 0.1 scale; interest deletion prob 0.25 per copy");
+
+  AffiliationNetwork net = MakeAffiliationStandin(0.1, 0xAF0001);
+  Graph fold = net.Fold();
+  std::cout << "users: " << net.num_users() << ", interests: "
+            << net.num_interests() << ", folded edges: " << fold.num_edges()
+            << "\n";
+  RealizationPair pair = SampleCommunity(net, 0.25, 0xAF0002);
+  std::cout << "copy1: " << pair.g1.num_edges() << " edges, copy2: "
+            << pair.g2.num_edges() << " edges, identifiable: "
+            << pair.NumIdentifiable() << "\n\n";
+
+  Table table({"seed prob", "T", "good", "bad", "precision", "recall(all)"});
+  for (uint32_t threshold : {2u, 3u, 4u}) {
+    SeedOptions seeds;
+    seeds.fraction = 0.10;
+    MatcherConfig config;
+    config.min_score = threshold;
+    ExperimentResult r = RunMatcherExperiment(pair, seeds, config, 0xAF0003);
+    table.AddRow({"10%", std::to_string(threshold),
+                  std::to_string(r.quality.new_good),
+                  std::to_string(r.quality.new_bad),
+                  bench::PercentCell(r.quality.precision),
+                  bench::PercentCell(r.quality.recall_all)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper shape: essentially no errors even though the same "
+               "user's neighbourhoods differ wholesale between copies.\n\n";
+}
+
+}  // namespace
+}  // namespace reconcile
+
+int main() { reconcile::Run(); }

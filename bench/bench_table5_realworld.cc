@@ -1,0 +1,83 @@
+// Table 5: "real world scenarios" — DBLP even/odd years, Gowalla even/odd
+// months, French/German Wikipedia.
+//
+// Paper setups and results:
+//  * DBLP: co-authorship graph sliced into even-year and odd-year networks;
+//    l=10%. Result at T=2: 68,641 good / 2,985 bad (error 4.17%).
+//  * Gowalla: friendships active in even vs odd months (via co-check-ins);
+//    l=10%. Result at T=2: 7,931 good / 155 bad (error 1.9%).
+//  * Wikipedia FR/DE interlanguage links; 10% of links as seeds. Result at
+//    T=3: 122,740 good / 14,373 bad (error ~10.5%; 17.5% among new links).
+//
+// Here: stand-ins (Chung-Lu degree profiles + the same slicing processes;
+// Wikipedia = asymmetric node deletion + noise). Shape to check: a few
+// percent error on the time-sliced graphs (higher than the synthetic
+// models), recall concentrated on nodes of degree > 5, and the Wikipedia
+// pair an order of magnitude worse than everything else.
+
+#include "bench_common.h"
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/datasets.h"
+#include "reconcile/sampling/timeslice.h"
+
+namespace reconcile {
+namespace {
+
+void RunRows(const RealizationPair& pair, const std::string& name,
+             const std::vector<uint32_t>& thresholds, uint64_t seed) {
+  std::cout << name << ": copy1 " << pair.g1.num_edges() << " edges, copy2 "
+            << pair.g2.num_edges() << " edges, identifiable "
+            << pair.NumIdentifiable() << "\n";
+  Table table({"seed prob", "T", "good", "bad", "error rate", "recall(all)"});
+  for (uint32_t threshold : thresholds) {
+    SeedOptions seeds;
+    seeds.fraction = 0.10;
+    MatcherConfig config;
+    config.min_score = threshold;
+    ExperimentResult r = RunMatcherExperiment(pair, seeds, config, seed);
+    table.AddRow({"10%", std::to_string(threshold),
+                  std::to_string(r.quality.new_good),
+                  std::to_string(r.quality.new_bad),
+                  bench::PercentCell(r.quality.error_rate),
+                  bench::PercentCell(r.quality.recall_all)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Table 5 — DBLP (even/odd years), Gowalla (even/odd months), Wikipedia",
+      "Tab. 5 (l=10%; DBLP T in {2,4,5}; Gowalla T in {2,4,5}; Wiki T in {3,5})",
+      "time-sliced Chung-Lu stand-ins; Wikipedia = asymmetric pair");
+
+  {
+    Graph dblp = MakeDblpStandin(bench::kBenchScale, 0xDB0001);
+    TimesliceOptions slices;
+    slices.num_periods = 12;       // years
+    slices.repeat_lambda = 1.0;    // repeat collaborations
+    RealizationPair pair = SampleTimeslice(dblp, slices, 0xDB0002);
+    RunRows(pair, "DBLP-like (even/odd years)", {2, 4, 5}, 0xDB0003);
+  }
+  {
+    Graph gowalla = MakeGowallaStandin(bench::kBenchScale, 0x60A0001);
+    TimesliceOptions slices;
+    slices.num_periods = 12;       // months
+    slices.repeat_lambda = 1.5;    // repeat co-check-ins
+    slices.participation = 0.8;    // only co-checking-in friendships observed
+    RealizationPair pair = SampleTimeslice(gowalla, slices, 0x60A0002);
+    RunRows(pair, "Gowalla-like (even/odd months)", {2, 4, 5}, 0x60A0003);
+  }
+  {
+    RealizationPair pair = MakeWikipediaPair(bench::kBenchScale, 0x31310001);
+    RunRows(pair, "Wikipedia-like FR/DE pair", {3, 5}, 0x31310003);
+  }
+  std::cout << "Paper shape: DBLP ~4% error and >50% recall above degree 10; "
+               "Gowalla ~2-4%; Wikipedia much harder (17.5% error among new "
+               "links) because the two networks only partially overlap.\n\n";
+}
+
+}  // namespace
+}  // namespace reconcile
+
+int main() { reconcile::Run(); }

@@ -1,0 +1,81 @@
+// Attack resilience demo: why structural witnesses beat profile features.
+//
+// An attacker creates one sybil clone per user in both networks and wires
+// it to each victim's friends with probability 0.5 (the paper's §5 attack —
+// the clone's *profile* is a perfect copy, so any feature-based matcher is
+// fooled by construction). We show that User-Matching barely notices:
+// impostor pairs are outcompeted by the genuine pair, which keeps acting as
+// a blocker even after it is matched.
+//
+// We also run the simple common-neighbours variant to reproduce the paper's
+// finding that it loses about half its recall under the same attack.
+//
+// Build & run:  ./build/examples/attack_resilience
+
+#include <cstdio>
+
+#include "reconcile/baseline/common_neighbors.h"
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/datasets.h"
+#include "reconcile/eval/metrics.h"
+#include "reconcile/sampling/attack.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/seed/seeding.h"
+
+int main() {
+  using namespace reconcile;
+
+  Graph fb = MakeFacebookStandin(/*scale=*/0.25, /*seed=*/1234);
+  IndependentSampleOptions sampling;
+  sampling.s1 = sampling.s2 = 0.75;
+  RealizationPair clean = SampleIndependent(fb, sampling, 1235);
+
+  AttackOptions attack;          // one clone per node, attach prob 0.5,
+  attack.attack_both_copies = true;  // injected into both networks
+  RealizationPair attacked = ApplyAttack(clean, attack, 1236);
+  std::printf("network size before attack: %u nodes; after: %u nodes "
+              "(half of all accounts are sybils)\n\n",
+              clean.g1.num_nodes(), attacked.g1.num_nodes());
+
+  SeedOptions seeding;
+  seeding.fraction = 0.10;
+  auto clean_seeds = GenerateSeeds(clean, seeding, 1237);
+  auto attacked_seeds = GenerateSeeds(attacked, seeding, 1237);
+
+  MatcherConfig config;
+  config.min_score = 2;
+
+  {
+    MatchResult r = UserMatching(clean.g1, clean.g2, clean_seeds, config);
+    MatchQuality q = Evaluate(clean, r);
+    std::printf("User-Matching, no attack:   %6zu good %4zu bad  "
+                "(precision %.2f%%)\n",
+                q.new_good, q.new_bad, 100.0 * q.precision);
+  }
+  MatchQuality under_attack;
+  {
+    MatchResult r =
+        UserMatching(attacked.g1, attacked.g2, attacked_seeds, config);
+    under_attack = Evaluate(attacked, r);
+    std::printf("User-Matching, under attack:%6zu good %4zu bad  "
+                "(precision %.2f%%)\n",
+                under_attack.new_good, under_attack.new_bad,
+                100.0 * under_attack.precision);
+  }
+  {
+    SimpleMatcherConfig simple;
+    simple.min_score = 1;
+    MatchResult r = SimpleCommonNeighborsMatch(attacked.g1, attacked.g2,
+                                               attacked_seeds, simple);
+    MatchQuality q = Evaluate(attacked, r);
+    std::printf("simple matcher, under attack:%5zu good %4zu bad  "
+                "(precision %.2f%%)\n",
+                q.new_good, q.new_bad, 100.0 * q.precision);
+  }
+
+  std::printf("\nA sybil clone can copy a profile but cannot copy history: "
+              "it never beats the genuine account's witness score, so the "
+              "genuine pair blocks it.%s\n",
+              under_attack.precision > 0.97 ? "" : " (unexpected: check config)");
+  return 0;
+}

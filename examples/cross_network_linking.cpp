@@ -1,0 +1,106 @@
+// Cross-network account linking with different network scopes — the
+// motivating application from the paper's introduction: a user's personal
+// friends are on one network, work colleagues on another, and the service
+// wants to reconcile accounts to power "people you may know".
+//
+// The underlying population is an Affiliation Network (users belong to
+// communities); each online network observes a user's communities only
+// partially, and whole communities are missing per network (correlated
+// deletion): the paper's hardest synthetic scenario.
+//
+// After reconciling, we demonstrate the payoff: friend suggestions computed
+// from the union of both networks for users that were matched.
+//
+// Build & run:  ./build/examples/cross_network_linking
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/datasets.h"
+#include "reconcile/eval/metrics.h"
+#include "reconcile/sampling/community.h"
+#include "reconcile/seed/seeding.h"
+
+namespace {
+
+using namespace reconcile;
+
+// Friend suggestions for g1 user `u`: neighbours of the matched account on
+// the other network, pulled back through the mapping, that are not already
+// friends on network 1. Ranked by common-friend count on network 1.
+std::vector<NodeId> SuggestFriends(const RealizationPair& pair,
+                                   const MatchResult& result, NodeId u,
+                                   size_t limit) {
+  std::vector<NodeId> suggestions;
+  NodeId u2 = result.map_1to2[u];
+  if (u2 == kInvalidNode) return suggestions;
+  for (NodeId w2 : pair.g2.Neighbors(u2)) {
+    NodeId w1 = result.map_2to1[w2];
+    if (w1 == kInvalidNode || w1 == u) continue;
+    if (pair.g1.HasEdge(u, w1)) continue;  // already friends on network 1
+    suggestions.push_back(w1);
+  }
+  std::sort(suggestions.begin(), suggestions.end(),
+            [&pair, u](NodeId a, NodeId b) {
+              size_t ca = pair.g1.CommonNeighborCount(u, a);
+              size_t cb = pair.g1.CommonNeighborCount(u, b);
+              if (ca != cb) return ca > cb;
+              return a < b;
+            });
+  if (suggestions.size() > limit) suggestions.resize(limit);
+  return suggestions;
+}
+
+}  // namespace
+
+int main() {
+  using namespace reconcile;
+
+  AffiliationNetwork population = MakeAffiliationStandin(/*scale=*/0.15, 77);
+  std::printf("population: %u users in %zu communities\n",
+              population.num_users(), population.num_interests());
+
+  // Each network sees a copy of the social graph where whole communities
+  // are missing (work friends on one side, family on the other).
+  RealizationPair pair = SampleCommunity(population, /*interest_delete_prob=*/0.25,
+                                         /*seed=*/78);
+  std::printf("network A: %zu edges; network B: %zu edges\n",
+              pair.g1.num_edges(), pair.g2.num_edges());
+
+  SeedOptions seeding;
+  seeding.fraction = 0.10;
+  auto seeds = GenerateSeeds(pair, seeding, 79);
+
+  MatcherConfig config;
+  config.min_score = 3;
+  MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+  MatchQuality quality = Evaluate(pair, result);
+  std::printf("reconciled %zu accounts (+%zu seeds), error rate %.2f%%\n\n",
+              quality.new_good + quality.new_bad, seeds.size(),
+              100.0 * quality.error_rate);
+
+  // Show friend suggestions for a few reconciled users.
+  int shown = 0;
+  size_t total_suggestions = 0, users_with_suggestions = 0;
+  for (NodeId u = 0; u < pair.g1.num_nodes(); ++u) {
+    if (result.map_1to2[u] == kInvalidNode) continue;
+    std::vector<NodeId> suggestions = SuggestFriends(pair, result, u, 5);
+    if (!suggestions.empty()) {
+      ++users_with_suggestions;
+      total_suggestions += suggestions.size();
+      if (shown < 5) {
+        std::printf("user %-6u -> suggest:", u);
+        for (NodeId s : suggestions) std::printf(" %u", s);
+        std::printf("\n");
+        ++shown;
+      }
+    }
+  }
+  std::printf("\n%zu users would receive cross-network friend suggestions "
+              "(%zu suggestions total) — relationships invisible to either "
+              "network alone.\n",
+              users_with_suggestions, total_suggestions);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// De-anonymization scenario (the Narayanan–Shmatikov setting the paper
+// builds on): a provider releases an "anonymized" copy of its social graph;
+// an attacker holds a second, public graph over the same population plus a
+// handful of identified accounts, and wants to re-identify the release.
+//
+// This example runs both the paper's User-Matching algorithm and the
+// NS09-style propagation baseline on the same instance and compares
+// re-identification rate, error rate, and wall-clock cost — reproducing the
+// paper's argument that simple witness counting with degree bucketing is
+// both faster and more precise.
+//
+// Build & run:  ./build/examples/deanonymization
+
+#include <cstdio>
+
+#include "reconcile/baseline/propagation.h"
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/datasets.h"
+#include "reconcile/eval/metrics.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/seed/seeding.h"
+#include "reconcile/util/timer.h"
+
+int main() {
+  using namespace reconcile;
+
+  // The "provider's" social graph: an Enron-like sparse communication net.
+  Graph population = MakeEnronStandin(/*scale=*/0.5, /*seed=*/1811);
+  std::printf("population graph: %u nodes, %zu edges\n",
+              population.num_nodes(), population.num_edges());
+
+  // The anonymized release keeps 80%% of edges; the attacker's auxiliary
+  // public graph holds a different random 70%%.
+  IndependentSampleOptions sampling;
+  sampling.s1 = 0.8;  // anonymized release
+  sampling.s2 = 0.7;  // attacker's auxiliary graph
+  RealizationPair pair = SampleIndependent(population, sampling, 23);
+
+  // The attacker has identified 200 high-profile accounts by hand (the
+  // NS09 experiments seed from high-degree nodes).
+  SeedOptions seeding;
+  seeding.bias = SeedBias::kTopDegree;
+  seeding.fixed_count = 200;
+  auto seeds = GenerateSeeds(pair, seeding, 31);
+  std::printf("hand-identified seed accounts: %zu\n\n", seeds.size());
+
+  {
+    Timer timer;
+    MatcherConfig config;
+    config.min_score = 2;
+    MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+    MatchQuality q = Evaluate(pair, result);
+    std::printf("User-Matching:      %6zu re-identified, %5zu wrong "
+                "(error %.2f%%) in %.2fs\n",
+                q.new_good, q.new_bad, 100.0 * q.error_rate, timer.Seconds());
+  }
+  {
+    Timer timer;
+    PropagationConfig config;
+    config.theta = 1.0;
+    MatchResult result = PropagationMatch(pair.g1, pair.g2, seeds, config);
+    MatchQuality q = Evaluate(pair, result);
+    std::printf("NS09 propagation:   %6zu re-identified, %5zu wrong "
+                "(error %.2f%%) in %.2fs\n",
+                q.new_good, q.new_bad, 100.0 * q.error_rate, timer.Seconds());
+  }
+
+  std::printf("\nTakeaway: a released graph with even modest overlap against "
+              "a public one offers little anonymity — and the defender must "
+              "assume the cheap, scalable attack, not the expensive one.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Graph-isomorphism recovery — the paper's framing made concrete.
+//
+// §1 and §3 of the paper observe that with s1 = s2 = 1 (no edge deletion)
+// the reconciliation problem *is* graph isomorphism: G2 is G1 with its
+// labels scrambled by a hidden permutation, and the task is to recover the
+// bijection. Graph isomorphism has no known polynomial algorithm in
+// general — but the paper's point is that social networks are nothing like
+// the hard instances, and a handful of trusted links collapses the search.
+//
+// This example scrambles a preferential-attachment graph, hands the matcher
+// a tiny number of seed links (far below the fractions used anywhere in the
+// evaluation), and recovers the full isomorphism with zero errors. It then
+// repeats the exercise on a *regular* graph (a cycle), where every node
+// looks identical: the matcher correctly refuses to guess rather than
+// producing wrong links — precision over recall, the design theme of the
+// whole algorithm.
+//
+// Build & run:  ./build/examples/isomorphism_recovery
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/metrics.h"
+#include "reconcile/gen/preferential_attachment.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/seed/seeding.h"
+
+int main() {
+  using namespace reconcile;
+
+  // --- Part 1: a social-like graph is easy. -------------------------------
+  const NodeId n = 20000;
+  Graph g = GeneratePreferentialAttachment(n, 8, 424242);
+  std::printf("underlying graph: %u nodes, %zu edges (PA, m=8)\n", n,
+              g.num_edges());
+
+  IndependentSampleOptions no_deletion;
+  no_deletion.s1 = 1.0;
+  no_deletion.s2 = 1.0;  // identical copies: pure isomorphism
+  RealizationPair pair = SampleIndependent(g, no_deletion, 424243);
+
+  // 30 seed links out of 20,000 nodes — 0.15%.
+  SeedOptions seeding;
+  seeding.bias = SeedBias::kTopDegree;
+  seeding.fixed_count = 30;
+  auto seeds = GenerateSeeds(pair, seeding, 424244);
+  std::printf("seeds: %zu links (%.2f%% of nodes, top-degree)\n\n",
+              seeds.size(), 100.0 * seeds.size() / n);
+
+  MatcherConfig config;
+  config.min_score = 2;
+  config.num_iterations = 3;
+  MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+  MatchQuality quality = Evaluate(pair, result);
+
+  std::printf("recovered %zu of %zu node correspondences\n",
+              quality.new_good + seeds.size(), pair.NumIdentifiable());
+  std::printf("errors: %zu (precision %.2f%%), recall %.2f%%\n\n",
+              quality.new_bad, 100.0 * quality.precision,
+              100.0 * quality.recall_all);
+
+  // --- Part 2: the degenerate counterexample. -----------------------------
+  // A cycle is vertex-transitive: every non-seed node is structurally
+  // indistinguishable from every other, so *any* matcher that guesses must
+  // err. Ours refuses: candidate scores tie and the unique-best rule rejects
+  // them.
+  EdgeList cycle_edges(1000);
+  for (NodeId v = 0; v < 1000; ++v) cycle_edges.Add(v, (v + 1) % 1000);
+  Graph cycle = Graph::FromEdgeList(std::move(cycle_edges));
+  RealizationPair cycle_pair = SampleIndependent(cycle, no_deletion, 424245);
+  SeedOptions cycle_seeding;
+  cycle_seeding.fraction = 0.05;
+  auto cycle_seeds = GenerateSeeds(cycle_pair, cycle_seeding, 424246);
+  MatcherConfig cycle_config;
+  cycle_config.min_score = 2;
+  MatchResult cycle_result =
+      UserMatching(cycle_pair.g1, cycle_pair.g2, cycle_seeds, cycle_config);
+  MatchQuality cycle_quality = Evaluate(cycle_pair, cycle_result);
+
+  std::printf("cycle graph (1000 nodes, vertex-transitive): %zu new links, "
+              "%zu wrong\n",
+              cycle_quality.new_good + cycle_quality.new_bad,
+              cycle_quality.new_bad);
+  std::printf("=> on a symmetric instance the matcher abstains instead of "
+              "guessing;\n   skewed degrees + distinct neighbourhoods are "
+              "what make social graphs easy.\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include "reconcile/baseline/common_neighbors.h"
+
+namespace reconcile {
+
+MatchResult SimpleCommonNeighborsMatch(
+    const Graph& g1, const Graph& g2,
+    std::span<const std::pair<NodeId, NodeId>> seeds,
+    const SimpleMatcherConfig& config) {
+  MatcherConfig full;
+  full.use_degree_bucketing = false;
+  full.min_score = config.min_score;
+  full.num_iterations = config.num_iterations;
+  full.min_bucket_exponent = 0;
+  full.num_threads = config.num_threads;
+  return UserMatching(g1, g2, seeds, full);
+}
+
+}  // namespace reconcile

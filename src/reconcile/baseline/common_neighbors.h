@@ -1,0 +1,35 @@
+#ifndef RECONCILE_BASELINE_COMMON_NEIGHBORS_H_
+#define RECONCILE_BASELINE_COMMON_NEIGHBORS_H_
+
+#include <span>
+#include <utility>
+
+#include "reconcile/core/matcher.h"
+#include "reconcile/core/result.h"
+#include "reconcile/graph/graph.h"
+
+namespace reconcile {
+
+/// Configuration for the "straightforward algorithm" the paper compares
+/// against in §5 (Q8): count common (linked) neighbours with no degree
+/// bucketing, accept mutual bests above `min_score`.
+struct SimpleMatcherConfig {
+  uint32_t min_score = 1;  ///< The paper's ablation uses threshold 1.
+  int num_iterations = 2;
+  int num_threads = 0;
+};
+
+/// Runs the simple common-neighbours matcher: identical witness counting and
+/// mutual-best selection as User-Matching, but every node is a candidate in
+/// every round (no high-degree-first schedule). This is the exact ablation
+/// the paper reports: on Facebook it raises the error count by ~50%, under
+/// attack it halves recall, and on the Wikipedia-style workload its error
+/// rate grows sharply.
+MatchResult SimpleCommonNeighborsMatch(
+    const Graph& g1, const Graph& g2,
+    std::span<const std::pair<NodeId, NodeId>> seeds,
+    const SimpleMatcherConfig& config);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_BASELINE_COMMON_NEIGHBORS_H_

@@ -1,0 +1,218 @@
+#include "reconcile/baseline/feature_matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "reconcile/graph/statistics.h"
+#include "reconcile/util/logging.h"
+#include "reconcile/util/timer.h"
+
+namespace reconcile {
+
+namespace {
+
+constexpr size_t kBaseFeatures = 4;
+
+// Base features: degree, local clustering, mean and max neighbour degree.
+void FillBaseFeatures(const Graph& g, std::vector<std::vector<double>>* f) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto& row = (*f)[v];
+    const auto nbrs = g.Neighbors(v);
+    row[0] = static_cast<double>(nbrs.size());
+    row[1] = LocalClustering(g, v);
+    double sum = 0.0, mx = 0.0;
+    for (NodeId u : nbrs) {
+      const double d = g.degree(u);
+      sum += d;
+      mx = std::max(mx, d);
+    }
+    row[2] = nbrs.empty() ? 0.0 : sum / static_cast<double>(nbrs.size());
+    row[3] = mx;
+  }
+}
+
+// One recursion round: append mean and max over neighbours of the previous
+// round's feature block [block_begin, block_end).
+void AppendRecursiveRound(const Graph& g, size_t block_begin,
+                          size_t block_end,
+                          std::vector<std::vector<double>>* f) {
+  const size_t width = block_end - block_begin;
+  std::vector<std::vector<double>> agg(g.num_nodes(),
+                                       std::vector<double>(2 * width, 0.0));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.Neighbors(v);
+    auto& out = agg[v];
+    for (NodeId u : nbrs) {
+      const auto& src = (*f)[u];
+      for (size_t k = 0; k < width; ++k) {
+        out[k] += src[block_begin + k];
+        out[width + k] = std::max(out[width + k], src[block_begin + k]);
+      }
+    }
+    if (!nbrs.empty()) {
+      for (size_t k = 0; k < width; ++k)
+        out[k] /= static_cast<double>(nbrs.size());
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto& row = (*f)[v];
+    row.insert(row.end(), agg[v].begin(), agg[v].end());
+  }
+}
+
+// Z-scores every column in place (columns with zero variance become 0).
+void NormalizeColumns(std::vector<std::vector<double>>* f) {
+  if (f->empty()) return;
+  const size_t dim = (*f)[0].size();
+  const double n = static_cast<double>(f->size());
+  for (size_t k = 0; k < dim; ++k) {
+    double sum = 0.0, sum2 = 0.0;
+    for (const auto& row : *f) {
+      sum += row[k];
+      sum2 += row[k] * row[k];
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    const double inv_sd = var > 1e-12 ? 1.0 / std::sqrt(var) : 0.0;
+    for (auto& row : *f) row[k] = (row[k] - mean) * inv_sd;
+  }
+}
+
+double Cosine(const std::vector<double>& a, const std::vector<double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t k = 0; k < a.size(); ++k) {
+    dot += a[k] * b[k];
+    na += a[k] * a[k];
+    nb += b[k] * b[k];
+  }
+  if (na <= 1e-12 || nb <= 1e-12) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace
+
+size_t FeatureDim(int depth) {
+  // Each round doubles the previous block and appends it: base b, then
+  // blocks of 2b, 4b, ... sizes; total = b * (2^(depth+1) - 1).
+  return kBaseFeatures * ((size_t{1} << (depth + 1)) - 1);
+}
+
+std::vector<std::vector<double>> ComputeStructuralFeatures(const Graph& g,
+                                                           int depth) {
+  RECONCILE_CHECK_GE(depth, 0);
+  RECONCILE_CHECK_LE(depth, 4) << "feature dimension grows as 2^depth";
+  std::vector<std::vector<double>> f(g.num_nodes(),
+                                     std::vector<double>(kBaseFeatures, 0.0));
+  FillBaseFeatures(g, &f);
+  size_t block_begin = 0, block_end = kBaseFeatures;
+  for (int round = 0; round < depth; ++round) {
+    AppendRecursiveRound(g, block_begin, block_end, &f);
+    block_begin = block_end;
+    block_end = f.empty() ? 0 : f[0].size();
+  }
+  return f;
+}
+
+MatchResult StructuralFeatureMatch(
+    const Graph& g1, const Graph& g2,
+    std::span<const std::pair<NodeId, NodeId>> seeds,
+    const FeatureMatcherConfig& config) {
+  RECONCILE_CHECK_GE(config.degree_band, 1.0);
+  Timer timer;
+
+  MatchResult result;
+  result.map_1to2.assign(g1.num_nodes(), kInvalidNode);
+  result.map_2to1.assign(g2.num_nodes(), kInvalidNode);
+  result.seeds.assign(seeds.begin(), seeds.end());
+  for (const auto& [u, v] : seeds) {
+    RECONCILE_CHECK_LT(u, g1.num_nodes());
+    RECONCILE_CHECK_LT(v, g2.num_nodes());
+    result.map_1to2[u] = v;
+    result.map_2to1[v] = u;
+  }
+
+  std::vector<std::vector<double>> f1 =
+      ComputeStructuralFeatures(g1, config.recursion_depth);
+  std::vector<std::vector<double>> f2 =
+      ComputeStructuralFeatures(g2, config.recursion_depth);
+  NormalizeColumns(&f1);
+  NormalizeColumns(&f2);
+
+  // Degree-sorted index of g2 nodes for band lookups.
+  std::vector<NodeId> g2_by_degree(g2.num_nodes());
+  std::iota(g2_by_degree.begin(), g2_by_degree.end(), NodeId{0});
+  std::sort(g2_by_degree.begin(), g2_by_degree.end(),
+            [&](NodeId a, NodeId b) {
+              return g2.degree(a) < g2.degree(b) ||
+                     (g2.degree(a) == g2.degree(b) && a < b);
+            });
+  std::vector<NodeId> g2_degrees(g2.num_nodes());
+  for (size_t i = 0; i < g2_by_degree.size(); ++i)
+    g2_degrees[i] = g2.degree(g2_by_degree[i]);
+
+  // Best candidate per g1 node and the reverse-best per g2 node.
+  struct Best {
+    double score = -2.0;
+    NodeId partner = kInvalidNode;
+  };
+  std::vector<Best> best1(g1.num_nodes());
+  std::vector<Best> best2(g2.num_nodes());
+
+  for (NodeId u = 0; u < g1.num_nodes(); ++u) {
+    const NodeId d = g1.degree(u);
+    if (d < config.min_degree || result.map_1to2[u] != kInvalidNode) continue;
+    const NodeId lo = static_cast<NodeId>(
+        std::floor(static_cast<double>(d) / config.degree_band));
+    const NodeId hi = static_cast<NodeId>(
+        std::ceil(static_cast<double>(d) * config.degree_band));
+    auto it_lo = std::lower_bound(g2_degrees.begin(), g2_degrees.end(), lo);
+    auto it_hi = std::upper_bound(g2_degrees.begin(), g2_degrees.end(), hi);
+    size_t begin = static_cast<size_t>(it_lo - g2_degrees.begin());
+    size_t end = static_cast<size_t>(it_hi - g2_degrees.begin());
+    // Keep the `max_candidates` band entries nearest to `d` by shrinking
+    // the wider side first.
+    while (end - begin > config.max_candidates) {
+      const NodeId d_lo = g2_degrees[begin];
+      const NodeId d_hi = g2_degrees[end - 1];
+      const NodeId gap_lo = d > d_lo ? d - d_lo : 0;
+      const NodeId gap_hi = d_hi > d ? d_hi - d : 0;
+      if (gap_lo >= gap_hi)
+        ++begin;
+      else
+        --end;
+    }
+    for (size_t i = begin; i < end; ++i) {
+      const NodeId v = g2_by_degree[i];
+      if (g2.degree(v) < config.min_degree ||
+          result.map_2to1[v] != kInvalidNode)
+        continue;
+      const double sim = Cosine(f1[u], f2[v]);
+      if (sim > best1[u].score) {
+        best1[u].score = sim;
+        best1[u].partner = v;
+      }
+      if (sim > best2[v].score) {
+        best2[v].score = sim;
+        best2[v].partner = u;
+      }
+    }
+  }
+
+  // Accept mutual bests above the similarity floor.
+  for (NodeId u = 0; u < g1.num_nodes(); ++u) {
+    const NodeId v = best1[u].partner;
+    if (v == kInvalidNode || best1[u].score < config.min_similarity) continue;
+    if (best2[v].partner != u) continue;
+    if (result.map_1to2[u] != kInvalidNode ||
+        result.map_2to1[v] != kInvalidNode)
+      continue;
+    result.map_1to2[u] = v;
+    result.map_2to1[v] = u;
+  }
+
+  result.total_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace reconcile

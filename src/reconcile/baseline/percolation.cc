@@ -1,0 +1,74 @@
+#include "reconcile/baseline/percolation.h"
+
+#include <deque>
+
+#include "reconcile/util/flat_hash_map.h"
+#include "reconcile/util/logging.h"
+#include "reconcile/util/timer.h"
+
+namespace reconcile {
+
+MatchResult PercolationMatch(const Graph& g1, const Graph& g2,
+                             std::span<const std::pair<NodeId, NodeId>> seeds,
+                             const PercolationConfig& config) {
+  RECONCILE_CHECK_GE(config.threshold, 2u)
+      << "percolation threshold r must be at least 2";
+  Timer timer;
+
+  MatchResult result;
+  result.map_1to2.assign(g1.num_nodes(), kInvalidNode);
+  result.map_2to1.assign(g2.num_nodes(), kInvalidNode);
+  result.seeds.assign(seeds.begin(), seeds.end());
+
+  std::deque<std::pair<NodeId, NodeId>> queue;
+  for (const auto& [u, v] : seeds) {
+    RECONCILE_CHECK_LT(u, g1.num_nodes());
+    RECONCILE_CHECK_LT(v, g2.num_nodes());
+    RECONCILE_CHECK_EQ(result.map_1to2[u], kInvalidNode)
+        << "duplicate seed for g1 node " << u;
+    RECONCILE_CHECK_EQ(result.map_2to1[v], kInvalidNode)
+        << "duplicate seed for g2 node " << v;
+    result.map_1to2[u] = v;
+    result.map_2to1[v] = u;
+    queue.emplace_back(u, v);
+  }
+
+  // Mark counts per candidate pair, keyed by the packed pair id.
+  FlatCountMap marks;
+  size_t emissions = 0;
+
+  while (!queue.empty()) {
+    const auto [a1, a2] = queue.front();
+    queue.pop_front();
+    for (NodeId u : g1.Neighbors(a1)) {
+      if (result.map_1to2[u] != kInvalidNode) continue;
+      if (g1.degree(u) < config.min_degree) continue;
+      for (NodeId v : g2.Neighbors(a2)) {
+        if (result.map_2to1[v] != kInvalidNode) continue;
+        if (g2.degree(v) < config.min_degree) continue;
+        const uint64_t key = PackPair(u, v);
+        const uint32_t count = marks.AddCount(key, 1);
+        ++emissions;
+        if (count == config.threshold) {
+          // Matched the instant the threshold is hit (both endpoints are
+          // free — the guards above ensure it).
+          result.map_1to2[u] = v;
+          result.map_2to1[v] = u;
+          queue.emplace_back(u, v);
+        }
+      }
+    }
+  }
+
+  PhaseStats stats;
+  stats.iteration = 1;
+  stats.links_in = seeds.size();
+  stats.emissions = emissions;
+  stats.new_links = result.NumNewLinks();
+  stats.seconds = timer.Seconds();
+  result.phases.push_back(stats);
+  result.total_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace reconcile

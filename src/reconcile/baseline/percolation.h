@@ -1,0 +1,42 @@
+#ifndef RECONCILE_BASELINE_PERCOLATION_H_
+#define RECONCILE_BASELINE_PERCOLATION_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "reconcile/core/result.h"
+#include "reconcile/graph/graph.h"
+
+namespace reconcile {
+
+/// Percolation graph matching (Yartseva & Grossglauser, COSN 2013) — the
+/// independent contemporaneous work the paper cites for the Erdős–Rényi
+/// variant of the same model.
+///
+/// The algorithm maintains per-pair *marks*: every matched pair (a1, a2)
+/// adds one mark to each neighbour pair (u, v) ∈ N1(a1) × N2(a2). Any pair
+/// whose mark count reaches the threshold `r` is matched immediately (if
+/// both endpoints are still free) and propagates its own marks — a
+/// bootstrap-percolation process with no per-round global scoring, no
+/// degree schedule, and no mutual-best test. Compared to User-Matching this
+/// trades precision safeguards for simplicity: it percolates greedily in
+/// arrival order, so a wrong early match can cascade.
+struct PercolationConfig {
+  /// Marks needed to match a pair. Yartseva & Grossglauser prove a sharp
+  /// seed-count phase transition for r >= 2 on G(n, p); r <= 1 percolates
+  /// the entire candidate space and is rejected.
+  uint32_t threshold = 2;
+  /// Optional degree floor: pairs with either endpoint below this degree
+  /// never match (0 disables; YG's algorithm has no such floor).
+  NodeId min_degree = 0;
+};
+
+/// Runs percolation graph matching from the seed links.
+MatchResult PercolationMatch(const Graph& g1, const Graph& g2,
+                             std::span<const std::pair<NodeId, NodeId>> seeds,
+                             const PercolationConfig& config);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_BASELINE_PERCOLATION_H_

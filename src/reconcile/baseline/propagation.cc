@@ -1,0 +1,141 @@
+#include "reconcile/baseline/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/timer.h"
+
+namespace reconcile {
+
+namespace {
+
+// Scores all plausible counterparts for `u` (nodes of the other graph
+// adjacent to the image of a mapped neighbour of `u`), cosine-normalized by
+// the mapped node's degree in `to`. Returns (best candidate, eccentricity).
+struct ScoredPick {
+  NodeId candidate = kInvalidNode;
+  double eccentricity = 0.0;
+};
+
+ScoredPick ScoreCandidates(const Graph& from, const Graph& to,
+                           const std::vector<NodeId>& map_forward,
+                           const std::vector<NodeId>& map_backward, NodeId u) {
+  // Accumulate weighted scores sparsely over discovered candidates. The
+  // candidate lists are tiny (neighbourhoods of a handful of images), so a
+  // linear-scanned vector beats a hash map here.
+  struct Acc {
+    NodeId candidate;
+    double score;
+  };
+  std::vector<Acc> accs;
+  auto find_acc = [&accs](NodeId c) -> Acc* {
+    for (Acc& a : accs) {
+      if (a.candidate == c) return &a;
+    }
+    return nullptr;
+  };
+
+  for (NodeId w : from.Neighbors(u)) {
+    NodeId image = map_forward[w];
+    if (image == kInvalidNode) continue;
+    double contribution =
+        1.0 / std::sqrt(static_cast<double>(std::max<NodeId>(1, to.degree(image))));
+    for (NodeId v : to.Neighbors(image)) {
+      if (map_backward[v] != kInvalidNode) continue;  // already matched
+      Acc* a = find_acc(v);
+      if (a == nullptr) {
+        accs.push_back({v, contribution});
+      } else {
+        a->score += contribution;
+      }
+    }
+  }
+  if (accs.empty()) return {};
+
+  // Cosine normalization (NS09): divide by sqrt of the candidate's own
+  // degree, so high-degree candidates do not win on volume alone — this is
+  // also what breaks score ties between a true match and a neighbour that
+  // shares the same witnesses but has extra unrelated edges.
+  for (Acc& a : accs) {
+    a.score /= std::sqrt(static_cast<double>(std::max<NodeId>(1, to.degree(a.candidate))));
+  }
+
+  // Eccentricity: (max - second_max) / stddev of scores (NS09, §5).
+  double best = -1.0, second = -1.0;
+  NodeId best_candidate = kInvalidNode;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const Acc& a : accs) {
+    sum += a.score;
+    sum_sq += a.score * a.score;
+    if (a.score > best) {
+      second = best;
+      best = a.score;
+      best_candidate = a.candidate;
+    } else if (a.score > second) {
+      second = a.score;
+    }
+  }
+  double n = static_cast<double>(accs.size());
+  double variance = std::max(0.0, sum_sq / n - (sum / n) * (sum / n));
+  double stddev = std::sqrt(variance);
+  double eccentricity;
+  if (accs.size() == 1) {
+    // A single candidate is maximally unambiguous.
+    eccentricity = best > 0.0 ? 1e9 : 0.0;
+  } else if (stddev == 0.0) {
+    eccentricity = 0.0;  // all candidates tie
+  } else {
+    eccentricity = (best - second) / stddev;
+  }
+  return {best_candidate, eccentricity};
+}
+
+}  // namespace
+
+MatchResult PropagationMatch(const Graph& g1, const Graph& g2,
+                             std::span<const std::pair<NodeId, NodeId>> seeds,
+                             const PropagationConfig& config) {
+  Timer timer;
+  MatchResult result;
+  result.map_1to2.assign(g1.num_nodes(), kInvalidNode);
+  result.map_2to1.assign(g2.num_nodes(), kInvalidNode);
+  result.seeds.assign(seeds.begin(), seeds.end());
+  for (const auto& [u, v] : seeds) {
+    RECONCILE_CHECK_LT(u, g1.num_nodes());
+    RECONCILE_CHECK_LT(v, g2.num_nodes());
+    result.map_1to2[u] = v;
+    result.map_2to1[v] = u;
+  }
+
+  for (int sweep = 0; sweep < config.max_sweeps; ++sweep) {
+    size_t new_links = 0;
+    for (NodeId u = 0; u < g1.num_nodes(); ++u) {
+      if (result.map_1to2[u] != kInvalidNode) continue;
+      ScoredPick pick =
+          ScoreCandidates(g1, g2, result.map_1to2, result.map_2to1, u);
+      if (pick.candidate == kInvalidNode ||
+          pick.eccentricity < config.theta) {
+        continue;
+      }
+      if (config.reverse_check) {
+        ScoredPick reverse = ScoreCandidates(
+            g2, g1, result.map_2to1, result.map_1to2, pick.candidate);
+        if (reverse.candidate != u) continue;
+      }
+      result.map_1to2[u] = pick.candidate;
+      result.map_2to1[pick.candidate] = u;
+      ++new_links;
+    }
+    PhaseStats stats;
+    stats.iteration = sweep + 1;
+    stats.new_links = new_links;
+    result.phases.push_back(stats);
+    if (new_links == 0) break;
+  }
+  result.total_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace reconcile

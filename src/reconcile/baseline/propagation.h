@@ -1,0 +1,32 @@
+#ifndef RECONCILE_BASELINE_PROPAGATION_H_
+#define RECONCILE_BASELINE_PROPAGATION_H_
+
+#include <span>
+#include <utility>
+
+#include "reconcile/core/result.h"
+#include "reconcile/graph/graph.h"
+
+namespace reconcile {
+
+/// Configuration for the Narayanan–Shmatikov (S&P 2009) style propagation
+/// baseline the paper discusses in Related Work: candidate scores are
+/// degree-normalized witness counts (cosine-style), and a match is accepted
+/// only when its *eccentricity* — the gap between the best and second-best
+/// score in units of the score standard deviation — clears `theta`, with a
+/// reverse-direction check. This scoring is the expensive part the paper
+/// criticizes (complexity O((E1+E2)·Δ1·Δ2) in the worst case).
+struct PropagationConfig {
+  double theta = 0.5;
+  int max_sweeps = 5;
+  bool reverse_check = true;
+};
+
+/// Runs the propagation baseline from the seed links.
+MatchResult PropagationMatch(const Graph& g1, const Graph& g2,
+                             std::span<const std::pair<NodeId, NodeId>> seeds,
+                             const PropagationConfig& config);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_BASELINE_PROPAGATION_H_

@@ -1,0 +1,51 @@
+#include "reconcile/core/confidence.h"
+
+#include <algorithm>
+
+#include "reconcile/core/witness.h"
+#include "reconcile/util/logging.h"
+
+namespace reconcile {
+
+std::vector<LinkSupport> ComputeLinkSupport(const Graph& g1, const Graph& g2,
+                                            const MatchResult& result) {
+  RECONCILE_CHECK_EQ(result.map_1to2.size(), g1.num_nodes());
+  RECONCILE_CHECK_EQ(result.map_2to1.size(), g2.num_nodes());
+  std::vector<LinkSupport> supports;
+  supports.reserve(result.NumLinks());
+  for (NodeId u = 0; u < g1.num_nodes(); ++u) {
+    const NodeId v = result.map_1to2[u];
+    if (v == kInvalidNode) continue;
+    LinkSupport link;
+    link.u = u;
+    link.v = v;
+    link.support = CountSimilarityWitnesses(g1, g2, result.map_1to2, u, v);
+    link.is_seed = result.IsSeed1(u);
+    supports.push_back(link);
+  }
+  return supports;
+}
+
+std::vector<size_t> SupportHistogram(const std::vector<LinkSupport>& links,
+                                     uint32_t max_support) {
+  std::vector<size_t> histogram(max_support + 1, 0);
+  for (const LinkSupport& link : links) {
+    if (link.is_seed) continue;
+    ++histogram[std::min(link.support, max_support)];
+  }
+  return histogram;
+}
+
+double FractionWithSupportAtLeast(const std::vector<LinkSupport>& links,
+                                  uint32_t threshold) {
+  size_t total = 0, above = 0;
+  for (const LinkSupport& link : links) {
+    if (link.is_seed) continue;
+    ++total;
+    if (link.support >= threshold) ++above;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(above) / static_cast<double>(total);
+}
+
+}  // namespace reconcile

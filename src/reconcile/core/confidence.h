@@ -1,0 +1,46 @@
+#ifndef RECONCILE_CORE_CONFIDENCE_H_
+#define RECONCILE_CORE_CONFIDENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "reconcile/core/result.h"
+#include "reconcile/graph/graph.h"
+
+namespace reconcile {
+
+/// Post-hoc confidence audit of a matching: for every link (u, v) in
+/// `result`, its *final support* — the number of similarity witnesses under
+/// the complete final mapping (Definition 1 evaluated at convergence).
+///
+/// Final support is the natural confidence signal for downstream consumers
+/// (the paper's user-facing framing: "suggesting an account with a 28%
+/// chance of error is unlikely to be acceptable"): links accepted early at
+/// score T typically accumulate far more support once their neighbourhoods
+/// are matched, while wrong links stay near the acceptance floor. The
+/// Wikipedia example uses this to split auto-accept vs needs-review tiers.
+struct LinkSupport {
+  NodeId u = 0;           ///< g1 endpoint.
+  NodeId v = 0;           ///< g2 endpoint.
+  uint32_t support = 0;   ///< Witnesses under the final mapping.
+  bool is_seed = false;
+};
+
+/// Computes final support for every link in `result`. Ordered by `u`.
+std::vector<LinkSupport> ComputeLinkSupport(const Graph& g1, const Graph& g2,
+                                            const MatchResult& result);
+
+/// Histogram of final support over non-seed links: `result[s]` = number of
+/// discovered links with support exactly `s` (the last bucket aggregates
+/// `>= max_support`).
+std::vector<size_t> SupportHistogram(const std::vector<LinkSupport>& links,
+                                     uint32_t max_support);
+
+/// Fraction of non-seed links with support >= `threshold`; 0 if there are
+/// no non-seed links.
+double FractionWithSupportAtLeast(const std::vector<LinkSupport>& links,
+                                  uint32_t threshold);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_CORE_CONFIDENCE_H_

@@ -1,0 +1,388 @@
+#include "reconcile/core/matcher.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "reconcile/mr/mapreduce.h"
+#include "reconcile/util/flat_hash_map.h"
+#include "reconcile/util/logging.h"
+#include "reconcile/util/thread_pool.h"
+#include "reconcile/util/timer.h"
+
+namespace reconcile {
+
+namespace {
+
+// Degree levels partition candidate pairs by the first bucket in which they
+// become eligible: level(u, v) = min(log2 d1(u), log2 d2(v)), so the pairs
+// eligible at bucket threshold 2^j are exactly those stored at levels >= j.
+constexpr int kNumLevels = 33;
+
+int FloorLog2(NodeId x) {
+  int log = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++log;
+  }
+  return log;
+}
+
+// Per-node best-score bookkeeping for the mutual-best selection rule.
+// `best` is the maximum candidate score seen for the node; `ties` counts how
+// many candidate pairs achieve it (saturating — only 1 vs >1 matters).
+struct BestTable {
+  std::vector<uint32_t> best;
+  std::vector<uint8_t> ties;
+
+  explicit BestTable(size_t n) : best(n, 0), ties(n, 0) {}
+
+  void Clear() {
+    std::fill(best.begin(), best.end(), 0);
+    std::fill(ties.begin(), ties.end(), 0);
+  }
+
+  void Observe(NodeId node, uint32_t score) {
+    if (score > best[node]) {
+      best[node] = score;
+      ties[node] = 1;
+    } else if (score == best[node] && ties[node] < 255) {
+      ++ties[node];
+    }
+  }
+
+  bool IsUniqueBest(NodeId node, uint32_t score) const {
+    return best[node] == score && ties[node] == 1;
+  }
+};
+
+class MatcherState {
+ public:
+  MatcherState(const Graph& g1, const Graph& g2, const MatcherConfig& config)
+      : g1_(g1),
+        g2_(g2),
+        config_(config),
+        pool_(config.num_threads > 0 ? config.num_threads
+                                     : ThreadPool::DefaultThreads()),
+        num_shards_(config.num_shards > 0
+                        ? config.num_shards
+                        : std::max(4, pool_.num_threads())),
+        map_1to2_(g1.num_nodes(), kInvalidNode),
+        map_2to1_(g2.num_nodes(), kInvalidNode),
+        best1_(g1.num_nodes()),
+        best2_(g2.num_nodes()) {
+    level1_.resize(g1.num_nodes());
+    for (NodeId v = 0; v < g1.num_nodes(); ++v) {
+      level1_[v] = static_cast<uint8_t>(FloorLog2(std::max<NodeId>(1, g1.degree(v))));
+    }
+    level2_.resize(g2.num_nodes());
+    for (NodeId v = 0; v < g2.num_nodes(); ++v) {
+      level2_[v] = static_cast<uint8_t>(FloorLog2(std::max<NodeId>(1, g2.degree(v))));
+    }
+    if (config.use_incremental_scoring) {
+      scores_.resize(kNumLevels);
+      for (auto& level : scores_) {
+        level = std::vector<FlatCountMap>(static_cast<size_t>(num_shards_));
+      }
+    }
+  }
+
+  void SeedLinks(std::span<const std::pair<NodeId, NodeId>> seeds) {
+    for (const auto& [u, v] : seeds) {
+      RECONCILE_CHECK_LT(u, g1_.num_nodes());
+      RECONCILE_CHECK_LT(v, g2_.num_nodes());
+      RECONCILE_CHECK_EQ(map_1to2_[u], kInvalidNode)
+          << "duplicate seed for g1 node " << u;
+      RECONCILE_CHECK_EQ(map_2to1_[v], kInvalidNode)
+          << "duplicate seed for g2 node " << v;
+      map_1to2_[u] = v;
+      map_2to1_[v] = u;
+      links_.emplace_back(u, v);
+    }
+  }
+
+  // One scoring round at bucket exponent `bucket_exponent` (candidates must
+  // have degree >= 2^bucket_exponent on both sides). Returns links accepted.
+  size_t Round(int iteration, int bucket_exponent) {
+    return config_.use_incremental_scoring
+               ? RoundIncremental(iteration, bucket_exponent)
+               : RoundRecompute(iteration, bucket_exponent);
+  }
+
+  // Drops dead entries (pairs with a matched endpoint) from the persistent
+  // score maps; called between outer iterations to keep scans and memory
+  // proportional to the live frontier.
+  void CompactScores() {
+    if (!config_.use_incremental_scoring) return;
+    for (auto& level : scores_) {
+      for (FlatCountMap& shard : level) {
+        pool_.Submit([this, &shard] {
+          if (shard.empty()) return;
+          FlatCountMap compacted(shard.size());
+          shard.ForEach([this, &compacted](uint64_t key, uint32_t count) {
+            if (map_1to2_[PairFirst(key)] == kInvalidNode ||
+                map_2to1_[PairSecond(key)] == kInvalidNode) {
+              compacted.AddCount(key, count);
+            }
+          });
+          shard = std::move(compacted);
+        });
+      }
+    }
+    pool_.Wait();
+  }
+
+  MatchResult TakeResult(std::span<const std::pair<NodeId, NodeId>> seeds,
+                         double total_seconds) {
+    MatchResult result;
+    result.map_1to2 = std::move(map_1to2_);
+    result.map_2to1 = std::move(map_2to1_);
+    result.seeds.assign(seeds.begin(), seeds.end());
+    result.phases = std::move(phases_);
+    result.total_seconds = total_seconds;
+    return result;
+  }
+
+ private:
+  // --- Shared selection helper -------------------------------------------
+  // Applies the mutual-unique-best rule over the scored pairs provided by
+  // `for_each_scored(fn)` (fn(key, score) over *live, bucket-eligible*
+  // entries), then commits accepted links. Returns the number accepted.
+  template <typename ScanFn>
+  size_t SelectAndCommit(const ScanFn& for_each_scored, PhaseStats* stats) {
+    best1_.Clear();
+    best2_.Clear();
+    size_t candidate_pairs = 0;
+    for_each_scored([this, &candidate_pairs](uint64_t key, uint32_t score) {
+      best1_.Observe(PairFirst(key), score);
+      best2_.Observe(PairSecond(key), score);
+      ++candidate_pairs;
+    });
+    stats->candidate_pairs = candidate_pairs;
+
+    std::vector<std::pair<NodeId, NodeId>> accepted;
+    for_each_scored([this, &accepted](uint64_t key, uint32_t score) {
+      if (score < config_.min_score) return;
+      NodeId u = PairFirst(key);
+      NodeId v = PairSecond(key);
+      // Already-matched nodes stay in the scored pool as *blockers* (their
+      // pairs keep outcompeting impostors — this is what defeats the sybil
+      // attack) but are never re-matched.
+      if (map_1to2_[u] != kInvalidNode || map_2to1_[v] != kInvalidNode) return;
+      if (best1_.IsUniqueBest(u, score) && best2_.IsUniqueBest(v, score)) {
+        accepted.emplace_back(u, v);
+      }
+    });
+
+    // The accepted set is a matching on unmatched nodes by construction
+    // (unique best on both sides), so commits cannot conflict.
+    for (const auto& [u, v] : accepted) {
+      RECONCILE_CHECK_EQ(map_1to2_[u], kInvalidNode);
+      RECONCILE_CHECK_EQ(map_2to1_[v], kInvalidNode);
+      map_1to2_[u] = v;
+      map_2to1_[v] = u;
+      links_.emplace_back(u, v);
+    }
+    return accepted.size();
+  }
+
+  // --- Incremental engine --------------------------------------------------
+  // Witness scores are additive over links, so each link's neighbour-pair
+  // contributions are emitted exactly once — when the link enters L — into
+  // persistent per-level score maps. A bucket-j round scans levels >= j.
+  // This is result-identical to the recompute path (verified by tests) and
+  // removes the per-bucket rescoring factor from the running time.
+
+  // Folds links_[emitted_links_ ..) into the persistent score maps.
+  uint64_t EmitPendingLinks() {
+    const size_t begin = emitted_links_;
+    const size_t end = links_.size();
+    if (begin == end) return 0;
+    emitted_links_ = end;
+
+    const NodeId dmin = static_cast<NodeId>(1u)
+                        << config_.min_bucket_exponent;
+    struct Delta {
+      std::vector<std::vector<FlatCountMap>> maps;  // [level][shard]
+      uint64_t emissions = 0;
+    };
+    const size_t num_items = end - begin;
+    const size_t num_map_shards =
+        std::min<size_t>(num_items, static_cast<size_t>(num_shards_) * 4);
+    const size_t grain = (num_items + num_map_shards - 1) / num_map_shards;
+    std::vector<Delta> deltas(num_map_shards);
+
+    size_t shard_index = 0;
+    for (size_t lo = 0; lo < num_items; lo += grain, ++shard_index) {
+      size_t hi = std::min(num_items, lo + grain);
+      Delta& delta = deltas[shard_index];
+      pool_.Submit([this, begin, lo, hi, dmin, &delta] {
+        delta.maps.resize(kNumLevels);
+        auto& maps = delta.maps;
+        for (size_t item = lo; item < hi; ++item) {
+          const auto [a1, a2] = links_[begin + item];
+          for (NodeId u : g1_.NeighborsByDegree(a1)) {
+            if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
+            const uint8_t lu = level1_[u];
+            for (NodeId v : g2_.NeighborsByDegree(a2)) {
+              if (g2_.degree(v) < dmin) break;
+              const uint8_t level = std::min(lu, level2_[v]);
+              const uint64_t key = PackPair(u, v);
+              if (maps[level].empty()) {
+                maps[level] =
+                    std::vector<FlatCountMap>(static_cast<size_t>(num_shards_));
+              }
+              maps[level][static_cast<size_t>(
+                              mr::ShardOfKey(key, num_shards_))]
+                  .AddCount(key, 1);
+              ++delta.emissions;
+            }
+          }
+        }
+      });
+    }
+    pool_.Wait();
+
+    // Merge deltas into the persistent maps: one task per (level, shard).
+    for (int level = 0; level < kNumLevels; ++level) {
+      for (int shard = 0; shard < num_shards_; ++shard) {
+        pool_.Submit([this, level, shard, &deltas] {
+          FlatCountMap& target =
+              scores_[static_cast<size_t>(level)][static_cast<size_t>(shard)];
+          for (const Delta& delta : deltas) {
+            if (delta.maps.empty()) continue;
+            const auto& level_maps = delta.maps[static_cast<size_t>(level)];
+            if (level_maps.empty()) continue;
+            level_maps[static_cast<size_t>(shard)].ForEach(
+                [&target](uint64_t key, uint32_t count) {
+                  target.AddCount(key, count);
+                });
+          }
+        });
+      }
+    }
+    pool_.Wait();
+
+    uint64_t total = 0;
+    for (const Delta& delta : deltas) total += delta.emissions;
+    return total;
+  }
+
+  size_t RoundIncremental(int iteration, int bucket_exponent) {
+    Timer timer;
+    PhaseStats stats;
+    stats.iteration = iteration;
+    stats.bucket_exponent = bucket_exponent;
+    stats.links_in = links_.size();
+    stats.emissions = EmitPendingLinks();
+
+    auto scan = [this, bucket_exponent](auto&& fn) {
+      for (int level = bucket_exponent; level < kNumLevels; ++level) {
+        for (const FlatCountMap& shard : scores_[static_cast<size_t>(level)]) {
+          shard.ForEach(fn);
+        }
+      }
+    };
+    size_t accepted = SelectAndCommit(scan, &stats);
+
+    stats.new_links = accepted;
+    stats.seconds = timer.Seconds();
+    phases_.push_back(stats);
+    return accepted;
+  }
+
+  // --- Reference engine ------------------------------------------------
+  // Literal transcription of the paper's inner loop: rebuild the witness
+  // counts for the current bucket from *all* current links via one
+  // MapReduce round. Kept as the semantics reference; the incremental
+  // engine must produce identical results.
+  size_t RoundRecompute(int iteration, int bucket_exponent) {
+    Timer timer;
+    const NodeId dmin = static_cast<NodeId>(1u) << bucket_exponent;
+    PhaseStats stats;
+    stats.iteration = iteration;
+    stats.bucket_exponent = bucket_exponent;
+    stats.links_in = links_.size();
+
+    std::atomic<uint64_t> emissions{0};
+    const int num_map_shards = num_shards_ * 4;
+    std::vector<FlatCountMap> scores = mr::CountByKey(
+        &pool_, links_.size(), num_map_shards, num_shards_,
+        [this, dmin, &emissions](size_t item, auto emit) {
+          const auto [a1, a2] = links_[item];
+          uint64_t local_emissions = 0;
+          for (NodeId u : g1_.NeighborsByDegree(a1)) {
+            if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
+            for (NodeId v : g2_.NeighborsByDegree(a2)) {
+              if (g2_.degree(v) < dmin) break;
+              emit(PackPair(u, v));
+              ++local_emissions;
+            }
+          }
+          emissions.fetch_add(local_emissions, std::memory_order_relaxed);
+        });
+    stats.emissions = emissions.load();
+
+    auto scan = [&scores](auto&& fn) {
+      for (const FlatCountMap& shard : scores) {
+        shard.ForEach(fn);
+      }
+    };
+    size_t accepted = SelectAndCommit(scan, &stats);
+
+    stats.new_links = accepted;
+    stats.seconds = timer.Seconds();
+    phases_.push_back(stats);
+    return accepted;
+  }
+
+  const Graph& g1_;
+  const Graph& g2_;
+  MatcherConfig config_;
+  ThreadPool pool_;
+  int num_shards_;
+  std::vector<NodeId> map_1to2_;
+  std::vector<NodeId> map_2to1_;
+  std::vector<std::pair<NodeId, NodeId>> links_;
+  std::vector<PhaseStats> phases_;
+  BestTable best1_;
+  BestTable best2_;
+  std::vector<uint8_t> level1_;
+  std::vector<uint8_t> level2_;
+  // Incremental engine state.
+  std::vector<std::vector<FlatCountMap>> scores_;  // [level][shard]
+  size_t emitted_links_ = 0;
+};
+
+}  // namespace
+
+MatchResult UserMatching(const Graph& g1, const Graph& g2,
+                         std::span<const std::pair<NodeId, NodeId>> seeds,
+                         const MatcherConfig& config) {
+  RECONCILE_CHECK_GE(config.num_iterations, 1);
+  RECONCILE_CHECK_GE(config.min_bucket_exponent, 0);
+  Timer timer;
+  MatcherState state(g1, g2, config);
+  state.SeedLinks(seeds);
+
+  const NodeId max_degree = std::max(g1.max_degree(), g2.max_degree());
+  const int top_exponent =
+      config.use_degree_bucketing && max_degree > 0 ? FloorLog2(max_degree) : 0;
+  const int bottom_exponent =
+      std::min(config.min_bucket_exponent, top_exponent);
+
+  for (int iteration = 1; iteration <= config.num_iterations; ++iteration) {
+    size_t new_links = 0;
+    if (config.use_degree_bucketing) {
+      for (int j = top_exponent; j >= bottom_exponent; --j) {
+        new_links += state.Round(iteration, j);
+      }
+    } else {
+      new_links += state.Round(iteration, config.min_bucket_exponent);
+    }
+    if (config.stop_when_stable && new_links == 0) break;
+    if (iteration < config.num_iterations) state.CompactScores();
+  }
+  return state.TakeResult(seeds, timer.Seconds());
+}
+
+}  // namespace reconcile

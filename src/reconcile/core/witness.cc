@@ -1,0 +1,25 @@
+#include "reconcile/core/witness.h"
+
+#include <algorithm>
+
+#include "reconcile/util/logging.h"
+
+namespace reconcile {
+
+uint32_t CountSimilarityWitnesses(const Graph& g1, const Graph& g2,
+                                  const std::vector<NodeId>& link_1to2,
+                                  NodeId u, NodeId v) {
+  RECONCILE_CHECK_LT(u, g1.num_nodes());
+  RECONCILE_CHECK_LT(v, g2.num_nodes());
+  RECONCILE_CHECK_GE(link_1to2.size(), g1.num_nodes());
+  std::span<const NodeId> nbrs2 = g2.Neighbors(v);
+  uint32_t witnesses = 0;
+  for (NodeId w : g1.Neighbors(u)) {
+    NodeId image = link_1to2[w];
+    if (image == kInvalidNode) continue;
+    if (std::binary_search(nbrs2.begin(), nbrs2.end(), image)) ++witnesses;
+  }
+  return witnesses;
+}
+
+}  // namespace reconcile

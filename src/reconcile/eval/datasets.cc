@@ -1,0 +1,65 @@
+#include "reconcile/eval/datasets.h"
+
+#include <algorithm>
+
+#include "reconcile/gen/chung_lu.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/util/logging.h"
+
+namespace reconcile {
+
+namespace {
+
+NodeId Scaled(NodeId full, double scale) {
+  RECONCILE_CHECK_GT(scale, 0.0);
+  RECONCILE_CHECK_LE(scale, 1.0);
+  return std::max<NodeId>(64, static_cast<NodeId>(full * scale));
+}
+
+Graph ChungLuStandin(NodeId nodes, double avg_degree, double exponent,
+                     uint64_t seed) {
+  std::vector<double> weights = PowerLawWeights(nodes, exponent, avg_degree);
+  return GenerateChungLu(weights, seed);
+}
+
+}  // namespace
+
+Graph MakeFacebookStandin(double scale, uint64_t seed) {
+  return ChungLuStandin(Scaled(63731, scale), 48.5, 2.5, seed);
+}
+
+Graph MakeEnronStandin(double scale, uint64_t seed) {
+  return ChungLuStandin(Scaled(36692, scale), 20.0, 2.2, seed);
+}
+
+Graph MakeDblpStandin(double scale, uint64_t seed) {
+  return ChungLuStandin(Scaled(120000, scale), 6.0, 2.8, seed);
+}
+
+Graph MakeGowallaStandin(double scale, uint64_t seed) {
+  return ChungLuStandin(Scaled(40000, scale), 9.7, 2.4, seed);
+}
+
+AffiliationNetwork MakeAffiliationStandin(double scale, uint64_t seed) {
+  AffiliationParams params;
+  params.num_users = Scaled(60026, scale);
+  params.copy_prob = 0.3;
+  params.new_interest_prob = 1.0;
+  params.uniform_joins = 2;
+  params.preferential_joins = 1;
+  return AffiliationNetwork::Generate(params, seed);
+}
+
+RealizationPair MakeWikipediaPair(double scale, uint64_t seed) {
+  Graph underlying = ChungLuStandin(Scaled(80000, scale), 30.0, 2.3, seed);
+  IndependentSampleOptions options;
+  options.s1 = 0.85;       // "French": larger, denser realization
+  options.s2 = 0.85;       // "German": smaller via node deletion below
+  options.node_keep1 = 0.80;
+  options.node_keep2 = 0.55;
+  options.noise1 = 0.05;   // links with no counterpart in the other language
+  options.noise2 = 0.05;
+  return SampleIndependent(underlying, options, seed ^ 0x77696b69ULL);
+}
+
+}  // namespace reconcile

@@ -1,0 +1,53 @@
+#ifndef RECONCILE_EVAL_DATASETS_H_
+#define RECONCILE_EVAL_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "reconcile/gen/affiliation.h"
+#include "reconcile/graph/graph.h"
+#include "reconcile/sampling/realization.h"
+
+namespace reconcile {
+
+/// Synthetic stand-ins for the paper's datasets (Table 1). The originals are
+/// proprietary or unavailable offline; each stand-in is generated to match
+/// the original's node count (scaled where noted), average degree and skewed
+/// degree profile, so the matcher exercises the same code paths and regimes.
+/// See DESIGN.md §3 for the substitution rationale per dataset.
+///
+/// `scale` in (0, 1] shrinks the node count (edges shrink proportionally);
+/// tests use small scales, benches use the default.
+
+/// Facebook New Orleans snapshot (Viswanath et al., WOSN 2009):
+/// 63,731 nodes, 1.5M edges, avg degree ~48.5. Chung–Lu, exponent 2.5.
+Graph MakeFacebookStandin(double scale, uint64_t seed);
+
+/// Enron email network: 36,692 nodes, 368k edges, avg degree ~20 — very
+/// sparse with a large fraction of degree-<=5 nodes. Chung–Lu, exponent 2.2.
+Graph MakeEnronStandin(double scale, uint64_t seed);
+
+/// DBLP co-authorship-like graph. The original snapshot has 4.39M nodes; we
+/// default to 120k nodes at avg degree ~6 (sparse, most nodes low degree,
+/// matching the paper's "over 310K of 380K intersection nodes have degree
+/// < 5" regime when time-sliced).
+Graph MakeDblpStandin(double scale, uint64_t seed);
+
+/// Gowalla-like location-based social network: 40k nodes at avg degree ~9.7
+/// (scaled from 196,591 nodes / 950k edges).
+Graph MakeGowallaStandin(double scale, uint64_t seed);
+
+/// Affiliation Network comparable to the paper's AN dataset (60,026 users,
+/// 8.07M folded edges): users share interests, fold gives the social graph.
+AffiliationNetwork MakeAffiliationStandin(double scale, uint64_t seed);
+
+/// French/German Wikipedia-like pair: two networks of *different sizes* with
+/// only partial overlap and no common generation randomness beyond the
+/// underlying graph. Built from one Chung–Lu graph via asymmetric node
+/// deletion (FR keeps ~80%, DE ~55%), per-copy edge sampling and noise
+/// edges. The returned pair is ready for seeding/matching.
+RealizationPair MakeWikipediaPair(double scale, uint64_t seed);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_EVAL_DATASETS_H_

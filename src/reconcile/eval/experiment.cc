@@ -1,0 +1,33 @@
+#include "reconcile/eval/experiment.h"
+
+#include <sstream>
+
+#include "reconcile/util/timer.h"
+
+namespace reconcile {
+
+ExperimentResult RunMatcherExperiment(const RealizationPair& pair,
+                                      const SeedOptions& seed_options,
+                                      const MatcherConfig& matcher_config,
+                                      uint64_t seed) {
+  ExperimentResult result;
+  Timer seed_timer;
+  std::vector<std::pair<NodeId, NodeId>> seeds =
+      GenerateSeeds(pair, seed_options, seed);
+  result.seed_seconds = seed_timer.Seconds();
+
+  Timer match_timer;
+  result.match = UserMatching(pair.g1, pair.g2, seeds, matcher_config);
+  result.match_seconds = match_timer.Seconds();
+
+  result.quality = Evaluate(pair, result.match);
+  return result;
+}
+
+std::string FormatGoodBad(const MatchQuality& q) {
+  std::ostringstream out;
+  out << q.new_good << " good / " << q.new_bad << " bad";
+  return out.str();
+}
+
+}  // namespace reconcile

@@ -1,0 +1,35 @@
+#ifndef RECONCILE_EVAL_EXPERIMENT_H_
+#define RECONCILE_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/metrics.h"
+#include "reconcile/sampling/realization.h"
+#include "reconcile/seed/seeding.h"
+
+namespace reconcile {
+
+/// One end-to-end run: seeds drawn from the pair's ground truth, matcher
+/// executed, result scored. The glue used by every table/figure bench.
+struct ExperimentResult {
+  MatchQuality quality;
+  MatchResult match;
+  double seed_seconds = 0.0;
+  double match_seconds = 0.0;
+};
+
+/// Draws seeds with `seed_options` (randomness from `seed`), runs
+/// User-Matching with `matcher_config` and evaluates against ground truth.
+ExperimentResult RunMatcherExperiment(const RealizationPair& pair,
+                                      const SeedOptions& seed_options,
+                                      const MatcherConfig& matcher_config,
+                                      uint64_t seed);
+
+/// Renders "12345 / 99.9%"-style convenience strings used by the benches.
+std::string FormatGoodBad(const MatchQuality& q);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_EVAL_EXPERIMENT_H_

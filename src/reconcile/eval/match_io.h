@@ -1,0 +1,32 @@
+#ifndef RECONCILE_EVAL_MATCH_IO_H_
+#define RECONCILE_EVAL_MATCH_IO_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "reconcile/core/result.h"
+#include "reconcile/graph/types.h"
+
+namespace reconcile {
+
+/// Writes the links of `result` (seeds and discovered) as text: a header
+/// comment, then one `u v [seed]` line per link, sorted by `u`. Returns
+/// false on I/O failure.
+bool WriteMatchingText(const MatchResult& result, const std::string& path);
+
+/// Reads a link file written by `WriteMatchingText` (or any `u v` lines;
+/// a third column `seed` marks seed links, `#` lines are comments).
+/// Returns false on I/O or parse failure; outputs are untouched on failure.
+/// `seeds` receives only the marked links; `links` receives all of them.
+bool ReadMatchingText(const std::string& path,
+                      std::vector<std::pair<NodeId, NodeId>>* links,
+                      std::vector<std::pair<NodeId, NodeId>>* seeds);
+
+/// Writes seed pairs as `u v` lines (all marked as seeds).
+bool WriteSeedsText(const std::vector<std::pair<NodeId, NodeId>>& seeds,
+                    const std::string& path);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_EVAL_MATCH_IO_H_

@@ -1,0 +1,50 @@
+#ifndef RECONCILE_EVAL_METRICS_H_
+#define RECONCILE_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "reconcile/core/result.h"
+#include "reconcile/sampling/realization.h"
+
+namespace reconcile {
+
+/// Quality of a matching relative to the hidden ground truth. "New" links
+/// are the ones beyond the input seeds — the paper's tables report exactly
+/// these as Good / Bad counts.
+struct MatchQuality {
+  size_t num_seeds = 0;
+  size_t new_good = 0;       ///< Non-seed links that match the ground truth.
+  size_t new_bad = 0;        ///< Non-seed links that contradict it.
+  size_t identifiable = 0;   ///< Ground-truth pairs with degree >= 1 in both copies.
+  double precision = 1.0;    ///< new_good / (new_good + new_bad); 1 when no new links.
+  double error_rate = 0.0;   ///< 1 - precision.
+  double recall_all = 0.0;   ///< (seed-or-new good links) / identifiable.
+  double recall_new = 0.0;   ///< new_good / (identifiable not already seeded).
+};
+
+/// Scores `result` against the ground truth in `pair`. Seed links are
+/// excluded from the good/bad counts (they were given, not discovered).
+MatchQuality Evaluate(const RealizationPair& pair, const MatchResult& result);
+
+/// Quality within one degree band (degrees measured in g1).
+struct DegreeBandQuality {
+  NodeId min_degree = 0;      ///< Band covers degrees [min_degree, max_degree].
+  NodeId max_degree = 0;
+  size_t identifiable = 0;
+  size_t new_good = 0;
+  size_t new_bad = 0;
+  double precision = 1.0;
+  double recall = 0.0;        ///< new_good / identifiable-not-seeded in band.
+};
+
+/// Degree-stratified evaluation (paper Figure 4): bands are
+/// [bounds[i]+1, bounds[i+1]] with an implicit final band to infinity.
+/// Default bounds mirror the figure's buckets.
+std::vector<DegreeBandQuality> EvaluateByDegree(
+    const RealizationPair& pair, const MatchResult& result,
+    const std::vector<NodeId>& upper_bounds = {5, 10, 20, 50, 100});
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_EVAL_METRICS_H_

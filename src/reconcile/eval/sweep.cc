@@ -1,0 +1,133 @@
+#include "reconcile/eval/sweep.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/timer.h"
+
+namespace reconcile {
+
+namespace {
+
+// Distinct thresholds in grid order, and the sorted distinct fractions.
+std::vector<uint32_t> DistinctThresholds(
+    const std::vector<SweepPoint>& points) {
+  std::vector<uint32_t> thresholds;
+  for (const SweepPoint& point : points) {
+    if (std::find(thresholds.begin(), thresholds.end(), point.threshold) ==
+        thresholds.end()) {
+      thresholds.push_back(point.threshold);
+    }
+  }
+  return thresholds;
+}
+
+std::vector<double> DistinctFractions(const std::vector<SweepPoint>& points) {
+  std::vector<double> fractions;
+  for (const SweepPoint& point : points) {
+    if (std::find(fractions.begin(), fractions.end(), point.seed_fraction) ==
+        fractions.end()) {
+      fractions.push_back(point.seed_fraction);
+    }
+  }
+  return fractions;
+}
+
+const SweepPoint* FindPoint(const std::vector<SweepPoint>& points,
+                            double fraction, uint32_t threshold) {
+  for (const SweepPoint& point : points) {
+    if (point.seed_fraction == fraction && point.threshold == threshold) {
+      return &point;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> RunSweep(const RealizationPair& pair,
+                                 const SweepSpec& spec) {
+  RECONCILE_CHECK(!spec.seed_fractions.empty());
+  RECONCILE_CHECK(!spec.thresholds.empty());
+  std::vector<SweepPoint> points;
+  points.reserve(spec.seed_fractions.size() * spec.thresholds.size());
+  uint64_t draw = spec.rng_seed;
+  for (double fraction : spec.seed_fractions) {
+    SeedOptions seed_options;
+    seed_options.fraction = fraction;
+    seed_options.bias = spec.bias;
+    auto seeds = GenerateSeeds(pair, seed_options, ++draw);
+    for (uint32_t threshold : spec.thresholds) {
+      MatcherConfig config = spec.matcher;
+      config.min_score = threshold;
+      Timer timer;
+      MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+      SweepPoint point;
+      point.seed_fraction = fraction;
+      point.threshold = threshold;
+      point.num_seeds = seeds.size();
+      point.quality = Evaluate(pair, result);
+      point.seconds = timer.Seconds();
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+Table SweepToGoodBadTable(const std::vector<SweepPoint>& points) {
+  const std::vector<uint32_t> thresholds = DistinctThresholds(points);
+  std::vector<std::string> headers = {"seed prob"};
+  for (uint32_t threshold : thresholds) {
+    headers.push_back("T=" + std::to_string(threshold) + " good");
+    headers.push_back("bad");
+  }
+  Table table(std::move(headers));
+  for (double fraction : DistinctFractions(points)) {
+    std::vector<std::string> row = {FormatPercent(fraction, 0)};
+    for (uint32_t threshold : thresholds) {
+      const SweepPoint* point = FindPoint(points, fraction, threshold);
+      RECONCILE_CHECK(point != nullptr) << "ragged sweep grid";
+      row.push_back(std::to_string(point->quality.new_good));
+      row.push_back(std::to_string(point->quality.new_bad));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+Table SweepToRecallTable(const std::vector<SweepPoint>& points) {
+  const std::vector<uint32_t> thresholds = DistinctThresholds(points);
+  std::vector<std::string> headers = {"seed prob"};
+  for (uint32_t threshold : thresholds) {
+    headers.push_back("T=" + std::to_string(threshold));
+  }
+  Table table(std::move(headers));
+  for (double fraction : DistinctFractions(points)) {
+    std::vector<std::string> row = {FormatPercent(fraction, 0)};
+    for (uint32_t threshold : thresholds) {
+      const SweepPoint* point = FindPoint(points, fraction, threshold);
+      RECONCILE_CHECK(point != nullptr) << "ragged sweep grid";
+      row.push_back(FormatPercent(point->quality.recall_all, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+std::string SweepToCsv(const std::vector<SweepPoint>& points) {
+  std::ostringstream out;
+  out << "seed_fraction,threshold,num_seeds,new_good,new_bad,precision,"
+         "recall_all,recall_new,seconds\n";
+  for (const SweepPoint& point : points) {
+    out << point.seed_fraction << ',' << point.threshold << ','
+        << point.num_seeds << ',' << point.quality.new_good << ','
+        << point.quality.new_bad << ',' << point.quality.precision << ','
+        << point.quality.recall_all << ',' << point.quality.recall_new << ','
+        << point.seconds << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace reconcile

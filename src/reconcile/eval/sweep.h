@@ -1,0 +1,56 @@
+#ifndef RECONCILE_EVAL_SWEEP_H_
+#define RECONCILE_EVAL_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/metrics.h"
+#include "reconcile/eval/table.h"
+#include "reconcile/sampling/realization.h"
+#include "reconcile/seed/seeding.h"
+
+namespace reconcile {
+
+/// One cell of a (seed fraction × threshold) sweep grid.
+struct SweepPoint {
+  double seed_fraction = 0.0;
+  uint32_t threshold = 0;
+  size_t num_seeds = 0;
+  MatchQuality quality;
+  double seconds = 0.0;
+};
+
+/// Declarative grid for the experiment shape every figure/table in §5
+/// shares: fix a realization pair, vary the seed link probability `l` and
+/// matching threshold `T`, and report Good/Bad per cell. Seeds are redrawn
+/// per seed fraction (same draw across thresholds, as in the paper's
+/// figures, so threshold columns are directly comparable).
+struct SweepSpec {
+  std::vector<double> seed_fractions = {0.05, 0.10, 0.20};
+  std::vector<uint32_t> thresholds = {2, 3, 4, 5};
+  SeedBias bias = SeedBias::kUniform;
+  /// Matcher settings; `min_score` is overridden per grid cell.
+  MatcherConfig matcher;
+  uint64_t rng_seed = 1;
+};
+
+/// Runs the grid; points are ordered fraction-major, threshold-minor.
+std::vector<SweepPoint> RunSweep(const RealizationPair& pair,
+                                 const SweepSpec& spec);
+
+/// Renders the paper's table layout: one row per seed fraction, one
+/// "Good Bad" column pair per threshold.
+Table SweepToGoodBadTable(const std::vector<SweepPoint>& points);
+
+/// Renders a recall curve (one row per fraction, recall per threshold) —
+/// the shape of Figures 2 and 3.
+Table SweepToRecallTable(const std::vector<SweepPoint>& points);
+
+/// Serializes the sweep as CSV (header + one line per point) for plotting.
+std::string SweepToCsv(const std::vector<SweepPoint>& points);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_EVAL_SWEEP_H_

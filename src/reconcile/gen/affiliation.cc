@@ -1,0 +1,92 @@
+#include "reconcile/gen/affiliation.h"
+
+#include <algorithm>
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+AffiliationNetwork AffiliationNetwork::Generate(
+    const AffiliationParams& params, uint64_t seed) {
+  RECONCILE_CHECK_GE(params.num_users, 2u);
+  Rng rng(seed);
+
+  AffiliationNetwork net;
+  net.user_interests_.resize(params.num_users);
+
+  auto join = [&net](NodeId user, uint32_t interest) {
+    std::vector<uint32_t>& mine = net.user_interests_[user];
+    if (std::find(mine.begin(), mine.end(), interest) != mine.end()) return;
+    mine.push_back(interest);
+    net.interest_users_[interest].push_back(user);
+  };
+
+  auto found_interest = [&net, &join](NodeId user) {
+    uint32_t id = static_cast<uint32_t>(net.interest_users_.size());
+    net.interest_users_.emplace_back();
+    join(user, id);
+  };
+
+  // Draws an interest by the copying mechanism: uniform earlier user, then
+  // a uniform interest of hers. Size-biased but damped (see header).
+  auto copy_interest = [&net, &rng](NodeId user) {
+    NodeId other = static_cast<NodeId>(rng.UniformInt(user));
+    const std::vector<uint32_t>& theirs = net.user_interests_[other];
+    return theirs[rng.UniformInt(theirs.size())];
+  };
+
+  // Bootstrap: user 0 founds the first interest.
+  found_interest(0);
+
+  for (NodeId user = 1; user < params.num_users; ++user) {
+    // Prototype copying: inherit each interest of a uniformly random earlier
+    // user independently with copy_prob.
+    NodeId prototype = static_cast<NodeId>(rng.UniformInt(user));
+    for (uint32_t interest : net.user_interests_[prototype]) {
+      if (rng.Bernoulli(params.copy_prob)) join(user, interest);
+    }
+    // Copying-based joins.
+    for (int j = 0; j < params.preferential_joins; ++j) {
+      join(user, copy_interest(user));
+    }
+    // Uniform joins.
+    for (int j = 0; j < params.uniform_joins; ++j) {
+      join(user, static_cast<uint32_t>(
+                     rng.UniformInt(net.interest_users_.size())));
+    }
+    // Found a brand-new interest.
+    if (rng.Bernoulli(params.new_interest_prob)) {
+      found_interest(user);
+    }
+    // Guarantee membership in at least one interest.
+    if (net.user_interests_[user].empty()) {
+      join(user, copy_interest(user));
+    }
+  }
+  return net;
+}
+
+Graph AffiliationNetwork::Fold() const {
+  std::vector<bool> all(num_interests(), true);
+  return FoldSubset(all);
+}
+
+Graph AffiliationNetwork::FoldSubset(
+    const std::vector<bool>& interest_alive) const {
+  RECONCILE_CHECK_EQ(interest_alive.size(), num_interests());
+  EdgeList edges(num_users());
+  for (size_t i = 0; i < interest_users_.size(); ++i) {
+    if (!interest_alive[i]) continue;
+    const std::vector<NodeId>& members = interest_users_[i];
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        edges.Add(members[a], members[b]);
+      }
+    }
+  }
+  edges.EnsureNumNodes(num_users());
+  return Graph::FromEdgeList(std::move(edges));
+}
+
+}  // namespace reconcile

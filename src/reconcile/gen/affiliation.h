@@ -1,0 +1,70 @@
+#ifndef RECONCILE_GEN_AFFILIATION_H_
+#define RECONCILE_GEN_AFFILIATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "reconcile/graph/graph.h"
+#include "reconcile/graph/types.h"
+
+namespace reconcile {
+
+/// Parameters for the Affiliation Network model (Lattanzi & Sivakumar,
+/// STOC 2009). Users arrive one at a time; each copies the interests of a
+/// random prototype user (each interest independently with `copy_prob`),
+/// joins additional interests chosen preferentially by interest size, and
+/// with `new_interest_prob` founds a fresh interest. The user–user social
+/// graph is the *fold*: two users are adjacent iff they share an interest.
+struct AffiliationParams {
+  NodeId num_users = 1000;
+  double copy_prob = 0.3;         ///< Per-interest prototype copy probability.
+  double new_interest_prob = 1.0; ///< Probability a new user founds an interest.
+  /// Extra memberships in uniformly random existing interests. Uniform joins
+  /// raise per-user membership richness (which drives matchability) without
+  /// feeding the size-biased growth of the largest communities.
+  int uniform_joins = 2;
+  /// Extra memberships acquired by the copying mechanism: pick a uniformly
+  /// random earlier user, join one of her interests chosen uniformly. This
+  /// is size-biased (popular interests have more members to be copied from)
+  /// but damped by the member's own membership count. Together with
+  /// `copy_prob` this sets the community-size tail: per-community growth
+  /// exponent is roughly copy_prob + preferential_joins / mean-memberships,
+  /// and values near 1 produce a giant near-clique community.
+  int preferential_joins = 1;
+};
+
+/// Bipartite user–interest structure kept as a first-class object so the
+/// correlated-deletion experiment (Table 4) can drop whole interests per
+/// copy before folding.
+class AffiliationNetwork {
+ public:
+  static AffiliationNetwork Generate(const AffiliationParams& params,
+                                     uint64_t seed);
+
+  NodeId num_users() const { return static_cast<NodeId>(user_interests_.size()); }
+  size_t num_interests() const { return interest_users_.size(); }
+
+  const std::vector<uint32_t>& InterestsOf(NodeId user) const {
+    return user_interests_[user];
+  }
+  const std::vector<NodeId>& MembersOf(uint32_t interest) const {
+    return interest_users_[interest];
+  }
+
+  /// Folds the bipartite structure into the user–user graph using every
+  /// interest.
+  Graph Fold() const;
+
+  /// Folds using only interests with `interest_alive[i] == true`; an edge
+  /// survives iff the two users share at least one surviving interest. This
+  /// realizes the paper's highly correlated edge-deletion process.
+  Graph FoldSubset(const std::vector<bool>& interest_alive) const;
+
+ private:
+  std::vector<std::vector<uint32_t>> user_interests_;
+  std::vector<std::vector<NodeId>> interest_users_;
+};
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_GEN_AFFILIATION_H_

@@ -1,0 +1,86 @@
+#include "reconcile/gen/chung_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+std::vector<double> PowerLawWeights(NodeId n, double exponent,
+                                    double avg_degree) {
+  RECONCILE_CHECK_GT(exponent, 2.0);
+  RECONCILE_CHECK_GT(avg_degree, 0.0);
+  std::vector<double> weights(n);
+  const double power = -1.0 / (exponent - 1.0);
+  for (NodeId i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + 1.0, power);
+  }
+  double mean =
+      std::accumulate(weights.begin(), weights.end(), 0.0) / weights.size();
+  for (double& w : weights) w *= avg_degree / mean;
+  // Cap so that w_i * w_j / W <= 1 for all pairs. Capping lowers the total
+  // (and hence the admissible cap), so iterate to a fixpoint; the reduction
+  // is geometric and a handful of rounds suffice.
+  for (int round = 0; round < 32; ++round) {
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    double cap = std::sqrt(total);
+    bool changed = false;
+    for (double& w : weights) {
+      if (w > cap) {
+        w = cap;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return weights;
+}
+
+Graph GenerateChungLu(const std::vector<double>& weights, uint64_t seed) {
+  const NodeId n = static_cast<NodeId>(weights.size());
+  Rng rng(seed);
+
+  // Sort nodes by descending weight; work in sorted space, then map ids back.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&weights](NodeId a, NodeId b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;
+  });
+  std::vector<double> w(n);
+  for (NodeId i = 0; i < n; ++i) w[i] = weights[order[i]];
+
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  EdgeList edges(n);
+  if (total > 0.0) {
+    // Miller–Hagberg: for each i, scan j > i with skip sampling under the
+    // envelope q = min(1, w_i * w_{i+1} / W) (weights are non-increasing, so
+    // q bounds every later pair probability); accept with p/q.
+    for (NodeId i = 0; i + 1 < n; ++i) {
+      if (w[i] <= 0.0) break;
+      double factor = w[i] / total;
+      NodeId j = i + 1;
+      double q = std::min(1.0, w[j] * factor);
+      while (j < n && q > 0.0) {
+        if (q < 1.0) {
+          j += static_cast<NodeId>(
+              std::min<uint64_t>(rng.Geometric(q), n));  // skip failures
+        }
+        if (j >= n) break;
+        double p = std::min(1.0, w[j] * factor);
+        if (rng.Bernoulli(p / q)) {
+          edges.Add(order[i], order[j]);
+        }
+        q = p;  // tighten the envelope to the current position
+        ++j;
+      }
+    }
+  }
+  edges.EnsureNumNodes(n);
+  return Graph::FromEdgeList(std::move(edges));
+}
+
+}  // namespace reconcile

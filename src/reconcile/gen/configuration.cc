@@ -1,0 +1,44 @@
+#include "reconcile/gen/configuration.h"
+
+#include <numeric>
+#include <utility>
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+Graph GenerateConfigurationModel(const std::vector<NodeId>& degrees,
+                                 uint64_t seed) {
+  size_t stub_count = 0;
+  for (NodeId d : degrees) stub_count += d;
+  RECONCILE_CHECK_EQ(stub_count % 2, 0u)
+      << "configuration model needs an even degree sum";
+
+  std::vector<NodeId> stubs;
+  stubs.reserve(stub_count);
+  for (NodeId v = 0; v < degrees.size(); ++v)
+    for (NodeId k = 0; k < degrees[v]; ++k) stubs.push_back(v);
+
+  // Fisher–Yates; pairing consecutive entries of a uniform shuffle is a
+  // uniform stub matching.
+  Rng rng(seed);
+  for (size_t i = stubs.size(); i > 1; --i) {
+    const size_t j = rng.UniformInt(i);
+    std::swap(stubs[i - 1], stubs[j]);
+  }
+
+  EdgeList edges(static_cast<NodeId>(degrees.size()));
+  edges.Reserve(stub_count / 2);
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2)
+    edges.Add(stubs[i], stubs[i + 1]);  // loops/duplicates erased by builder
+  return Graph::FromEdgeList(std::move(edges));
+}
+
+std::vector<NodeId> DegreeSequenceOf(const Graph& g) {
+  std::vector<NodeId> degrees(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degrees[v] = g.degree(v);
+  return degrees;
+}
+
+}  // namespace reconcile

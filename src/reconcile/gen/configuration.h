@@ -1,0 +1,33 @@
+#ifndef RECONCILE_GEN_CONFIGURATION_H_
+#define RECONCILE_GEN_CONFIGURATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "reconcile/graph/graph.h"
+
+namespace reconcile {
+
+/// Samples an *erased* configuration-model graph: each node `v` contributes
+/// `degrees[v]` stubs, stubs are paired uniformly at random, and the
+/// self-loops / parallel edges produced by the pairing are erased. Realized
+/// degrees are therefore <= the requested ones, with equality for almost all
+/// nodes in sparse sequences.
+///
+/// The degree sum must be even (pad the sequence or decrement one entry if
+/// it is not; RECONCILE_CHECK enforces this).
+///
+/// Use case in this repository: null models that preserve an observed degree
+/// sequence exactly while destroying all other structure — the natural
+/// robustness check for "the matcher only needs degrees + neighbourhood
+/// overlap" claims, and a degree-faithful rewiring of any dataset stand-in.
+Graph GenerateConfigurationModel(const std::vector<NodeId>& degrees,
+                                 uint64_t seed);
+
+/// The degree sequence of `g` (indexed by node id), ready to feed back into
+/// `GenerateConfigurationModel` to produce a degree-preserving rewiring.
+std::vector<NodeId> DegreeSequenceOf(const Graph& g);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_GEN_CONFIGURATION_H_

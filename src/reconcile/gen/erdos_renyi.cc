@@ -1,0 +1,40 @@
+#include "reconcile/gen/erdos_renyi.h"
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+Graph GenerateErdosRenyi(NodeId n, double p, uint64_t seed) {
+  RECONCILE_CHECK_GE(p, 0.0);
+  RECONCILE_CHECK_LE(p, 1.0);
+  Rng rng(seed);
+  EdgeList edges(n);
+  if (n >= 2 && p > 0.0) {
+    edges.Reserve(static_cast<size_t>(ErdosRenyiExpectedEdges(n, p) * 1.1));
+    // Enumerate the n(n-1)/2 pairs in row-major order and jump between
+    // successes with geometric skips.
+    const uint64_t total = static_cast<uint64_t>(n) * (n - 1) / 2;
+    uint64_t index = rng.Geometric(p);
+    // Row lookup: pair index k corresponds to (u, v) where u is the largest
+    // node with u*(u-1)/2 <= k when enumerating pairs (v, u) with v < u.
+    NodeId u = 1;
+    uint64_t row_start = 0;  // index of pair (0, u)
+    while (index < total) {
+      while (row_start + u <= index) {
+        row_start += u;
+        ++u;
+      }
+      NodeId v = static_cast<NodeId>(index - row_start);
+      edges.Add(v, u);
+      index += 1 + rng.Geometric(p);
+    }
+  }
+  return Graph::FromEdgeList(std::move(edges));
+}
+
+double ErdosRenyiExpectedEdges(NodeId n, double p) {
+  return 0.5 * static_cast<double>(n) * static_cast<double>(n - 1) * p;
+}
+
+}  // namespace reconcile

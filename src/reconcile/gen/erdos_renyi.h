@@ -1,0 +1,22 @@
+#ifndef RECONCILE_GEN_ERDOS_RENYI_H_
+#define RECONCILE_GEN_ERDOS_RENYI_H_
+
+#include <cstdint>
+
+#include "reconcile/graph/graph.h"
+
+namespace reconcile {
+
+/// Samples an Erdős–Rényi graph G(n, p): each of the n(n-1)/2 possible
+/// undirected edges is present independently with probability `p`.
+///
+/// Uses geometric skip sampling, so the cost is O(#edges) rather than O(n^2);
+/// the paper's regime (`p` on the order of log n / n) is very sparse.
+Graph GenerateErdosRenyi(NodeId n, double p, uint64_t seed);
+
+/// Expected edge count of G(n, p); exposed for tests.
+double ErdosRenyiExpectedEdges(NodeId n, double p);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_GEN_ERDOS_RENYI_H_

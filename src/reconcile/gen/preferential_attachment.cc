@@ -1,0 +1,39 @@
+#include "reconcile/gen/preferential_attachment.h"
+
+#include <vector>
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+Graph GeneratePreferentialAttachment(NodeId n, int m, uint64_t seed) {
+  RECONCILE_CHECK_GE(m, 1);
+  Rng rng(seed);
+
+  // Classic O(n m) implementation: `endpoints` lists every edge endpoint of
+  // the evolving multigraph, so a uniform draw from it is a degree-
+  // proportional draw. Each new edge (t, x) appends both t and x; drawing
+  // from the array *including the already-appended stubs of node t* realizes
+  // the "+1 for the arriving node" rule of Definition 2.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * static_cast<size_t>(n) * static_cast<size_t>(m));
+  EdgeList edges(n);
+  edges.Reserve(static_cast<size_t>(n) * static_cast<size_t>(m));
+
+  for (NodeId t = 0; t < n; ++t) {
+    for (int e = 0; e < m; ++e) {
+      // Append the arriving endpoint first so the draw below can select it
+      // (self-loop), matching the model where node t participates with
+      // weight deg(t)+1.
+      endpoints.push_back(t);
+      NodeId target =
+          endpoints[rng.UniformInt(endpoints.size())];
+      endpoints.push_back(target);
+      if (target != t) edges.Add(t, target);
+    }
+  }
+  return Graph::FromEdgeList(std::move(edges));
+}
+
+}  // namespace reconcile

@@ -1,0 +1,24 @@
+#ifndef RECONCILE_GEN_PREFERENTIAL_ATTACHMENT_H_
+#define RECONCILE_GEN_PREFERENTIAL_ATTACHMENT_H_
+
+#include <cstdint>
+
+#include "reconcile/graph/graph.h"
+
+namespace reconcile {
+
+/// Samples a preferential attachment graph G^m_n in the Bollobás–Riordan
+/// formulation used by the paper (Definition 2): nodes arrive one at a time;
+/// node `t` attaches `m` edges whose endpoints are chosen proportionally to
+/// current degree (the arriving node's own partial degree participates, so
+/// self-loops are possible in the multigraph).
+///
+/// The returned `Graph` is the simple graph underlying the multigraph
+/// (self-loops and parallel edges removed), which is what the experiments
+/// operate on. Node ids equal arrival order: low ids are the "early birds"
+/// that Lemma 7 proves become high-degree.
+Graph GeneratePreferentialAttachment(NodeId n, int m, uint64_t seed);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_GEN_PREFERENTIAL_ATTACHMENT_H_

@@ -1,0 +1,80 @@
+#include "reconcile/gen/sbm.h"
+
+#include <utility>
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+namespace {
+
+// Adds edges of the diagonal (within-block) region [lo, lo+size)^2, i < j,
+// sampling each pair with probability p via geometric skips.
+void SampleWithinBlock(NodeId lo, NodeId size, double p, Rng* rng,
+                       EdgeList* edges) {
+  if (size < 2 || p <= 0.0) return;
+  const uint64_t total = static_cast<uint64_t>(size) * (size - 1) / 2;
+  uint64_t index = rng->Geometric(p);
+  NodeId u = 1;            // pairs are (v, u) with v < u, enumerated by row
+  uint64_t row_start = 0;  // pair index of (0, u)
+  while (index < total) {
+    while (row_start + u <= index) {
+      row_start += u;
+      ++u;
+    }
+    const NodeId v = static_cast<NodeId>(index - row_start);
+    edges->Add(lo + v, lo + u);
+    index += 1 + rng->Geometric(p);
+  }
+}
+
+// Adds edges of the rectangular region [lo1, lo1+s1) x [lo2, lo2+s2).
+void SampleAcrossBlocks(NodeId lo1, NodeId s1, NodeId lo2, NodeId s2,
+                        double p, Rng* rng, EdgeList* edges) {
+  if (s1 == 0 || s2 == 0 || p <= 0.0) return;
+  const uint64_t total = static_cast<uint64_t>(s1) * s2;
+  uint64_t index = rng->Geometric(p);
+  while (index < total) {
+    const NodeId u = static_cast<NodeId>(index / s2);
+    const NodeId v = static_cast<NodeId>(index % s2);
+    edges->Add(lo1 + u, lo2 + v);
+    index += 1 + rng->Geometric(p);
+  }
+}
+
+}  // namespace
+
+Graph GenerateSbm(const SbmParams& params, uint64_t seed) {
+  RECONCILE_CHECK_GE(params.p_in, 0.0);
+  RECONCILE_CHECK_LE(params.p_in, 1.0);
+  RECONCILE_CHECK_GE(params.p_out, 0.0);
+  RECONCILE_CHECK_LE(params.p_out, 1.0);
+
+  const size_t num_blocks = params.block_sizes.size();
+  std::vector<NodeId> offsets(num_blocks + 1, 0);
+  for (size_t b = 0; b < num_blocks; ++b)
+    offsets[b + 1] = offsets[b] + params.block_sizes[b];
+
+  Rng rng(seed);
+  EdgeList edges(offsets[num_blocks]);
+  for (size_t b1 = 0; b1 < num_blocks; ++b1) {
+    SampleWithinBlock(offsets[b1], params.block_sizes[b1], params.p_in, &rng,
+                      &edges);
+    for (size_t b2 = b1 + 1; b2 < num_blocks; ++b2) {
+      SampleAcrossBlocks(offsets[b1], params.block_sizes[b1], offsets[b2],
+                         params.block_sizes[b2], params.p_out, &rng, &edges);
+    }
+  }
+  return Graph::FromEdgeList(std::move(edges));
+}
+
+std::vector<uint32_t> SbmBlockLabels(const SbmParams& params) {
+  std::vector<uint32_t> labels;
+  for (size_t b = 0; b < params.block_sizes.size(); ++b)
+    labels.insert(labels.end(), params.block_sizes[b],
+                  static_cast<uint32_t>(b));
+  return labels;
+}
+
+}  // namespace reconcile

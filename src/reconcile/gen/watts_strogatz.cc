@@ -1,0 +1,35 @@
+#include "reconcile/gen/watts_strogatz.h"
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+Graph GenerateWattsStrogatz(NodeId n, int k, double beta, uint64_t seed) {
+  RECONCILE_CHECK_GE(k, 1);
+  RECONCILE_CHECK_LT(static_cast<NodeId>(2 * k), n);
+  RECONCILE_CHECK_GE(beta, 0.0);
+  RECONCILE_CHECK_LE(beta, 1.0);
+  Rng rng(seed);
+  EdgeList edges(n);
+  edges.Reserve(static_cast<size_t>(n) * static_cast<size_t>(k));
+  for (NodeId u = 0; u < n; ++u) {
+    for (int d = 1; d <= k; ++d) {
+      NodeId v = static_cast<NodeId>((u + static_cast<NodeId>(d)) % n);
+      if (rng.Bernoulli(beta)) {
+        // Rewire: pick a uniform endpoint different from u.
+        NodeId w;
+        do {
+          w = static_cast<NodeId>(rng.UniformInt(n));
+        } while (w == u);
+        edges.Add(u, w);
+      } else {
+        edges.Add(u, v);
+      }
+    }
+  }
+  edges.EnsureNumNodes(n);
+  return Graph::FromEdgeList(std::move(edges));
+}
+
+}  // namespace reconcile

@@ -1,0 +1,19 @@
+#ifndef RECONCILE_GEN_WATTS_STROGATZ_H_
+#define RECONCILE_GEN_WATTS_STROGATZ_H_
+
+#include <cstdint>
+
+#include "reconcile/graph/graph.h"
+
+namespace reconcile {
+
+/// Samples a Watts–Strogatz small-world graph: a ring lattice on `n` nodes
+/// where each node connects to its `k` nearest neighbours on each side, then
+/// every edge is rewired to a uniform random endpoint with probability
+/// `beta`. Not used in the paper's evaluation; provided as an extra
+/// underlying-network model for robustness experiments.
+Graph GenerateWattsStrogatz(NodeId n, int k, double beta, uint64_t seed);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_GEN_WATTS_STROGATZ_H_

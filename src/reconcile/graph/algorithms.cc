@@ -1,0 +1,143 @@
+#include "reconcile/graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "reconcile/util/logging.h"
+
+namespace reconcile {
+
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source) {
+  RECONCILE_CHECK_LT(source, g.num_nodes());
+  std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    for (NodeId w : g.Neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> ConnectedComponents(const Graph& g) {
+  std::vector<NodeId> label(g.num_nodes(), kInvalidNode);
+  std::deque<NodeId> queue;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (label[start] != kInvalidNode) continue;
+    label[start] = start;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      NodeId v = queue.front();
+      queue.pop_front();
+      for (NodeId w : g.Neighbors(v)) {
+        if (label[w] == kInvalidNode) {
+          label[w] = start;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+size_t CountComponents(const Graph& g) {
+  std::vector<NodeId> label = ConnectedComponents(g);
+  size_t count = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (label[v] == v) ++count;
+  }
+  return count;
+}
+
+size_t LargestComponentSize(const Graph& g) {
+  if (g.num_nodes() == 0) return 0;
+  std::vector<NodeId> label = ConnectedComponents(g);
+  std::vector<size_t> sizes(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++sizes[label[v]];
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+std::vector<size_t> DegreeHistogram(const Graph& g) {
+  std::vector<size_t> hist(static_cast<size_t>(g.max_degree()) + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+size_t CountNodesWithDegreeAtLeast(const Graph& g, NodeId min_degree) {
+  size_t count = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) >= min_degree) ++count;
+  }
+  return count;
+}
+
+double EstimateClusteringCoefficient(const Graph& g, size_t samples,
+                                     Rng* rng) {
+  RECONCILE_CHECK(rng != nullptr);
+  std::vector<NodeId> eligible;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) >= 2) eligible.push_back(v);
+  }
+  if (eligible.empty()) return 0.0;
+
+  auto local_cc = [&g](NodeId v) {
+    std::span<const NodeId> nbrs = g.Neighbors(v);
+    size_t closed = 0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (g.HasEdge(nbrs[i], nbrs[j])) ++closed;
+      }
+    }
+    size_t wedges = nbrs.size() * (nbrs.size() - 1) / 2;
+    return static_cast<double>(closed) / static_cast<double>(wedges);
+  };
+
+  double sum = 0.0;
+  size_t n = 0;
+  if (eligible.size() <= samples) {
+    for (NodeId v : eligible) sum += local_cc(v);
+    n = eligible.size();
+  } else {
+    for (size_t i = 0; i < samples; ++i) {
+      sum += local_cc(eligible[rng->UniformInt(eligible.size())]);
+    }
+    n = samples;
+  }
+  return sum / static_cast<double>(n);
+}
+
+size_t CountTriangles(const Graph& g) {
+  // For each edge (u, v) with u < v, count common neighbours w > v; every
+  // triangle is counted exactly once at its smallest-id vertex pair.
+  size_t triangles = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (v <= u) continue;
+      std::span<const NodeId> a = g.Neighbors(u);
+      std::span<const NodeId> b = g.Neighbors(v);
+      size_t i = 0, j = 0;
+      while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+          ++i;
+        } else if (a[i] > b[j]) {
+          ++j;
+        } else {
+          if (a[i] > v) ++triangles;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+}  // namespace reconcile

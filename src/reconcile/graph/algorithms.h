@@ -1,0 +1,44 @@
+#ifndef RECONCILE_GRAPH_ALGORITHMS_H_
+#define RECONCILE_GRAPH_ALGORITHMS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "reconcile/graph/graph.h"
+#include "reconcile/graph/types.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+/// Breadth-first distances from `source`; unreachable nodes get
+/// `kUnreachable`.
+inline constexpr uint32_t kUnreachable = ~0u;
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source);
+
+/// Connected-component label per node (labels are the smallest node id in
+/// the component).
+std::vector<NodeId> ConnectedComponents(const Graph& g);
+
+/// Number of connected components.
+size_t CountComponents(const Graph& g);
+
+/// Size of the largest connected component (0 for empty graph).
+size_t LargestComponentSize(const Graph& g);
+
+/// Histogram of node degrees: `result[d]` = number of nodes with degree `d`.
+std::vector<size_t> DegreeHistogram(const Graph& g);
+
+/// Number of nodes with degree >= `min_degree`.
+size_t CountNodesWithDegreeAtLeast(const Graph& g, NodeId min_degree);
+
+/// Average clustering coefficient estimated over `samples` random nodes of
+/// degree >= 2 (exact if the graph has fewer such nodes than `samples`).
+double EstimateClusteringCoefficient(const Graph& g, size_t samples, Rng* rng);
+
+/// Exact triangle count (sum over nodes of wedges closed / 3). Intended for
+/// small/medium graphs used in tests.
+size_t CountTriangles(const Graph& g);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_GRAPH_ALGORITHMS_H_

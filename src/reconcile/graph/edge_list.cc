@@ -1,0 +1,20 @@
+#include "reconcile/graph/edge_list.h"
+
+#include <algorithm>
+
+namespace reconcile {
+
+void EdgeList::Normalize() {
+  for (Edge& e : edges_) {
+    if (e.first > e.second) std::swap(e.first, e.second);
+  }
+  std::sort(edges_.begin(), edges_.end());
+  auto last = std::unique(edges_.begin(), edges_.end());
+  edges_.erase(last, edges_.end());
+  // Drop self-loops (canonical form has first == second for loops).
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const Edge& e) { return e.first == e.second; }),
+               edges_.end());
+}
+
+}  // namespace reconcile

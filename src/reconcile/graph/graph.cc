@@ -1,0 +1,86 @@
+#include "reconcile/graph/graph.h"
+
+#include <algorithm>
+
+#include "reconcile/util/logging.h"
+
+namespace reconcile {
+
+Graph Graph::FromEdgeList(EdgeList edges) {
+  edges.Normalize();
+
+  Graph g;
+  g.num_nodes_ = edges.num_nodes();
+  g.offsets_.assign(static_cast<size_t>(g.num_nodes_) + 1, 0);
+
+  // Counting pass: each undirected edge contributes to both endpoints.
+  for (const Edge& e : edges.edges()) {
+    ++g.offsets_[e.first + 1];
+    ++g.offsets_[e.second + 1];
+  }
+  for (size_t v = 1; v < g.offsets_.size(); ++v) {
+    g.offsets_[v] += g.offsets_[v - 1];
+  }
+
+  g.adjacency_.resize(g.offsets_.back());
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges.edges()) {
+    g.adjacency_[cursor[e.first]++] = e.second;
+    g.adjacency_[cursor[e.second]++] = e.first;
+  }
+
+  // Normalized edge lists are sorted by (min, max), so each adjacency slice
+  // receives its entries partially ordered; sort each slice to guarantee the
+  // ascending-id invariant.
+  for (NodeId v = 0; v < g.num_nodes_; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]));
+  }
+
+  for (NodeId v = 0; v < g.num_nodes_; ++v) {
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  }
+
+  // Degree-descending view: stable secondary order by ascending id keeps the
+  // layout deterministic.
+  g.by_degree_ = g.adjacency_;
+  for (NodeId v = 0; v < g.num_nodes_; ++v) {
+    auto begin = g.by_degree_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]);
+    auto end = g.by_degree_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end, [&g](NodeId a, NodeId b) {
+      NodeId da = g.degree(a), db = g.degree(b);
+      if (da != db) return da > db;
+      return a < b;
+    });
+  }
+
+  return g;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_) return false;
+  std::span<const NodeId> nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+size_t Graph::CommonNeighborCount(NodeId u, NodeId v) const {
+  RECONCILE_CHECK_LT(u, num_nodes_);
+  RECONCILE_CHECK_LT(v, num_nodes_);
+  std::span<const NodeId> a = Neighbors(u);
+  std::span<const NodeId> b = Neighbors(v);
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace reconcile

@@ -1,0 +1,83 @@
+#include "reconcile/graph/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace reconcile {
+
+namespace {
+constexpr uint64_t kBinaryMagic = 0x5245434f4e474601ULL;  // "RECONGF" v1
+}  // namespace
+
+bool WriteEdgeListText(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# nodes=" << g.num_nodes() << " edges=" << g.num_edges() << "\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (v > u) out << u << " " << v << "\n";
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool ReadEdgeListText(const std::string& path, EdgeList* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  EdgeList edges;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    uint64_t u = 0, v = 0;
+    if (!(fields >> u >> v)) return false;
+    if (u > kInvalidNode - 1 || v > kInvalidNode - 1) return false;
+    edges.Add(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  *out = std::move(edges);
+  return true;
+}
+
+bool WriteEdgeListBinary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  uint64_t nodes = g.num_nodes();
+  uint64_t edges = g.num_edges();
+  out.write(reinterpret_cast<const char*>(&kBinaryMagic), sizeof(kBinaryMagic));
+  out.write(reinterpret_cast<const char*>(&nodes), sizeof(nodes));
+  out.write(reinterpret_cast<const char*>(&edges), sizeof(edges));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (v > u) {
+        uint32_t pair[2] = {u, v};
+        out.write(reinterpret_cast<const char*>(pair), sizeof(pair));
+      }
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool ReadEdgeListBinary(const std::string& path, EdgeList* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  uint64_t magic = 0, nodes = 0, edges = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&nodes), sizeof(nodes));
+  in.read(reinterpret_cast<char*>(&edges), sizeof(edges));
+  if (!in || magic != kBinaryMagic || nodes > kInvalidNode) return false;
+  EdgeList result(static_cast<NodeId>(nodes));
+  result.Reserve(edges);
+  for (uint64_t i = 0; i < edges; ++i) {
+    uint32_t pair[2];
+    in.read(reinterpret_cast<char*>(pair), sizeof(pair));
+    if (!in) return false;
+    result.Add(pair[0], pair[1]);
+  }
+  *out = std::move(result);
+  return true;
+}
+
+}  // namespace reconcile

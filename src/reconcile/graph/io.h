@@ -1,0 +1,29 @@
+#ifndef RECONCILE_GRAPH_IO_H_
+#define RECONCILE_GRAPH_IO_H_
+
+#include <string>
+
+#include "reconcile/graph/edge_list.h"
+#include "reconcile/graph/graph.h"
+
+namespace reconcile {
+
+/// Writes `g` as a text edge list: header line `# nodes=<n> edges=<m>`, then
+/// one `u v` pair per line (u < v). Returns false on I/O failure.
+bool WriteEdgeListText(const Graph& g, const std::string& path);
+
+/// Reads a text edge list produced by `WriteEdgeListText` (or any
+/// whitespace-separated `u v` lines; `#` lines are comments). Returns false
+/// on I/O or parse failure; `*out` is untouched on failure.
+bool ReadEdgeListText(const std::string& path, EdgeList* out);
+
+/// Writes `g` in a compact binary format (magic, node count, edge count,
+/// canonical u<v pairs as little-endian uint32). Returns false on failure.
+bool WriteEdgeListBinary(const Graph& g, const std::string& path);
+
+/// Reads the binary format written by `WriteEdgeListBinary`.
+bool ReadEdgeListBinary(const std::string& path, EdgeList* out);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_GRAPH_IO_H_

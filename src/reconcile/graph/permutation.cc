@@ -1,0 +1,41 @@
+#include "reconcile/graph/permutation.h"
+
+#include <numeric>
+
+#include "reconcile/util/logging.h"
+
+namespace reconcile {
+
+std::vector<NodeId> RandomPermutation(NodeId n, Rng* rng) {
+  RECONCILE_CHECK(rng != nullptr);
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (NodeId i = n; i > 1; --i) {
+    NodeId j = static_cast<NodeId>(rng->UniformInt(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<NodeId> InvertPermutation(const std::vector<NodeId>& perm) {
+  std::vector<NodeId> inverse(perm.size(), kInvalidNode);
+  for (NodeId i = 0; i < perm.size(); ++i) {
+    RECONCILE_CHECK_LT(perm[i], perm.size());
+    RECONCILE_CHECK_EQ(inverse[perm[i]], kInvalidNode);
+    inverse[perm[i]] = i;
+  }
+  return inverse;
+}
+
+EdgeList RelabelEdges(const EdgeList& edges, const std::vector<NodeId>& perm) {
+  RECONCILE_CHECK_GE(perm.size(), edges.num_nodes());
+  EdgeList result(edges.num_nodes());
+  result.Reserve(edges.size());
+  for (const Edge& e : edges.edges()) {
+    result.Add(perm[e.first], perm[e.second]);
+  }
+  result.EnsureNumNodes(edges.num_nodes());
+  return result;
+}
+
+}  // namespace reconcile

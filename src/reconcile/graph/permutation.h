@@ -1,0 +1,25 @@
+#ifndef RECONCILE_GRAPH_PERMUTATION_H_
+#define RECONCILE_GRAPH_PERMUTATION_H_
+
+#include <vector>
+
+#include "reconcile/graph/edge_list.h"
+#include "reconcile/graph/types.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+/// Uniformly random permutation of `[0, n)` (Fisher–Yates).
+std::vector<NodeId> RandomPermutation(NodeId n, Rng* rng);
+
+/// Inverse of a permutation: `result[perm[i]] == i`.
+std::vector<NodeId> InvertPermutation(const std::vector<NodeId>& perm);
+
+/// Relabels every endpoint of `edges` through `perm` (node count preserved).
+/// Used to hide the identity mapping between two realizations of a graph: the
+/// matcher must never be able to exploit node numbering.
+EdgeList RelabelEdges(const EdgeList& edges, const std::vector<NodeId>& perm);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_GRAPH_PERMUTATION_H_

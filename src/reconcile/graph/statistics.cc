@@ -1,0 +1,297 @@
+#include "reconcile/graph/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "reconcile/graph/algorithms.h"
+#include "reconcile/util/logging.h"
+
+namespace reconcile {
+
+namespace {
+
+// Sampled estimate of the global clustering coefficient: pick wedges with
+// probability proportional to each node's wedge count and test closure.
+double SampleGlobalClustering(const Graph& g, size_t samples, Rng* rng) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> cum(n + 1, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    const double d = g.degree(v);
+    cum[v + 1] = cum[v] + (d >= 2 ? d * (d - 1) / 2 : 0.0);
+  }
+  const double total = cum[n];
+  if (total <= 0.0) return 0.0;
+  size_t closed = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    const double target = rng->UniformReal() * total;
+    const auto it = std::upper_bound(cum.begin(), cum.end(), target);
+    const NodeId v = static_cast<NodeId>(it - cum.begin() - 1);
+    const auto nbrs = g.Neighbors(v);
+    const size_t d = nbrs.size();
+    // Two distinct neighbour indices.
+    const size_t a = rng->UniformInt(d);
+    size_t b = rng->UniformInt(d - 1);
+    if (b >= a) ++b;
+    if (g.HasEdge(nbrs[a], nbrs[b])) ++closed;
+  }
+  return static_cast<double>(closed) / static_cast<double>(samples);
+}
+
+}  // namespace
+
+std::vector<NodeId> CoreNumbers(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> core(n, 0);
+  if (n == 0) return core;
+  const NodeId max_deg = g.max_degree();
+
+  // Batagelj–Zaversnik: bucket nodes by current degree, repeatedly peel the
+  // minimum-degree node, decrementing neighbours.
+  std::vector<NodeId> deg(n);
+  std::vector<size_t> bucket_start(max_deg + 2, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    ++bucket_start[deg[v] + 1];
+  }
+  for (NodeId d = 0; d <= max_deg; ++d) bucket_start[d + 1] += bucket_start[d];
+
+  std::vector<NodeId> order(n);      // nodes sorted by current degree
+  std::vector<size_t> pos(n);        // position of each node in `order`
+  {
+    std::vector<size_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]]++;
+      order[pos[v]] = v;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId v = order[i];
+    core[v] = deg[v];
+    for (NodeId u : g.Neighbors(v)) {
+      if (deg[u] <= deg[v]) continue;
+      // Swap u with the first node of its degree bucket, then shrink the
+      // bucket boundary so u drops one degree class.
+      const size_t bucket_front = bucket_start[deg[u]];
+      const NodeId w = order[bucket_front];
+      if (u != w) {
+        std::swap(order[pos[u]], order[bucket_front]);
+        std::swap(pos[u], pos[w]);
+      }
+      ++bucket_start[deg[u]];
+      --deg[u];
+    }
+  }
+  return core;
+}
+
+NodeId Degeneracy(const Graph& g) {
+  const std::vector<NodeId> core = CoreNumbers(g);
+  NodeId best = 0;
+  for (NodeId c : core) best = std::max(best, c);
+  return best;
+}
+
+double LocalClustering(const Graph& g, NodeId v) {
+  const auto nbrs = g.Neighbors(v);
+  const size_t d = nbrs.size();
+  if (d < 2) return 0.0;
+  size_t closed = 0;
+  for (size_t i = 0; i < d; ++i)
+    for (size_t j = i + 1; j < d; ++j)
+      if (g.HasEdge(nbrs[i], nbrs[j])) ++closed;
+  return 2.0 * static_cast<double>(closed) /
+         (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
+size_t CountWedges(const Graph& g) {
+  size_t wedges = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const size_t d = g.degree(v);
+    if (d >= 2) wedges += d * (d - 1) / 2;
+  }
+  return wedges;
+}
+
+double GlobalClustering(const Graph& g) {
+  const size_t wedges = CountWedges(g);
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(g)) /
+         static_cast<double>(wedges);
+}
+
+double DegreeAssortativity(const Graph& g) {
+  // Pearson correlation of (d(u), d(v)) over all directed edge endpoints
+  // (each undirected edge contributes both orientations, which symmetrizes
+  // the estimator as in Newman 2002).
+  const size_t m2 = g.degree_sum();
+  if (m2 < 4) return 0.0;
+  double sum_x = 0.0, sum_x2 = 0.0, sum_xy = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const double du = g.degree(u);
+    for (NodeId v : g.Neighbors(u)) {
+      const double dv = g.degree(v);
+      sum_x += du;
+      sum_x2 += du * du;
+      sum_xy += du * dv;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(m2);
+  const double mean = sum_x * inv;
+  const double var = sum_x2 * inv - mean * mean;
+  if (var <= 1e-12) return 0.0;
+  const double cov = sum_xy * inv - mean * mean;
+  return cov / var;
+}
+
+uint32_t DiameterDoubleSweep(const Graph& g, NodeId start) {
+  if (g.num_nodes() == 0) return 0;
+  RECONCILE_CHECK_LT(start, g.num_nodes());
+  std::vector<uint32_t> dist = BfsDistances(g, start);
+  NodeId far = start;
+  uint32_t far_d = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[v] != kUnreachable && dist[v] > far_d) {
+      far_d = dist[v];
+      far = v;
+    }
+  }
+  dist = BfsDistances(g, far);
+  uint32_t ecc = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (dist[v] != kUnreachable) ecc = std::max(ecc, dist[v]);
+  return ecc;
+}
+
+PowerLawFit FitPowerLaw(const Graph& g, NodeId d_min) {
+  PowerLawFit fit;
+  fit.d_min = d_min;
+  if (d_min < 1) return fit;
+  // Discrete MLE (Clauset-Shalizi-Newman eq. 3.7):
+  //   alpha ≈ 1 + n / sum_i ln(d_i / (d_min - 1/2)).
+  double log_sum = 0.0;
+  size_t tail = 0;
+  const double shift = static_cast<double>(d_min) - 0.5;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId d = g.degree(v);
+    if (d >= d_min) {
+      log_sum += std::log(static_cast<double>(d) / shift);
+      ++tail;
+    }
+  }
+  fit.tail_size = tail;
+  if (tail < 10 || log_sum <= 0.0) return fit;
+  fit.alpha = 1.0 + static_cast<double>(tail) / log_sum;
+  return fit;
+}
+
+std::vector<double> DegreeCcdf(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> ccdf;
+  if (n == 0) return ccdf;
+  const std::vector<size_t> hist = DegreeHistogram(g);
+  ccdf.assign(hist.size() + 1, 0.0);
+  size_t at_least = 0;
+  for (size_t d = hist.size(); d-- > 0;) {
+    at_least += hist[d];
+    ccdf[d] = static_cast<double>(at_least) / static_cast<double>(n);
+  }
+  return ccdf;
+}
+
+NodeId DegreePercentile(const Graph& g, double p) {
+  RECONCILE_CHECK_GE(p, 0.0);
+  RECONCILE_CHECK_LE(p, 100.0);
+  const NodeId n = g.num_nodes();
+  if (n == 0) return 0;
+  const std::vector<size_t> hist = DegreeHistogram(g);
+  // Index of the percentile element in the sorted degree sequence.
+  const size_t target =
+      std::min<size_t>(n - 1, static_cast<size_t>(p / 100.0 * n));
+  size_t seen = 0;
+  for (size_t d = 0; d < hist.size(); ++d) {
+    seen += hist[d];
+    if (seen > target) return static_cast<NodeId>(d);
+  }
+  return g.max_degree();
+}
+
+GraphStatistics ComputeStatistics(const Graph& g,
+                                  const StatisticsOptions& options) {
+  GraphStatistics stats;
+  stats.num_nodes = g.num_nodes();
+  stats.num_edges = g.num_edges();
+  if (stats.num_nodes == 0) return stats;
+
+  stats.avg_degree =
+      static_cast<double>(g.degree_sum()) / static_cast<double>(g.num_nodes());
+  stats.max_degree = g.max_degree();
+  stats.median_degree = DegreePercentile(g, 50.0);
+
+  size_t le5 = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (g.degree(v) <= 5) ++le5;
+  stats.frac_degree_le5 =
+      static_cast<double>(le5) / static_cast<double>(g.num_nodes());
+
+  stats.num_components = CountComponents(g);
+  stats.largest_component_frac =
+      static_cast<double>(LargestComponentSize(g)) /
+      static_cast<double>(g.num_nodes());
+
+  Rng rng(options.seed);
+  const size_t wedges = CountWedges(g);
+  if (options.max_exact_wedges > 0 && wedges > options.max_exact_wedges) {
+    stats.global_clustering =
+        SampleGlobalClustering(g, options.clustering_samples, &rng);
+    stats.num_triangles = 0;  // not computed exactly in sampling mode
+  } else {
+    stats.num_triangles = CountTriangles(g);
+    stats.global_clustering =
+        wedges == 0 ? 0.0
+                    : 3.0 * static_cast<double>(stats.num_triangles) /
+                          static_cast<double>(wedges);
+  }
+
+  stats.degree_assortativity = DegreeAssortativity(g);
+  stats.degeneracy = Degeneracy(g);
+  stats.power_law_alpha = FitPowerLaw(g, options.power_law_dmin).alpha;
+
+  if (g.num_edges() > 0) {
+    // Start the double sweep from a random node of the largest component —
+    // any node with an edge works; prefer one found by random probing.
+    NodeId start = 0;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const NodeId v = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+      if (g.degree(v) > 0) {
+        start = v;
+        break;
+      }
+    }
+    if (g.degree(start) == 0) {
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        if (g.degree(v) > 0) {
+          start = v;
+          break;
+        }
+    }
+    stats.diameter_lower_bound = DiameterDoubleSweep(g, start);
+  }
+  return stats;
+}
+
+std::string SummarizeStatistics(const GraphStatistics& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%u m=%zu avg_deg=%.2f max_deg=%u cc=%.4f comps=%zu "
+                "core=%u alpha=%.2f",
+                stats.num_nodes, stats.num_edges, stats.avg_degree,
+                stats.max_degree, stats.global_clustering,
+                stats.num_components, stats.degeneracy,
+                stats.power_law_alpha);
+  return std::string(buf);
+}
+
+}  // namespace reconcile

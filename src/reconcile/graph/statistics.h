@@ -1,0 +1,116 @@
+#ifndef RECONCILE_GRAPH_STATISTICS_H_
+#define RECONCILE_GRAPH_STATISTICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reconcile/graph/graph.h"
+#include "reconcile/graph/types.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+/// Structural statistics of a graph, computed by `ComputeStatistics`. Used
+/// by the Table 1 bench (dataset inventory), the graphstats CLI and the
+/// dataset stand-in validation tests (the stand-ins must match the degree
+/// profile of the originals they replace — DESIGN.md §3).
+struct GraphStatistics {
+  NodeId num_nodes = 0;
+  size_t num_edges = 0;
+  double avg_degree = 0.0;
+  NodeId max_degree = 0;
+  NodeId median_degree = 0;
+  /// Fraction of nodes with degree <= 5 (the paper repeatedly calls out this
+  /// band as unidentifiable-in-practice).
+  double frac_degree_le5 = 0.0;
+  size_t num_components = 0;
+  /// |largest connected component| / |V| (0 for the empty graph).
+  double largest_component_frac = 0.0;
+  /// Global clustering coefficient: 3 * triangles / wedges (0 if no wedge).
+  double global_clustering = 0.0;
+  size_t num_triangles = 0;
+  /// Pearson degree assortativity over edges; 0 when undefined.
+  double degree_assortativity = 0.0;
+  /// Lower bound on the diameter from double-sweep BFS in the largest
+  /// component (0 for graphs without edges).
+  uint32_t diameter_lower_bound = 0;
+  /// Degeneracy (maximum k-core index).
+  NodeId degeneracy = 0;
+  /// Clauset-style MLE of the power-law exponent fitted to degrees >= the
+  /// chosen d_min (see `PowerLawFit`); 0 when too few tail nodes.
+  double power_law_alpha = 0.0;
+};
+
+/// Options for `ComputeStatistics`. Exact triangle counting is O(sum of
+/// d(v)^2) which is fine for every dataset in this repository; the sampling
+/// fallback exists for callers that feed in much denser graphs.
+struct StatisticsOptions {
+  /// If the wedge count exceeds this, clustering is estimated from sampled
+  /// wedges instead of exact triangle counting. 0 = always exact.
+  size_t max_exact_wedges = 0;
+  /// Wedge samples used when sampling kicks in.
+  size_t clustering_samples = 200000;
+  /// d_min used for the power-law MLE.
+  NodeId power_law_dmin = 5;
+  /// Seed for any sampled estimates (double-sweep start, wedge sampling).
+  uint64_t seed = 1;
+};
+
+/// Computes the full statistics block for `g`.
+GraphStatistics ComputeStatistics(const Graph& g,
+                                  const StatisticsOptions& options = {});
+
+/// Core number (maximum k such that the node survives in the k-core) per
+/// node, via the Batagelj–Zaversnik bucket algorithm. O(V + E).
+std::vector<NodeId> CoreNumbers(const Graph& g);
+
+/// Degeneracy: the largest core number (0 for empty/edgeless graphs).
+NodeId Degeneracy(const Graph& g);
+
+/// Exact local clustering coefficient of `v` (0 when degree(v) < 2).
+double LocalClustering(const Graph& g, NodeId v);
+
+/// Exact global clustering coefficient: 3 * triangles / wedges. Returns 0
+/// for graphs without any wedge.
+double GlobalClustering(const Graph& g);
+
+/// Pearson correlation of the degrees at the two endpoints of every edge
+/// (degree assortativity, Newman 2002). Returns 0 when undefined (fewer
+/// than 2 edges or zero variance).
+double DegreeAssortativity(const Graph& g);
+
+/// Lower-bounds the diameter by a BFS double sweep: BFS from `start`, then
+/// BFS again from the farthest node found. Returns the second eccentricity.
+uint32_t DiameterDoubleSweep(const Graph& g, NodeId start);
+
+/// Number of wedges (paths of length 2) = sum over v of C(d(v), 2).
+size_t CountWedges(const Graph& g);
+
+/// Result of a discrete power-law MLE fit (Clauset, Shalizi & Newman 2009,
+/// eq. 3.7) on the degree distribution.
+struct PowerLawFit {
+  double alpha = 0.0;   ///< Fitted exponent; 0 when the fit is undefined.
+  NodeId d_min = 0;     ///< Tail cutoff the fit used.
+  size_t tail_size = 0; ///< Number of nodes with degree >= d_min.
+};
+
+/// Fits `alpha` to the degrees of `g` that are >= `d_min`. Requires at least
+/// 10 tail nodes for a defined fit (otherwise returns alpha = 0).
+PowerLawFit FitPowerLaw(const Graph& g, NodeId d_min);
+
+/// Complementary cumulative degree distribution: `result[d]` = fraction of
+/// nodes with degree >= d; indices run to max_degree + 1.
+std::vector<double> DegreeCcdf(const Graph& g);
+
+/// Degree at percentile `p` in [0, 100] of the sorted degree sequence.
+NodeId DegreePercentile(const Graph& g, double p);
+
+/// Renders a one-line summary (nodes, edges, avg/max degree, clustering)
+/// for logs and CLI output.
+std::string SummarizeStatistics(const GraphStatistics& stats);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_GRAPH_STATISTICS_H_

@@ -1,0 +1,38 @@
+#ifndef RECONCILE_GRAPH_TYPES_H_
+#define RECONCILE_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace reconcile {
+
+/// Node identifier. 32-bit unsigned is used deliberately: the matcher packs
+/// candidate pairs as `u << 32 | v` into 64-bit hash keys, and adjacency
+/// arrays of hundreds of millions of entries stay compact.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node" / "unmatched". Never a valid node id (graphs are
+/// capped at 2^32 - 1 nodes).
+inline constexpr NodeId kInvalidNode = ~static_cast<NodeId>(0);
+
+/// An undirected edge as an (unordered) pair of endpoints.
+using Edge = std::pair<NodeId, NodeId>;
+
+/// Packs a candidate pair (`u` from G1, `v` from G2) into a 64-bit map key.
+inline constexpr uint64_t PackPair(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(v);
+}
+
+/// First component (G1 node) of a packed pair.
+inline constexpr NodeId PairFirst(uint64_t key) {
+  return static_cast<NodeId>(key >> 32);
+}
+
+/// Second component (G2 node) of a packed pair.
+inline constexpr NodeId PairSecond(uint64_t key) {
+  return static_cast<NodeId>(key & 0xffffffffULL);
+}
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_GRAPH_TYPES_H_

@@ -1,0 +1,104 @@
+#ifndef RECONCILE_MR_MAPREDUCE_H_
+#define RECONCILE_MR_MAPREDUCE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "reconcile/util/flat_hash_map.h"
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+#include "reconcile/util/thread_pool.h"
+
+namespace reconcile {
+namespace mr {
+
+/// Runs `fn(begin, end)` over a partition of `[0, n)` into contiguous chunks
+/// of roughly `grain` items, executed on `pool`. Blocks until all chunks
+/// complete. `fn` must be safe to invoke concurrently on disjoint ranges.
+void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/// Reduce-shard owning a packed key. The modulus uses the high bits of the
+/// mixed hash so it stays independent from FlatCountMap's slot choice.
+inline int ShardOfKey(uint64_t key, int num_shards) {
+  return static_cast<int>((HashMix64(key ^ 0xa5a5a5a5a5a5a5a5ULL) >> 32) %
+                          static_cast<uint64_t>(num_shards));
+}
+
+/// In-memory MapReduce round specialized for count aggregation — the shape
+/// of the paper's witness-scoring step ("the internal for loop can be
+/// implemented efficiently with 4 consecutive rounds of MapReduce").
+///
+/// The mapper is invoked once per item index in `[0, num_items)` and may
+/// emit any number of 64-bit keys; the framework counts emissions per key.
+/// Each map shard maintains per-reduce-shard combiner maps (early duplicate
+/// collapse), and the reduce phase merges combiners shard-by-shard. The
+/// resulting multiset of (key, count) pairs is exactly the sequential
+/// result, independent of shard or thread counts.
+///
+/// `map_fn(size_t item, Emit emit)` with `emit(uint64_t key)`.
+template <typename MapFn>
+std::vector<FlatCountMap> CountByKey(ThreadPool* pool, size_t num_items,
+                                     int num_map_shards, int num_reduce_shards,
+                                     MapFn&& map_fn) {
+  RECONCILE_CHECK_GE(num_map_shards, 1);
+  RECONCILE_CHECK_GE(num_reduce_shards, 1);
+
+  // Map phase with per-shard combiners.
+  std::vector<std::vector<FlatCountMap>> partial(
+      static_cast<size_t>(num_map_shards));
+  const size_t grain =
+      (num_items + static_cast<size_t>(num_map_shards) - 1) /
+      static_cast<size_t>(num_map_shards);
+  {
+    size_t shard = 0;
+    std::vector<std::function<void()>> tasks;
+    for (size_t begin = 0; begin < num_items; begin += grain, ++shard) {
+      size_t end = std::min(num_items, begin + grain);
+      std::vector<FlatCountMap>& maps = partial[shard];
+      maps = std::vector<FlatCountMap>(static_cast<size_t>(num_reduce_shards));
+      pool->Submit([begin, end, num_reduce_shards, &maps, &map_fn] {
+        auto emit = [&maps, num_reduce_shards](uint64_t key) {
+          maps[static_cast<size_t>(ShardOfKey(key, num_reduce_shards))]
+              .AddCount(key, 1);
+        };
+        for (size_t item = begin; item < end; ++item) {
+          map_fn(item, emit);
+        }
+      });
+    }
+    pool->Wait();
+  }
+
+  // Reduce phase: merge combiners per reduce shard, in fixed map-shard order.
+  std::vector<FlatCountMap> result(static_cast<size_t>(num_reduce_shards));
+  {
+    for (int r = 0; r < num_reduce_shards; ++r) {
+      pool->Submit([r, &result, &partial] {
+        size_t expected = 0;
+        for (const std::vector<FlatCountMap>& maps : partial) {
+          if (!maps.empty()) expected += maps[static_cast<size_t>(r)].size();
+        }
+        FlatCountMap merged(expected);
+        for (const std::vector<FlatCountMap>& maps : partial) {
+          if (maps.empty()) continue;
+          maps[static_cast<size_t>(r)].ForEach(
+              [&merged](uint64_t key, uint32_t count) {
+                merged.AddCount(key, count);
+              });
+        }
+        result[static_cast<size_t>(r)] = std::move(merged);
+      });
+    }
+    pool->Wait();
+  }
+  return result;
+}
+
+}  // namespace mr
+}  // namespace reconcile
+
+#endif  // RECONCILE_MR_MAPREDUCE_H_

@@ -1,0 +1,54 @@
+#include "reconcile/sampling/attack.h"
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+namespace {
+
+// Rebuilds one copy with a sybil clone per original node. Clone of node v
+// receives id (n + v).
+Graph AttackCopy(const Graph& g, double attach_prob, Rng* rng) {
+  const NodeId n = g.num_nodes();
+  EdgeList edges(static_cast<NodeId>(2) * n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (v > u) edges.Add(u, v);
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId clone = n + v;
+    for (NodeId u : g.Neighbors(v)) {
+      if (rng->Bernoulli(attach_prob)) edges.Add(u, clone);
+    }
+  }
+  edges.EnsureNumNodes(static_cast<NodeId>(2) * n);
+  return Graph::FromEdgeList(std::move(edges));
+}
+
+}  // namespace
+
+RealizationPair ApplyAttack(const RealizationPair& pair,
+                            const AttackOptions& options, uint64_t seed) {
+  RECONCILE_CHECK_GE(options.attach_prob, 0.0);
+  RECONCILE_CHECK_LE(options.attach_prob, 1.0);
+  Rng rng(seed);
+  Rng rng1 = rng.Fork(1);
+  Rng rng2 = rng.Fork(2);
+
+  RealizationPair attacked;
+  attacked.g1 = AttackCopy(pair.g1, options.attach_prob, &rng1);
+  attacked.g2 = options.attack_both_copies
+                    ? AttackCopy(pair.g2, options.attach_prob, &rng2)
+                    : pair.g2;
+
+  // Original nodes keep their ground truth; clones are unmappable.
+  attacked.map_1to2 = pair.map_1to2;
+  attacked.map_1to2.resize(attacked.g1.num_nodes(), kInvalidNode);
+  attacked.map_2to1 = pair.map_2to1;
+  attacked.map_2to1.resize(attacked.g2.num_nodes(), kInvalidNode);
+  return attacked;
+}
+
+}  // namespace reconcile

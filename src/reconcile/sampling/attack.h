@@ -1,0 +1,28 @@
+#ifndef RECONCILE_SAMPLING_ATTACK_H_
+#define RECONCILE_SAMPLING_ATTACK_H_
+
+#include <cstdint>
+
+#include "reconcile/sampling/realization.h"
+
+namespace reconcile {
+
+/// The paper's adversary model (§5 "Robustness to attack"): in each copy,
+/// every node `v` gains a malicious clone `w`, and each neighbour
+/// `u ∈ N(v)` accepts the clone's friend request independently with
+/// probability `attach_prob`. Clones have no true counterpart, so any match
+/// involving one is an error by definition.
+struct AttackOptions {
+  double attach_prob = 0.5;
+  /// If false, only copy 1 is attacked (one-sided attack variant).
+  bool attack_both_copies = true;
+};
+
+/// Returns a new pair with sybil clones injected. Ground-truth maps keep
+/// their original entries; clone nodes map to `kInvalidNode`.
+RealizationPair ApplyAttack(const RealizationPair& pair,
+                            const AttackOptions& options, uint64_t seed);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_SAMPLING_ATTACK_H_

@@ -1,0 +1,75 @@
+#include "reconcile/sampling/cascade.h"
+
+#include <deque>
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+namespace {
+
+// Runs one independent cascade; returns the joined-node mask.
+std::vector<bool> RunCascade(const Graph& g, double p, double min_fraction,
+                             int max_restarts, Rng* rng) {
+  const NodeId n = g.num_nodes();
+  const size_t min_nodes =
+      static_cast<size_t>(min_fraction * static_cast<double>(n));
+  std::vector<bool> joined(n, false);
+  for (int attempt = 0; attempt <= max_restarts; ++attempt) {
+    std::fill(joined.begin(), joined.end(), false);
+    NodeId start = static_cast<NodeId>(rng->UniformInt(n));
+    std::deque<NodeId> frontier;
+    joined[start] = true;
+    frontier.push_back(start);
+    size_t count = 1;
+    while (!frontier.empty()) {
+      NodeId v = frontier.front();
+      frontier.pop_front();
+      for (NodeId w : g.Neighbors(v)) {
+        if (joined[w]) continue;
+        if (rng->Bernoulli(p)) {
+          joined[w] = true;
+          frontier.push_back(w);
+          ++count;
+        }
+      }
+    }
+    if (count >= min_nodes || attempt == max_restarts) break;
+  }
+  return joined;
+}
+
+EdgeList InducedEdges(const Graph& g, const std::vector<bool>& joined) {
+  EdgeList edges(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!joined[u]) continue;
+    for (NodeId v : g.Neighbors(u)) {
+      if (v > u && joined[v]) edges.Add(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+RealizationPair SampleCascade(const Graph& g,
+                              const CascadeSampleOptions& options,
+                              uint64_t seed) {
+  RECONCILE_CHECK_GT(options.p, 0.0);
+  RECONCILE_CHECK_LE(options.p, 1.0);
+  RECONCILE_CHECK_GT(g.num_nodes(), 0u);
+  Rng rng(seed);
+  Rng rng1 = rng.Fork(1);
+  Rng rng2 = rng.Fork(2);
+  std::vector<bool> joined1 = RunCascade(g, options.p, options.min_fraction,
+                                         options.max_restarts, &rng1);
+  std::vector<bool> joined2 = RunCascade(g, options.p, options.min_fraction,
+                                         options.max_restarts, &rng2);
+  EdgeList e1 = InducedEdges(g, joined1);
+  EdgeList e2 = InducedEdges(g, joined2);
+  return MakeRealizationPair(e1, e2, g.num_nodes(), joined1, joined2,
+                             rng.Next());
+}
+
+}  // namespace reconcile

@@ -1,0 +1,32 @@
+#ifndef RECONCILE_SAMPLING_CASCADE_H_
+#define RECONCILE_SAMPLING_CASCADE_H_
+
+#include <cstdint>
+
+#include "reconcile/graph/graph.h"
+#include "reconcile/sampling/realization.h"
+
+namespace reconcile {
+
+/// Options for the Independent Cascade copy model (Goldenberg, Libai &
+/// Muller; used by the paper in §5): a copy is grown from a random start
+/// node; every time a node joins, each of its underlying neighbours joins
+/// independently with probability `p` (a node can be offered membership many
+/// times, once per newly joined neighbour). The copy is the subgraph of the
+/// underlying network induced on the joined set.
+struct CascadeSampleOptions {
+  double p = 0.05;
+  /// A cascade that fizzles below this fraction of nodes is retried from a
+  /// fresh uniformly random start (degenerate copies carry no signal).
+  double min_fraction = 0.01;
+  int max_restarts = 100;
+};
+
+/// Samples two copies of `g`, each grown by an independent cascade.
+RealizationPair SampleCascade(const Graph& g,
+                              const CascadeSampleOptions& options,
+                              uint64_t seed);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_SAMPLING_CASCADE_H_

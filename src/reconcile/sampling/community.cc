@@ -1,0 +1,48 @@
+#include "reconcile/sampling/community.h"
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+namespace {
+
+EdgeList FoldedEdges(const AffiliationNetwork& net,
+                     const std::vector<bool>& alive) {
+  // FoldSubset builds a Graph; we need the raw edges for MakeRealizationPair,
+  // so fold directly into an EdgeList here.
+  EdgeList edges(net.num_users());
+  for (size_t i = 0; i < net.num_interests(); ++i) {
+    if (!alive[i]) continue;
+    const std::vector<NodeId>& members = net.MembersOf(static_cast<uint32_t>(i));
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        edges.Add(members[a], members[b]);
+      }
+    }
+  }
+  edges.EnsureNumNodes(net.num_users());
+  return edges;
+}
+
+}  // namespace
+
+RealizationPair SampleCommunity(const AffiliationNetwork& net,
+                                double interest_delete_prob, uint64_t seed) {
+  RECONCILE_CHECK_GE(interest_delete_prob, 0.0);
+  RECONCILE_CHECK_LE(interest_delete_prob, 1.0);
+  Rng rng(seed);
+  std::vector<bool> alive1(net.num_interests());
+  std::vector<bool> alive2(net.num_interests());
+  for (size_t i = 0; i < net.num_interests(); ++i) {
+    alive1[i] = !rng.Bernoulli(interest_delete_prob);
+  }
+  for (size_t i = 0; i < net.num_interests(); ++i) {
+    alive2[i] = !rng.Bernoulli(interest_delete_prob);
+  }
+  EdgeList e1 = FoldedEdges(net, alive1);
+  EdgeList e2 = FoldedEdges(net, alive2);
+  return MakeRealizationPair(e1, e2, net.num_users(), {}, {}, rng.Next());
+}
+
+}  // namespace reconcile

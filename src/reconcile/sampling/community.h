@@ -1,0 +1,22 @@
+#ifndef RECONCILE_SAMPLING_COMMUNITY_H_
+#define RECONCILE_SAMPLING_COMMUNITY_H_
+
+#include <cstdint>
+
+#include "reconcile/gen/affiliation.h"
+#include "reconcile/sampling/realization.h"
+
+namespace reconcile {
+
+/// Correlated edge-deletion model over an Affiliation Network (paper §5,
+/// Table 4): independently in each copy, every *interest* (community) is
+/// deleted wholesale with probability `interest_delete_prob`; the copy is
+/// the fold of the surviving interests. Edges inside a community therefore
+/// live or die together — a user's work friends may all be missing from one
+/// copy while her personal friends are missing from the other.
+RealizationPair SampleCommunity(const AffiliationNetwork& net,
+                                double interest_delete_prob, uint64_t seed);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_SAMPLING_COMMUNITY_H_

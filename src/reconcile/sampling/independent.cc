@@ -1,0 +1,64 @@
+#include "reconcile/sampling/independent.h"
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+namespace {
+
+// One copy: node mask + surviving edges + noise edges.
+struct Copy {
+  EdgeList edges;
+  std::vector<bool> exists;
+};
+
+Copy SampleCopy(const Graph& g, double s, double node_keep, double noise,
+                Rng* rng) {
+  const NodeId n = g.num_nodes();
+  Copy copy;
+  copy.edges.EnsureNumNodes(n);
+  copy.exists.assign(n, true);
+  if (node_keep < 1.0) {
+    for (NodeId v = 0; v < n; ++v) copy.exists[v] = rng->Bernoulli(node_keep);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (v <= u) continue;
+      if (!copy.exists[u] || !copy.exists[v]) continue;
+      if (rng->Bernoulli(s)) copy.edges.Add(u, v);
+    }
+  }
+  if (noise > 0.0 && n >= 2) {
+    size_t extra = static_cast<size_t>(noise * copy.edges.size());
+    for (size_t i = 0; i < extra; ++i) {
+      NodeId u, v;
+      do {
+        u = static_cast<NodeId>(rng->UniformInt(n));
+        v = static_cast<NodeId>(rng->UniformInt(n));
+      } while (u == v || !copy.exists[u] || !copy.exists[v]);
+      copy.edges.Add(u, v);
+    }
+  }
+  return copy;
+}
+
+}  // namespace
+
+RealizationPair SampleIndependent(const Graph& g,
+                                  const IndependentSampleOptions& options,
+                                  uint64_t seed) {
+  RECONCILE_CHECK_GE(options.s1, 0.0);
+  RECONCILE_CHECK_LE(options.s1, 1.0);
+  RECONCILE_CHECK_GE(options.s2, 0.0);
+  RECONCILE_CHECK_LE(options.s2, 1.0);
+  Rng rng(seed);
+  Rng rng1 = rng.Fork(1);
+  Rng rng2 = rng.Fork(2);
+  Copy c1 = SampleCopy(g, options.s1, options.node_keep1, options.noise1, &rng1);
+  Copy c2 = SampleCopy(g, options.s2, options.node_keep2, options.noise2, &rng2);
+  return MakeRealizationPair(c1.edges, c2.edges, g.num_nodes(), c1.exists,
+                             c2.exists, rng.Next());
+}
+
+}  // namespace reconcile

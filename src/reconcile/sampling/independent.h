@@ -1,0 +1,34 @@
+#ifndef RECONCILE_SAMPLING_INDEPENDENT_H_
+#define RECONCILE_SAMPLING_INDEPENDENT_H_
+
+#include <cstdint>
+
+#include "reconcile/graph/graph.h"
+#include "reconcile/sampling/realization.h"
+
+namespace reconcile {
+
+/// Options for the paper's primary two-copy model: every edge of the
+/// underlying graph survives in copy i independently with probability `s_i`.
+/// The paper's stated generalizations are also supported:
+///  * `node_keep_i` — each underlying node exists in copy i independently
+///    with this probability (vertex deletion); edges require both endpoints,
+///  * `noise_i` — after sampling, `noise_i * |E_i|` uniformly random extra
+///    "noise" edges (not necessarily in E) are added to copy i.
+struct IndependentSampleOptions {
+  double s1 = 0.5;
+  double s2 = 0.5;
+  double node_keep1 = 1.0;
+  double node_keep2 = 1.0;
+  double noise1 = 0.0;
+  double noise2 = 0.0;
+};
+
+/// Samples two copies of `g` under independent edge deletion.
+RealizationPair SampleIndependent(const Graph& g,
+                                  const IndependentSampleOptions& options,
+                                  uint64_t seed);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_SAMPLING_INDEPENDENT_H_

@@ -1,0 +1,61 @@
+#include "reconcile/sampling/realization.h"
+
+#include "reconcile/graph/permutation.h"
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+size_t RealizationPair::NumIdentifiable() const {
+  return NumIdentifiableWithDegreeAbove(0);
+}
+
+size_t RealizationPair::NumIdentifiableWithDegreeAbove(NodeId min_deg) const {
+  size_t count = 0;
+  for (NodeId u = 0; u < map_1to2.size(); ++u) {
+    NodeId v = map_1to2[u];
+    if (v == kInvalidNode) continue;
+    if (u >= g1.num_nodes() || v >= g2.num_nodes()) continue;
+    if (g1.degree(u) > min_deg && g2.degree(v) >= 1 && g1.degree(u) >= 1) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+RealizationPair MakeRealizationPair(const EdgeList& edges1,
+                                    const EdgeList& edges2,
+                                    NodeId num_underlying,
+                                    const std::vector<bool>& exists1,
+                                    const std::vector<bool>& exists2,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> perm = RandomPermutation(num_underlying, &rng);
+
+  EdgeList e1 = edges1;
+  e1.EnsureNumNodes(num_underlying);
+  EdgeList e2 = RelabelEdges(edges2, perm);
+  e2.EnsureNumNodes(num_underlying);
+
+  RealizationPair pair;
+  pair.g1 = Graph::FromEdgeList(std::move(e1));
+  pair.g2 = Graph::FromEdgeList(std::move(e2));
+
+  auto present = [num_underlying](const std::vector<bool>& exists, NodeId u) {
+    if (exists.empty()) return true;
+    RECONCILE_CHECK_EQ(exists.size(), static_cast<size_t>(num_underlying));
+    return static_cast<bool>(exists[u]);
+  };
+
+  pair.map_1to2.assign(num_underlying, kInvalidNode);
+  pair.map_2to1.assign(num_underlying, kInvalidNode);
+  for (NodeId u = 0; u < num_underlying; ++u) {
+    if (present(exists1, u) && present(exists2, u)) {
+      pair.map_1to2[u] = perm[u];
+      pair.map_2to1[perm[u]] = u;
+    }
+  }
+  return pair;
+}
+
+}  // namespace reconcile

@@ -1,0 +1,52 @@
+#ifndef RECONCILE_SAMPLING_REALIZATION_H_
+#define RECONCILE_SAMPLING_REALIZATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "reconcile/graph/edge_list.h"
+#include "reconcile/graph/graph.h"
+#include "reconcile/graph/types.h"
+
+namespace reconcile {
+
+/// Two imperfect copies of a hidden underlying network, plus the hidden
+/// ground-truth correspondence used only for seeding and evaluation.
+///
+/// Both copies share the node-id range of the underlying graph (nodes absent
+/// from a copy are simply isolated there), but `g2`'s labels are always a
+/// fresh uniform permutation of the underlying ids — the matcher can never
+/// exploit node numbering.
+///
+/// `map_1to2[u]` is the g2 node corresponding to g1 node `u`, or
+/// `kInvalidNode` if the underlying node does not exist in both copies (for
+/// example sybil nodes injected by the attack model, or nodes deleted from
+/// one copy). `map_2to1` is the inverse.
+struct RealizationPair {
+  Graph g1;
+  Graph g2;
+  std::vector<NodeId> map_1to2;
+  std::vector<NodeId> map_2to1;
+
+  /// Nodes that can possibly be identified: mapped in both copies with
+  /// degree >= 1 on each side (the paper's footnote 4).
+  size_t NumIdentifiable() const;
+
+  /// Identifiable nodes (as above) with g1-degree strictly above `min_deg`.
+  size_t NumIdentifiableWithDegreeAbove(NodeId min_deg) const;
+};
+
+/// Assembles a RealizationPair from two edge lists expressed in *underlying*
+/// node ids over `[0, num_underlying)`. `exists1` / `exists2` flag which
+/// underlying nodes are present in each copy (empty vectors mean "all").
+/// The g2 side is relabelled by a random permutation derived from `seed`.
+RealizationPair MakeRealizationPair(const EdgeList& edges1,
+                                    const EdgeList& edges2,
+                                    NodeId num_underlying,
+                                    const std::vector<bool>& exists1,
+                                    const std::vector<bool>& exists2,
+                                    uint64_t seed);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_SAMPLING_REALIZATION_H_

@@ -1,0 +1,41 @@
+#include "reconcile/sampling/tie_strength.h"
+
+#include <algorithm>
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+RealizationPair SampleTieStrength(const Graph& g,
+                                  const TieStrengthOptions& options,
+                                  uint64_t seed) {
+  RECONCILE_CHECK_GE(options.s_weak, 0.0);
+  RECONCILE_CHECK_LE(options.s_weak, 1.0);
+  RECONCILE_CHECK_GE(options.s_strong, 0.0);
+  RECONCILE_CHECK_LE(options.s_strong, 1.0);
+  RECONCILE_CHECK_GE(options.embed_cap, 1u);
+
+  Rng rng(seed);
+  Rng rng1 = rng.Fork(1);
+  Rng rng2 = rng.Fork(2);
+
+  const NodeId n = g.num_nodes();
+  EdgeList edges1(n);
+  EdgeList edges2(n);
+  const double span = options.s_strong - options.s_weak;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (v <= u) continue;
+      const double embed =
+          std::min<double>(g.CommonNeighborCount(u, v), options.embed_cap);
+      const double p =
+          options.s_weak + span * (embed / options.embed_cap);
+      if (rng1.Bernoulli(p)) edges1.Add(u, v);
+      if (rng2.Bernoulli(p)) edges2.Add(u, v);
+    }
+  }
+  return MakeRealizationPair(edges1, edges2, n, {}, {}, rng.Next());
+}
+
+}  // namespace reconcile

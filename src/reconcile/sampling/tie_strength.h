@@ -1,0 +1,41 @@
+#ifndef RECONCILE_SAMPLING_TIE_STRENGTH_H_
+#define RECONCILE_SAMPLING_TIE_STRENGTH_H_
+
+#include <cstdint>
+
+#include "reconcile/graph/graph.h"
+#include "reconcile/sampling/realization.h"
+
+namespace reconcile {
+
+/// Tie-strength-biased copy model (extension experiment).
+///
+/// The paper's primary model deletes edges uniformly at random; it cites
+/// Granovetter's weak-tie theory when motivating why online networks are
+/// partial views of the real one. This model makes the partiality
+/// structural: an edge's survival probability grows with its
+/// *embeddedness* (number of common neighbours of its endpoints in the
+/// underlying graph), so strong ties tend to be replicated in both copies
+/// and weak ties in neither —
+///
+///   p_survive(u, v) = s_weak + (s_strong - s_weak) *
+///                     min(1, common(u, v) / embed_cap).
+///
+/// Each copy draws independently with these per-edge probabilities. The
+/// resulting copies are *positively correlated* per edge even conditioned
+/// on the underlying graph, the regime between the paper's independent
+/// model (no correlation) and its community model (block correlation).
+struct TieStrengthOptions {
+  double s_weak = 0.3;    ///< Survival probability at embeddedness 0.
+  double s_strong = 0.9;  ///< Survival probability at embeddedness >= cap.
+  uint32_t embed_cap = 5; ///< Embeddedness that saturates the ramp (>= 1).
+};
+
+/// Samples two copies of `g` with tie-strength-biased survival.
+RealizationPair SampleTieStrength(const Graph& g,
+                                  const TieStrengthOptions& options,
+                                  uint64_t seed);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_SAMPLING_TIE_STRENGTH_H_

@@ -1,0 +1,56 @@
+#include "reconcile/sampling/timeslice.h"
+
+#include <cmath>
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+namespace {
+
+// Knuth's Poisson sampler; fine for the small lambdas used here.
+int SamplePoisson(double lambda, Rng* rng) {
+  double limit = std::exp(-lambda);
+  double product = rng->UniformReal();
+  int count = 0;
+  while (product > limit) {
+    product *= rng->UniformReal();
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+RealizationPair SampleTimeslice(const Graph& g,
+                                const TimesliceOptions& options,
+                                uint64_t seed) {
+  RECONCILE_CHECK_GE(options.num_periods, 2);
+  RECONCILE_CHECK_GE(options.repeat_lambda, 0.0);
+  Rng rng(seed);
+
+  EdgeList even(g.num_nodes());
+  EdgeList odd(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (v <= u) continue;
+      if (!rng.Bernoulli(options.participation)) continue;
+      int occasions = 1 + SamplePoisson(options.repeat_lambda, &rng);
+      bool in_even = false, in_odd = false;
+      for (int i = 0; i < occasions && !(in_even && in_odd); ++i) {
+        uint64_t period = rng.UniformInt(static_cast<uint64_t>(options.num_periods));
+        if (period % 2 == 0) {
+          in_even = true;
+        } else {
+          in_odd = true;
+        }
+      }
+      if (in_even) even.Add(u, v);
+      if (in_odd) odd.Add(u, v);
+    }
+  }
+  return MakeRealizationPair(even, odd, g.num_nodes(), {}, {}, rng.Next());
+}
+
+}  // namespace reconcile

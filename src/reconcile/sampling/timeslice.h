@@ -1,0 +1,35 @@
+#ifndef RECONCILE_SAMPLING_TIMESLICE_H_
+#define RECONCILE_SAMPLING_TIMESLICE_H_
+
+#include <cstdint>
+
+#include "reconcile/graph/graph.h"
+#include "reconcile/sampling/realization.h"
+
+namespace reconcile {
+
+/// Time-sliced copy model mimicking the paper's DBLP (even/odd publication
+/// years) and Gowalla (even/odd check-in months) constructions: each
+/// underlying relationship is active on `1 + Poisson(repeat_lambda)`
+/// occasions, each occasion lands in a uniform period of `[0, num_periods)`;
+/// copy 1 collects edges with at least one even-period occasion, copy 2
+/// those with at least one odd-period occasion. The two copies therefore
+/// share *no sampling randomness* — they are correlated only through the
+/// underlying graph, exactly like the real constructions.
+struct TimesliceOptions {
+  int num_periods = 12;
+  double repeat_lambda = 1.0;
+  /// Each relationship participates in slicing at all with this probability
+  /// (models Gowalla's "only friends who co-check-in" thinning); edges that
+  /// do not participate appear in neither copy.
+  double participation = 1.0;
+};
+
+/// Samples two time-sliced copies of `g`.
+RealizationPair SampleTimeslice(const Graph& g,
+                                const TimesliceOptions& options,
+                                uint64_t seed);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_SAMPLING_TIMESLICE_H_

@@ -1,0 +1,99 @@
+#include "reconcile/seed/seeding.h"
+
+#include <algorithm>
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+std::vector<std::pair<NodeId, NodeId>> GenerateSeeds(
+    const RealizationPair& pair, const SeedOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> seeds;
+
+  // Corrupts a fraction of seeds after generation; defined here so every
+  // bias mode shares it.
+  auto corrupt = [&options, &rng](std::vector<std::pair<NodeId, NodeId>>* out,
+                                  const RealizationPair& p) {
+    if (options.wrong_fraction <= 0.0 || p.g2.num_nodes() == 0) return;
+    std::vector<char> used2(p.g2.num_nodes(), 0);
+    for (const auto& [u, v] : *out) {
+      (void)u;
+      used2[v] = 1;
+    }
+    for (auto& [u, v] : *out) {
+      (void)u;
+      if (!rng.Bernoulli(options.wrong_fraction)) continue;
+      // Pick a fresh wrong endpoint; bounded retries keep this total.
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        NodeId w = static_cast<NodeId>(rng.UniformInt(p.g2.num_nodes()));
+        if (w != v && !used2[w]) {
+          used2[v] = 0;
+          used2[w] = 1;
+          v = w;
+          break;
+        }
+      }
+    }
+  };
+
+  switch (options.bias) {
+    case SeedBias::kUniform: {
+      for (NodeId u = 0; u < pair.map_1to2.size(); ++u) {
+        NodeId v = pair.map_1to2[u];
+        if (v == kInvalidNode) continue;
+        if (rng.Bernoulli(options.fraction)) seeds.emplace_back(u, v);
+      }
+      break;
+    }
+    case SeedBias::kDegreeProportional: {
+      // Scale so that the *average* linking probability equals `fraction`
+      // while individual probabilities stay proportional to min-degree.
+      double total = 0.0;
+      size_t mapped = 0;
+      for (NodeId u = 0; u < pair.map_1to2.size(); ++u) {
+        NodeId v = pair.map_1to2[u];
+        if (v == kInvalidNode) continue;
+        total += std::min(pair.g1.degree(u), pair.g2.degree(v));
+        ++mapped;
+      }
+      if (total <= 0.0) break;
+      double scale = options.fraction * static_cast<double>(mapped) / total;
+      for (NodeId u = 0; u < pair.map_1to2.size(); ++u) {
+        NodeId v = pair.map_1to2[u];
+        if (v == kInvalidNode) continue;
+        double p = scale * std::min(pair.g1.degree(u), pair.g2.degree(v));
+        if (rng.Bernoulli(std::min(1.0, p))) seeds.emplace_back(u, v);
+      }
+      break;
+    }
+    case SeedBias::kTopDegree: {
+      RECONCILE_CHECK_GT(options.fixed_count, 0u);
+      std::vector<std::pair<NodeId, NodeId>> candidates;
+      for (NodeId u = 0; u < pair.map_1to2.size(); ++u) {
+        NodeId v = pair.map_1to2[u];
+        if (v == kInvalidNode) continue;
+        if (pair.g1.degree(u) == 0 || pair.g2.degree(v) == 0) continue;
+        candidates.emplace_back(u, v);
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [&pair](const auto& a, const auto& b) {
+                  NodeId da = std::min(pair.g1.degree(a.first),
+                                       pair.g2.degree(a.second));
+                  NodeId db = std::min(pair.g1.degree(b.first),
+                                       pair.g2.degree(b.second));
+                  if (da != db) return da > db;
+                  return a.first < b.first;
+                });
+      size_t take = std::min(options.fixed_count, candidates.size());
+      seeds.assign(candidates.begin(),
+                   candidates.begin() + static_cast<ptrdiff_t>(take));
+      break;
+    }
+  }
+  corrupt(&seeds, pair);
+  return seeds;
+}
+
+}  // namespace reconcile

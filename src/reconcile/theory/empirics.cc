@@ -1,0 +1,149 @@
+#include "reconcile/theory/empirics.h"
+
+#include <algorithm>
+
+#include "reconcile/core/witness.h"
+#include "reconcile/theory/predictions.h"
+#include "reconcile/util/logging.h"
+
+namespace reconcile {
+
+WitnessGapSample MeasureWitnessGap(
+    const RealizationPair& pair,
+    const std::vector<std::pair<NodeId, NodeId>>& seeds, size_t trials,
+    Rng* rng) {
+  const NodeId n1 = pair.g1.num_nodes();
+  const NodeId n2 = pair.g2.num_nodes();
+  std::vector<NodeId> links(n1, kInvalidNode);
+  std::vector<char> seeded(n1, 0);
+  for (const auto& [u, v] : seeds) {
+    links[u] = v;
+    seeded[u] = 1;
+  }
+
+  WitnessGapSample sample;
+  sample.true_min = ~0u;
+  double true_sum = 0.0, false_sum = 0.0;
+  for (size_t trial = 0; trial < trials; ++trial) {
+    const NodeId u = static_cast<NodeId>(rng->UniformInt(n1));
+    if (seeded[u]) continue;
+    const NodeId truth = pair.map_1to2[u];
+    if (truth == kInvalidNode) continue;
+    const uint32_t w_true =
+        CountSimilarityWitnesses(pair.g1, pair.g2, links, u, truth);
+    true_sum += w_true;
+    sample.true_min = std::min(sample.true_min, w_true);
+    ++sample.true_samples;
+
+    const NodeId other = static_cast<NodeId>(rng->UniformInt(n2));
+    if (other == truth) continue;
+    const uint32_t w_false =
+        CountSimilarityWitnesses(pair.g1, pair.g2, links, u, other);
+    false_sum += w_false;
+    sample.false_max = std::max(sample.false_max, w_false);
+    ++sample.false_samples;
+  }
+  if (sample.true_samples > 0)
+    sample.true_mean = true_sum / static_cast<double>(sample.true_samples);
+  else
+    sample.true_min = 0;
+  if (sample.false_samples > 0)
+    sample.false_mean = false_sum / static_cast<double>(sample.false_samples);
+  return sample;
+}
+
+ArrivalDegreeStats MeasureArrivalDegrees(const Graph& g, NodeId early_cutoff,
+                                         NodeId late_start) {
+  RECONCILE_CHECK_LE(early_cutoff, g.num_nodes());
+  RECONCILE_CHECK_LE(late_start, g.num_nodes());
+  ArrivalDegreeStats stats;
+  stats.early_min_degree = ~0u;
+  double early_sum = 0.0, late_sum = 0.0;
+  size_t late_count = 0;
+  for (NodeId v = 0; v < early_cutoff; ++v) {
+    stats.early_min_degree = std::min(stats.early_min_degree, g.degree(v));
+    early_sum += g.degree(v);
+  }
+  for (NodeId v = late_start; v < g.num_nodes(); ++v) {
+    stats.late_max_degree = std::max(stats.late_max_degree, g.degree(v));
+    late_sum += g.degree(v);
+    ++late_count;
+  }
+  if (early_cutoff > 0)
+    stats.early_mean_degree = early_sum / static_cast<double>(early_cutoff);
+  else
+    stats.early_min_degree = 0;
+  if (late_count > 0)
+    stats.late_mean_degree = late_sum / static_cast<double>(late_count);
+  return stats;
+}
+
+CommonNeighborSample MeasureLowDegreeCommonNeighbors(const Graph& g,
+                                                     double degree_bound,
+                                                     size_t trials, Rng* rng) {
+  CommonNeighborSample sample;
+  const NodeId n = g.num_nodes();
+  if (n < 2) return sample;
+  double sum = 0.0;
+  for (size_t trial = 0; trial < trials; ++trial) {
+    const NodeId u = static_cast<NodeId>(rng->UniformInt(n));
+    const NodeId v = static_cast<NodeId>(rng->UniformInt(n));
+    if (u == v) continue;
+    if (g.degree(u) >= degree_bound || g.degree(v) >= degree_bound) continue;
+    const uint32_t common = static_cast<uint32_t>(g.CommonNeighborCount(u, v));
+    sum += common;
+    sample.max_common = std::max(sample.max_common, common);
+    if (common > kPaLemma10CommonNeighborCap) ++sample.above_cap;
+    ++sample.samples;
+  }
+  if (sample.samples > 0)
+    sample.mean_common = sum / static_cast<double>(sample.samples);
+  return sample;
+}
+
+double MeasureLateNeighborFraction(const Graph& g, NodeId v, NodeId eps_time) {
+  RECONCILE_CHECK_LT(v, g.num_nodes());
+  const auto nbrs = g.Neighbors(v);
+  if (nbrs.empty()) return 0.0;
+  size_t late = 0;
+  for (NodeId w : nbrs)
+    if (w >= eps_time) ++late;
+  return static_cast<double>(late) / static_cast<double>(nbrs.size());
+}
+
+double MeasureIdentifiedFraction(const RealizationPair& pair,
+                                 const std::vector<NodeId>& map_1to2,
+                                 NodeId min_degree) {
+  size_t eligible = 0, identified = 0;
+  for (NodeId u = 0; u < pair.g1.num_nodes(); ++u) {
+    const NodeId truth = pair.map_1to2[u];
+    if (truth == kInvalidNode) continue;
+    if (pair.g1.degree(u) < min_degree) continue;
+    ++eligible;
+    if (u < map_1to2.size() && map_1to2[u] == truth) ++identified;
+  }
+  if (eligible == 0) return 0.0;
+  return static_cast<double>(identified) / static_cast<double>(eligible);
+}
+
+double MeasureNoSharedNeighborFraction(const RealizationPair& pair) {
+  size_t mapped = 0, isolated = 0;
+  for (NodeId u = 0; u < pair.g1.num_nodes(); ++u) {
+    const NodeId u2 = pair.map_1to2[u];
+    if (u2 == kInvalidNode) continue;
+    ++mapped;
+    bool shared = false;
+    for (NodeId w : pair.g1.Neighbors(u)) {
+      const NodeId w2 = pair.map_1to2[w];
+      if (w2 != kInvalidNode && pair.g2.HasEdge(u2, w2)) {
+        shared = true;
+        break;
+      }
+    }
+    if (!shared) ++isolated;
+  }
+  if (mapped == 0) return 0.0;
+  return static_cast<double>(isolated) / static_cast<double>(mapped);
+}
+
+}  // namespace reconcile

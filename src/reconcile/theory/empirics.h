@@ -1,0 +1,80 @@
+#ifndef RECONCILE_THEORY_EMPIRICS_H_
+#define RECONCILE_THEORY_EMPIRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "reconcile/graph/graph.h"
+#include "reconcile/sampling/realization.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+/// Measured counterparts of the §4 predictions (theory/predictions.h).
+/// Every estimator is deterministic given its Rng and reports enough raw
+/// aggregates for predicted-vs-measured tables.
+
+/// Sampled first-phase witness statistics for true pairs (u_i, v_i) versus
+/// false pairs (u_i, v_j), i != j, under a seed-only link map.
+struct WitnessGapSample {
+  double true_mean = 0.0;
+  double false_mean = 0.0;
+  uint32_t true_min = 0;   ///< Minimum witnesses over sampled true pairs.
+  uint32_t false_max = 0;  ///< Maximum witnesses over sampled false pairs.
+  size_t true_samples = 0;
+  size_t false_samples = 0;
+};
+
+/// Samples `trials` non-seed nodes; for each, counts witnesses of its true
+/// pair and of one uniformly random false pair.
+WitnessGapSample MeasureWitnessGap(
+    const RealizationPair& pair,
+    const std::vector<std::pair<NodeId, NodeId>>& seeds, size_t trials,
+    Rng* rng);
+
+/// Lemma 5/7 empirics on a PA graph (arrival order == node id): degree
+/// aggregates of nodes arriving before `early_cutoff` and after
+/// `late_start`.
+struct ArrivalDegreeStats {
+  NodeId early_min_degree = 0;  ///< Min degree among arrivals < early_cutoff.
+  double early_mean_degree = 0.0;
+  NodeId late_max_degree = 0;   ///< Max degree among arrivals >= late_start.
+  double late_mean_degree = 0.0;
+};
+
+ArrivalDegreeStats MeasureArrivalDegrees(const Graph& g, NodeId early_cutoff,
+                                         NodeId late_start);
+
+/// Lemma 10 empirics: sampled maximum common-neighbour count among pairs of
+/// distinct nodes whose degrees are both below `degree_bound`.
+struct CommonNeighborSample {
+  uint32_t max_common = 0;
+  double mean_common = 0.0;
+  size_t samples = 0;
+  size_t above_cap = 0;  ///< Pairs exceeding kPaLemma10CommonNeighborCap.
+};
+
+CommonNeighborSample MeasureLowDegreeCommonNeighbors(const Graph& g,
+                                                     double degree_bound,
+                                                     size_t trials, Rng* rng);
+
+/// Lemma 6 empirics: fraction of a node's neighbours that arrived after
+/// time `eps_time` (PA arrival order == node id).
+double MeasureLateNeighborFraction(const Graph& g, NodeId v, NodeId eps_time);
+
+/// Lemma 11 / 12 empirics: fraction of ground-truth pairs above
+/// `min_degree` (degree measured in the underlying copy g1) that a matching
+/// identified. `map_1to2` is the matcher output.
+double MeasureIdentifiedFraction(const RealizationPair& pair,
+                                 const std::vector<NodeId>& map_1to2,
+                                 NodeId min_degree);
+
+/// §4.2 identifiability obstruction: measured fraction of nodes with no
+/// neighbour surviving in both copies (cannot ever be matched by witnesses).
+double MeasureNoSharedNeighborFraction(const RealizationPair& pair);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_THEORY_EMPIRICS_H_

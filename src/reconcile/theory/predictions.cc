@@ -1,0 +1,75 @@
+#include "reconcile/theory/predictions.h"
+
+#include <cmath>
+
+#include "reconcile/util/logging.h"
+
+namespace reconcile {
+
+double ErTruePairWitnessMean(NodeId n, double p, double s, double l) {
+  return static_cast<double>(n - 1) * p * s * s * l;
+}
+
+double ErFalsePairWitnessMean(NodeId n, double p, double s, double l) {
+  return static_cast<double>(n - 2) * p * p * s * s * l;
+}
+
+double ErTheorem1MinP(NodeId n, double s, double l) {
+  RECONCILE_CHECK_GT(s, 0.0);
+  RECONCILE_CHECK_GT(l, 0.0);
+  RECONCILE_CHECK_GT(n, 2u);
+  return 24.0 * std::log(static_cast<double>(n)) /
+         (s * s * l * static_cast<double>(n - 2));
+}
+
+double ErConnectivityThreshold(NodeId n) {
+  RECONCILE_CHECK_GT(n, 1u);
+  return std::log(static_cast<double>(n)) / static_cast<double>(n);
+}
+
+double ChernoffLowerTail(double mean, double delta) {
+  return std::exp(-mean * delta * delta / 2.0);
+}
+
+double ChernoffUpperTail(double mean, double delta) {
+  return std::exp(-mean * delta * delta / 4.0);
+}
+
+double Lemma2ThreeWitnessBound(size_t k, double x) {
+  const double kx = static_cast<double>(k) * x;
+  return kx * kx * kx / 6.0;
+}
+
+double PaHighDegreeThreshold(NodeId n, double s, double l) {
+  RECONCILE_CHECK_GT(s, 0.0);
+  RECONCILE_CHECK_GT(l, 0.0);
+  const double log_n = std::log(static_cast<double>(n));
+  return 4.0 * log_n * log_n / (s * s * l);
+}
+
+double PaLowDegreeBound(NodeId n) {
+  const double log_n = std::log(static_cast<double>(n));
+  return log_n * log_n * log_n;
+}
+
+double PaEarlyBirdCutoff(NodeId n) {
+  return std::pow(static_cast<double>(n), 0.3);
+}
+
+bool PaLemma12Applies(int m, double s) {
+  return static_cast<double>(m) * s * s >= 22.0;
+}
+
+double PaGuaranteedIdentifiedFraction(int m, double s) {
+  return PaLemma12Applies(m, s) ? 0.97 : 0.0;
+}
+
+double ExpectedSharedNeighbors(NodeId degree, double s) {
+  return static_cast<double>(degree) * s * s;
+}
+
+double ProbNoSharedNeighbor(NodeId degree, double s) {
+  return std::pow(1.0 - s * s, static_cast<double>(degree));
+}
+
+}  // namespace reconcile

@@ -1,0 +1,87 @@
+#ifndef RECONCILE_THEORY_PREDICTIONS_H_
+#define RECONCILE_THEORY_PREDICTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "reconcile/graph/types.h"
+
+namespace reconcile {
+
+/// Closed-form quantities from the paper's theory section (§4). These are
+/// the *predicted* sides of the predicted-vs-measured checks in
+/// `bench_theory` and the theory test suites; each function cites the
+/// statement it implements.
+
+// ------------------------------------------------------------ Erdős–Rényi
+
+/// Expected first-phase similarity witnesses of a TRUE pair (u_i, v_i) in
+/// G(n, p) with survival `s` and link probability `l`: (n-1)·p·s²·l (§4.1).
+double ErTruePairWitnessMean(NodeId n, double p, double s, double l);
+
+/// Expected first-phase similarity witnesses of a FALSE pair (u_i, v_j),
+/// i != j: (n-2)·p²·s²·l — a factor p below the true pair (§4.1).
+double ErFalsePairWitnessMean(NodeId n, double p, double s, double l);
+
+/// The edge probability above which Theorem 1 separates true from false
+/// pairs w.h.p.: p > 24 log n / (s² l (n-2)).
+double ErTheorem1MinP(NodeId n, double s, double l);
+
+/// Connectivity threshold of the sampled copies: the paper assumes
+/// n·p·s > c·log n so G1, G2 stay connected; returns log(n)/n (§4.1).
+double ErConnectivityThreshold(NodeId n);
+
+/// Chernoff lower-tail bound used throughout §4:
+/// Pr[X < (1-delta)·mean] <= exp(-mean·delta²/2).
+double ChernoffLowerTail(double mean, double delta);
+
+/// Chernoff upper-tail bound in the form used by Theorem 1:
+/// Pr[X > (1+delta)·mean] <= exp(-mean·delta²/4).
+double ChernoffUpperTail(double mean, double delta);
+
+/// Lemma 2: for B(k) a sum of k independent Bernoulli(<= x) with kx = o(1),
+/// Pr[B(k) >= 3] <= k³x³/6 (+ lower order). Returns the leading term.
+double Lemma2ThreeWitnessBound(size_t k, double x);
+
+// --------------------------------------------------- Preferential Attachment
+
+/// Lemma 11's identification threshold: nodes of degree at least
+/// 4·log²n / (s²·l) are identified in the first phase w.h.p.
+double PaHighDegreeThreshold(NodeId n, double s, double l);
+
+/// Lemma 10's common-neighbour cap for low-degree node pairs (degree below
+/// log³ n): at most 8 shared neighbours w.h.p. — the reason matching
+/// threshold 9 never errs on PA graphs.
+inline constexpr uint32_t kPaLemma10CommonNeighborCap = 8;
+
+/// Matching threshold the PA analysis uses (Lemma 10/11): cap + 1.
+inline constexpr uint32_t kPaTheoryThreshold = kPaLemma10CommonNeighborCap + 1;
+
+/// Degree bound below which Lemma 10 applies: log³ n.
+double PaLowDegreeBound(NodeId n);
+
+/// Lemma 7's early-arrival window: nodes arriving before n^0.3 reach degree
+/// >= log³ n w.h.p. Returns the arrival cutoff (n^0.3).
+double PaEarlyBirdCutoff(NodeId n);
+
+/// Lemma 12: with m·s² >= 22, at least 97% of nodes are identified. Returns
+/// the guaranteed identified fraction (0.97) if the hypothesis holds, else
+/// 0 (no guarantee from the lemma).
+double PaGuaranteedIdentifiedFraction(int m, double s);
+
+/// Lemma 12's hypothesis check.
+bool PaLemma12Applies(int m, double s);
+
+/// Expected number of neighbours a true pair shares across both copies for
+/// a node of underlying degree d: d·s² (the quantity whose vanishing for
+/// small m·s² makes low-degree nodes unidentifiable — §4.2's remark that
+/// with m=4, s=1/2 roughly 30% of degree-m nodes have no common neighbour).
+double ExpectedSharedNeighbors(NodeId degree, double s);
+
+/// Probability that a node of underlying degree d has NO neighbour present
+/// in both copies: (1 - s²)^d — the §4.2 identifiability obstruction.
+double ProbNoSharedNeighbor(NodeId degree, double s);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_THEORY_PREDICTIONS_H_

@@ -1,0 +1,124 @@
+#ifndef RECONCILE_UTIL_FLAT_HASH_MAP_H_
+#define RECONCILE_UTIL_FLAT_HASH_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+
+/// Compact open-addressing hash map from `uint64_t` keys to `uint32_t`
+/// counters, specialized for the witness-scoring inner loop of the matcher.
+///
+/// Design notes (this is the hottest structure in the library):
+///  * linear probing over a power-of-two table; 12-byte slots laid out as
+///    parallel key/value arrays for cache-friendly probing,
+///  * one reserved key (`kEmptyKey` = 2^64-1) marks empty slots — candidate
+///    pair keys pack two 32-bit node ids, and node id 0xFFFFFFFF is reserved
+///    as the invalid node, so real keys never collide with the sentinel,
+///  * no deletion (scoring maps are built, scanned once, then dropped),
+///  * `AddCount` fuses find-or-insert with the counter increment.
+class FlatCountMap {
+ public:
+  static constexpr uint64_t kEmptyKey = ~0ULL;
+
+  FlatCountMap() { Rehash(kInitialCapacity); }
+
+  /// Creates a map pre-sized so that `expected` entries fit without rehash.
+  explicit FlatCountMap(size_t expected) {
+    size_t cap = kInitialCapacity;
+    while (cap * kMaxLoadNum < expected * kMaxLoadDen) cap <<= 1;
+    Rehash(cap);
+  }
+
+  FlatCountMap(const FlatCountMap&) = delete;
+  FlatCountMap& operator=(const FlatCountMap&) = delete;
+  FlatCountMap(FlatCountMap&&) = default;
+  FlatCountMap& operator=(FlatCountMap&&) = default;
+
+  /// Adds `delta` to the counter for `key`, inserting it at zero first if
+  /// absent. Returns the new counter value.
+  uint32_t AddCount(uint64_t key, uint32_t delta) {
+    RECONCILE_CHECK_NE(key, kEmptyKey);
+    if ((size_ + 1) * kMaxLoadDen > capacity() * kMaxLoadNum) {
+      Rehash(capacity() * 2);
+    }
+    size_t slot = FindSlot(key);
+    if (keys_[slot] == kEmptyKey) {
+      keys_[slot] = key;
+      values_[slot] = 0;
+      ++size_;
+    }
+    values_[slot] += delta;
+    return values_[slot];
+  }
+
+  /// Returns the counter for `key`, or 0 if absent.
+  uint32_t Count(uint64_t key) const {
+    size_t slot = FindSlot(key);
+    return keys_[slot] == kEmptyKey ? 0 : values_[slot];
+  }
+
+  bool Contains(uint64_t key) const {
+    return keys_[FindSlot(key)] != kEmptyKey;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return keys_.size(); }
+
+  /// Invokes `fn(key, count)` for every entry, in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmptyKey) fn(keys_[i], values_[i]);
+    }
+  }
+
+  void Clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+    size_ = 0;
+  }
+
+ private:
+  static constexpr size_t kInitialCapacity = 64;
+  // Max load factor 7/8.
+  static constexpr size_t kMaxLoadNum = 7;
+  static constexpr size_t kMaxLoadDen = 8;
+
+  size_t FindSlot(uint64_t key) const {
+    size_t mask = keys_.size() - 1;
+    size_t slot = HashMix64(key) & mask;
+    while (keys_[slot] != kEmptyKey && keys_[slot] != key) {
+      slot = (slot + 1) & mask;
+    }
+    return slot;
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_values = std::move(values_);
+    keys_.assign(new_capacity, kEmptyKey);
+    values_.assign(new_capacity, 0);
+    size_ = 0;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmptyKey) continue;
+      size_t slot = FindSlot(old_keys[i]);
+      keys_[slot] = old_keys[i];
+      values_[slot] = old_values[i];
+      ++size_;
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> values_;
+  size_t size_ = 0;
+};
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_UTIL_FLAT_HASH_MAP_H_

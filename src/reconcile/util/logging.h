@@ -1,0 +1,68 @@
+#ifndef RECONCILE_UTIL_LOGGING_H_
+#define RECONCILE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace reconcile {
+
+/// Severity levels for the lightweight logger. The library never throws;
+/// `kFatal` messages abort the process after printing.
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+namespace internal_logging {
+
+/// Stream-style log message collector. Instances are created by the
+/// RECONCILE_LOG / RECONCILE_CHECK macros; the destructor emits the message
+/// (and aborts for kFatal).
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the minimum severity that is actually printed (default kInfo).
+/// kFatal is always printed and always aborts.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+}  // namespace reconcile
+
+#define RECONCILE_LOG(severity)                                         \
+  ::reconcile::internal_logging::LogMessage(                            \
+      ::reconcile::LogSeverity::k##severity, __FILE__, __LINE__)
+
+/// CHECK-style invariant assertion: active in all build modes. On failure
+/// prints the condition and any streamed context, then aborts.
+#define RECONCILE_CHECK(condition)                        \
+  if (!(condition))                                       \
+  RECONCILE_LOG(Fatal) << "Check failed: " #condition " "
+
+#define RECONCILE_CHECK_EQ(a, b) \
+  RECONCILE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RECONCILE_CHECK_NE(a, b) \
+  RECONCILE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RECONCILE_CHECK_LT(a, b) \
+  RECONCILE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RECONCILE_CHECK_LE(a, b) \
+  RECONCILE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RECONCILE_CHECK_GT(a, b) \
+  RECONCILE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RECONCILE_CHECK_GE(a, b) \
+  RECONCILE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // RECONCILE_UTIL_LOGGING_H_

@@ -1,0 +1,4 @@
+#include "reconcile/util/rng.h"
+
+// Rng is header-only; this translation unit exists so the build exposes a
+// stable object for the module and to host future out-of-line additions.

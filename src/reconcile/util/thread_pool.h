@@ -1,0 +1,56 @@
+#ifndef RECONCILE_UTIL_THREAD_POOL_H_
+#define RECONCILE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace reconcile {
+
+/// Fixed-size worker pool executing `std::function<void()>` tasks.
+///
+/// This is the execution substrate for the handwritten MapReduce layer
+/// (`reconcile/mr`). Tasks may be submitted from any thread; `Wait()` blocks
+/// until the queue is drained and all in-flight tasks finished. The pool is
+/// intentionally minimal: no futures, no task priorities — the MapReduce
+/// layer builds its own barriers on top of `Wait()`.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Default parallelism: hardware concurrency, at least 1.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,105 @@
+#include "reconcile/baseline/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "reconcile/eval/metrics.h"
+#include "reconcile/gen/erdos_renyi.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/seed/seeding.h"
+
+namespace reconcile {
+namespace {
+
+TEST(PropagationTest, RecoversIdentityOnIdenticalGraphs) {
+  EdgeList edges(7);
+  edges.Add(0, 1);
+  edges.Add(0, 2);
+  edges.Add(1, 2);
+  edges.Add(2, 3);
+  edges.Add(3, 4);
+  edges.Add(3, 5);
+  edges.Add(4, 5);
+  edges.Add(5, 6);
+  Graph g = Graph::FromEdgeList(std::move(edges));
+  PropagationConfig config;
+  config.theta = 0.1;
+  std::vector<std::pair<NodeId, NodeId>> seeds = {{2, 2}, {3, 3}};
+  MatchResult result = PropagationMatch(g, g, seeds, config);
+  for (NodeId u = 0; u < result.map_1to2.size(); ++u) {
+    if (result.map_1to2[u] != kInvalidNode) {
+      EXPECT_EQ(result.map_1to2[u], u) << "node " << u;
+    }
+  }
+  EXPECT_GT(result.NumNewLinks(), 0u);
+}
+
+TEST(PropagationTest, OneToOneInvariant) {
+  Graph g = GenerateErdosRenyi(800, 0.02, 3);
+  RealizationPair pair = SampleIndependent(g, {}, 5);
+  SeedOptions seed_options;
+  seed_options.fraction = 0.1;
+  auto seeds = GenerateSeeds(pair, seed_options, 7);
+  MatchResult result = PropagationMatch(pair.g1, pair.g2, seeds, {});
+  std::vector<char> used(pair.g2.num_nodes(), 0);
+  for (NodeId u = 0; u < result.map_1to2.size(); ++u) {
+    NodeId v = result.map_1to2[u];
+    if (v == kInvalidNode) continue;
+    EXPECT_FALSE(used[v]);
+    used[v] = 1;
+    EXPECT_EQ(result.map_2to1[v], u);
+  }
+}
+
+TEST(PropagationTest, FindsMostOfAnErdosRenyiGraph) {
+  Graph g = GenerateErdosRenyi(1000, 0.03, 9);
+  RealizationPair pair = SampleIndependent(g, {}, 11);
+  SeedOptions seed_options;
+  seed_options.fraction = 0.1;
+  auto seeds = GenerateSeeds(pair, seed_options, 13);
+  PropagationConfig config;
+  config.theta = 1.0;  // tighter eccentricity requirement than the default
+  MatchResult result = PropagationMatch(pair.g1, pair.g2, seeds, config);
+  MatchQuality q = Evaluate(pair, result);
+  EXPECT_GT(q.recall_all, 0.4);
+  EXPECT_GT(q.precision, 0.85);
+}
+
+TEST(PropagationTest, HigherThetaIsMoreConservative) {
+  Graph g = GenerateErdosRenyi(800, 0.03, 15);
+  RealizationPair pair = SampleIndependent(g, {}, 17);
+  SeedOptions seed_options;
+  seed_options.fraction = 0.1;
+  auto seeds = GenerateSeeds(pair, seed_options, 19);
+  PropagationConfig loose, strict;
+  loose.theta = 0.1;
+  strict.theta = 3.0;
+  MatchResult loose_result = PropagationMatch(pair.g1, pair.g2, seeds, loose);
+  MatchResult strict_result = PropagationMatch(pair.g1, pair.g2, seeds, strict);
+  EXPECT_LE(strict_result.NumNewLinks(), loose_result.NumNewLinks());
+}
+
+TEST(PropagationTest, ReverseCheckImprovesOrKeepsPrecision) {
+  Graph g = GenerateErdosRenyi(800, 0.03, 21);
+  RealizationPair pair = SampleIndependent(g, {}, 23);
+  SeedOptions seed_options;
+  seed_options.fraction = 0.08;
+  auto seeds = GenerateSeeds(pair, seed_options, 25);
+  PropagationConfig with, without;
+  with.reverse_check = true;
+  without.reverse_check = false;
+  MatchQuality q_with =
+      Evaluate(pair, PropagationMatch(pair.g1, pair.g2, seeds, with));
+  MatchQuality q_without =
+      Evaluate(pair, PropagationMatch(pair.g1, pair.g2, seeds, without));
+  EXPECT_GE(q_with.precision + 0.02, q_without.precision);
+}
+
+TEST(PropagationTest, NoSeedsNoMatches) {
+  Graph g = GenerateErdosRenyi(200, 0.05, 27);
+  std::vector<std::pair<NodeId, NodeId>> seeds;
+  MatchResult result = PropagationMatch(g, g, seeds, {});
+  EXPECT_EQ(result.NumLinks(), 0u);
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,119 @@
+#include "reconcile/core/confidence.h"
+
+#include <gtest/gtest.h>
+
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/metrics.h"
+#include "reconcile/gen/erdos_renyi.h"
+#include "reconcile/gen/preferential_attachment.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/seed/seeding.h"
+
+namespace reconcile {
+namespace {
+
+RealizationPair MakePair(uint64_t seed) {
+  Graph g = GenerateErdosRenyi(1500, 0.03, seed);
+  IndependentSampleOptions options;
+  options.s1 = 0.7;
+  options.s2 = 0.7;
+  return SampleIndependent(g, options, seed + 1);
+}
+
+MatchResult RunMatcher(const RealizationPair& pair,
+                       std::vector<std::pair<NodeId, NodeId>>* seeds_out) {
+  SeedOptions seed_options;
+  seed_options.fraction = 0.1;
+  auto seeds = GenerateSeeds(pair, seed_options, 6011);
+  if (seeds_out != nullptr) *seeds_out = seeds;
+  MatcherConfig config;
+  config.min_score = 3;
+  return UserMatching(pair.g1, pair.g2, seeds, config);
+}
+
+TEST(ConfidenceTest, CoversEveryLinkExactlyOnce) {
+  RealizationPair pair = MakePair(6001);
+  MatchResult result = RunMatcher(pair, nullptr);
+  auto supports = ComputeLinkSupport(pair.g1, pair.g2, result);
+  EXPECT_EQ(supports.size(), result.NumLinks());
+  // Ordered by u, no duplicates.
+  for (size_t i = 1; i < supports.size(); ++i) {
+    EXPECT_LT(supports[i - 1].u, supports[i].u);
+  }
+}
+
+TEST(ConfidenceTest, SeedFlagMatchesResult) {
+  RealizationPair pair = MakePair(6003);
+  std::vector<std::pair<NodeId, NodeId>> seeds;
+  MatchResult result = RunMatcher(pair, &seeds);
+  auto supports = ComputeLinkSupport(pair.g1, pair.g2, result);
+  size_t seed_count = 0;
+  for (const LinkSupport& link : supports) {
+    if (link.is_seed) ++seed_count;
+  }
+  EXPECT_EQ(seed_count, seeds.size());
+}
+
+TEST(ConfidenceTest, DiscoveredLinksMeetAcceptanceFloorAtConvergence) {
+  // A link accepted at score T has at least T witnesses under the final
+  // mapping: support only grows as more neighbours get matched.
+  RealizationPair pair = MakePair(6005);
+  MatchResult result = RunMatcher(pair, nullptr);
+  auto supports = ComputeLinkSupport(pair.g1, pair.g2, result);
+  for (const LinkSupport& link : supports) {
+    if (link.is_seed) continue;
+    EXPECT_GE(link.support, 3u) << "link " << link.u << "->" << link.v;
+  }
+}
+
+TEST(ConfidenceTest, CorrectLinksOutSupportWrongOnes) {
+  // Support is the usable confidence signal: on an easy instance the mean
+  // support of correct links far exceeds the acceptance threshold.
+  RealizationPair pair = MakePair(6007);
+  MatchResult result = RunMatcher(pair, nullptr);
+  auto supports = ComputeLinkSupport(pair.g1, pair.g2, result);
+  double sum = 0.0;
+  size_t n = 0;
+  for (const LinkSupport& link : supports) {
+    if (link.is_seed) continue;
+    sum += link.support;
+    ++n;
+  }
+  ASSERT_GT(n, 100u);
+  EXPECT_GT(sum / static_cast<double>(n), 6.0);
+}
+
+TEST(ConfidenceTest, HistogramBucketsAndSaturation) {
+  std::vector<LinkSupport> links = {
+      {0, 0, 2, false}, {1, 1, 2, false}, {2, 2, 9, false},
+      {3, 3, 100, false}, {4, 4, 50, true},  // seed excluded
+  };
+  auto histogram = SupportHistogram(links, 10);
+  ASSERT_EQ(histogram.size(), 11u);
+  EXPECT_EQ(histogram[2], 2u);
+  EXPECT_EQ(histogram[9], 1u);
+  EXPECT_EQ(histogram[10], 1u);  // saturated bucket
+  size_t total = 0;
+  for (size_t c : histogram) total += c;
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(ConfidenceTest, FractionWithSupport) {
+  std::vector<LinkSupport> links = {
+      {0, 0, 1, false}, {1, 1, 5, false}, {2, 2, 9, false},
+      {3, 3, 2, true},  // seed excluded
+  };
+  EXPECT_DOUBLE_EQ(FractionWithSupportAtLeast(links, 5), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(FractionWithSupportAtLeast(links, 100), 0.0);
+  EXPECT_DOUBLE_EQ(FractionWithSupportAtLeast({}, 1), 0.0);
+}
+
+TEST(ConfidenceTest, EmptyMatchingYieldsEmptySupports) {
+  Graph g = GenerateErdosRenyi(50, 0.1, 6009);
+  MatchResult result = UserMatching(g, g, {}, MatcherConfig{});
+  auto supports = ComputeLinkSupport(g, g, result);
+  EXPECT_TRUE(supports.empty());
+}
+
+}  // namespace
+}  // namespace reconcile

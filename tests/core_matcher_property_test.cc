@@ -1,0 +1,160 @@
+// Parameterized property sweeps for User-Matching: across models, edge
+// survival probabilities, seed fractions and thresholds, the matcher must
+// (a) keep near-perfect precision at T >= 2 and (b) recover a substantial
+// fraction of identifiable nodes.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/metrics.h"
+#include "reconcile/gen/erdos_renyi.h"
+#include "reconcile/gen/preferential_attachment.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/seed/seeding.h"
+
+namespace reconcile {
+namespace {
+
+struct SweepCase {
+  double s;           // edge survival probability (both copies)
+  double l;           // seed fraction
+  uint32_t threshold; // T
+};
+
+class ErSweepTest : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(ErSweepTest, PrecisionStaysHighOnErdosRenyi) {
+  const SweepCase param = GetParam();
+  // n*p*s^2 must stay comfortably above log n for identifiability.
+  Graph g = GenerateErdosRenyi(1500, 0.04, 777);
+  IndependentSampleOptions sample;
+  sample.s1 = sample.s2 = param.s;
+  RealizationPair pair = SampleIndependent(g, sample, 778);
+  SeedOptions seed_options;
+  seed_options.fraction = param.l;
+  auto seeds = GenerateSeeds(pair, seed_options, 779);
+  MatcherConfig config;
+  config.min_score = param.threshold;
+  MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+  MatchQuality q = Evaluate(pair, result);
+
+  EXPECT_GE(q.precision, 0.99) << "s=" << param.s << " l=" << param.l
+                               << " T=" << param.threshold;
+  EXPECT_GT(q.recall_all, 0.80);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SurvivalSeedThresholdGrid, ErSweepTest,
+    testing::Values(SweepCase{0.5, 0.10, 3}, SweepCase{0.5, 0.20, 3},
+                    SweepCase{0.5, 0.20, 4}, SweepCase{0.75, 0.05, 3},
+                    SweepCase{0.75, 0.10, 3}, SweepCase{0.75, 0.20, 4},
+                    SweepCase{0.9, 0.05, 3}, SweepCase{0.9, 0.10, 4}),
+    [](const testing::TestParamInfo<SweepCase>& info) {
+      std::string name = "s";
+      name += std::to_string(static_cast<int>(info.param.s * 100));
+      name += "_l";
+      name += std::to_string(static_cast<int>(info.param.l * 100));
+      name += "_T";
+      name += std::to_string(info.param.threshold);
+      return name;
+    });
+
+class PaSweepTest : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(PaSweepTest, PrecisionStaysHighOnPreferentialAttachment) {
+  const SweepCase param = GetParam();
+  Graph g = GeneratePreferentialAttachment(4000, 20, 881);
+  IndependentSampleOptions sample;
+  sample.s1 = sample.s2 = param.s;
+  RealizationPair pair = SampleIndependent(g, sample, 882);
+  SeedOptions seed_options;
+  seed_options.fraction = param.l;
+  auto seeds = GenerateSeeds(pair, seed_options, 883);
+  MatcherConfig config;
+  config.min_score = param.threshold;
+  MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+  MatchQuality q = Evaluate(pair, result);
+
+  EXPECT_GE(q.precision, 0.97) << "s=" << param.s << " l=" << param.l
+                               << " T=" << param.threshold;
+  EXPECT_GT(q.recall_all, 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SurvivalSeedThresholdGrid, PaSweepTest,
+    testing::Values(SweepCase{0.5, 0.05, 2}, SweepCase{0.5, 0.10, 2},
+                    SweepCase{0.5, 0.10, 3}, SweepCase{0.5, 0.20, 2},
+                    SweepCase{0.75, 0.05, 2}, SweepCase{0.75, 0.10, 3}),
+    [](const testing::TestParamInfo<SweepCase>& info) {
+      std::string name = "s";
+      name += std::to_string(static_cast<int>(info.param.s * 100));
+      name += "_l";
+      name += std::to_string(static_cast<int>(info.param.l * 100));
+      name += "_T";
+      name += std::to_string(info.param.threshold);
+      return name;
+    });
+
+// Monotonicity property: raising the threshold can only reduce the number of
+// (correct or incorrect) new links in the first round of a single-bucket
+// matcher — and across full runs, higher T should not produce more errors.
+TEST(MatcherPropertyTest, HigherThresholdNeverMoreErrors) {
+  Graph g = GeneratePreferentialAttachment(3000, 10, 991);
+  RealizationPair pair = SampleIndependent(g, {}, 992);
+  SeedOptions seed_options;
+  seed_options.fraction = 0.08;
+  auto seeds = GenerateSeeds(pair, seed_options, 993);
+
+  size_t previous_bad = SIZE_MAX;
+  for (uint32_t threshold : {2u, 3u, 4u, 5u}) {
+    MatcherConfig config;
+    config.min_score = threshold;
+    MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+    MatchQuality q = Evaluate(pair, result);
+    EXPECT_LE(q.new_bad, previous_bad) << "T=" << threshold;
+    previous_bad = q.new_bad;
+  }
+}
+
+// More seeds must not hurt recall (same everything else).
+TEST(MatcherPropertyTest, RecallGrowsWithSeeds) {
+  Graph g = GeneratePreferentialAttachment(3000, 10, 995);
+  RealizationPair pair = SampleIndependent(g, {}, 996);
+  double previous_recall = -1.0;
+  for (double l : {0.02, 0.05, 0.10, 0.20}) {
+    SeedOptions seed_options;
+    seed_options.fraction = l;
+    auto seeds = GenerateSeeds(pair, seed_options, 997);
+    MatcherConfig config;
+    MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+    MatchQuality q = Evaluate(pair, result);
+    EXPECT_GE(q.recall_all, previous_recall - 0.02) << "l=" << l;
+    previous_recall = q.recall_all;
+  }
+}
+
+// A second outer iteration can only add links, never remove or change them.
+TEST(MatcherPropertyTest, IterationsAreMonotone) {
+  Graph g = GeneratePreferentialAttachment(2000, 8, 998);
+  RealizationPair pair = SampleIndependent(g, {}, 999);
+  SeedOptions seed_options;
+  seed_options.fraction = 0.05;
+  auto seeds = GenerateSeeds(pair, seed_options, 1000);
+
+  MatcherConfig one_iter;
+  one_iter.num_iterations = 1;
+  MatcherConfig two_iter;
+  two_iter.num_iterations = 2;
+  MatchResult r1 = UserMatching(pair.g1, pair.g2, seeds, one_iter);
+  MatchResult r2 = UserMatching(pair.g1, pair.g2, seeds, two_iter);
+  EXPECT_GE(r2.NumLinks(), r1.NumLinks());
+  for (NodeId u = 0; u < r1.map_1to2.size(); ++u) {
+    if (r1.map_1to2[u] != kInvalidNode) {
+      EXPECT_EQ(r2.map_1to2[u], r1.map_1to2[u]) << "node " << u;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,72 @@
+#include "reconcile/core/witness.h"
+
+#include <gtest/gtest.h>
+
+namespace reconcile {
+namespace {
+
+// Two copies of the same 5-node graph with identity labels for clarity:
+// edges 0-1, 1-2, 2-3, 3-4, 0-2.
+Graph MakeG() {
+  EdgeList edges(5);
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  edges.Add(2, 3);
+  edges.Add(3, 4);
+  edges.Add(0, 2);
+  return Graph::FromEdgeList(std::move(edges));
+}
+
+TEST(WitnessTest, NoLinksMeansNoWitnesses) {
+  Graph g1 = MakeG(), g2 = MakeG();
+  std::vector<NodeId> links(5, kInvalidNode);
+  EXPECT_EQ(CountSimilarityWitnesses(g1, g2, links, 0, 0), 0u);
+}
+
+TEST(WitnessTest, LinkedCommonNeighborCounts) {
+  Graph g1 = MakeG(), g2 = MakeG();
+  std::vector<NodeId> links(5, kInvalidNode);
+  links[1] = 1;  // node 1 linked to itself across copies
+  // Pair (0,0): N1(0)={1,2}, link(1)=1 ∈ N2(0)={1,2} -> 1 witness.
+  EXPECT_EQ(CountSimilarityWitnesses(g1, g2, links, 0, 0), 1u);
+  // Pair (2,2): N1(2)={0,1,3}; link(1)=1 ∈ N2(2)={0,1,3} -> 1 witness.
+  EXPECT_EQ(CountSimilarityWitnesses(g1, g2, links, 2, 2), 1u);
+  // Pair (0,3): link(1)=1; N2(3)={2,4}; 1 ∉ -> 0.
+  EXPECT_EQ(CountSimilarityWitnesses(g1, g2, links, 0, 3), 0u);
+}
+
+TEST(WitnessTest, MultipleWitnessesAccumulate) {
+  Graph g1 = MakeG(), g2 = MakeG();
+  std::vector<NodeId> links(5, kInvalidNode);
+  links[1] = 1;
+  links[2] = 2;
+  // Pair (0,0): neighbours {1,2}, both linked to themselves, both in N2(0).
+  EXPECT_EQ(CountSimilarityWitnesses(g1, g2, links, 0, 0), 2u);
+}
+
+TEST(WitnessTest, CrossLabelsRespectLinkMap) {
+  // g2 is g1 with labels swapped by the link map, not identity.
+  Graph g1 = MakeG(), g2 = MakeG();
+  std::vector<NodeId> links(5, kInvalidNode);
+  links[1] = 3;  // claim: g1's node 1 corresponds to g2's node 3
+  // Pair (0,4): N1(0)={1,2}; link(1)=3; N2(4)={3} -> witness.
+  EXPECT_EQ(CountSimilarityWitnesses(g1, g2, links, 0, 4), 1u);
+  // Pair (0,0): link(1)=3 ∉ N2(0)={1,2} -> 0.
+  EXPECT_EQ(CountSimilarityWitnesses(g1, g2, links, 0, 0), 0u);
+}
+
+TEST(WitnessTest, UnlinkedNeighborsIgnored) {
+  Graph g1 = MakeG(), g2 = MakeG();
+  std::vector<NodeId> links(5, kInvalidNode);
+  links[4] = 4;  // node 4 not adjacent to 0
+  EXPECT_EQ(CountSimilarityWitnesses(g1, g2, links, 0, 0), 0u);
+}
+
+TEST(WitnessDeathTest, OutOfRangeNodesRejected) {
+  Graph g1 = MakeG(), g2 = MakeG();
+  std::vector<NodeId> links(5, kInvalidNode);
+  EXPECT_DEATH(CountSimilarityWitnesses(g1, g2, links, 99, 0), "Check failed");
+}
+
+}  // namespace
+}  // namespace reconcile

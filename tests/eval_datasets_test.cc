@@ -1,0 +1,92 @@
+#include "reconcile/eval/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace reconcile {
+namespace {
+
+constexpr double kTestScale = 0.1;  // keep generation fast in tests
+
+TEST(DatasetsTest, FacebookStandinShape) {
+  Graph g = MakeFacebookStandin(kTestScale, 3);
+  EXPECT_NEAR(g.num_nodes(), 6373, 10);
+  double avg = static_cast<double>(g.degree_sum()) / g.num_nodes();
+  EXPECT_NEAR(avg, 48.5, 15.0);
+  EXPECT_GT(g.max_degree(), 4 * avg);  // heavy tail
+}
+
+TEST(DatasetsTest, EnronStandinIsSparser) {
+  Graph facebook = MakeFacebookStandin(kTestScale, 5);
+  Graph enron = MakeEnronStandin(kTestScale, 5);
+  double fb_avg =
+      static_cast<double>(facebook.degree_sum()) / facebook.num_nodes();
+  double enron_avg =
+      static_cast<double>(enron.degree_sum()) / enron.num_nodes();
+  EXPECT_LT(enron_avg, fb_avg / 1.8);
+}
+
+TEST(DatasetsTest, DblpStandinHasManyLowDegreeNodes) {
+  Graph g = MakeDblpStandin(kTestScale, 7);
+  size_t low_degree = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) <= 5) ++low_degree;
+  }
+  EXPECT_GT(low_degree, g.num_nodes() / 2);
+}
+
+TEST(DatasetsTest, GowallaStandinShape) {
+  Graph g = MakeGowallaStandin(kTestScale, 9);
+  double avg = static_cast<double>(g.degree_sum()) / g.num_nodes();
+  EXPECT_NEAR(avg, 9.7, 4.0);
+}
+
+TEST(DatasetsTest, AffiliationStandinFoldsDense) {
+  AffiliationNetwork net = MakeAffiliationStandin(0.05, 11);
+  Graph g = net.Fold();
+  double avg = static_cast<double>(g.degree_sum()) / g.num_nodes();
+  EXPECT_GT(avg, 5.0);  // folded graphs are much denser than the bipartite one
+}
+
+TEST(DatasetsTest, WikipediaPairIsAsymmetric) {
+  RealizationPair pair = MakeWikipediaPair(kTestScale, 13);
+  size_t active1 = 0, active2 = 0;
+  for (NodeId v = 0; v < pair.g1.num_nodes(); ++v) {
+    if (pair.g1.degree(v) > 0) ++active1;
+  }
+  for (NodeId v = 0; v < pair.g2.num_nodes(); ++v) {
+    if (pair.g2.degree(v) > 0) ++active2;
+  }
+  // "French" copy keeps ~80% of nodes, "German" ~55%.
+  EXPECT_GT(active1, active2);
+  EXPECT_LT(static_cast<double>(active2) / active1, 0.85);
+}
+
+TEST(DatasetsTest, WikipediaPairHasPartialOverlapOnly) {
+  RealizationPair pair = MakeWikipediaPair(kTestScale, 15);
+  size_t mapped = 0;
+  for (NodeId v : pair.map_1to2) {
+    if (v != kInvalidNode) ++mapped;
+  }
+  EXPECT_LT(mapped, pair.g1.num_nodes());  // node deletion unmaps some
+  EXPECT_GT(mapped, pair.g1.num_nodes() / 4);
+}
+
+TEST(DatasetsTest, ScaleControlsSize) {
+  Graph small = MakeFacebookStandin(0.05, 17);
+  Graph large = MakeFacebookStandin(0.2, 17);
+  EXPECT_GT(large.num_nodes(), 3 * small.num_nodes());
+}
+
+TEST(DatasetsTest, Deterministic) {
+  Graph a = MakeDblpStandin(kTestScale, 19);
+  Graph b = MakeDblpStandin(kTestScale, 19);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(DatasetsDeathTest, RejectsNonPositiveScale) {
+  EXPECT_DEATH(MakeFacebookStandin(0.0, 1), "Check failed");
+  EXPECT_DEATH(MakeFacebookStandin(-1.0, 1), "Check failed");
+}
+
+}  // namespace
+}  // namespace reconcile

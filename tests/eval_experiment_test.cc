@@ -1,0 +1,66 @@
+#include "reconcile/eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "reconcile/gen/erdos_renyi.h"
+#include "reconcile/sampling/independent.h"
+
+namespace reconcile {
+namespace {
+
+RealizationPair MakePair(uint64_t seed) {
+  Graph g = GenerateErdosRenyi(1000, 0.03, seed);
+  IndependentSampleOptions options;
+  options.s1 = 0.7;
+  options.s2 = 0.7;
+  return SampleIndependent(g, options, seed + 1);
+}
+
+TEST(ExperimentTest, RunsPipelineAndScores) {
+  RealizationPair pair = MakePair(9001);
+  SeedOptions seeding;
+  seeding.fraction = 0.1;
+  MatcherConfig config;
+  config.min_score = 3;
+  ExperimentResult result = RunMatcherExperiment(pair, seeding, config, 9003);
+  EXPECT_GT(result.match.NumLinks(), result.match.seeds.size());
+  EXPECT_GT(result.quality.new_good, 0u);
+  EXPECT_GE(result.quality.precision, 0.95);
+  EXPECT_GE(result.match_seconds, 0.0);
+  EXPECT_GE(result.seed_seconds, 0.0);
+}
+
+TEST(ExperimentTest, DeterministicForSeed) {
+  RealizationPair pair = MakePair(9005);
+  SeedOptions seeding;
+  seeding.fraction = 0.1;
+  MatcherConfig config;
+  ExperimentResult a = RunMatcherExperiment(pair, seeding, config, 9007);
+  ExperimentResult b = RunMatcherExperiment(pair, seeding, config, 9007);
+  EXPECT_EQ(a.quality.new_good, b.quality.new_good);
+  EXPECT_EQ(a.quality.new_bad, b.quality.new_bad);
+  EXPECT_EQ(a.match.map_1to2, b.match.map_1to2);
+}
+
+TEST(ExperimentTest, DifferentSeedDrawsDiffer) {
+  RealizationPair pair = MakePair(9009);
+  SeedOptions seeding;
+  seeding.fraction = 0.1;
+  MatcherConfig config;
+  ExperimentResult a = RunMatcherExperiment(pair, seeding, config, 1);
+  ExperimentResult b = RunMatcherExperiment(pair, seeding, config, 2);
+  EXPECT_NE(a.match.seeds, b.match.seeds);
+}
+
+TEST(ExperimentTest, FormatGoodBadMentionsCounts) {
+  MatchQuality quality;
+  quality.new_good = 123;
+  quality.new_bad = 4;
+  quality.precision = 123.0 / 127.0;
+  const std::string text = FormatGoodBad(quality);
+  EXPECT_NE(text.find("123"), std::string::npos);
+  EXPECT_NE(text.find("4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,136 @@
+#include "reconcile/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "reconcile/gen/erdos_renyi.h"
+#include "reconcile/sampling/independent.h"
+
+namespace reconcile {
+namespace {
+
+// Builds a tiny controlled pair: 4-cycle, identity ground truth (the
+// permutation is hidden by MakeRealizationPair, so construct it manually).
+RealizationPair ManualPair() {
+  EdgeList edges(4);
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  edges.Add(2, 3);
+  edges.Add(3, 0);
+  RealizationPair pair;
+  pair.g1 = Graph::FromEdgeList(edges);
+  pair.g2 = Graph::FromEdgeList(edges);
+  pair.map_1to2 = {0, 1, 2, 3};
+  pair.map_2to1 = {0, 1, 2, 3};
+  return pair;
+}
+
+MatchResult ResultWith(const RealizationPair& pair,
+                       std::vector<std::pair<NodeId, NodeId>> seeds,
+                       std::vector<std::pair<NodeId, NodeId>> found) {
+  MatchResult result;
+  result.map_1to2.assign(pair.g1.num_nodes(), kInvalidNode);
+  result.map_2to1.assign(pair.g2.num_nodes(), kInvalidNode);
+  result.seeds = seeds;
+  for (const auto& [u, v] : seeds) {
+    result.map_1to2[u] = v;
+    result.map_2to1[v] = u;
+  }
+  for (const auto& [u, v] : found) {
+    result.map_1to2[u] = v;
+    result.map_2to1[v] = u;
+  }
+  return result;
+}
+
+TEST(MetricsTest, CountsGoodAndBadNewLinks) {
+  RealizationPair pair = ManualPair();
+  // Seed (0,0); found (1,1) correct, (2,3) wrong.
+  MatchResult result = ResultWith(pair, {{0, 0}}, {{1, 1}, {2, 3}});
+  MatchQuality q = Evaluate(pair, result);
+  EXPECT_EQ(q.num_seeds, 1u);
+  EXPECT_EQ(q.new_good, 1u);
+  EXPECT_EQ(q.new_bad, 1u);
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_DOUBLE_EQ(q.error_rate, 0.5);
+}
+
+TEST(MetricsTest, SeedsExcludedFromNewCounts) {
+  RealizationPair pair = ManualPair();
+  MatchResult result = ResultWith(pair, {{0, 0}, {1, 1}}, {});
+  MatchQuality q = Evaluate(pair, result);
+  EXPECT_EQ(q.new_good, 0u);
+  EXPECT_EQ(q.new_bad, 0u);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);  // vacuous
+  // recall_all counts seeds as correct links.
+  EXPECT_DOUBLE_EQ(q.recall_all, 0.5);
+}
+
+TEST(MetricsTest, IdentifiableCountsDegreeConstraint) {
+  RealizationPair pair = ManualPair();
+  MatchQuality q = Evaluate(pair, ResultWith(pair, {}, {}));
+  EXPECT_EQ(q.identifiable, 4u);
+
+  // Remove all edges from copy 2: nothing is identifiable.
+  RealizationPair isolated = pair;
+  isolated.g2 = Graph::FromEdgeList(EdgeList(4));
+  q = Evaluate(isolated, ResultWith(isolated, {}, {}));
+  EXPECT_EQ(q.identifiable, 0u);
+}
+
+TEST(MetricsTest, RecallNewExcludesSeededNodes) {
+  RealizationPair pair = ManualPair();
+  // 4 identifiable; 2 seeded; 1 new good of the remaining 2.
+  MatchResult result = ResultWith(pair, {{0, 0}, {1, 1}}, {{2, 2}});
+  MatchQuality q = Evaluate(pair, result);
+  EXPECT_DOUBLE_EQ(q.recall_new, 0.5);
+  EXPECT_DOUBLE_EQ(q.recall_all, 0.75);
+}
+
+TEST(MetricsTest, MatchOnUnmappableNodeIsBad) {
+  RealizationPair pair = ManualPair();
+  pair.map_1to2[3] = kInvalidNode;  // node 3 has no counterpart
+  pair.map_2to1[3] = kInvalidNode;
+  MatchResult result = ResultWith(pair, {}, {{3, 3}});
+  MatchQuality q = Evaluate(pair, result);
+  EXPECT_EQ(q.new_bad, 1u);
+  EXPECT_EQ(q.new_good, 0u);
+}
+
+TEST(MetricsByDegreeTest, BandsPartitionNodes) {
+  Graph g = GenerateErdosRenyi(2000, 0.01, 3);
+  RealizationPair pair = SampleIndependent(g, {}, 5);
+  MatchResult empty = ResultWith(pair, {}, {});
+  std::vector<DegreeBandQuality> bands = EvaluateByDegree(pair, empty);
+  size_t identifiable_total = 0;
+  for (const DegreeBandQuality& band : bands) {
+    identifiable_total += band.identifiable;
+  }
+  MatchQuality q = Evaluate(pair, empty);
+  EXPECT_EQ(identifiable_total, q.identifiable);
+}
+
+TEST(MetricsByDegreeTest, PerBandCountsLandInRightBand) {
+  RealizationPair pair = ManualPair();  // all degrees are 2
+  MatchResult result = ResultWith(pair, {}, {{0, 0}, {1, 2}});
+  std::vector<DegreeBandQuality> bands =
+      EvaluateByDegree(pair, result, {1, 3});
+  // Bands: [1,1], [2,3], [4,inf). Degree-2 nodes go to band 1.
+  ASSERT_EQ(bands.size(), 3u);
+  EXPECT_EQ(bands[0].new_good + bands[0].new_bad, 0u);
+  EXPECT_EQ(bands[1].new_good, 1u);
+  EXPECT_EQ(bands[1].new_bad, 1u);
+  EXPECT_EQ(bands[2].new_good + bands[2].new_bad, 0u);
+  EXPECT_DOUBLE_EQ(bands[1].precision, 0.5);
+}
+
+TEST(MetricsByDegreeTest, RecallPerBand) {
+  RealizationPair pair = ManualPair();
+  MatchResult result = ResultWith(pair, {{0, 0}}, {{1, 1}, {2, 2}});
+  std::vector<DegreeBandQuality> bands =
+      EvaluateByDegree(pair, result, {1, 3});
+  // Band [2,3]: identifiable 4, one seeded -> 3 targets, 2 found.
+  EXPECT_NEAR(bands[1].recall, 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace reconcile

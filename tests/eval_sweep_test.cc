@@ -1,0 +1,121 @@
+#include "reconcile/eval/sweep.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/gen/preferential_attachment.h"
+#include "reconcile/sampling/independent.h"
+
+namespace reconcile {
+namespace {
+
+RealizationPair MakePair() {
+  Graph g = GeneratePreferentialAttachment(1200, 8, 7001);
+  IndependentSampleOptions options;
+  options.s1 = 0.6;
+  options.s2 = 0.6;
+  return SampleIndependent(g, options, 7003);
+}
+
+TEST(SweepTest, GridHasOnePointPerCell) {
+  RealizationPair pair = MakePair();
+  SweepSpec spec;
+  spec.seed_fractions = {0.05, 0.10};
+  spec.thresholds = {2, 3};
+  auto points = RunSweep(pair, spec);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].seed_fraction, 0.05);
+  EXPECT_EQ(points[0].threshold, 2u);
+  EXPECT_EQ(points[3].seed_fraction, 0.10);
+  EXPECT_EQ(points[3].threshold, 3u);
+}
+
+TEST(SweepTest, SameSeedsAcrossThresholdColumns) {
+  RealizationPair pair = MakePair();
+  SweepSpec spec;
+  spec.seed_fractions = {0.10};
+  spec.thresholds = {2, 3, 5};
+  auto points = RunSweep(pair, spec);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].num_seeds, points[1].num_seeds);
+  EXPECT_EQ(points[1].num_seeds, points[2].num_seeds);
+}
+
+TEST(SweepTest, HigherThresholdNeverFindsMoreLinks) {
+  RealizationPair pair = MakePair();
+  SweepSpec spec;
+  spec.seed_fractions = {0.10};
+  spec.thresholds = {2, 3, 4, 5};
+  auto points = RunSweep(pair, spec);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].quality.new_good + points[i].quality.new_bad,
+              points[i - 1].quality.new_good + points[i - 1].quality.new_bad)
+        << "T=" << points[i].threshold;
+  }
+}
+
+TEST(SweepTest, DeterministicForSpecSeed) {
+  RealizationPair pair = MakePair();
+  SweepSpec spec;
+  spec.seed_fractions = {0.05};
+  spec.thresholds = {3};
+  auto a = RunSweep(pair, spec);
+  auto b = RunSweep(pair, spec);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].quality.new_good, b[0].quality.new_good);
+  EXPECT_EQ(a[0].quality.new_bad, b[0].quality.new_bad);
+}
+
+TEST(SweepTest, GoodBadTableLayout) {
+  RealizationPair pair = MakePair();
+  SweepSpec spec;
+  spec.seed_fractions = {0.05, 0.10};
+  spec.thresholds = {2, 4};
+  auto points = RunSweep(pair, spec);
+  Table table = SweepToGoodBadTable(points);
+  EXPECT_EQ(table.num_rows(), 2u);
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("T=2 good"), std::string::npos);
+  EXPECT_NE(out.str().find("T=4 good"), std::string::npos);
+  EXPECT_NE(out.str().find("5%"), std::string::npos);
+}
+
+TEST(SweepTest, RecallTableLayout) {
+  RealizationPair pair = MakePair();
+  SweepSpec spec;
+  spec.seed_fractions = {0.10};
+  spec.thresholds = {2, 3};
+  auto points = RunSweep(pair, spec);
+  Table table = SweepToRecallTable(points);
+  EXPECT_EQ(table.num_rows(), 1u);
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find('%'), std::string::npos);
+}
+
+TEST(SweepTest, CsvHasHeaderAndOneLinePerPoint) {
+  RealizationPair pair = MakePair();
+  SweepSpec spec;
+  spec.seed_fractions = {0.05};
+  spec.thresholds = {2, 3};
+  auto points = RunSweep(pair, spec);
+  const std::string csv = SweepToCsv(points);
+  size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 1u + points.size());
+  EXPECT_EQ(csv.rfind("seed_fraction,threshold", 0), 0u);
+}
+
+TEST(SweepTest, EmptySpecDies) {
+  RealizationPair pair = MakePair();
+  SweepSpec spec;
+  spec.seed_fractions = {};
+  EXPECT_DEATH(RunSweep(pair, spec), "");
+}
+
+}  // namespace
+}  // namespace reconcile

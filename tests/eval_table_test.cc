@@ -1,0 +1,66 @@
+#include "reconcile/eval/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace reconcile {
+namespace {
+
+TEST(TableTest, PrintsHeaderAndRows) {
+  Table table({"Pr", "Good", "Bad"});
+  table.AddRow({"10%", "42797", "58"});
+  table.AddRow({"5%", "11091", "43"});
+  std::ostringstream out;
+  table.Print(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("Pr"), std::string::npos);
+  EXPECT_NE(text.find("42797"), std::string::npos);
+  EXPECT_NE(text.find("11091"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAligned) {
+  Table table({"A", "B"});
+  table.AddRow({"x", "longvalue"});
+  table.AddRow({"longervalue", "y"});
+  std::ostringstream out;
+  table.Print(out);
+  // Every line should have the same position for column B's start.
+  std::istringstream lines(out.str());
+  std::string header, underline, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, underline);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.find("B"), row1.find("longvalue"));
+  EXPECT_EQ(row1.find("longvalue"), row2.find("y"));
+}
+
+TEST(TableTest, EmptyTableJustHeader) {
+  Table table({"Only"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("Only"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TableDeathTest, WrongArityRejected) {
+  Table table({"A", "B"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "Check failed");
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.5), "50.00%");
+  EXPECT_EQ(FormatPercent(0.99371, 1), "99.4%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace reconcile

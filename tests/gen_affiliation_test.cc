@@ -1,0 +1,115 @@
+#include "reconcile/gen/affiliation.h"
+
+#include <gtest/gtest.h>
+
+namespace reconcile {
+namespace {
+
+AffiliationParams SmallParams() {
+  AffiliationParams params;
+  params.num_users = 500;
+  params.copy_prob = 0.35;
+  params.new_interest_prob = 0.3;
+  params.preferential_joins = 1;
+  return params;
+}
+
+TEST(AffiliationTest, EveryUserHasAnInterest) {
+  AffiliationNetwork net = AffiliationNetwork::Generate(SmallParams(), 3);
+  for (NodeId u = 0; u < net.num_users(); ++u) {
+    EXPECT_GE(net.InterestsOf(u).size(), 1u) << "user " << u;
+  }
+}
+
+TEST(AffiliationTest, MembershipIsConsistentBothWays) {
+  AffiliationNetwork net = AffiliationNetwork::Generate(SmallParams(), 5);
+  for (NodeId u = 0; u < net.num_users(); ++u) {
+    for (uint32_t interest : net.InterestsOf(u)) {
+      const std::vector<NodeId>& members = net.MembersOf(interest);
+      EXPECT_NE(std::find(members.begin(), members.end(), u), members.end());
+    }
+  }
+  for (uint32_t i = 0; i < net.num_interests(); ++i) {
+    for (NodeId u : net.MembersOf(i)) {
+      const std::vector<uint32_t>& interests = net.InterestsOf(u);
+      EXPECT_NE(std::find(interests.begin(), interests.end(), i),
+                interests.end());
+    }
+  }
+}
+
+TEST(AffiliationTest, NoDuplicateMemberships) {
+  AffiliationNetwork net = AffiliationNetwork::Generate(SmallParams(), 7);
+  for (NodeId u = 0; u < net.num_users(); ++u) {
+    std::vector<uint32_t> interests = net.InterestsOf(u);
+    std::sort(interests.begin(), interests.end());
+    EXPECT_EQ(std::adjacent_find(interests.begin(), interests.end()),
+              interests.end());
+  }
+}
+
+TEST(AffiliationTest, FoldConnectsExactlyCoMembers) {
+  AffiliationNetwork net = AffiliationNetwork::Generate(SmallParams(), 9);
+  Graph g = net.Fold();
+  ASSERT_EQ(g.num_nodes(), net.num_users());
+  // Spot-check consistency: u~v iff they share an interest.
+  for (NodeId u = 0; u < 50; ++u) {
+    for (NodeId v = u + 1; v < 50; ++v) {
+      bool share = false;
+      for (uint32_t i : net.InterestsOf(u)) {
+        const std::vector<NodeId>& members = net.MembersOf(i);
+        if (std::find(members.begin(), members.end(), v) != members.end()) {
+          share = true;
+          break;
+        }
+      }
+      EXPECT_EQ(g.HasEdge(u, v), share) << u << "," << v;
+    }
+  }
+}
+
+TEST(AffiliationTest, FoldSubsetDropsCommunitiesWholesale) {
+  AffiliationNetwork net = AffiliationNetwork::Generate(SmallParams(), 11);
+  // Keep nothing: empty graph.
+  std::vector<bool> none(net.num_interests(), false);
+  EXPECT_EQ(net.FoldSubset(none).num_edges(), 0u);
+  // Keep everything == Fold().
+  std::vector<bool> all(net.num_interests(), true);
+  EXPECT_EQ(net.FoldSubset(all).num_edges(), net.Fold().num_edges());
+  // Keeping a subset yields a subgraph.
+  std::vector<bool> half(net.num_interests(), false);
+  for (size_t i = 0; i < net.num_interests(); i += 2) half[i] = true;
+  Graph sub = net.FoldSubset(half);
+  Graph full = net.Fold();
+  EXPECT_LE(sub.num_edges(), full.num_edges());
+  for (NodeId u = 0; u < 50; ++u) {
+    for (NodeId v : sub.Neighbors(u)) {
+      EXPECT_TRUE(full.HasEdge(u, v));
+    }
+  }
+}
+
+TEST(AffiliationTest, PreferentialJoinsSkewCommunitySizes) {
+  AffiliationParams params = SmallParams();
+  params.num_users = 3000;
+  AffiliationNetwork net = AffiliationNetwork::Generate(params, 13);
+  size_t max_size = 0, total = 0;
+  for (uint32_t i = 0; i < net.num_interests(); ++i) {
+    max_size = std::max(max_size, net.MembersOf(i).size());
+    total += net.MembersOf(i).size();
+  }
+  double avg = static_cast<double>(total) / net.num_interests();
+  EXPECT_GT(static_cast<double>(max_size), 5 * avg);
+}
+
+TEST(AffiliationTest, Deterministic) {
+  AffiliationNetwork a = AffiliationNetwork::Generate(SmallParams(), 21);
+  AffiliationNetwork b = AffiliationNetwork::Generate(SmallParams(), 21);
+  ASSERT_EQ(a.num_interests(), b.num_interests());
+  for (NodeId u = 0; u < a.num_users(); ++u) {
+    ASSERT_EQ(a.InterestsOf(u), b.InterestsOf(u));
+  }
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,92 @@
+#include "reconcile/gen/chung_lu.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace reconcile {
+namespace {
+
+TEST(PowerLawWeightsTest, MeanMatchesTarget) {
+  std::vector<double> w = PowerLawWeights(10000, 2.5, 20.0);
+  double mean = std::accumulate(w.begin(), w.end(), 0.0) / w.size();
+  // The sqrt(W) cap can clip the head slightly.
+  EXPECT_NEAR(mean, 20.0, 2.0);
+}
+
+TEST(PowerLawWeightsTest, MonotoneDecreasing) {
+  std::vector<double> w = PowerLawWeights(1000, 2.5, 10.0);
+  for (size_t i = 1; i < w.size(); ++i) EXPECT_LE(w[i], w[i - 1]);
+}
+
+TEST(PowerLawWeightsTest, CapKeepsProbabilitiesValid) {
+  std::vector<double> w = PowerLawWeights(5000, 2.1, 30.0);
+  double total = std::accumulate(w.begin(), w.end(), 0.0);
+  EXPECT_LE(w[0] * w[0] / total, 1.0 + 1e-9);
+}
+
+TEST(ChungLuTest, Deterministic) {
+  std::vector<double> w = PowerLawWeights(2000, 2.5, 10.0);
+  Graph a = GenerateChungLu(w, 3);
+  Graph b = GenerateChungLu(w, 3);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) ASSERT_EQ(a.degree(v), b.degree(v));
+}
+
+TEST(ChungLuTest, AverageDegreeNearTarget) {
+  const NodeId n = 20000;
+  const double target = 15.0;
+  std::vector<double> w = PowerLawWeights(n, 2.5, target);
+  Graph g = GenerateChungLu(w, 7);
+  double avg = static_cast<double>(g.degree_sum()) / n;
+  // min(1, ...) clipping and the weight cap bias slightly downward.
+  EXPECT_NEAR(avg, target, target * 0.2);
+}
+
+TEST(ChungLuTest, RealizedDegreesTrackWeights) {
+  const NodeId n = 10000;
+  std::vector<double> w = PowerLawWeights(n, 2.5, 20.0);
+  Graph g = GenerateChungLu(w, 11);
+  // Node 0 has the largest weight; its degree must be far above average.
+  double avg = static_cast<double>(g.degree_sum()) / n;
+  EXPECT_GT(g.degree(0), 5 * avg);
+  // Aggregate check on a mid-range slice: realized ~ expected within 25%.
+  double expected_slice = 0, realized_slice = 0;
+  for (NodeId v = 100; v < 200; ++v) {
+    expected_slice += w[v];
+    realized_slice += g.degree(v);
+  }
+  EXPECT_NEAR(realized_slice, expected_slice, expected_slice * 0.25);
+}
+
+TEST(ChungLuTest, HeavyTailPresent) {
+  const NodeId n = 30000;
+  std::vector<double> w = PowerLawWeights(n, 2.3, 10.0);
+  Graph g = GenerateChungLu(w, 13);
+  double avg = static_cast<double>(g.degree_sum()) / n;
+  EXPECT_GT(g.max_degree(), 20 * avg);
+}
+
+TEST(ChungLuTest, UniformWeightsBehaveLikeEr) {
+  std::vector<double> w(5000, 8.0);
+  Graph g = GenerateChungLu(w, 17);
+  double avg = static_cast<double>(g.degree_sum()) / g.num_nodes();
+  EXPECT_NEAR(avg, 8.0, 1.0);
+  EXPECT_LT(g.max_degree(), 40u);
+}
+
+TEST(ChungLuTest, EmptyAndTinyInputs) {
+  EXPECT_EQ(GenerateChungLu({}, 1).num_nodes(), 0u);
+  EXPECT_EQ(GenerateChungLu({1.0}, 1).num_edges(), 0u);
+  Graph pairg = GenerateChungLu({1.0, 1.0}, 1);
+  EXPECT_LE(pairg.num_edges(), 1u);
+}
+
+TEST(ChungLuTest, ZeroWeightsProduceNoEdges) {
+  std::vector<double> w(100, 0.0);
+  EXPECT_EQ(GenerateChungLu(w, 5).num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,107 @@
+#include "reconcile/gen/configuration.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/gen/preferential_attachment.h"
+#include "reconcile/graph/statistics.h"
+
+namespace reconcile {
+namespace {
+
+TEST(ConfigurationModelTest, EmptySequence) {
+  Graph g = GenerateConfigurationModel({}, 1);
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(ConfigurationModelTest, AllZeroDegrees) {
+  Graph g = GenerateConfigurationModel({0, 0, 0}, 1);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(ConfigurationModelTest, SingleEdgePair) {
+  // Two degree-1 nodes must be matched to each other.
+  Graph g = GenerateConfigurationModel({1, 1}, 99);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(ConfigurationModelTest, RealizedDegreesNeverExceedRequested) {
+  std::vector<NodeId> degrees = {5, 3, 3, 2, 2, 2, 1, 1, 1, 2};
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Graph g = GenerateConfigurationModel(degrees, seed);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      EXPECT_LE(g.degree(v), degrees[v]) << "seed " << seed << " node " << v;
+  }
+}
+
+TEST(ConfigurationModelTest, SparseSequenceNearlyExact) {
+  // In a sparse sequence the expected number of erased (loop/parallel)
+  // pairings is O((avg_deg)^2), a vanishing fraction: realized edge count
+  // must be very close to half the stub count.
+  std::vector<NodeId> degrees(5000, 4);
+  Graph g = GenerateConfigurationModel(degrees, 7);
+  EXPECT_GT(g.num_edges(), static_cast<size_t>(0.99 * 5000 * 4 / 2));
+}
+
+TEST(ConfigurationModelTest, OddDegreeSumDies) {
+  EXPECT_DEATH(GenerateConfigurationModel({1, 1, 1}, 1), "even degree sum");
+}
+
+TEST(ConfigurationModelTest, DeterministicForSeed) {
+  std::vector<NodeId> degrees(200, 3);
+  degrees.push_back(2);  // even sum: 602
+  Graph a = GenerateConfigurationModel(degrees, 42);
+  Graph b = GenerateConfigurationModel(degrees, 42);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    auto na = a.Neighbors(v);
+    auto nb = b.Neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(ConfigurationModelTest, DifferentSeedsDiffer) {
+  std::vector<NodeId> degrees(500, 4);
+  Graph a = GenerateConfigurationModel(degrees, 1);
+  Graph b = GenerateConfigurationModel(degrees, 2);
+  // Graphs on 500 nodes with 1000 edges virtually never coincide.
+  bool differ = a.num_edges() != b.num_edges();
+  if (!differ) {
+    for (NodeId v = 0; v < a.num_nodes() && !differ; ++v) {
+      auto na = a.Neighbors(v);
+      auto nb = b.Neighbors(v);
+      differ = na.size() != nb.size() ||
+               !std::equal(na.begin(), na.end(), nb.begin());
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(ConfigurationModelTest, RewiringPreservesDegreeProfile) {
+  // Rewiring a PA graph keeps the degree sequence (nearly) intact but
+  // destroys clustering — the degree-only null model.
+  Graph pa = GeneratePreferentialAttachment(3000, 4, 11);
+  std::vector<NodeId> degrees = DegreeSequenceOf(pa);
+  size_t sum = std::accumulate(degrees.begin(), degrees.end(), size_t{0});
+  if (sum % 2 == 1) ++degrees[0];
+  Graph rewired = GenerateConfigurationModel(degrees, 13);
+  // Within 2% of the original edge count (erasures are rare).
+  EXPECT_GT(rewired.num_edges(), static_cast<size_t>(0.98 * pa.num_edges()));
+  EXPECT_LE(rewired.num_edges(), pa.num_edges() + 1);
+  EXPECT_EQ(rewired.num_nodes(), pa.num_nodes());
+}
+
+TEST(DegreeSequenceTest, MatchesGraphDegrees) {
+  Graph g = GeneratePreferentialAttachment(100, 3, 5);
+  std::vector<NodeId> degrees = DegreeSequenceOf(g);
+  ASSERT_EQ(degrees.size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(degrees[v], g.degree(v));
+}
+
+}  // namespace
+}  // namespace reconcile

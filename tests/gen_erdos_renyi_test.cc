@@ -1,0 +1,94 @@
+#include "reconcile/gen/erdos_renyi.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/graph/algorithms.h"
+
+namespace reconcile {
+namespace {
+
+TEST(ErdosRenyiTest, DeterministicForSeed) {
+  Graph a = GenerateErdosRenyi(500, 0.02, 42);
+  Graph b = GenerateErdosRenyi(500, 0.02, 42);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v));
+  }
+}
+
+TEST(ErdosRenyiTest, DifferentSeedsDiffer) {
+  Graph a = GenerateErdosRenyi(500, 0.02, 1);
+  Graph b = GenerateErdosRenyi(500, 0.02, 2);
+  // Astronomically unlikely to coincide.
+  bool identical = a.num_edges() == b.num_edges();
+  if (identical) {
+    for (NodeId v = 0; v < a.num_nodes() && identical; ++v) {
+      identical = a.degree(v) == b.degree(v);
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(ErdosRenyiTest, EdgeCountConcentrates) {
+  const NodeId n = 2000;
+  const double p = 0.01;
+  Graph g = GenerateErdosRenyi(n, p, 7);
+  double expected = ErdosRenyiExpectedEdges(n, p);
+  double stddev = std::sqrt(expected * (1 - p));
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 6 * stddev);
+}
+
+TEST(ErdosRenyiTest, ZeroProbabilityEmpty) {
+  Graph g = GenerateErdosRenyi(100, 0.0, 3);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_nodes(), 100u);
+}
+
+TEST(ErdosRenyiTest, ProbabilityOneIsComplete) {
+  const NodeId n = 50;
+  Graph g = GenerateErdosRenyi(n, 1.0, 3);
+  EXPECT_EQ(g.num_edges(), static_cast<size_t>(n) * (n - 1) / 2);
+}
+
+TEST(ErdosRenyiTest, TinyGraphs) {
+  EXPECT_EQ(GenerateErdosRenyi(0, 0.5, 1).num_nodes(), 0u);
+  EXPECT_EQ(GenerateErdosRenyi(1, 0.5, 1).num_edges(), 0u);
+  Graph two = GenerateErdosRenyi(2, 1.0, 1);
+  EXPECT_EQ(two.num_edges(), 1u);
+}
+
+TEST(ErdosRenyiTest, DegreesAreRoughlyBinomial) {
+  const NodeId n = 3000;
+  const double p = 0.01;
+  Graph g = GenerateErdosRenyi(n, p, 11);
+  double mean_degree = static_cast<double>(g.degree_sum()) / n;
+  EXPECT_NEAR(mean_degree, (n - 1) * p, 1.5);
+  // Max degree of a binomial(n, 0.01) stays near the mean, unlike power laws.
+  EXPECT_LT(g.max_degree(), 4 * (n - 1) * p);
+}
+
+TEST(ErdosRenyiTest, ConnectedAboveThreshold) {
+  // n*p = 4 log n: safely above the log n / n connectivity threshold.
+  const NodeId n = 500;
+  double p = 4.0 * std::log(n) / n;
+  Graph g = GenerateErdosRenyi(n, p, 13);
+  EXPECT_EQ(CountComponents(g), 1u);
+}
+
+TEST(ErdosRenyiTest, NoSelfLoopsNoDuplicates) {
+  Graph g = GenerateErdosRenyi(300, 0.05, 17);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::span<const NodeId> nbrs = g.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_NE(nbrs[i], v);
+      if (i > 0) {
+        EXPECT_LT(nbrs[i - 1], nbrs[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reconcile

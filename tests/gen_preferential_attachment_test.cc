@@ -1,0 +1,90 @@
+#include "reconcile/gen/preferential_attachment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/graph/algorithms.h"
+
+namespace reconcile {
+namespace {
+
+TEST(PreferentialAttachmentTest, Deterministic) {
+  Graph a = GeneratePreferentialAttachment(1000, 5, 42);
+  Graph b = GeneratePreferentialAttachment(1000, 5, 42);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) ASSERT_EQ(a.degree(v), b.degree(v));
+}
+
+TEST(PreferentialAttachmentTest, EdgeCountNearNm) {
+  // The multigraph has exactly n*m edges; loops and duplicates are removed,
+  // but they are a small fraction for m << n.
+  const NodeId n = 5000;
+  const int m = 10;
+  Graph g = GeneratePreferentialAttachment(n, m, 7);
+  EXPECT_GT(g.num_edges(), static_cast<size_t>(n) * m * 9 / 10);
+  EXPECT_LE(g.num_edges(), static_cast<size_t>(n) * m);
+}
+
+TEST(PreferentialAttachmentTest, SkewedDegreeDistribution) {
+  Graph g = GeneratePreferentialAttachment(20000, 5, 3);
+  // Power-law: the max degree dwarfs the average (≈ 2m = 10).
+  double avg = static_cast<double>(g.degree_sum()) / g.num_nodes();
+  EXPECT_GT(g.max_degree(), 10 * avg);
+  // But most nodes sit near the minimum.
+  size_t low = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) <= 2 * 5) ++low;
+  }
+  EXPECT_GT(low, g.num_nodes() / 2);
+}
+
+TEST(PreferentialAttachmentTest, EarlyBirdsHaveHighDegree) {
+  // Lemma 5/7 regime: early nodes accumulate much higher degree than late
+  // ones. Compare the average degree of the first 1% vs the last 50%.
+  Graph g = GeneratePreferentialAttachment(20000, 5, 11);
+  const NodeId n = g.num_nodes();
+  double early = 0, late = 0;
+  NodeId early_count = n / 100;
+  for (NodeId v = 0; v < early_count; ++v) early += g.degree(v);
+  early /= early_count;
+  for (NodeId v = n / 2; v < n; ++v) late += g.degree(v);
+  late /= (n - n / 2);
+  EXPECT_GT(early, 5 * late);
+}
+
+TEST(PreferentialAttachmentTest, RichGetRicher) {
+  // The maximum-degree node should be among the earliest arrivals.
+  Graph g = GeneratePreferentialAttachment(10000, 5, 13);
+  NodeId argmax = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > g.degree(argmax)) argmax = v;
+  }
+  EXPECT_LT(argmax, g.num_nodes() / 10);
+}
+
+TEST(PreferentialAttachmentTest, ConnectedGraph) {
+  // Attachment to existing mass keeps the simple graph connected w.h.p.
+  Graph g = GeneratePreferentialAttachment(3000, 3, 17);
+  EXPECT_EQ(CountComponents(g), 1u);
+}
+
+TEST(PreferentialAttachmentTest, MinDegreeNodesBounded) {
+  // Every node issues m edges; after loop/duplicate removal its degree can
+  // shrink but nodes beyond the first cannot be isolated.
+  Graph g = GeneratePreferentialAttachment(2000, 4, 19);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    EXPECT_GE(g.degree(v), 1u) << "node " << v;
+  }
+}
+
+TEST(PreferentialAttachmentTest, MEqualsOneGivesTreeLike) {
+  Graph g = GeneratePreferentialAttachment(1000, 1, 23);
+  // Simple graph of a PA multigraph with m=1: at most n-1 edges (loops drop).
+  EXPECT_LE(g.num_edges(), g.num_nodes() - 1);
+  EXPECT_GT(g.num_edges(), g.num_nodes() / 2);
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,108 @@
+#include "reconcile/gen/sbm.h"
+
+#include <gtest/gtest.h>
+
+namespace reconcile {
+namespace {
+
+TEST(SbmTest, EmptyParamsEmptyGraph) {
+  Graph g = GenerateSbm(SbmParams{}, 1);
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(SbmTest, NodeCountIsSumOfBlocks) {
+  SbmParams params;
+  params.block_sizes = {10, 20, 30};
+  Graph g = GenerateSbm(params, 3);
+  EXPECT_EQ(g.num_nodes(), 60u);
+}
+
+TEST(SbmTest, PinOneMakesBlocksComplete) {
+  SbmParams params;
+  params.block_sizes = {5, 4};
+  params.p_in = 1.0;
+  params.p_out = 0.0;
+  Graph g = GenerateSbm(params, 7);
+  EXPECT_EQ(g.num_edges(), 5u * 4 / 2 + 4u * 3 / 2);
+  for (NodeId u = 0; u < 5; ++u)
+    for (NodeId v = u + 1; v < 5; ++v) EXPECT_TRUE(g.HasEdge(u, v));
+  for (NodeId u = 5; u < 9; ++u)
+    for (NodeId v = u + 1; v < 9; ++v) EXPECT_TRUE(g.HasEdge(u, v));
+  for (NodeId u = 0; u < 5; ++u)
+    for (NodeId v = 5; v < 9; ++v) EXPECT_FALSE(g.HasEdge(u, v));
+}
+
+TEST(SbmTest, PoutOneConnectsAllAcross) {
+  SbmParams params;
+  params.block_sizes = {3, 3};
+  params.p_in = 0.0;
+  params.p_out = 1.0;
+  Graph g = GenerateSbm(params, 7);
+  EXPECT_EQ(g.num_edges(), 9u);
+  for (NodeId u = 0; u < 3; ++u)
+    for (NodeId v = 3; v < 6; ++v) EXPECT_TRUE(g.HasEdge(u, v));
+}
+
+TEST(SbmTest, WithinDensityTracksPin) {
+  SbmParams params;
+  params.block_sizes = {400, 400};
+  params.p_in = 0.05;
+  params.p_out = 0.0;
+  Graph g = GenerateSbm(params, 17);
+  const double possible = 2 * (400.0 * 399 / 2);
+  const double density = static_cast<double>(g.num_edges()) / possible;
+  EXPECT_NEAR(density, 0.05, 0.01);
+}
+
+TEST(SbmTest, AcrossDensityTracksPout) {
+  SbmParams params;
+  params.block_sizes = {400, 400};
+  params.p_in = 0.0;
+  params.p_out = 0.02;
+  Graph g = GenerateSbm(params, 17);
+  const double density = static_cast<double>(g.num_edges()) / (400.0 * 400.0);
+  EXPECT_NEAR(density, 0.02, 0.005);
+}
+
+TEST(SbmTest, CrossEdgesLandInDistinctBlocks) {
+  SbmParams params;
+  params.block_sizes = {50, 50, 50};
+  params.p_in = 0.0;
+  params.p_out = 0.1;
+  Graph g = GenerateSbm(params, 23);
+  std::vector<uint32_t> labels = SbmBlockLabels(params);
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (NodeId v : g.Neighbors(u)) EXPECT_NE(labels[u], labels[v]);
+}
+
+TEST(SbmTest, BlockLabelsLayout) {
+  SbmParams params;
+  params.block_sizes = {2, 3};
+  std::vector<uint32_t> labels = SbmBlockLabels(params);
+  ASSERT_EQ(labels.size(), 5u);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[2], 1u);
+  EXPECT_EQ(labels[4], 1u);
+}
+
+TEST(SbmTest, DeterministicForSeed) {
+  SbmParams params;
+  params.block_sizes = {100, 100};
+  params.p_in = 0.05;
+  params.p_out = 0.01;
+  Graph a = GenerateSbm(params, 5);
+  Graph b = GenerateSbm(params, 5);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(SbmTest, InvalidProbabilityDies) {
+  SbmParams params;
+  params.block_sizes = {10};
+  params.p_in = 1.5;
+  EXPECT_DEATH(GenerateSbm(params, 1), "");
+}
+
+}  // namespace
+}  // namespace reconcile

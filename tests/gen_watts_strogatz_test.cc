@@ -1,0 +1,71 @@
+#include "reconcile/gen/watts_strogatz.h"
+
+#include <gtest/gtest.h>
+
+#include "reconcile/graph/algorithms.h"
+
+namespace reconcile {
+namespace {
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  Graph g = GenerateWattsStrogatz(100, 3, 0.0, 1);
+  EXPECT_EQ(g.num_edges(), 300u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.degree(v), 6u);
+  }
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(0, 4));
+  EXPECT_TRUE(g.HasEdge(0, 97));  // wrap-around
+}
+
+TEST(WattsStrogatzTest, RewiringChangesEdges) {
+  Graph lattice = GenerateWattsStrogatz(200, 3, 0.0, 5);
+  Graph rewired = GenerateWattsStrogatz(200, 3, 0.5, 5);
+  size_t differing = 0;
+  for (NodeId v = 0; v < 200; ++v) {
+    for (NodeId w : rewired.Neighbors(v)) {
+      if (w > v && !lattice.HasEdge(v, w)) ++differing;
+    }
+  }
+  EXPECT_GT(differing, 50u);
+}
+
+TEST(WattsStrogatzTest, FullRewiringKeepsEdgeBudget) {
+  Graph g = GenerateWattsStrogatz(500, 2, 1.0, 7);
+  // Duplicates may collapse; stay close to n*k.
+  EXPECT_GT(g.num_edges(), 900u);
+  EXPECT_LE(g.num_edges(), 1000u);
+}
+
+TEST(WattsStrogatzTest, SmallWorldShortensPaths) {
+  Graph lattice = GenerateWattsStrogatz(1000, 2, 0.0, 9);
+  Graph small_world = GenerateWattsStrogatz(1000, 2, 0.1, 9);
+  auto avg_dist = [](const Graph& g) {
+    std::vector<uint32_t> dist = BfsDistances(g, 0);
+    double sum = 0;
+    size_t reached = 0;
+    for (uint32_t d : dist) {
+      if (d != kUnreachable) {
+        sum += d;
+        ++reached;
+      }
+    }
+    return sum / static_cast<double>(reached);
+  };
+  EXPECT_LT(avg_dist(small_world), avg_dist(lattice) / 2);
+}
+
+TEST(WattsStrogatzTest, Deterministic) {
+  Graph a = GenerateWattsStrogatz(300, 3, 0.2, 11);
+  Graph b = GenerateWattsStrogatz(300, 3, 0.2, 11);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) ASSERT_EQ(a.degree(v), b.degree(v));
+}
+
+TEST(WattsStrogatzDeathTest, RejectsDegenerateParams) {
+  EXPECT_DEATH(GenerateWattsStrogatz(5, 3, 0.1, 1), "Check failed");
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,95 @@
+#include "reconcile/graph/edge_list.h"
+
+#include <gtest/gtest.h>
+
+namespace reconcile {
+namespace {
+
+TEST(EdgeListTest, StartsEmpty) {
+  EdgeList edges;
+  EXPECT_TRUE(edges.empty());
+  EXPECT_EQ(edges.size(), 0u);
+  EXPECT_EQ(edges.num_nodes(), 0u);
+}
+
+TEST(EdgeListTest, AddGrowsNodeRange) {
+  EdgeList edges;
+  edges.Add(3, 7);
+  EXPECT_EQ(edges.num_nodes(), 8u);
+  edges.Add(10, 2);
+  EXPECT_EQ(edges.num_nodes(), 11u);
+  EXPECT_EQ(edges.size(), 2u);
+}
+
+TEST(EdgeListTest, ExplicitNodeCountPreserved) {
+  EdgeList edges(100);
+  edges.Add(1, 2);
+  EXPECT_EQ(edges.num_nodes(), 100u);
+}
+
+TEST(EdgeListTest, EnsureNumNodesNeverShrinks) {
+  EdgeList edges(50);
+  edges.EnsureNumNodes(10);
+  EXPECT_EQ(edges.num_nodes(), 50u);
+  edges.EnsureNumNodes(60);
+  EXPECT_EQ(edges.num_nodes(), 60u);
+}
+
+TEST(EdgeListTest, NormalizeCanonicalizesEndpoints) {
+  EdgeList edges;
+  edges.Add(5, 2);
+  edges.Normalize();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges.edges()[0], Edge(2, 5));
+}
+
+TEST(EdgeListTest, NormalizeRemovesDuplicates) {
+  EdgeList edges;
+  edges.Add(1, 2);
+  edges.Add(2, 1);  // same undirected edge
+  edges.Add(1, 2);
+  edges.Normalize();
+  EXPECT_EQ(edges.size(), 1u);
+}
+
+TEST(EdgeListTest, NormalizeRemovesSelfLoops) {
+  EdgeList edges;
+  edges.Add(4, 4);
+  edges.Add(1, 2);
+  edges.Add(9, 9);
+  edges.Normalize();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges.edges()[0], Edge(1, 2));
+}
+
+TEST(EdgeListTest, NormalizeSortsEdges) {
+  EdgeList edges;
+  edges.Add(9, 3);
+  edges.Add(0, 1);
+  edges.Add(5, 2);
+  edges.Normalize();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges.edges()[0], Edge(0, 1));
+  EXPECT_EQ(edges.edges()[1], Edge(2, 5));
+  EXPECT_EQ(edges.edges()[2], Edge(3, 9));
+}
+
+TEST(EdgeListTest, NormalizeIsIdempotent) {
+  EdgeList edges;
+  edges.Add(3, 1);
+  edges.Add(1, 3);
+  edges.Add(2, 2);
+  edges.Normalize();
+  std::vector<Edge> once = edges.edges();
+  edges.Normalize();
+  EXPECT_EQ(edges.edges(), once);
+}
+
+TEST(EdgeListTest, NormalizeOnEmptyListIsNoOp) {
+  EdgeList edges;
+  edges.Normalize();
+  EXPECT_TRUE(edges.empty());
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,139 @@
+#include "reconcile/graph/graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace reconcile {
+namespace {
+
+Graph TriangleWithTail() {
+  // 0-1, 1-2, 0-2 triangle; 2-3 tail.
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  edges.Add(0, 2);
+  edges.Add(2, 3);
+  return Graph::FromEdgeList(std::move(edges));
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(GraphTest, BasicCounts) {
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree_sum(), 8u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(GraphTest, NeighborsSortedAscending) {
+  Graph g = TriangleWithTail();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::span<const NodeId> nbrs = g.Neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+  std::span<const NodeId> n2 = g.Neighbors(2);
+  ASSERT_EQ(n2.size(), 3u);
+  EXPECT_EQ(n2[0], 0u);
+  EXPECT_EQ(n2[1], 1u);
+  EXPECT_EQ(n2[2], 3u);
+}
+
+TEST(GraphTest, NeighborsByDegreeDescending) {
+  Graph g = TriangleWithTail();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::span<const NodeId> nbrs = g.NeighborsByDegree(v);
+    for (size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_GE(g.degree(nbrs[i - 1]), g.degree(nbrs[i]));
+    }
+  }
+  // Node 0's neighbours: 2 (deg 3) before 1 (deg 2).
+  std::span<const NodeId> n0 = g.NeighborsByDegree(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 2u);
+  EXPECT_EQ(n0[1], 1u);
+}
+
+TEST(GraphTest, ByDegreeViewIsPermutationOfNeighbors) {
+  Graph g = TriangleWithTail();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::vector<NodeId> a(g.Neighbors(v).begin(), g.Neighbors(v).end());
+    std::vector<NodeId> b(g.NeighborsByDegree(v).begin(),
+                          g.NeighborsByDegree(v).end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(GraphTest, HasEdge) {
+  Graph g = TriangleWithTail();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(3, 3));
+  EXPECT_FALSE(g.HasEdge(0, 99));  // out of range is just "no edge"
+}
+
+TEST(GraphTest, DuplicateAndLoopEdgesCollapse) {
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(1, 0);
+  edges.Add(0, 1);
+  edges.Add(1, 1);
+  Graph g = Graph::FromEdgeList(std::move(edges));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphTest, IsolatedNodesSupported) {
+  EdgeList edges(10);
+  edges.Add(0, 1);
+  Graph g = Graph::FromEdgeList(std::move(edges));
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.degree(5), 0u);
+  EXPECT_TRUE(g.Neighbors(5).empty());
+}
+
+TEST(GraphTest, CommonNeighborCount) {
+  // 0 and 1 share neighbours {2}; 0 and 3 share {2}.
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.CommonNeighborCount(0, 1), 1u);  // both adjacent to 2
+  EXPECT_EQ(g.CommonNeighborCount(0, 3), 1u);  // 2
+  EXPECT_EQ(g.CommonNeighborCount(1, 3), 1u);  // 2
+  EXPECT_EQ(g.CommonNeighborCount(2, 3), 0u);
+}
+
+TEST(GraphTest, CommonNeighborCountLargerCase) {
+  // Star centre 0 with leaves 1..5; extra edge 1-2.
+  EdgeList edges;
+  for (NodeId leaf = 1; leaf <= 5; ++leaf) edges.Add(0, leaf);
+  edges.Add(1, 2);
+  Graph g = Graph::FromEdgeList(std::move(edges));
+  EXPECT_EQ(g.CommonNeighborCount(1, 2), 1u);  // just 0
+  EXPECT_EQ(g.CommonNeighborCount(3, 4), 1u);  // 0
+  EXPECT_EQ(g.CommonNeighborCount(0, 1), 1u);  // 2
+}
+
+TEST(GraphTest, CopyAndMoveSemantics) {
+  Graph g = TriangleWithTail();
+  Graph copy = g;
+  EXPECT_EQ(copy.num_edges(), g.num_edges());
+  Graph moved = std::move(copy);
+  EXPECT_EQ(moved.num_edges(), g.num_edges());
+  EXPECT_TRUE(moved.HasEdge(0, 1));
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,124 @@
+#include "reconcile/graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/gen/erdos_renyi.h"
+
+namespace reconcile {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+bool SameGraph(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    std::span<const NodeId> na = a.Neighbors(u);
+    std::span<const NodeId> nb = b.Neighbors(u);
+    if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end())) return false;
+  }
+  return true;
+}
+
+TEST(GraphIoTest, TextRoundTrip) {
+  Graph g = GenerateErdosRenyi(200, 0.05, 3);
+  std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(WriteEdgeListText(g, path));
+  EdgeList edges;
+  ASSERT_TRUE(ReadEdgeListText(path, &edges));
+  // Node count from text lacks isolated trailing nodes; compare edges only.
+  Graph back = Graph::FromEdgeList(std::move(edges));
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, BinaryRoundTripExact) {
+  Graph g = GenerateErdosRenyi(300, 0.03, 5);
+  std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(WriteEdgeListBinary(g, path));
+  EdgeList edges;
+  ASSERT_TRUE(ReadEdgeListBinary(path, &edges));
+  Graph back = Graph::FromEdgeList(std::move(edges));
+  EXPECT_TRUE(SameGraph(g, back));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TextCommentsAndBlankLinesIgnored) {
+  std::string path = TempPath("comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# a comment\n\n0 1\n# another\n1 2\n";
+  }
+  EdgeList edges;
+  ASSERT_TRUE(ReadEdgeListText(path, &edges));
+  EXPECT_EQ(edges.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileFailsGracefully) {
+  EdgeList edges;
+  EXPECT_FALSE(ReadEdgeListText("/nonexistent/dir/file.txt", &edges));
+  EXPECT_FALSE(ReadEdgeListBinary("/nonexistent/dir/file.bin", &edges));
+}
+
+TEST(GraphIoTest, MalformedTextFails) {
+  std::string path = TempPath("malformed.txt");
+  {
+    std::ofstream out(path);
+    out << "0 notanumber\n";
+  }
+  EdgeList edges;
+  EXPECT_FALSE(ReadEdgeListText(path, &edges));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TruncatedBinaryFails) {
+  Graph g = GenerateErdosRenyi(100, 0.05, 9);
+  std::string path = TempPath("truncated.bin");
+  ASSERT_TRUE(WriteEdgeListBinary(g, path));
+  // Truncate the file to half.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(content.size() / 2));
+  }
+  EdgeList edges;
+  EXPECT_FALSE(ReadEdgeListBinary(path, &edges));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, BadMagicFails) {
+  std::string path = TempPath("badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    uint64_t junk[3] = {0xdeadbeef, 10, 1};
+    out.write(reinterpret_cast<const char*>(junk), sizeof(junk));
+    uint32_t pair[2] = {0, 1};
+    out.write(reinterpret_cast<const char*>(pair), sizeof(pair));
+  }
+  EdgeList edges;
+  EXPECT_FALSE(ReadEdgeListBinary(path, &edges));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrips) {
+  Graph g;
+  std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(WriteEdgeListBinary(g, path));
+  EdgeList edges;
+  ASSERT_TRUE(ReadEdgeListBinary(path, &edges));
+  EXPECT_EQ(edges.size(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,89 @@
+#include "reconcile/graph/permutation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/graph/graph.h"
+
+namespace reconcile {
+namespace {
+
+TEST(PermutationTest, IsAPermutation) {
+  Rng rng(5);
+  std::vector<NodeId> perm = RandomPermutation(100, &rng);
+  std::vector<NodeId> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(PermutationTest, DeterministicGivenRngState) {
+  Rng a(9), b(9);
+  EXPECT_EQ(RandomPermutation(50, &a), RandomPermutation(50, &b));
+}
+
+TEST(PermutationTest, ActuallyShuffles) {
+  Rng rng(1);
+  std::vector<NodeId> perm = RandomPermutation(1000, &rng);
+  size_t fixed_points = 0;
+  for (NodeId i = 0; i < 1000; ++i) {
+    if (perm[i] == i) ++fixed_points;
+  }
+  // Expected number of fixed points of a uniform permutation is 1.
+  EXPECT_LT(fixed_points, 10u);
+}
+
+TEST(PermutationTest, InverseComposesToIdentity) {
+  Rng rng(2);
+  std::vector<NodeId> perm = RandomPermutation(200, &rng);
+  std::vector<NodeId> inv = InvertPermutation(perm);
+  for (NodeId i = 0; i < 200; ++i) {
+    EXPECT_EQ(inv[perm[i]], i);
+    EXPECT_EQ(perm[inv[i]], i);
+  }
+}
+
+TEST(PermutationTest, EmptyPermutation) {
+  Rng rng(3);
+  EXPECT_TRUE(RandomPermutation(0, &rng).empty());
+  EXPECT_TRUE(InvertPermutation({}).empty());
+}
+
+TEST(RelabelTest, PreservesStructure) {
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  edges.Add(0, 2);
+  edges.Add(2, 3);
+  Rng rng(7);
+  std::vector<NodeId> perm = RandomPermutation(4, &rng);
+  EdgeList relabeled = RelabelEdges(edges, perm);
+
+  Graph original = Graph::FromEdgeList(edges);
+  Graph mapped = Graph::FromEdgeList(relabeled);
+  EXPECT_EQ(mapped.num_edges(), original.num_edges());
+  // Edge (u,v) in original iff (perm[u], perm[v]) in relabeled.
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      EXPECT_EQ(original.HasEdge(u, v), mapped.HasEdge(perm[u], perm[v]));
+    }
+  }
+  // Degrees transported through the permutation.
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_EQ(original.degree(u), mapped.degree(perm[u]));
+  }
+}
+
+TEST(RelabelTest, IdentityPermutationIsNoOp) {
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(2, 3);
+  std::vector<NodeId> identity(4);
+  std::iota(identity.begin(), identity.end(), 0);
+  EdgeList relabeled = RelabelEdges(edges, identity);
+  EXPECT_EQ(relabeled.edges(), edges.edges());
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,289 @@
+#include "reconcile/graph/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/gen/chung_lu.h"
+#include "reconcile/graph/algorithms.h"
+#include "reconcile/gen/erdos_renyi.h"
+#include "reconcile/gen/preferential_attachment.h"
+
+namespace reconcile {
+namespace {
+
+Graph PathGraph(NodeId n) {
+  EdgeList edges(n);
+  for (NodeId v = 0; v + 1 < n; ++v) edges.Add(v, v + 1);
+  return Graph::FromEdgeList(std::move(edges));
+}
+
+Graph CycleGraph(NodeId n) {
+  EdgeList edges(n);
+  for (NodeId v = 0; v < n; ++v) edges.Add(v, (v + 1) % n);
+  return Graph::FromEdgeList(std::move(edges));
+}
+
+Graph CompleteGraph(NodeId n) {
+  EdgeList edges(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) edges.Add(u, v);
+  return Graph::FromEdgeList(std::move(edges));
+}
+
+Graph StarGraph(NodeId leaves) {
+  EdgeList edges(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) edges.Add(0, v);
+  return Graph::FromEdgeList(std::move(edges));
+}
+
+// ----------------------------------------------------------------- k-cores
+
+TEST(CoreNumbersTest, PathIsOneCore) {
+  std::vector<NodeId> core = CoreNumbers(PathGraph(6));
+  for (NodeId c : core) EXPECT_EQ(c, 1u);
+}
+
+TEST(CoreNumbersTest, CompleteGraphCore) {
+  std::vector<NodeId> core = CoreNumbers(CompleteGraph(5));
+  for (NodeId c : core) EXPECT_EQ(c, 4u);
+  EXPECT_EQ(Degeneracy(CompleteGraph(5)), 4u);
+}
+
+TEST(CoreNumbersTest, StarLeavesAreOneCore) {
+  std::vector<NodeId> core = CoreNumbers(StarGraph(7));
+  EXPECT_EQ(core[0], 1u);  // hub peels with the leaves
+  for (NodeId v = 1; v <= 7; ++v) EXPECT_EQ(core[v], 1u);
+}
+
+TEST(CoreNumbersTest, TriangleWithTailMixedCores) {
+  // Triangle 0-1-2 plus a pendant path 2-3-4.
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  edges.Add(0, 2);
+  edges.Add(2, 3);
+  edges.Add(3, 4);
+  std::vector<NodeId> core = CoreNumbers(Graph::FromEdgeList(std::move(edges)));
+  EXPECT_EQ(core[0], 2u);
+  EXPECT_EQ(core[1], 2u);
+  EXPECT_EQ(core[2], 2u);
+  EXPECT_EQ(core[3], 1u);
+  EXPECT_EQ(core[4], 1u);
+}
+
+TEST(CoreNumbersTest, EmptyAndEdgelessGraphs) {
+  EXPECT_TRUE(CoreNumbers(Graph()).empty());
+  EdgeList edges(4);  // 4 isolated nodes
+  std::vector<NodeId> core = CoreNumbers(Graph::FromEdgeList(std::move(edges)));
+  for (NodeId c : core) EXPECT_EQ(c, 0u);
+  EXPECT_EQ(Degeneracy(Graph()), 0u);
+}
+
+TEST(CoreNumbersTest, CoreIsAtMostDegree) {
+  Graph g = GenerateErdosRenyi(400, 0.03, 11);
+  std::vector<NodeId> core = CoreNumbers(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_LE(core[v], g.degree(v));
+}
+
+TEST(CoreNumbersTest, KCoreSubgraphHasMinDegreeK) {
+  // Every node with core number >= k must have >= k neighbours whose core
+  // number is also >= k — the defining property of the k-core.
+  Graph g = GenerateErdosRenyi(300, 0.05, 5);
+  std::vector<NodeId> core = CoreNumbers(g);
+  const NodeId k = Degeneracy(g);
+  ASSERT_GE(k, 1u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (core[v] < k) continue;
+    NodeId in_core = 0;
+    for (NodeId u : g.Neighbors(v))
+      if (core[u] >= k) ++in_core;
+    EXPECT_GE(in_core, k) << "node " << v;
+  }
+}
+
+// ------------------------------------------------------------- clustering
+
+TEST(ClusteringStatsTest, LocalClusteringOfCompleteGraph) {
+  Graph g = CompleteGraph(6);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_DOUBLE_EQ(LocalClustering(g, v), 1.0);
+  EXPECT_DOUBLE_EQ(GlobalClustering(g), 1.0);
+}
+
+TEST(ClusteringStatsTest, PathHasZeroClustering) {
+  Graph g = PathGraph(8);
+  EXPECT_DOUBLE_EQ(GlobalClustering(g), 0.0);
+  EXPECT_DOUBLE_EQ(LocalClustering(g, 1), 0.0);
+}
+
+TEST(ClusteringStatsTest, DegreeOneNodeIsZero) {
+  Graph g = StarGraph(3);
+  EXPECT_DOUBLE_EQ(LocalClustering(g, 1), 0.0);
+}
+
+TEST(ClusteringStatsTest, WedgeCounts) {
+  EXPECT_EQ(CountWedges(PathGraph(4)), 2u);      // two interior nodes
+  EXPECT_EQ(CountWedges(StarGraph(4)), 6u);      // C(4,2) at the hub
+  EXPECT_EQ(CountWedges(CompleteGraph(4)), 12u); // 4 * C(3,2)
+}
+
+TEST(ClusteringStatsTest, GlobalMatchesTriangleWedgeRatio) {
+  Graph g = GenerateErdosRenyi(200, 0.08, 3);
+  const size_t wedges = CountWedges(g);
+  ASSERT_GT(wedges, 0u);
+  EXPECT_NEAR(GlobalClustering(g),
+              3.0 * static_cast<double>(CountTriangles(g)) / wedges, 1e-12);
+}
+
+// ---------------------------------------------------------- assortativity
+
+TEST(AssortativityTest, RegularGraphUndefinedIsZero) {
+  // Every node of a cycle has degree 2: zero variance => defined as 0.
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(CycleGraph(10)), 0.0);
+}
+
+TEST(AssortativityTest, StarIsPerfectlyDisassortative) {
+  EXPECT_NEAR(DegreeAssortativity(StarGraph(8)), -1.0, 1e-9);
+}
+
+TEST(AssortativityTest, WithinBounds) {
+  Graph g = GeneratePreferentialAttachment(2000, 3, 17);
+  const double r = DegreeAssortativity(g);
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+  // PA graphs are known to be non-assortative-to-disassortative.
+  EXPECT_LT(r, 0.2);
+}
+
+// -------------------------------------------------------------- diameter
+
+TEST(DiameterTest, PathDiameterExact) {
+  // Double sweep is exact on trees.
+  EXPECT_EQ(DiameterDoubleSweep(PathGraph(10), 4), 9u);
+}
+
+TEST(DiameterTest, CompleteGraphDiameterOne) {
+  EXPECT_EQ(DiameterDoubleSweep(CompleteGraph(5), 0), 1u);
+}
+
+TEST(DiameterTest, CycleLowerBound) {
+  const uint32_t d = DiameterDoubleSweep(CycleGraph(12), 0);
+  EXPECT_GE(d, 5u);  // true diameter 6; sweep gives >= radius
+  EXPECT_LE(d, 6u);
+}
+
+// -------------------------------------------------------------- power law
+
+TEST(PowerLawTest, TooSmallTailUndefined) {
+  PowerLawFit fit = FitPowerLaw(PathGraph(5), 1);
+  EXPECT_EQ(fit.alpha, 0.0);
+}
+
+TEST(PowerLawTest, RecoverySyntheticExponent) {
+  // Chung–Lu with exponent 2.5 should fit alpha in a sane band around 2.5.
+  Graph g = GenerateChungLu(PowerLawWeights(30000, 2.5, 12.0), 29);
+  PowerLawFit fit = FitPowerLaw(g, 10);
+  ASSERT_GT(fit.tail_size, 100u);
+  EXPECT_GT(fit.alpha, 2.0);
+  EXPECT_LT(fit.alpha, 3.2);
+}
+
+TEST(PowerLawTest, ErdosRenyiFitsSteepTail) {
+  // ER degree tails decay faster than any power law; the MLE returns a
+  // large alpha rather than a scale-free-looking 2-3.
+  Graph g = GenerateErdosRenyi(20000, 8.0 / 20000, 31);
+  PowerLawFit fit = FitPowerLaw(g, 8);
+  if (fit.alpha > 0.0) {
+    EXPECT_GT(fit.alpha, 3.0);
+  }
+}
+
+// -------------------------------------------------------------- ccdf etc.
+
+TEST(CcdfTest, MonotoneAndNormalized) {
+  Graph g = GenerateErdosRenyi(500, 0.02, 23);
+  std::vector<double> ccdf = DegreeCcdf(g);
+  ASSERT_FALSE(ccdf.empty());
+  EXPECT_DOUBLE_EQ(ccdf[0], 1.0);
+  for (size_t d = 1; d < ccdf.size(); ++d) EXPECT_LE(ccdf[d], ccdf[d - 1]);
+  EXPECT_DOUBLE_EQ(ccdf.back(), 0.0);
+}
+
+TEST(CcdfTest, StarCcdf) {
+  std::vector<double> ccdf = DegreeCcdf(StarGraph(4));  // degrees 4,1,1,1,1
+  ASSERT_EQ(ccdf.size(), 6u);
+  EXPECT_DOUBLE_EQ(ccdf[1], 1.0);
+  EXPECT_DOUBLE_EQ(ccdf[2], 0.2);
+  EXPECT_DOUBLE_EQ(ccdf[4], 0.2);
+  EXPECT_DOUBLE_EQ(ccdf[5], 0.0);
+}
+
+TEST(PercentileTest, MedianOfPath) {
+  // Path(4) degrees sorted: 1,1,2,2.
+  Graph g = PathGraph(4);
+  EXPECT_EQ(DegreePercentile(g, 0.0), 1u);
+  EXPECT_EQ(DegreePercentile(g, 50.0), 2u);
+  EXPECT_EQ(DegreePercentile(g, 100.0), 2u);
+}
+
+TEST(PercentileTest, UniformDegreeGraph) {
+  Graph g = CycleGraph(9);
+  EXPECT_EQ(DegreePercentile(g, 10.0), 2u);
+  EXPECT_EQ(DegreePercentile(g, 90.0), 2u);
+}
+
+// ------------------------------------------------------- full stats block
+
+TEST(ComputeStatisticsTest, EmptyGraph) {
+  GraphStatistics s = ComputeStatistics(Graph());
+  EXPECT_EQ(s.num_nodes, 0u);
+  EXPECT_EQ(s.num_edges, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 0.0);
+}
+
+TEST(ComputeStatisticsTest, CompleteGraphBlock) {
+  GraphStatistics s = ComputeStatistics(CompleteGraph(6));
+  EXPECT_EQ(s.num_nodes, 6u);
+  EXPECT_EQ(s.num_edges, 15u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 5.0);
+  EXPECT_EQ(s.max_degree, 5u);
+  EXPECT_EQ(s.median_degree, 5u);
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_DOUBLE_EQ(s.largest_component_frac, 1.0);
+  EXPECT_DOUBLE_EQ(s.global_clustering, 1.0);
+  EXPECT_EQ(s.num_triangles, 20u);
+  EXPECT_EQ(s.degeneracy, 5u);
+  EXPECT_EQ(s.diameter_lower_bound, 1u);
+  EXPECT_DOUBLE_EQ(s.frac_degree_le5, 1.0);
+}
+
+TEST(ComputeStatisticsTest, SampledClusteringCloseToExact) {
+  Graph g = GenerateErdosRenyi(400, 0.05, 41);
+  StatisticsOptions exact;
+  StatisticsOptions sampled;
+  sampled.max_exact_wedges = 1;  // force sampling
+  sampled.clustering_samples = 100000;
+  const double cc_exact = ComputeStatistics(g, exact).global_clustering;
+  const double cc_sampled = ComputeStatistics(g, sampled).global_clustering;
+  EXPECT_NEAR(cc_exact, cc_sampled, 0.02);
+}
+
+TEST(ComputeStatisticsTest, DeterministicForFixedSeed) {
+  Graph g = GeneratePreferentialAttachment(1000, 4, 5);
+  GraphStatistics a = ComputeStatistics(g);
+  GraphStatistics b = ComputeStatistics(g);
+  EXPECT_EQ(a.diameter_lower_bound, b.diameter_lower_bound);
+  EXPECT_DOUBLE_EQ(a.global_clustering, b.global_clustering);
+  EXPECT_DOUBLE_EQ(a.degree_assortativity, b.degree_assortativity);
+}
+
+TEST(ComputeStatisticsTest, SummaryMentionsCounts) {
+  GraphStatistics s = ComputeStatistics(CompleteGraph(4));
+  const std::string line = SummarizeStatistics(s);
+  EXPECT_NE(line.find("n=4"), std::string::npos);
+  EXPECT_NE(line.find("m=6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,141 @@
+// End-to-end pipeline tests: model -> two copies -> seeds -> matcher ->
+// metrics, across every sampling model at laptop-test scale. These mirror
+// the paper's experimental setups qualitatively.
+#include <gtest/gtest.h>
+
+#include "reconcile/baseline/common_neighbors.h"
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/datasets.h"
+#include "reconcile/eval/experiment.h"
+#include "reconcile/eval/metrics.h"
+#include "reconcile/gen/erdos_renyi.h"
+#include "reconcile/gen/preferential_attachment.h"
+#include "reconcile/sampling/attack.h"
+#include "reconcile/sampling/cascade.h"
+#include "reconcile/sampling/community.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/sampling/timeslice.h"
+#include "reconcile/seed/seeding.h"
+
+namespace reconcile {
+namespace {
+
+SeedOptions Fraction(double l) {
+  SeedOptions options;
+  options.fraction = l;
+  return options;
+}
+
+TEST(EndToEndTest, ErdosRenyiIndependentDeletionPerfectPrecision) {
+  // Theory regime (§4.1): nps well above log n, threshold 3.
+  Graph g = GenerateErdosRenyi(2000, 0.02, 101);
+  IndependentSampleOptions sample;
+  sample.s1 = sample.s2 = 0.5;
+  RealizationPair pair = SampleIndependent(g, sample, 102);
+  MatcherConfig config;
+  config.min_score = 3;
+  ExperimentResult r = RunMatcherExperiment(pair, Fraction(0.1), config, 103);
+  // The paper proves zero errors asymptotically; at n=2000 a handful of
+  // coincidental 3-witness pairs can appear. Demand near-perfection.
+  EXPECT_GE(r.quality.precision, 0.995);
+  EXPECT_GT(r.quality.recall_all, 0.9);
+}
+
+TEST(EndToEndTest, PreferentialAttachmentIndependentDeletion) {
+  // Fig. 2 regime scaled down: PA with m=20, s=0.5.
+  Graph g = GeneratePreferentialAttachment(10000, 20, 104);
+  RealizationPair pair = SampleIndependent(g, {}, 105);
+  MatcherConfig config;
+  config.min_score = 2;
+  ExperimentResult r = RunMatcherExperiment(pair, Fraction(0.05), config, 106);
+  EXPECT_GE(r.quality.precision, 0.995);
+  EXPECT_GT(r.quality.recall_all, 0.8);
+}
+
+TEST(EndToEndTest, CascadeModelNearPerfect) {
+  // Fig. 3 regime: cascade copies of a dense social graph.
+  Graph g = MakeFacebookStandin(0.1, 107);
+  CascadeSampleOptions cascade;
+  cascade.p = 0.05;
+  RealizationPair pair = SampleCascade(g, cascade, 108);
+  MatcherConfig config;
+  config.min_score = 2;
+  ExperimentResult r = RunMatcherExperiment(pair, Fraction(0.1), config, 109);
+  EXPECT_GE(r.quality.precision, 0.99);
+  EXPECT_GT(r.quality.recall_all, 0.7);
+}
+
+TEST(EndToEndTest, CorrelatedCommunityDeletion) {
+  // Table 4 regime: affiliation network, interests dropped wholesale.
+  AffiliationNetwork net = MakeAffiliationStandin(0.05, 110);
+  RealizationPair pair = SampleCommunity(net, 0.25, 111);
+  MatcherConfig config;
+  config.min_score = 3;
+  ExperimentResult r = RunMatcherExperiment(pair, Fraction(0.1), config, 112);
+  EXPECT_GE(r.quality.precision, 0.98);
+  EXPECT_GT(r.quality.recall_all, 0.5);
+}
+
+TEST(EndToEndTest, TimesliceCopiesStillMatchable) {
+  // Table 5 regime: even/odd slices share no sampling randomness.
+  Graph g = MakeGowallaStandin(0.2, 113);
+  TimesliceOptions slices;
+  slices.repeat_lambda = 2.0;
+  RealizationPair pair = SampleTimeslice(g, slices, 114);
+  MatcherConfig config;
+  config.min_score = 2;
+  ExperimentResult r = RunMatcherExperiment(pair, Fraction(0.1), config, 115);
+  EXPECT_GT(r.quality.precision, 0.9);
+  EXPECT_GT(r.quality.new_good, 100u);
+}
+
+TEST(EndToEndTest, AttackDoesNotBreakPrecision) {
+  // §5 attack regime: sybil clones attached with p=0.5.
+  Graph g = MakeFacebookStandin(0.05, 116);
+  IndependentSampleOptions sample;
+  sample.s1 = sample.s2 = 0.75;
+  RealizationPair pair = SampleIndependent(g, sample, 117);
+  RealizationPair attacked = ApplyAttack(pair, {}, 118);
+  MatcherConfig config;
+  config.min_score = 2;
+  ExperimentResult r =
+      RunMatcherExperiment(attacked, Fraction(0.1), config, 119);
+  EXPECT_GT(r.quality.precision, 0.97);
+  EXPECT_GT(r.quality.recall_all, 0.6);
+}
+
+TEST(EndToEndTest, WikipediaStylePairDegradesGracefully) {
+  // Hardest regime: asymmetric sizes + noise edges; error rate may be
+  // nonzero (paper: 17.5%) but must stay far from random.
+  RealizationPair pair = MakeWikipediaPair(0.1, 120);
+  MatcherConfig config;
+  config.min_score = 3;
+  ExperimentResult r = RunMatcherExperiment(pair, Fraction(0.1), config, 121);
+  EXPECT_GT(r.quality.precision, 0.7);
+  EXPECT_GT(r.quality.new_good, 100u);
+}
+
+TEST(EndToEndTest, ExperimentDriverReportsTimings) {
+  Graph g = GenerateErdosRenyi(500, 0.03, 122);
+  RealizationPair pair = SampleIndependent(g, {}, 123);
+  ExperimentResult r =
+      RunMatcherExperiment(pair, Fraction(0.1), MatcherConfig{}, 124);
+  EXPECT_GE(r.match_seconds, 0.0);
+  EXPECT_GE(r.seed_seconds, 0.0);
+  EXPECT_EQ(r.quality.num_seeds, r.match.seeds.size());
+}
+
+TEST(EndToEndTest, RepeatedRunsAreIdentical) {
+  Graph g = GeneratePreferentialAttachment(2000, 10, 125);
+  RealizationPair pair = SampleIndependent(g, {}, 126);
+  ExperimentResult a =
+      RunMatcherExperiment(pair, Fraction(0.1), MatcherConfig{}, 127);
+  ExperimentResult b =
+      RunMatcherExperiment(pair, Fraction(0.1), MatcherConfig{}, 127);
+  EXPECT_EQ(a.match.map_1to2, b.match.map_1to2);
+  EXPECT_EQ(a.quality.new_good, b.quality.new_good);
+  EXPECT_EQ(a.quality.new_bad, b.quality.new_bad);
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,150 @@
+// Statistical validations of the paper's theory section (§4) on sampled
+// graphs with fixed seeds and comfortable margins.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/core/witness.h"
+#include "reconcile/gen/erdos_renyi.h"
+#include "reconcile/gen/preferential_attachment.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/seed/seeding.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+namespace {
+
+// Theorem 1's engine: in G(n,p), the expected first-phase witness count of
+// a true pair is (n-1)·p·s²·l while a false pair gets (n-2)·p²·s²·l — a
+// factor-p gap. We verify the measured means realize that gap (the w.h.p.
+// min/max separation only kicks in at asymptotic sizes the test cannot run).
+TEST(TheoryTest, Theorem1WitnessGapOnErdosRenyi) {
+  const NodeId n = 2000;
+  const double p = 0.05;
+  const double s = 0.5, l = 0.2;
+  Graph g = GenerateErdosRenyi(n, p, 201);
+  IndependentSampleOptions sample;
+  sample.s1 = sample.s2 = s;
+  RealizationPair pair = SampleIndependent(g, sample, 202);
+  SeedOptions seeds_options;
+  seeds_options.fraction = l;
+  auto seeds = GenerateSeeds(pair, seeds_options, 203);
+
+  // Build the first-phase link map (seeds only).
+  std::vector<NodeId> links(pair.g1.num_nodes(), kInvalidNode);
+  std::vector<char> seeded(pair.g1.num_nodes(), 0);
+  for (const auto& [u, v] : seeds) {
+    links[u] = v;
+    seeded[u] = 1;
+  }
+
+  Rng rng(204);
+  double true_sum = 0, false_sum = 0;
+  int true_n = 0, false_n = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    if (seeded[u]) continue;
+    NodeId truth = pair.map_1to2[u];
+    true_sum += CountSimilarityWitnesses(pair.g1, pair.g2, links, u, truth);
+    ++true_n;
+    NodeId other = static_cast<NodeId>(rng.UniformInt(n));
+    if (other == truth) continue;
+    false_sum += CountSimilarityWitnesses(pair.g1, pair.g2, links, u, other);
+    ++false_n;
+  }
+  double true_mean = true_sum / true_n;
+  double false_mean = false_sum / std::max(1, false_n);
+  // Theory: true ≈ n·p·s²·l = 5, false ≈ n·p²·s²·l = 0.25 (ratio 1/p = 20).
+  EXPECT_NEAR(true_mean, n * p * s * s * l, 0.15 * n * p * s * s * l);
+  EXPECT_GT(true_mean, 8 * false_mean);
+}
+
+// Lemma 10 analogue: in PA graphs, two distinct low-degree nodes share very
+// few neighbours (the paper proves <= 8 w.h.p. for degree < log^3 n).
+TEST(TheoryTest, Lemma10LowDegreePairsShareFewNeighbors) {
+  Graph g = GeneratePreferentialAttachment(20000, 10, 205);
+  const double log3 = std::pow(std::log(static_cast<double>(g.num_nodes())), 3);
+  Rng rng(206);
+  size_t violations = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    if (u == v) continue;
+    if (g.degree(u) >= log3 || g.degree(v) >= log3) continue;
+    if (g.CommonNeighborCount(u, v) > 8) ++violations;
+  }
+  EXPECT_EQ(violations, 0u);
+}
+
+// Lemma 5/7 (early birds / first movers): nodes arriving before ~n^0.3 end
+// with degree far above the median.
+TEST(TheoryTest, FirstMoverAdvantage) {
+  const NodeId n = 30000;
+  Graph g = GeneratePreferentialAttachment(n, 10, 207);
+  NodeId early_cutoff = static_cast<NodeId>(std::pow(n, 0.3));
+  std::vector<NodeId> degrees(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degrees[v] = g.degree(v);
+  std::nth_element(degrees.begin(), degrees.begin() + n / 2, degrees.end());
+  NodeId median = degrees[n / 2];
+  for (NodeId v = 0; v < early_cutoff; ++v) {
+    EXPECT_GT(g.degree(v), 3 * median) << "early node " << v;
+  }
+}
+
+// Lemma 6 (rich get richer): high-degree nodes keep acquiring neighbours;
+// at least 1/3 of a top node's neighbours arrive in the last (1-eps) of the
+// process. Arrival time == node id in our generator.
+TEST(TheoryTest, RichGetRicherLateNeighbors) {
+  const NodeId n = 30000;
+  Graph g = GeneratePreferentialAttachment(n, 10, 208);
+  const NodeId eps_time = n / 10;
+  // Top-degree node:
+  NodeId hub = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (g.degree(v) > g.degree(hub)) hub = v;
+  }
+  size_t late = 0;
+  for (NodeId w : g.Neighbors(hub)) {
+    if (w >= eps_time) ++late;
+  }
+  EXPECT_GT(static_cast<double>(late),
+            static_cast<double>(g.degree(hub)) / 3.0);
+}
+
+// §4.1 (Theorem 4 flavour): in the ER regime the first phase already
+// identifies nearly all nodes when run to completion; checked through the
+// full matcher in integration tests — here we verify the witness
+// expectation scaling that drives it: true-pair witness counts concentrate
+// around (n-1) p s^2 l.
+TEST(TheoryTest, WitnessCountConcentration) {
+  const NodeId n = 3000;
+  const double p = 0.04, s = 0.5, l = 0.3;
+  Graph g = GenerateErdosRenyi(n, p, 209);
+  IndependentSampleOptions sample;
+  sample.s1 = sample.s2 = s;
+  RealizationPair pair = SampleIndependent(g, sample, 210);
+  SeedOptions seed_options;
+  seed_options.fraction = l;
+  auto seeds = GenerateSeeds(pair, seed_options, 211);
+  std::vector<NodeId> links(pair.g1.num_nodes(), kInvalidNode);
+  for (const auto& [u, v] : seeds) links[u] = v;
+
+  double expected = (n - 1) * p * s * s * l;
+  Rng rng(212);
+  double sum = 0;
+  int samples = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    if (links[u] != kInvalidNode) continue;
+    sum += CountSimilarityWitnesses(pair.g1, pair.g2, links, u,
+                                    pair.map_1to2[u]);
+    ++samples;
+  }
+  ASSERT_GT(samples, 100);
+  double mean = sum / samples;
+  EXPECT_NEAR(mean, expected, 0.15 * expected);
+}
+
+}  // namespace
+}  // namespace reconcile

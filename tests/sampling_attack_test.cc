@@ -1,0 +1,103 @@
+#include "reconcile/sampling/attack.h"
+
+#include <gtest/gtest.h>
+
+#include "reconcile/gen/erdos_renyi.h"
+#include "reconcile/sampling/independent.h"
+
+namespace reconcile {
+namespace {
+
+RealizationPair BasePair(uint64_t seed) {
+  Graph g = GenerateErdosRenyi(1000, 0.02, seed);
+  IndependentSampleOptions options;
+  options.s1 = options.s2 = 0.75;
+  return SampleIndependent(g, options, seed + 1);
+}
+
+TEST(AttackTest, DoublesNodeCount) {
+  RealizationPair base = BasePair(3);
+  RealizationPair attacked = ApplyAttack(base, {}, 5);
+  EXPECT_EQ(attacked.g1.num_nodes(), 2 * base.g1.num_nodes());
+  EXPECT_EQ(attacked.g2.num_nodes(), 2 * base.g2.num_nodes());
+}
+
+TEST(AttackTest, OriginalEdgesPreserved) {
+  RealizationPair base = BasePair(7);
+  RealizationPair attacked = ApplyAttack(base, {}, 9);
+  for (NodeId u = 0; u < base.g1.num_nodes(); ++u) {
+    for (NodeId v : base.g1.Neighbors(u)) {
+      if (v > u) {
+        ASSERT_TRUE(attacked.g1.HasEdge(u, v));
+      }
+    }
+  }
+}
+
+TEST(AttackTest, SybilDegreeTracksAttachProbability) {
+  RealizationPair base = BasePair(11);
+  AttackOptions options;
+  options.attach_prob = 0.5;
+  RealizationPair attacked = ApplyAttack(base, options, 13);
+  const NodeId n = base.g1.num_nodes();
+  size_t sybil_degree_sum = 0, original_degree_sum = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    sybil_degree_sum += attacked.g1.degree(n + v);
+    original_degree_sum += base.g1.degree(v);
+  }
+  // Each clone copies each neighbour edge w.p. 0.5.
+  EXPECT_NEAR(static_cast<double>(sybil_degree_sum),
+              0.5 * static_cast<double>(original_degree_sum),
+              0.05 * static_cast<double>(original_degree_sum) + 10);
+}
+
+TEST(AttackTest, SybilsOnlyConnectToVictimsNeighbors) {
+  RealizationPair base = BasePair(17);
+  RealizationPair attacked = ApplyAttack(base, {}, 19);
+  const NodeId n = base.g1.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u : attacked.g1.Neighbors(n + v)) {
+      ASSERT_LT(u, n);  // sybils never befriend sybils in this model
+      ASSERT_TRUE(base.g1.HasEdge(u, v))
+          << "clone of " << v << " linked to non-neighbour " << u;
+    }
+  }
+}
+
+TEST(AttackTest, SybilsHaveNoGroundTruth) {
+  RealizationPair base = BasePair(23);
+  RealizationPair attacked = ApplyAttack(base, {}, 29);
+  const NodeId n1 = base.g1.num_nodes();
+  for (NodeId v = n1; v < attacked.g1.num_nodes(); ++v) {
+    EXPECT_EQ(attacked.map_1to2[v], kInvalidNode);
+  }
+  // Originals keep theirs.
+  for (NodeId v = 0; v < n1; ++v) {
+    EXPECT_EQ(attacked.map_1to2[v], base.map_1to2[v]);
+  }
+}
+
+TEST(AttackTest, OneSidedAttackLeavesG2Untouched) {
+  RealizationPair base = BasePair(31);
+  AttackOptions options;
+  options.attack_both_copies = false;
+  RealizationPair attacked = ApplyAttack(base, options, 33);
+  EXPECT_EQ(attacked.g2.num_nodes(), base.g2.num_nodes());
+  EXPECT_EQ(attacked.g2.num_edges(), base.g2.num_edges());
+  EXPECT_EQ(attacked.g1.num_nodes(), 2 * base.g1.num_nodes());
+}
+
+TEST(AttackTest, ZeroAttachProbMakesIsolatedSybils) {
+  RealizationPair base = BasePair(37);
+  AttackOptions options;
+  options.attach_prob = 0.0;
+  RealizationPair attacked = ApplyAttack(base, options, 39);
+  const NodeId n = base.g1.num_nodes();
+  for (NodeId v = n; v < attacked.g1.num_nodes(); ++v) {
+    EXPECT_EQ(attacked.g1.degree(v), 0u);
+  }
+  EXPECT_EQ(attacked.g1.num_edges(), base.g1.num_edges());
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,90 @@
+#include "reconcile/sampling/cascade.h"
+
+#include <gtest/gtest.h>
+
+#include "reconcile/gen/chung_lu.h"
+#include "reconcile/graph/algorithms.h"
+
+namespace reconcile {
+namespace {
+
+Graph DenseSocialGraph() {
+  // Average degree ~40 so a p=0.05 cascade is supercritical.
+  std::vector<double> w = PowerLawWeights(5000, 2.5, 40.0);
+  return GenerateChungLu(w, 99);
+}
+
+TEST(CascadeSamplingTest, CopiesAreInducedSubgraphs) {
+  Graph g = DenseSocialGraph();
+  CascadeSampleOptions options;
+  RealizationPair pair = SampleCascade(g, options, 3);
+  // Edges of g1 are underlying edges (side 1 keeps underlying labels).
+  for (NodeId u = 0; u < pair.g1.num_nodes(); ++u) {
+    for (NodeId v : pair.g1.Neighbors(u)) {
+      if (v > u) {
+        ASSERT_TRUE(g.HasEdge(u, v));
+      }
+    }
+  }
+}
+
+TEST(CascadeSamplingTest, InducednessHolds) {
+  // A node with degree >= 1 in the copy was necessarily joined; thus any
+  // underlying edge between two such nodes must be present in the copy
+  // (the copy is the *induced* subgraph on the joined set).
+  Graph g = DenseSocialGraph();
+  RealizationPair pair = SampleCascade(g, {}, 5);
+  ASSERT_GT(pair.g1.num_edges(), 0u);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (pair.g1.degree(u) == 0) continue;
+    for (NodeId v : g.Neighbors(u)) {
+      if (v <= u || pair.g1.degree(v) == 0) continue;
+      ASSERT_TRUE(pair.g1.HasEdge(u, v)) << u << "," << v;
+    }
+  }
+}
+
+TEST(CascadeSamplingTest, SupercriticalCascadeCoversManyNodes) {
+  Graph g = DenseSocialGraph();
+  CascadeSampleOptions options;
+  options.p = 0.05;
+  RealizationPair pair = SampleCascade(g, options, 7);
+  // Expected branching factor ~2 => giant cascades.
+  size_t nonzero1 = 0;
+  for (NodeId u = 0; u < pair.g1.num_nodes(); ++u) {
+    if (pair.g1.degree(u) > 0) ++nonzero1;
+  }
+  EXPECT_GT(nonzero1, g.num_nodes() / 10);
+  EXPECT_GT(pair.NumIdentifiable(), g.num_nodes() / 20);
+}
+
+TEST(CascadeSamplingTest, IntersectionMapsOnlySharedNodes) {
+  Graph g = DenseSocialGraph();
+  RealizationPair pair = SampleCascade(g, {}, 9);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    NodeId v = pair.map_1to2[u];
+    if (v == kInvalidNode) continue;
+    EXPECT_EQ(pair.map_2to1[v], u);
+  }
+}
+
+TEST(CascadeSamplingTest, HigherPSpreadsFurther) {
+  Graph g = DenseSocialGraph();
+  CascadeSampleOptions low, high;
+  low.p = 0.03;
+  high.p = 0.30;
+  RealizationPair small = SampleCascade(g, low, 11);
+  RealizationPair big = SampleCascade(g, high, 11);
+  EXPECT_GT(big.g1.num_edges(), small.g1.num_edges());
+}
+
+TEST(CascadeSamplingTest, Deterministic) {
+  Graph g = DenseSocialGraph();
+  RealizationPair a = SampleCascade(g, {}, 13);
+  RealizationPair b = SampleCascade(g, {}, 13);
+  EXPECT_EQ(a.g1.num_edges(), b.g1.num_edges());
+  EXPECT_EQ(a.map_1to2, b.map_1to2);
+}
+
+}  // namespace
+}  // namespace reconcile

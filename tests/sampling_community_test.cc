@@ -1,0 +1,78 @@
+#include "reconcile/sampling/community.h"
+
+#include <gtest/gtest.h>
+
+namespace reconcile {
+namespace {
+
+AffiliationNetwork SmallNet(uint64_t seed) {
+  AffiliationParams params;
+  params.num_users = 800;
+  return AffiliationNetwork::Generate(params, seed);
+}
+
+TEST(CommunitySamplingTest, ZeroDeletionKeepsFullFold) {
+  AffiliationNetwork net = SmallNet(3);
+  RealizationPair pair = SampleCommunity(net, 0.0, 5);
+  Graph full = net.Fold();
+  EXPECT_EQ(pair.g1.num_edges(), full.num_edges());
+  EXPECT_EQ(pair.g2.num_edges(), full.num_edges());
+}
+
+TEST(CommunitySamplingTest, FullDeletionRemovesEverything) {
+  AffiliationNetwork net = SmallNet(7);
+  RealizationPair pair = SampleCommunity(net, 1.0, 9);
+  EXPECT_EQ(pair.g1.num_edges(), 0u);
+  EXPECT_EQ(pair.g2.num_edges(), 0u);
+}
+
+TEST(CommunitySamplingTest, CopiesAreSubgraphsOfFold) {
+  AffiliationNetwork net = SmallNet(11);
+  RealizationPair pair = SampleCommunity(net, 0.25, 13);
+  Graph full = net.Fold();
+  for (NodeId u = 0; u < pair.g1.num_nodes(); ++u) {
+    for (NodeId v : pair.g1.Neighbors(u)) {
+      if (v > u) {
+        ASSERT_TRUE(full.HasEdge(u, v));
+      }
+    }
+  }
+  EXPECT_LT(pair.g1.num_edges(), full.num_edges());
+  EXPECT_GT(pair.g1.num_edges(), 0u);
+}
+
+TEST(CommunitySamplingTest, CopiesDifferFromEachOther) {
+  AffiliationNetwork net = SmallNet(17);
+  RealizationPair pair = SampleCommunity(net, 0.25, 19);
+  // Independent interest deletion: pull g2 edges back through the ground
+  // truth and compare with g1 — they should not coincide.
+  size_t only2 = 0;
+  for (NodeId u2 = 0; u2 < pair.g2.num_nodes(); ++u2) {
+    NodeId u = pair.map_2to1[u2];
+    for (NodeId v2 : pair.g2.Neighbors(u2)) {
+      if (v2 <= u2) continue;
+      NodeId v = pair.map_2to1[v2];
+      if (!pair.g1.HasEdge(u, v)) ++only2;
+    }
+  }
+  EXPECT_GT(only2, 0u);
+}
+
+TEST(CommunitySamplingTest, AllUsersMapped) {
+  AffiliationNetwork net = SmallNet(21);
+  RealizationPair pair = SampleCommunity(net, 0.25, 23);
+  for (NodeId u = 0; u < net.num_users(); ++u) {
+    EXPECT_NE(pair.map_1to2[u], kInvalidNode);
+  }
+}
+
+TEST(CommunitySamplingTest, Deterministic) {
+  AffiliationNetwork net = SmallNet(31);
+  RealizationPair a = SampleCommunity(net, 0.25, 33);
+  RealizationPair b = SampleCommunity(net, 0.25, 33);
+  EXPECT_EQ(a.g1.num_edges(), b.g1.num_edges());
+  EXPECT_EQ(a.map_1to2, b.map_1to2);
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,164 @@
+#include "reconcile/sampling/independent.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/gen/erdos_renyi.h"
+
+namespace reconcile {
+namespace {
+
+Graph TestGraph() { return GenerateErdosRenyi(2000, 0.01, 42); }
+
+TEST(IndependentSamplingTest, GroundTruthMapsAreConsistent) {
+  Graph g = TestGraph();
+  IndependentSampleOptions options;
+  RealizationPair pair = SampleIndependent(g, options, 7);
+  ASSERT_EQ(pair.map_1to2.size(), g.num_nodes());
+  ASSERT_EQ(pair.map_2to1.size(), g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    NodeId v = pair.map_1to2[u];
+    ASSERT_NE(v, kInvalidNode);
+    ASSERT_EQ(pair.map_2to1[v], u);
+  }
+}
+
+TEST(IndependentSamplingTest, EdgeSurvivalRateMatchesS) {
+  Graph g = TestGraph();
+  IndependentSampleOptions options;
+  options.s1 = 0.7;
+  options.s2 = 0.3;
+  RealizationPair pair = SampleIndependent(g, options, 9);
+  double rate1 = static_cast<double>(pair.g1.num_edges()) / g.num_edges();
+  double rate2 = static_cast<double>(pair.g2.num_edges()) / g.num_edges();
+  EXPECT_NEAR(rate1, 0.7, 0.05);
+  EXPECT_NEAR(rate2, 0.3, 0.05);
+}
+
+TEST(IndependentSamplingTest, CopiesAreSubgraphsUnderTruth) {
+  Graph g = TestGraph();
+  IndependentSampleOptions options;
+  RealizationPair pair = SampleIndependent(g, options, 11);
+  // Every edge of g1 is an edge of g (same labels on side 1).
+  for (NodeId u = 0; u < pair.g1.num_nodes(); ++u) {
+    for (NodeId v : pair.g1.Neighbors(u)) {
+      if (v > u) {
+        EXPECT_TRUE(g.HasEdge(u, v));
+      }
+    }
+  }
+  // Every edge of g2, pulled back through the ground truth, is in g.
+  for (NodeId u2 = 0; u2 < pair.g2.num_nodes(); ++u2) {
+    NodeId u = pair.map_2to1[u2];
+    for (NodeId v2 : pair.g2.Neighbors(u2)) {
+      if (v2 < u2) continue;
+      NodeId v = pair.map_2to1[v2];
+      EXPECT_TRUE(g.HasEdge(u, v));
+    }
+  }
+}
+
+TEST(IndependentSamplingTest, G2LabelsArePermuted) {
+  Graph g = TestGraph();
+  RealizationPair pair = SampleIndependent(g, {}, 13);
+  size_t fixed = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (pair.map_1to2[u] == u) ++fixed;
+  }
+  EXPECT_LT(fixed, 20u);  // a uniform permutation has ~1 fixed point
+}
+
+TEST(IndependentSamplingTest, SFullKeepsEverything) {
+  Graph g = TestGraph();
+  IndependentSampleOptions options;
+  options.s1 = 1.0;
+  options.s2 = 1.0;
+  RealizationPair pair = SampleIndependent(g, options, 17);
+  EXPECT_EQ(pair.g1.num_edges(), g.num_edges());
+  EXPECT_EQ(pair.g2.num_edges(), g.num_edges());
+}
+
+TEST(IndependentSamplingTest, SZeroDropsEverything) {
+  Graph g = TestGraph();
+  IndependentSampleOptions options;
+  options.s1 = 0.0;
+  options.s2 = 0.5;
+  RealizationPair pair = SampleIndependent(g, options, 19);
+  EXPECT_EQ(pair.g1.num_edges(), 0u);
+  EXPECT_GT(pair.g2.num_edges(), 0u);
+}
+
+TEST(IndependentSamplingTest, NodeDeletionIsolatesAndUnmaps) {
+  Graph g = TestGraph();
+  IndependentSampleOptions options;
+  options.node_keep1 = 0.6;
+  RealizationPair pair = SampleIndependent(g, options, 21);
+  size_t unmapped = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (pair.map_1to2[u] == kInvalidNode) ++unmapped;
+  }
+  double frac = static_cast<double>(unmapped) / g.num_nodes();
+  EXPECT_NEAR(frac, 0.4, 0.05);
+}
+
+TEST(IndependentSamplingTest, NoiseAddsEdges) {
+  Graph g = TestGraph();
+  IndependentSampleOptions base, noisy;
+  noisy.noise1 = 0.2;
+  RealizationPair clean = SampleIndependent(g, base, 23);
+  RealizationPair dirty = SampleIndependent(g, noisy, 23);
+  EXPECT_GT(dirty.g1.num_edges(), clean.g1.num_edges());
+}
+
+TEST(IndependentSamplingTest, IndependentCopiesDiffer) {
+  Graph g = TestGraph();
+  RealizationPair pair = SampleIndependent(g, {}, 25);
+  // With s=0.5 the two copies share ~25% of underlying edges; they must not
+  // be identical when pulled back to underlying labels.
+  size_t shared = 0, only1 = 0;
+  std::vector<NodeId> inv = pair.map_1to2;
+  for (NodeId u = 0; u < pair.g1.num_nodes(); ++u) {
+    for (NodeId v : pair.g1.Neighbors(u)) {
+      if (v <= u) continue;
+      if (pair.g2.HasEdge(inv[u], inv[v])) {
+        ++shared;
+      } else {
+        ++only1;
+      }
+    }
+  }
+  EXPECT_GT(shared, 0u);
+  EXPECT_GT(only1, 0u);
+  double shared_rate = static_cast<double>(shared) / g.num_edges();
+  EXPECT_NEAR(shared_rate, 0.25, 0.05);  // s1*s2 of underlying edges
+}
+
+TEST(IndependentSamplingTest, Deterministic) {
+  Graph g = TestGraph();
+  RealizationPair a = SampleIndependent(g, {}, 31);
+  RealizationPair b = SampleIndependent(g, {}, 31);
+  EXPECT_EQ(a.g1.num_edges(), b.g1.num_edges());
+  EXPECT_EQ(a.g2.num_edges(), b.g2.num_edges());
+  EXPECT_EQ(a.map_1to2, b.map_1to2);
+}
+
+TEST(IndependentSamplingTest, NumIdentifiableCountsDegreeOnePlus) {
+  Graph g = TestGraph();
+  IndependentSampleOptions options;
+  options.s1 = 0.2;  // sparse: many isolated nodes in copies
+  options.s2 = 0.2;
+  RealizationPair pair = SampleIndependent(g, options, 33);
+  size_t manual = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    NodeId v = pair.map_1to2[u];
+    if (v != kInvalidNode && pair.g1.degree(u) >= 1 && pair.g2.degree(v) >= 1) {
+      ++manual;
+    }
+  }
+  EXPECT_EQ(pair.NumIdentifiable(), manual);
+  EXPECT_LT(pair.NumIdentifiable(), static_cast<size_t>(g.num_nodes()));
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,164 @@
+// Cross-process invariants: every two-copy realization process must produce
+// a structurally consistent RealizationPair, regardless of its model. These
+// are the contracts the matcher and the evaluation harness rely on.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/eval/datasets.h"
+#include "reconcile/gen/preferential_attachment.h"
+#include "reconcile/sampling/attack.h"
+#include "reconcile/sampling/cascade.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/sampling/tie_strength.h"
+#include "reconcile/sampling/timeslice.h"
+
+namespace reconcile {
+namespace {
+
+enum class Process {
+  kIndependent,
+  kIndependentWithNoise,
+  kIndependentNodeDeletion,
+  kCascade,
+  kTimeslice,
+  kTieStrength,
+  kAttacked,
+  kWikipedia,
+};
+
+std::string ProcessName(const testing::TestParamInfo<Process>& info) {
+  switch (info.param) {
+    case Process::kIndependent:
+      return "Independent";
+    case Process::kIndependentWithNoise:
+      return "IndependentNoise";
+    case Process::kIndependentNodeDeletion:
+      return "IndependentNodeDeletion";
+    case Process::kCascade:
+      return "Cascade";
+    case Process::kTimeslice:
+      return "Timeslice";
+    case Process::kTieStrength:
+      return "TieStrength";
+    case Process::kAttacked:
+      return "Attacked";
+    case Process::kWikipedia:
+      return "Wikipedia";
+  }
+  return "Unknown";
+}
+
+RealizationPair MakePair(Process process, uint64_t seed) {
+  Graph g = GeneratePreferentialAttachment(1500, 6, seed);
+  switch (process) {
+    case Process::kIndependent: {
+      IndependentSampleOptions options;
+      return SampleIndependent(g, options, seed + 1);
+    }
+    case Process::kIndependentWithNoise: {
+      IndependentSampleOptions options;
+      options.noise1 = 0.1;
+      options.noise2 = 0.05;
+      return SampleIndependent(g, options, seed + 1);
+    }
+    case Process::kIndependentNodeDeletion: {
+      IndependentSampleOptions options;
+      options.node_keep1 = 0.8;
+      options.node_keep2 = 0.7;
+      return SampleIndependent(g, options, seed + 1);
+    }
+    case Process::kCascade: {
+      CascadeSampleOptions options;
+      return SampleCascade(g, options, seed + 1);
+    }
+    case Process::kTimeslice: {
+      TimesliceOptions options;
+      return SampleTimeslice(g, options, seed + 1);
+    }
+    case Process::kTieStrength: {
+      TieStrengthOptions options;
+      return SampleTieStrength(g, options, seed + 1);
+    }
+    case Process::kAttacked: {
+      IndependentSampleOptions options;
+      RealizationPair pair = SampleIndependent(g, options, seed + 1);
+      return ApplyAttack(pair, AttackOptions{}, seed + 2);
+    }
+    case Process::kWikipedia:
+      return MakeWikipediaPair(0.05, seed + 1);
+  }
+  return {};
+}
+
+class SamplingInvariantsTest : public testing::TestWithParam<Process> {};
+
+TEST_P(SamplingInvariantsTest, GroundTruthMapsAreMutuallyConsistent) {
+  RealizationPair pair = MakePair(GetParam(), 5001);
+  ASSERT_EQ(pair.map_1to2.size(), pair.g1.num_nodes());
+  ASSERT_EQ(pair.map_2to1.size(), pair.g2.num_nodes());
+  for (NodeId u = 0; u < pair.g1.num_nodes(); ++u) {
+    const NodeId v = pair.map_1to2[u];
+    if (v == kInvalidNode) continue;
+    ASSERT_LT(v, pair.g2.num_nodes());
+    EXPECT_EQ(pair.map_2to1[v], u) << ProcessName({GetParam(), 0});
+  }
+  for (NodeId v = 0; v < pair.g2.num_nodes(); ++v) {
+    const NodeId u = pair.map_2to1[v];
+    if (u == kInvalidNode) continue;
+    ASSERT_LT(u, pair.g1.num_nodes());
+    EXPECT_EQ(pair.map_1to2[u], v);
+  }
+}
+
+TEST_P(SamplingInvariantsTest, MappingIsInjective) {
+  RealizationPair pair = MakePair(GetParam(), 5003);
+  std::vector<int> used(pair.g2.num_nodes(), 0);
+  for (NodeId u = 0; u < pair.g1.num_nodes(); ++u) {
+    const NodeId v = pair.map_1to2[u];
+    if (v == kInvalidNode) continue;
+    EXPECT_EQ(++used[v], 1) << "g2 node " << v << " mapped twice";
+  }
+}
+
+TEST_P(SamplingInvariantsTest, DeterministicForSeed) {
+  RealizationPair a = MakePair(GetParam(), 5005);
+  RealizationPair b = MakePair(GetParam(), 5005);
+  EXPECT_EQ(a.g1.num_edges(), b.g1.num_edges());
+  EXPECT_EQ(a.g2.num_edges(), b.g2.num_edges());
+  EXPECT_EQ(a.map_1to2, b.map_1to2);
+}
+
+TEST_P(SamplingInvariantsTest, DifferentSeedsDiffer) {
+  RealizationPair a = MakePair(GetParam(), 5007);
+  RealizationPair b = MakePair(GetParam(), 6007);
+  // Either the edge sets or the hidden permutation must differ; compare
+  // a cheap fingerprint of both.
+  const bool same_shape = a.g1.num_edges() == b.g1.num_edges() &&
+                          a.map_1to2 == b.map_1to2;
+  EXPECT_FALSE(same_shape);
+}
+
+TEST_P(SamplingInvariantsTest, IdentifiableCountMatchesDefinition) {
+  RealizationPair pair = MakePair(GetParam(), 5009);
+  size_t expected = 0;
+  for (NodeId u = 0; u < pair.g1.num_nodes(); ++u) {
+    const NodeId v = pair.map_1to2[u];
+    if (v == kInvalidNode) continue;
+    if (pair.g1.degree(u) >= 1 && pair.g2.degree(v) >= 1) ++expected;
+  }
+  EXPECT_EQ(pair.NumIdentifiable(), expected);
+  EXPECT_EQ(pair.NumIdentifiableWithDegreeAbove(0), expected);
+  EXPECT_LE(pair.NumIdentifiableWithDegreeAbove(5), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProcesses, SamplingInvariantsTest,
+    testing::Values(Process::kIndependent, Process::kIndependentWithNoise,
+                    Process::kIndependentNodeDeletion, Process::kCascade,
+                    Process::kTimeslice, Process::kTieStrength,
+                    Process::kAttacked, Process::kWikipedia),
+    ProcessName);
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,124 @@
+#include "reconcile/sampling/tie_strength.h"
+
+#include <gtest/gtest.h>
+
+#include "reconcile/gen/erdos_renyi.h"
+#include "reconcile/gen/preferential_attachment.h"
+
+namespace reconcile {
+namespace {
+
+Graph TriangleChain(NodeId triangles) {
+  // Chain of triangles sharing no edges: high-embeddedness edges everywhere.
+  EdgeList edges;
+  for (NodeId t = 0; t < triangles; ++t) {
+    const NodeId base = 3 * t;
+    edges.Add(base, base + 1);
+    edges.Add(base + 1, base + 2);
+    edges.Add(base, base + 2);
+  }
+  return Graph::FromEdgeList(std::move(edges));
+}
+
+TEST(TieStrengthTest, DegenerateAllSurvive) {
+  Graph g = GenerateErdosRenyi(200, 0.05, 1);
+  TieStrengthOptions options;
+  options.s_weak = 1.0;
+  options.s_strong = 1.0;
+  RealizationPair pair = SampleTieStrength(g, options, 7);
+  EXPECT_EQ(pair.g1.num_edges(), g.num_edges());
+  EXPECT_EQ(pair.g2.num_edges(), g.num_edges());
+}
+
+TEST(TieStrengthTest, DegenerateNoneSurvive) {
+  Graph g = GenerateErdosRenyi(200, 0.05, 1);
+  TieStrengthOptions options;
+  options.s_weak = 0.0;
+  options.s_strong = 0.0;
+  RealizationPair pair = SampleTieStrength(g, options, 7);
+  EXPECT_EQ(pair.g1.num_edges(), 0u);
+  EXPECT_EQ(pair.g2.num_edges(), 0u);
+}
+
+TEST(TieStrengthTest, EmbeddedEdgesSurviveMoreOften) {
+  // A sparse ER graph has near-zero embeddedness; a triangle chain has
+  // embeddedness 1 on every edge. With a steep ramp the triangle edges
+  // must survive at a visibly higher rate.
+  TieStrengthOptions options;
+  options.s_weak = 0.2;
+  options.s_strong = 1.0;
+  options.embed_cap = 1;
+
+  Graph tri = TriangleChain(400);  // 1200 edges, all embeddedness 1
+  RealizationPair p1 = SampleTieStrength(tri, options, 3);
+  const double tri_rate =
+      static_cast<double>(p1.g1.num_edges()) / tri.num_edges();
+  EXPECT_GT(tri_rate, 0.95);
+
+  Graph er = GenerateErdosRenyi(2000, 0.001, 5);  // ~2000 edges, ~0 embed
+  ASSERT_GT(er.num_edges(), 500u);
+  RealizationPair p2 = SampleTieStrength(er, options, 3);
+  const double er_rate =
+      static_cast<double>(p2.g1.num_edges()) / er.num_edges();
+  EXPECT_LT(er_rate, 0.35);
+}
+
+TEST(TieStrengthTest, CopiesArePositivelyCorrelated) {
+  // Mixed-embeddedness graph: edges present in g1 should be present in g2
+  // more often than the marginal rate (both draws share the per-edge p).
+  Graph g = GeneratePreferentialAttachment(3000, 5, 11);
+  TieStrengthOptions options;
+  options.s_weak = 0.1;
+  options.s_strong = 0.9;
+  RealizationPair pair = SampleTieStrength(g, options, 13);
+
+  size_t in1 = 0, in_both = 0;
+  size_t total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (v <= u) continue;
+      ++total;
+      const NodeId u2 = pair.map_1to2[u];
+      const NodeId v2 = pair.map_1to2[v];
+      const bool e1 = pair.g1.HasEdge(u, v);
+      const bool e2 = u2 != kInvalidNode && v2 != kInvalidNode &&
+                      pair.g2.HasEdge(u2, v2);
+      if (e1) ++in1;
+      if (e1 && e2) ++in_both;
+    }
+  }
+  ASSERT_GT(in1, 0u);
+  const double marginal = static_cast<double>(in1) / total;
+  const double conditional = static_cast<double>(in_both) / in1;
+  EXPECT_GT(conditional, marginal + 0.05);
+}
+
+TEST(TieStrengthTest, GroundTruthMapsAreConsistent) {
+  Graph g = GenerateErdosRenyi(300, 0.03, 17);
+  RealizationPair pair = SampleTieStrength(g, TieStrengthOptions{}, 19);
+  ASSERT_EQ(pair.map_1to2.size(), g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const NodeId v = pair.map_1to2[u];
+    if (v != kInvalidNode) {
+      EXPECT_EQ(pair.map_2to1[v], u);
+    }
+  }
+}
+
+TEST(TieStrengthTest, InvalidCapDies) {
+  Graph g = GenerateErdosRenyi(10, 0.5, 1);
+  TieStrengthOptions options;
+  options.embed_cap = 0;
+  EXPECT_DEATH(SampleTieStrength(g, options, 1), "");
+}
+
+TEST(TieStrengthTest, DeterministicForSeed) {
+  Graph g = GenerateErdosRenyi(300, 0.03, 23);
+  RealizationPair a = SampleTieStrength(g, TieStrengthOptions{}, 29);
+  RealizationPair b = SampleTieStrength(g, TieStrengthOptions{}, 29);
+  EXPECT_EQ(a.g1.num_edges(), b.g1.num_edges());
+  EXPECT_EQ(a.g2.num_edges(), b.g2.num_edges());
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,94 @@
+#include "reconcile/sampling/timeslice.h"
+
+#include <gtest/gtest.h>
+
+#include "reconcile/gen/erdos_renyi.h"
+
+namespace reconcile {
+namespace {
+
+Graph TestGraph() { return GenerateErdosRenyi(1500, 0.01, 55); }
+
+TEST(TimesliceTest, CopiesAreSubgraphs) {
+  Graph g = TestGraph();
+  RealizationPair pair = SampleTimeslice(g, {}, 3);
+  for (NodeId u = 0; u < pair.g1.num_nodes(); ++u) {
+    for (NodeId v : pair.g1.Neighbors(u)) {
+      if (v > u) {
+        ASSERT_TRUE(g.HasEdge(u, v));
+      }
+    }
+  }
+}
+
+TEST(TimesliceTest, EveryParticipatingEdgeLandsSomewhere) {
+  Graph g = TestGraph();
+  TimesliceOptions options;
+  options.participation = 1.0;
+  RealizationPair pair = SampleTimeslice(g, options, 5);
+  // Union of the two copies (pulled to underlying labels) == all edges.
+  size_t in_either = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (v <= u) continue;
+      bool in1 = pair.g1.HasEdge(u, v);
+      bool in2 = pair.g2.HasEdge(pair.map_1to2[u], pair.map_1to2[v]);
+      if (in1 || in2) ++in_either;
+    }
+  }
+  EXPECT_EQ(in_either, g.num_edges());
+}
+
+TEST(TimesliceTest, OverlapGrowsWithRepeatLambda) {
+  Graph g = TestGraph();
+  TimesliceOptions sparse, busy;
+  sparse.repeat_lambda = 0.0;  // exactly one occasion per edge
+  busy.repeat_lambda = 4.0;
+  RealizationPair a = SampleTimeslice(g, sparse, 7);
+  RealizationPair b = SampleTimeslice(g, busy, 7);
+  auto overlap = [](const RealizationPair& pair, const Graph& g) {
+    size_t both = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (NodeId v : g.Neighbors(u)) {
+        if (v <= u) continue;
+        if (pair.g1.HasEdge(u, v) &&
+            pair.g2.HasEdge(pair.map_1to2[u], pair.map_1to2[v])) {
+          ++both;
+        }
+      }
+    }
+    return both;
+  };
+  EXPECT_EQ(overlap(a, g), 0u);  // single occasion -> disjoint slices
+  EXPECT_GT(overlap(b, g), g.num_edges() / 4);
+}
+
+TEST(TimesliceTest, ParticipationThinsBothCopies) {
+  Graph g = TestGraph();
+  TimesliceOptions all, half;
+  half.participation = 0.5;
+  RealizationPair dense = SampleTimeslice(g, all, 9);
+  RealizationPair thin = SampleTimeslice(g, half, 9);
+  EXPECT_LT(thin.g1.num_edges() + thin.g2.num_edges(),
+            dense.g1.num_edges() + dense.g2.num_edges());
+}
+
+TEST(TimesliceTest, SlicesBalanceRoughly) {
+  Graph g = TestGraph();
+  RealizationPair pair = SampleTimeslice(g, {}, 11);
+  double ratio = static_cast<double>(pair.g1.num_edges()) /
+                 static_cast<double>(pair.g2.num_edges());
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(TimesliceTest, Deterministic) {
+  Graph g = TestGraph();
+  RealizationPair a = SampleTimeslice(g, {}, 13);
+  RealizationPair b = SampleTimeslice(g, {}, 13);
+  EXPECT_EQ(a.g1.num_edges(), b.g1.num_edges());
+  EXPECT_EQ(a.map_1to2, b.map_1to2);
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,133 @@
+#include "reconcile/theory/empirics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/core/matcher.h"
+#include "reconcile/gen/erdos_renyi.h"
+#include "reconcile/gen/preferential_attachment.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/seed/seeding.h"
+#include "reconcile/theory/predictions.h"
+
+namespace reconcile {
+namespace {
+
+RealizationPair ErPair(NodeId n, double p, double s, uint64_t seed) {
+  Graph g = GenerateErdosRenyi(n, p, seed);
+  IndependentSampleOptions options;
+  options.s1 = s;
+  options.s2 = s;
+  return SampleIndependent(g, options, seed + 1);
+}
+
+TEST(WitnessGapEmpiricsTest, MatchesErPredictions) {
+  const NodeId n = 3000;
+  const double p = 0.05, s = 0.5, l = 0.2;
+  RealizationPair pair = ErPair(n, p, s, 301);
+  SeedOptions seed_options;
+  seed_options.fraction = l;
+  auto seeds = GenerateSeeds(pair, seed_options, 303);
+
+  Rng rng(305);
+  WitnessGapSample sample = MeasureWitnessGap(pair, seeds, 3000, &rng);
+  ASSERT_GT(sample.true_samples, 500u);
+  ASSERT_GT(sample.false_samples, 500u);
+
+  const double pred_true = ErTruePairWitnessMean(n, p, s, l);
+  const double pred_false = ErFalsePairWitnessMean(n, p, s, l);
+  EXPECT_NEAR(sample.true_mean, pred_true, 0.15 * pred_true);
+  EXPECT_LT(sample.false_mean, 3.0 * pred_false + 0.1);
+  EXPECT_GT(sample.true_mean, 5.0 * sample.false_mean);
+}
+
+TEST(WitnessGapEmpiricsTest, EmptySeedsGiveZeroWitnesses) {
+  RealizationPair pair = ErPair(500, 0.05, 0.5, 307);
+  Rng rng(309);
+  WitnessGapSample sample = MeasureWitnessGap(pair, {}, 500, &rng);
+  EXPECT_DOUBLE_EQ(sample.true_mean, 0.0);
+  EXPECT_EQ(sample.false_max, 0u);
+}
+
+TEST(ArrivalDegreeEmpiricsTest, EarlyBirdsBeatLateArrivals) {
+  const NodeId n = 20000;
+  Graph g = GeneratePreferentialAttachment(n, 8, 311);
+  const NodeId early = static_cast<NodeId>(PaEarlyBirdCutoff(n));
+  ArrivalDegreeStats stats =
+      MeasureArrivalDegrees(g, early, static_cast<NodeId>(0.5 * n));
+  // Lemma 7 flavour: every early arrival far outgrows the typical late one.
+  EXPECT_GT(stats.early_min_degree, stats.late_mean_degree);
+  EXPECT_GT(stats.early_mean_degree, 4 * stats.late_mean_degree);
+  // Lemma 5 flavour: late arrivals stay well below the early minimum.
+  EXPECT_LT(stats.late_mean_degree, 3.0 * 8);
+}
+
+TEST(ArrivalDegreeEmpiricsTest, EmptyRangesAreSafe) {
+  Graph g = GeneratePreferentialAttachment(100, 3, 313);
+  ArrivalDegreeStats stats = MeasureArrivalDegrees(g, 0, g.num_nodes());
+  EXPECT_EQ(stats.early_min_degree, 0u);
+  EXPECT_EQ(stats.late_max_degree, 0u);
+}
+
+TEST(CommonNeighborEmpiricsTest, LowDegreePairsRespectLemma10Cap) {
+  Graph g = GeneratePreferentialAttachment(20000, 10, 317);
+  Rng rng(319);
+  CommonNeighborSample sample = MeasureLowDegreeCommonNeighbors(
+      g, PaLowDegreeBound(g.num_nodes()), 3000, &rng);
+  ASSERT_GT(sample.samples, 1000u);
+  EXPECT_EQ(sample.above_cap, 0u);
+  EXPECT_LE(sample.max_common, kPaLemma10CommonNeighborCap);
+  EXPECT_LT(sample.mean_common, 1.0);
+}
+
+TEST(LateNeighborEmpiricsTest, RichGetRicher) {
+  const NodeId n = 20000;
+  Graph g = GeneratePreferentialAttachment(n, 8, 323);
+  NodeId hub = 0;
+  for (NodeId v = 0; v < n; ++v)
+    if (g.degree(v) > g.degree(hub)) hub = v;
+  // Lemma 6: at least 1/3 of a high-degree node's neighbours arrive after
+  // eps·n for small eps.
+  const double frac = MeasureLateNeighborFraction(g, hub, n / 10);
+  EXPECT_GT(frac, 1.0 / 3.0);
+}
+
+TEST(IdentifiedFractionEmpiricsTest, FullMatcherOnEasyInstance) {
+  RealizationPair pair = ErPair(2000, 0.05, 0.7, 329);
+  SeedOptions seed_options;
+  seed_options.fraction = 0.1;
+  auto seeds = GenerateSeeds(pair, seed_options, 331);
+  MatcherConfig config;
+  config.min_score = 3;
+  MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+  const double identified =
+      MeasureIdentifiedFraction(pair, result.map_1to2, 1);
+  EXPECT_GT(identified, 0.9);
+  // Restricting to higher degrees can only help.
+  EXPECT_GE(MeasureIdentifiedFraction(pair, result.map_1to2, 10),
+            identified - 0.05);
+}
+
+TEST(NoSharedNeighborEmpiricsTest, MatchesClosedForm) {
+  // Regular-ish ER graph: measured isolated fraction approximates
+  // E[(1-s²)^deg] over the realized degree distribution.
+  const NodeId n = 4000;
+  const double p = 8.0 / n, s = 0.5;
+  Graph g = GenerateErdosRenyi(n, p, 337);
+  IndependentSampleOptions options;
+  options.s1 = s;
+  options.s2 = s;
+  RealizationPair pair = SampleIndependent(g, options, 339);
+
+  double predicted = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    predicted += ProbNoSharedNeighbor(g.degree(v), s);
+  predicted /= g.num_nodes();
+
+  const double measured = MeasureNoSharedNeighborFraction(pair);
+  EXPECT_NEAR(measured, predicted, 0.05);
+}
+
+}  // namespace
+}  // namespace reconcile

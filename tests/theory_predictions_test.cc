@@ -1,0 +1,105 @@
+#include "reconcile/theory/predictions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace reconcile {
+namespace {
+
+TEST(ErPredictionsTest, TrueFalseWitnessRatioIsP) {
+  // §4.1: true/false expected witness counts differ by exactly the factor
+  // p·(n-1)/(n-2).
+  const NodeId n = 10000;
+  const double p = 0.01, s = 0.5, l = 0.1;
+  const double ratio = ErFalsePairWitnessMean(n, p, s, l) /
+                       ErTruePairWitnessMean(n, p, s, l);
+  EXPECT_NEAR(ratio, p * (n - 2.0) / (n - 1.0), 1e-12);
+}
+
+TEST(ErPredictionsTest, WitnessMeansScaleWithParameters) {
+  EXPECT_DOUBLE_EQ(ErTruePairWitnessMean(1001, 0.1, 1.0, 1.0), 100.0);
+  // Halving s quarters the mean (both copies must keep the edge).
+  EXPECT_DOUBLE_EQ(ErTruePairWitnessMean(1001, 0.1, 0.5, 1.0), 25.0);
+  // l scales linearly.
+  EXPECT_DOUBLE_EQ(ErTruePairWitnessMean(1001, 0.1, 1.0, 0.2), 20.0);
+}
+
+TEST(ErPredictionsTest, Theorem1ThresholdMatchesFormula) {
+  const NodeId n = 100000;
+  const double s = 0.5, l = 0.1;
+  const double expected = 24.0 * std::log(100000.0) / (0.25 * 0.1 * 99998.0);
+  EXPECT_NEAR(ErTheorem1MinP(n, s, l), expected, 1e-15);
+}
+
+TEST(ErPredictionsTest, ConnectivityThresholdDecreasing) {
+  EXPECT_GT(ErConnectivityThreshold(1000), ErConnectivityThreshold(100000));
+}
+
+TEST(ChernoffTest, BoundsDecayWithMean) {
+  EXPECT_GT(ChernoffLowerTail(10, 0.5), ChernoffLowerTail(100, 0.5));
+  EXPECT_GT(ChernoffUpperTail(10, 0.5), ChernoffUpperTail(100, 0.5));
+  EXPECT_LE(ChernoffLowerTail(100, 0.5), 1.0);
+  EXPECT_GE(ChernoffLowerTail(0.0, 0.5), 1.0);  // vacuous at mean 0
+}
+
+TEST(ChernoffTest, Theorem1NumbersAreSmall) {
+  // At the Theorem 1 threshold, E[Y] = 24 log n => failure prob <= n^-3.
+  const double n = 10000.0;
+  const double mean = 24.0 * std::log(n);
+  EXPECT_LE(ChernoffLowerTail(mean, 0.5), std::pow(n, -3.0) * 1.001);
+}
+
+TEST(Lemma2Test, BoundIsCubicInKx) {
+  const double b1 = Lemma2ThreeWitnessBound(100, 1e-4);
+  const double b2 = Lemma2ThreeWitnessBound(200, 1e-4);
+  EXPECT_NEAR(b2 / b1, 8.0, 1e-9);  // doubling k multiplies by 2^3
+  EXPECT_LT(b1, 1e-5);
+}
+
+TEST(PaPredictionsTest, HighDegreeThresholdShrinksWithSeeds) {
+  const NodeId n = 1000000;
+  EXPECT_GT(PaHighDegreeThreshold(n, 0.5, 0.05),
+            PaHighDegreeThreshold(n, 0.5, 0.2));
+  EXPECT_GT(PaHighDegreeThreshold(n, 0.25, 0.1),
+            PaHighDegreeThreshold(n, 0.75, 0.1));
+}
+
+TEST(PaPredictionsTest, ThresholdConstantsMatchPaper) {
+  EXPECT_EQ(kPaLemma10CommonNeighborCap, 8u);
+  EXPECT_EQ(kPaTheoryThreshold, 9u);
+}
+
+TEST(PaPredictionsTest, LowDegreeBoundIsLogCubed) {
+  const double log_n = std::log(1000000.0);
+  EXPECT_NEAR(PaLowDegreeBound(1000000), log_n * log_n * log_n, 1e-9);
+}
+
+TEST(PaPredictionsTest, Lemma12Hypothesis) {
+  EXPECT_TRUE(PaLemma12Applies(22, 1.0));
+  EXPECT_TRUE(PaLemma12Applies(88, 0.5));  // 88 * 0.25 = 22
+  EXPECT_FALSE(PaLemma12Applies(20, 1.0));
+  EXPECT_FALSE(PaLemma12Applies(22, 0.9));
+  EXPECT_DOUBLE_EQ(PaGuaranteedIdentifiedFraction(88, 0.5), 0.97);
+  EXPECT_DOUBLE_EQ(PaGuaranteedIdentifiedFraction(4, 0.5), 0.0);
+}
+
+TEST(SharedNeighborTest, ObstructionMatchesPaperExample) {
+  // §4.2: with m = 4 and s = 1/2, roughly 30% of degree-m nodes have no
+  // neighbour surviving in both copies: (1 - 1/4)^4 ≈ 0.316.
+  EXPECT_NEAR(ProbNoSharedNeighbor(4, 0.5), 0.3164, 1e-3);
+  EXPECT_DOUBLE_EQ(ExpectedSharedNeighbors(4, 0.5), 1.0);
+}
+
+TEST(SharedNeighborTest, MonotoneInDegreeAndSurvival) {
+  EXPECT_GT(ProbNoSharedNeighbor(4, 0.5), ProbNoSharedNeighbor(10, 0.5));
+  EXPECT_GT(ProbNoSharedNeighbor(4, 0.3), ProbNoSharedNeighbor(4, 0.7));
+}
+
+TEST(PaPredictionsTest, EarlyBirdCutoffGrowsSublinearly) {
+  EXPECT_NEAR(PaEarlyBirdCutoff(100000), std::pow(100000.0, 0.3), 1e-9);
+  EXPECT_LT(PaEarlyBirdCutoff(1000000), 1000000 * 0.01);
+}
+
+}  // namespace
+}  // namespace reconcile

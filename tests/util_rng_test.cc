@@ -1,0 +1,151 @@
+#include "reconcile/util/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace reconcile {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng rng(0);
+  std::set<uint64_t> values;
+  for (int i = 0; i < 100; ++i) values.insert(rng.Next());
+  EXPECT_EQ(values.size(), 100u);  // no short cycles / stuck state
+}
+
+TEST(RngTest, ReseedRestoresStream) {
+  Rng rng(7);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(rng.Next());
+  rng.Reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Next(), first[i]);
+}
+
+TEST(RngTest, UniformIntStaysInBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntBoundOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.UniformInt(kBuckets)];
+  }
+  // Each bucket expects 10000; allow 5% deviation (≈16 sigma).
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / kBuckets, kSamples / kBuckets / 20);
+  }
+}
+
+TEST(RngTest, UniformIntInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t x = rng.UniformIntInRange(3, 6);
+    EXPECT_GE(x, 3u);
+    EXPECT_LE(x, 6u);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    double x = rng.UniformReal();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliDegenerateProbabilities) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, GeometricMeanMatchesTheory) {
+  Rng rng(19);
+  constexpr double kP = 0.1;
+  constexpr int kSamples = 100000;
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) sum += static_cast<double>(rng.Geometric(kP));
+  // Mean of failures-before-success is (1-p)/p = 9.
+  EXPECT_NEAR(sum / kSamples, (1 - kP) / kP, 0.2);
+}
+
+TEST(RngTest, GeometricWithPOneIsZero) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Geometric(1.0), 0u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork(1);
+  Rng child2 = parent.Fork(1);  // parent state advanced -> different child
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (child.Next() == child2.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, HashMix64SpreadsBits) {
+  // Sequential inputs should produce well-spread outputs.
+  std::set<uint64_t> high_bytes;
+  for (uint64_t i = 0; i < 256; ++i) {
+    high_bytes.insert(HashMix64(i) >> 56);
+  }
+  EXPECT_GT(high_bytes.size(), 150u);
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,289 @@
+// reconcile_cli — run any reconciliation experiment from the command line.
+//
+// The pipeline mirrors the library (and the paper): pick an underlying
+// network model, a two-copy realization process, a seeding strategy and the
+// matcher parameters; the tool reports good/bad link counts, precision and
+// recall against the hidden ground truth, optionally stratified by degree,
+// and can persist the generated copies.
+//
+// Examples:
+//   reconcile_cli --model=pa --nodes=50000 --m=20 --process=independent
+//                 --s1=0.5 --s2=0.5 --seed-fraction=0.1 --threshold=2
+//   reconcile_cli --model=facebook --scale=0.25 --process=cascade --p=0.05
+//   reconcile_cli --model=affiliation --scale=0.1 --process=community
+//                 --delete-prob=0.25 --threshold=3
+//   reconcile_cli --model=er --nodes=2000 --er-p=0.02 --attack=0.5
+//                 --baseline=simple
+//
+// Flags (defaults in brackets):
+//   --model         er | pa | rmat | chunglu | ws | facebook | enron |
+//                   dblp | gowalla | wikipedia | affiliation   [pa]
+//   --nodes         node count for er/pa/chunglu/ws             [20000]
+//   --m             PA edges per node                           [20]
+//   --er-p          ER edge probability                         [0.001]
+//   --rmat-scale    RMAT scale (2^scale nodes)                  [16]
+//   --exponent      Chung-Lu power-law exponent                 [2.5]
+//   --avg-degree    Chung-Lu average degree                     [20]
+//   --scale         dataset stand-in scale in (0,1]             [0.25]
+//   --process       independent | cascade | timeslice | community [independent]
+//   --s1 --s2       edge survival probabilities                 [0.5 0.5]
+//   --node-keep1/2  node survival probabilities                 [1 1]
+//   --noise1/2      noise-edge fraction                         [0 0]
+//   --p             cascade probability                         [0.05]
+//   --delete-prob   community (interest) deletion probability   [0.25]
+//   --periods --repeat-lambda --participation   timeslice knobs [12 1.0 1.0]
+//   --attack        sybil attach probability (0 = no attack)    [0]
+//   --seed-fraction seed link probability l                     [0.1]
+//   --seed-bias     uniform | degree | top                      [uniform]
+//   --top-count     #seeds for --seed-bias=top                  [100]
+//   --wrong-seeds   fraction of corrupted seeds                 [0]
+//   --threshold     matcher threshold T                         [2]
+//   --iterations    matcher outer iterations k                  [2]
+//   --no-bucketing  disable degree bucketing                    [false]
+//   --baseline      none | simple | ns09 | features |
+//                   percolation (also run baseline)             [none]
+//   --degree-table  print per-degree-band precision/recall      [false]
+//   --threads       worker threads (0 = hardware)               [0]
+//   --rng-seed      master RNG seed                             [42]
+//   --save-g1/--save-g2   write copies as text edge lists
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "reconcile/baseline/common_neighbors.h"
+#include "reconcile/baseline/feature_matching.h"
+#include "reconcile/baseline/percolation.h"
+#include "reconcile/baseline/propagation.h"
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/datasets.h"
+#include "reconcile/eval/metrics.h"
+#include "reconcile/eval/table.h"
+#include "reconcile/gen/chung_lu.h"
+#include "reconcile/gen/erdos_renyi.h"
+#include "reconcile/gen/preferential_attachment.h"
+#include "reconcile/gen/rmat.h"
+#include "reconcile/gen/watts_strogatz.h"
+#include "reconcile/graph/io.h"
+#include "reconcile/sampling/attack.h"
+#include "reconcile/sampling/cascade.h"
+#include "reconcile/sampling/community.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/sampling/timeslice.h"
+#include "reconcile/seed/seeding.h"
+#include "reconcile/util/flags.h"
+#include "reconcile/util/logging.h"
+#include "reconcile/util/timer.h"
+
+namespace reconcile {
+namespace {
+
+int RunCli(const Flags& flags) {
+  const uint64_t rng_seed = static_cast<uint64_t>(flags.GetInt("rng-seed", 42));
+  const std::string model = flags.GetString("model", "pa");
+  const std::string process = flags.GetString("process", "independent");
+  const double scale = flags.GetDouble("scale", 0.25);
+
+  // --- Underlying network / pair construction. ---------------------------
+  Timer build_timer;
+  RealizationPair pair;
+  bool pair_ready = false;
+  Graph underlying;
+  if (model == "er") {
+    underlying = GenerateErdosRenyi(
+        static_cast<NodeId>(flags.GetInt("nodes", 20000)),
+        flags.GetDouble("er-p", 0.001), rng_seed);
+  } else if (model == "pa") {
+    underlying = GeneratePreferentialAttachment(
+        static_cast<NodeId>(flags.GetInt("nodes", 20000)),
+        static_cast<int>(flags.GetInt("m", 20)), rng_seed);
+  } else if (model == "rmat") {
+    RmatParams params;
+    params.scale = static_cast<int>(flags.GetInt("rmat-scale", 16));
+    underlying = GenerateRmat(params, rng_seed);
+  } else if (model == "chunglu") {
+    std::vector<double> weights = PowerLawWeights(
+        static_cast<NodeId>(flags.GetInt("nodes", 20000)),
+        flags.GetDouble("exponent", 2.5), flags.GetDouble("avg-degree", 20.0));
+    underlying = GenerateChungLu(weights, rng_seed);
+  } else if (model == "ws") {
+    underlying = GenerateWattsStrogatz(
+        static_cast<NodeId>(flags.GetInt("nodes", 20000)), 10, 0.1, rng_seed);
+  } else if (model == "facebook") {
+    underlying = MakeFacebookStandin(scale, rng_seed);
+  } else if (model == "enron") {
+    underlying = MakeEnronStandin(scale, rng_seed);
+  } else if (model == "dblp") {
+    underlying = MakeDblpStandin(scale, rng_seed);
+  } else if (model == "gowalla") {
+    underlying = MakeGowallaStandin(scale, rng_seed);
+  } else if (model == "wikipedia") {
+    pair = MakeWikipediaPair(scale, rng_seed);
+    pair_ready = true;
+  } else if (model == "affiliation") {
+    AffiliationNetwork net = MakeAffiliationStandin(scale, rng_seed);
+    RECONCILE_CHECK(process == "community")
+        << "--model=affiliation requires --process=community";
+    pair = SampleCommunity(net, flags.GetDouble("delete-prob", 0.25),
+                           rng_seed + 1);
+    pair_ready = true;
+  } else {
+    std::fprintf(stderr, "unknown --model=%s\n", model.c_str());
+    return 2;
+  }
+
+  if (!pair_ready) {
+    if (process == "independent") {
+      IndependentSampleOptions options;
+      options.s1 = flags.GetDouble("s1", 0.5);
+      options.s2 = flags.GetDouble("s2", 0.5);
+      options.node_keep1 = flags.GetDouble("node-keep1", 1.0);
+      options.node_keep2 = flags.GetDouble("node-keep2", 1.0);
+      options.noise1 = flags.GetDouble("noise1", 0.0);
+      options.noise2 = flags.GetDouble("noise2", 0.0);
+      pair = SampleIndependent(underlying, options, rng_seed + 1);
+    } else if (process == "cascade") {
+      CascadeSampleOptions options;
+      options.p = flags.GetDouble("p", 0.05);
+      pair = SampleCascade(underlying, options, rng_seed + 1);
+    } else if (process == "timeslice") {
+      TimesliceOptions options;
+      options.num_periods = static_cast<int>(flags.GetInt("periods", 12));
+      options.repeat_lambda = flags.GetDouble("repeat-lambda", 1.0);
+      options.participation = flags.GetDouble("participation", 1.0);
+      pair = SampleTimeslice(underlying, options, rng_seed + 1);
+    } else {
+      std::fprintf(stderr, "unknown --process=%s for model %s\n",
+                   process.c_str(), model.c_str());
+      return 2;
+    }
+  }
+
+  double attack = flags.GetDouble("attack", 0.0);
+  if (attack > 0.0) {
+    AttackOptions options;
+    options.attach_prob = attack;
+    pair = ApplyAttack(pair, options, rng_seed + 2);
+  }
+  std::printf("pair built in %.2fs: g1 %u nodes / %zu edges, g2 %u nodes / "
+              "%zu edges, identifiable %zu\n",
+              build_timer.Seconds(), pair.g1.num_nodes(), pair.g1.num_edges(),
+              pair.g2.num_nodes(), pair.g2.num_edges(),
+              pair.NumIdentifiable());
+
+  if (flags.Has("save-g1")) {
+    RECONCILE_CHECK(WriteEdgeListText(pair.g1, flags.GetString("save-g1", "")));
+  }
+  if (flags.Has("save-g2")) {
+    RECONCILE_CHECK(WriteEdgeListText(pair.g2, flags.GetString("save-g2", "")));
+  }
+
+  // --- Seeds. -------------------------------------------------------------
+  SeedOptions seeding;
+  seeding.fraction = flags.GetDouble("seed-fraction", 0.1);
+  seeding.wrong_fraction = flags.GetDouble("wrong-seeds", 0.0);
+  std::string bias = flags.GetString("seed-bias", "uniform");
+  if (bias == "degree") {
+    seeding.bias = SeedBias::kDegreeProportional;
+  } else if (bias == "top") {
+    seeding.bias = SeedBias::kTopDegree;
+    seeding.fixed_count = static_cast<size_t>(flags.GetInt("top-count", 100));
+  } else {
+    RECONCILE_CHECK(bias == "uniform") << "unknown --seed-bias=" << bias;
+  }
+  auto seeds = GenerateSeeds(pair, seeding, rng_seed + 3);
+  std::printf("seeds: %zu (bias=%s)\n", seeds.size(), bias.c_str());
+
+  // --- Match. --------------------------------------------------------------
+  MatcherConfig config;
+  config.min_score = static_cast<uint32_t>(flags.GetInt("threshold", 2));
+  config.num_iterations = static_cast<int>(flags.GetInt("iterations", 2));
+  config.use_degree_bucketing = !flags.GetBool("no-bucketing", false);
+  config.num_threads = static_cast<int>(flags.GetInt("threads", 0));
+  MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+  MatchQuality quality = Evaluate(pair, result);
+  std::printf("\nUser-Matching (T=%u, k=%d, bucketing=%s): %.2fs, %zu rounds\n",
+              config.min_score, config.num_iterations,
+              config.use_degree_bucketing ? "on" : "off",
+              result.total_seconds, result.phases.size());
+  std::printf("  good %zu | bad %zu | precision %.2f%% | recall(all) %.2f%% | "
+              "recall(new) %.2f%%\n",
+              quality.new_good, quality.new_bad, 100.0 * quality.precision,
+              100.0 * quality.recall_all, 100.0 * quality.recall_new);
+
+  if (flags.GetBool("degree-table", false)) {
+    Table table({"degree band", "identifiable", "good", "bad", "precision",
+                 "recall"});
+    for (const DegreeBandQuality& band : EvaluateByDegree(pair, result)) {
+      std::string label =
+          band.max_degree == kInvalidNode
+              ? std::to_string(band.min_degree) + "+"
+              : std::to_string(band.min_degree) + "-" +
+                    std::to_string(band.max_degree);
+      table.AddRow({label, std::to_string(band.identifiable),
+                    std::to_string(band.new_good),
+                    std::to_string(band.new_bad),
+                    FormatPercent(band.precision),
+                    FormatPercent(band.recall)});
+    }
+    table.Print(std::cout);
+  }
+
+  // --- Optional baseline. ---------------------------------------------------
+  std::string baseline = flags.GetString("baseline", "none");
+  if (baseline == "simple") {
+    SimpleMatcherConfig simple;
+    simple.min_score = 1;
+    MatchResult b = SimpleCommonNeighborsMatch(pair.g1, pair.g2, seeds, simple);
+    MatchQuality bq = Evaluate(pair, b);
+    std::printf("simple baseline (T=1): good %zu | bad %zu | precision "
+                "%.2f%% | recall(all) %.2f%%\n",
+                bq.new_good, bq.new_bad, 100.0 * bq.precision,
+                100.0 * bq.recall_all);
+  } else if (baseline == "ns09") {
+    PropagationConfig prop;
+    prop.theta = 1.0;
+    MatchResult b = PropagationMatch(pair.g1, pair.g2, seeds, prop);
+    MatchQuality bq = Evaluate(pair, b);
+    std::printf("NS09 baseline (theta=1): good %zu | bad %zu | precision "
+                "%.2f%% | recall(all) %.2f%% | %.2fs\n",
+                bq.new_good, bq.new_bad, 100.0 * bq.precision,
+                100.0 * bq.recall_all, b.total_seconds);
+  } else if (baseline == "features") {
+    FeatureMatcherConfig features;
+    MatchResult b = StructuralFeatureMatch(pair.g1, pair.g2, seeds, features);
+    MatchQuality bq = Evaluate(pair, b);
+    std::printf("feature baseline (depth=2): good %zu | bad %zu | precision "
+                "%.2f%% | recall(all) %.2f%% | %.2fs\n",
+                bq.new_good, bq.new_bad, 100.0 * bq.precision,
+                100.0 * bq.recall_all, b.total_seconds);
+  } else if (baseline == "percolation") {
+    PercolationConfig pgm;
+    MatchResult b = PercolationMatch(pair.g1, pair.g2, seeds, pgm);
+    MatchQuality bq = Evaluate(pair, b);
+    std::printf("percolation baseline (r=2): good %zu | bad %zu | precision "
+                "%.2f%% | recall(all) %.2f%% | %.2fs\n",
+                bq.new_good, bq.new_bad, 100.0 * bq.precision,
+                100.0 * bq.recall_all, b.total_seconds);
+  } else {
+    RECONCILE_CHECK(baseline == "none") << "unknown --baseline=" << baseline;
+  }
+
+  for (const std::string& key : flags.UnusedKeys()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace reconcile
+
+int main(int argc, char** argv) {
+  reconcile::Flags flags;
+  std::string error;
+  if (!flags.Parse(argc, argv, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  return reconcile::RunCli(flags);
+}
