@@ -31,9 +31,8 @@ void BM_FlatCountMapInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_FlatCountMapInsert)->Arg(1 << 14)->Arg(1 << 18);
 
-void BM_GraphFromEdgeList(benchmark::State& state) {
-  Graph source = GenerateErdosRenyi(static_cast<NodeId>(state.range(0)),
-                                    20.0 / static_cast<double>(state.range(0)),
+EdgeList MakeBenchEdges(NodeId nodes) {
+  Graph source = GenerateErdosRenyi(nodes, 20.0 / static_cast<double>(nodes),
                                     42);
   EdgeList edges(source.num_nodes());
   for (NodeId u = 0; u < source.num_nodes(); ++u) {
@@ -41,6 +40,11 @@ void BM_GraphFromEdgeList(benchmark::State& state) {
       if (v > u) edges.Add(u, v);
     }
   }
+  return edges;
+}
+
+void BM_GraphFromEdgeList(benchmark::State& state) {
+  EdgeList edges = MakeBenchEdges(static_cast<NodeId>(state.range(0)));
   for (auto _ : state) {
     EdgeList copy = edges;
     Graph g = Graph::FromEdgeList(std::move(copy));
@@ -50,6 +54,28 @@ void BM_GraphFromEdgeList(benchmark::State& state) {
                           static_cast<int64_t>(edges.size()));
 }
 BENCHMARK(BM_GraphFromEdgeList)->Arg(1 << 14)->Arg(1 << 17);
+
+// CSR construction, serial scatter+sort vs the pool-parallel passes.
+void GraphBuildBenchmark(benchmark::State& state, int threads) {
+  EdgeList edges = MakeBenchEdges(static_cast<NodeId>(state.range(0)));
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    EdgeList copy = edges;
+    Graph g = Graph::FromEdgeList(std::move(copy),
+                                  threads > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(edges.size()));
+}
+void BM_GraphBuildSerial(benchmark::State& state) {
+  GraphBuildBenchmark(state, 1);
+}
+void BM_GraphBuildParallel4T(benchmark::State& state) {
+  GraphBuildBenchmark(state, 4);
+}
+BENCHMARK(BM_GraphBuildSerial)->Arg(1 << 17);
+BENCHMARK(BM_GraphBuildParallel4T)->Arg(1 << 17);
 
 void BM_GenerateErdosRenyi(benchmark::State& state) {
   const NodeId n = static_cast<NodeId>(state.range(0));
@@ -104,9 +130,13 @@ void BM_CountByKey(benchmark::State& state) {
 }
 BENCHMARK(BM_CountByKey)->Arg(1)->Arg(2)->Arg(4);
 
-// End-to-end matching on a PA graph: incremental vs recompute engine and
-// one vs many threads.
-void MatchBenchmark(benchmark::State& state, bool incremental, int threads) {
+// End-to-end matching on a PA graph: incremental vs recompute scoring,
+// serial vs parallel selection, one vs many threads. The serial-selection
+// runs are the Amdahl baseline: scoring is parallel in both, so any gap at
+// >= 4 threads is the selection engine. Per-phase seconds from the final
+// run's PhaseStats are exported as counters (emit_s / scan_s / select_s).
+void MatchBenchmark(benchmark::State& state, bool incremental, int threads,
+                    bool parallel_selection) {
   Graph g = GeneratePreferentialAttachment(8000, 10, 5);
   RealizationPair pair = SampleIndependent(g, {}, 6);
   SeedOptions seed_options;
@@ -115,24 +145,42 @@ void MatchBenchmark(benchmark::State& state, bool incremental, int threads) {
   MatcherConfig config;
   config.use_incremental_scoring = incremental;
   config.num_threads = threads;
+  config.use_parallel_selection = parallel_selection;
+  MatchResult::PhaseTimeTotals split;
   for (auto _ : state) {
     MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
     benchmark::DoNotOptimize(result.NumLinks());
+    split = result.SumPhaseSeconds();
   }
+  state.counters["emit_s"] = split.emit_seconds;
+  state.counters["scan_s"] = split.scan_seconds;
+  state.counters["select_s"] = split.select_seconds;
 }
 
 void BM_MatchIncremental1T(benchmark::State& state) {
-  MatchBenchmark(state, true, 1);
+  MatchBenchmark(state, true, 1, true);
 }
 void BM_MatchIncremental2T(benchmark::State& state) {
-  MatchBenchmark(state, true, 2);
+  MatchBenchmark(state, true, 2, true);
+}
+void BM_MatchIncremental4T(benchmark::State& state) {
+  MatchBenchmark(state, true, 4, true);
 }
 void BM_MatchRecompute1T(benchmark::State& state) {
-  MatchBenchmark(state, false, 1);
+  MatchBenchmark(state, false, 1, true);
+}
+void BM_MatchSerialSelect1T(benchmark::State& state) {
+  MatchBenchmark(state, true, 1, false);
+}
+void BM_MatchSerialSelect4T(benchmark::State& state) {
+  MatchBenchmark(state, true, 4, false);
 }
 BENCHMARK(BM_MatchIncremental1T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatchIncremental2T)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatchIncremental4T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatchRecompute1T)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatchSerialSelect1T)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatchSerialSelect4T)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace reconcile

@@ -7,53 +7,62 @@
 //
 // Here: RMAT at scales 13/15/17 (8k -> 131k nodes, x4 node steps like the
 // paper), edge factor 8. The shape to check: near-flat cost for the first
-// step, superlinear growth appearing at the largest scale.
+// step, superlinear growth appearing at the largest scale — divide the
+// per-scale times from the JSON to recover the paper's relative column.
+//
+// This harness is google-benchmark based (unlike the narrative table
+// benches) so `tools/run_bench.sh` can capture it as JSON and track the
+// scaling trajectory across PRs. Graph generation, sampling and seeding
+// happen outside the timed region; only `UserMatching` is measured, with
+// the per-phase split exported as counters.
 
-#include "bench_common.h"
+#include <benchmark/benchmark.h>
+
 #include "reconcile/core/matcher.h"
 #include "reconcile/gen/rmat.h"
 #include "reconcile/sampling/independent.h"
-#include "reconcile/util/timer.h"
+#include "reconcile/seed/seeding.h"
 
 namespace reconcile {
 namespace {
 
-void Run() {
-  bench::PrintHeader(
-      "Table 2 — relative running time on RMAT graphs",
-      "Tab. 2 (RMAT24/26/28; relative running times 1 / 1.199 / 12.544)",
-      "RMAT scale 13/15/17, edge factor 8, s=0.5, l=0.10, T=2");
+void BM_Table2RmatMatch(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  RmatParams params;
+  params.scale = scale;
+  params.edge_factor = 8.0;
+  Graph g = GenerateRmat(params, 0xBE2C0 + static_cast<uint64_t>(scale));
+  IndependentSampleOptions sample;
+  sample.s1 = sample.s2 = 0.5;
+  RealizationPair pair =
+      SampleIndependent(g, sample, 0xBE2C100 + static_cast<uint64_t>(scale));
+  SeedOptions seed_options;
+  seed_options.fraction = 0.10;
+  auto seeds =
+      GenerateSeeds(pair, seed_options, 0xBE2C200 + static_cast<uint64_t>(scale));
+  MatcherConfig config;
+  config.min_score = 2;
 
-  Table table({"graph", "nodes", "edges", "match seconds", "relative"});
-  double base_seconds = 0.0;
-  for (int scale : {13, 15, 17}) {
-    RmatParams params;
-    params.scale = scale;
-    params.edge_factor = 8.0;
-    Graph g = GenerateRmat(params, 0xBE2C0 + static_cast<uint64_t>(scale));
-    IndependentSampleOptions sample;
-    sample.s1 = sample.s2 = 0.5;
-    RealizationPair pair =
-        SampleIndependent(g, sample, 0xBE2C100 + static_cast<uint64_t>(scale));
-    SeedOptions seeds;
-    seeds.fraction = 0.10;
-    MatcherConfig config;
-    config.min_score = 2;
-    ExperimentResult r = RunMatcherExperiment(pair, seeds, config,
-                                              0xBE2C200 + static_cast<uint64_t>(scale));
-    if (base_seconds == 0.0) base_seconds = r.match_seconds;
-    table.AddRow({"RMAT" + std::to_string(scale),
-                  std::to_string(g.num_nodes()),
-                  std::to_string(g.num_edges()),
-                  FormatDouble(r.match_seconds, 2),
-                  FormatDouble(r.match_seconds / base_seconds, 3)});
+  MatchResult::PhaseTimeTotals split;
+  for (auto _ : state) {
+    MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+    benchmark::DoNotOptimize(result.NumLinks());
+    split = result.SumPhaseSeconds();
   }
-  table.Print(std::cout);
-  std::cout << "\nPaper shape: relative running time 1 / 1.199 / 12.544 over "
-               "two x4 node-count steps — mildly, then sharply superlinear.\n\n";
+  state.counters["nodes"] = static_cast<double>(g.num_nodes());
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+  state.counters["emit_s"] = split.emit_seconds;
+  state.counters["scan_s"] = split.scan_seconds;
+  state.counters["select_s"] = split.select_seconds;
 }
+
+BENCHMARK(BM_Table2RmatMatch)
+    ->Arg(13)
+    ->Arg(15)
+    ->Arg(17)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace reconcile
 
-int main() { reconcile::Run(); }
+BENCHMARK_MAIN();

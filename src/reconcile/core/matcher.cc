@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "reconcile/core/best_table.h"
 #include "reconcile/mr/mapreduce.h"
 #include "reconcile/util/flat_hash_map.h"
 #include "reconcile/util/logging.h"
@@ -27,34 +28,6 @@ int FloorLog2(NodeId x) {
   return log;
 }
 
-// Per-node best-score bookkeeping for the mutual-best selection rule.
-// `best` is the maximum candidate score seen for the node; `ties` counts how
-// many candidate pairs achieve it (saturating — only 1 vs >1 matters).
-struct BestTable {
-  std::vector<uint32_t> best;
-  std::vector<uint8_t> ties;
-
-  explicit BestTable(size_t n) : best(n, 0), ties(n, 0) {}
-
-  void Clear() {
-    std::fill(best.begin(), best.end(), 0);
-    std::fill(ties.begin(), ties.end(), 0);
-  }
-
-  void Observe(NodeId node, uint32_t score) {
-    if (score > best[node]) {
-      best[node] = score;
-      ties[node] = 1;
-    } else if (score == best[node] && ties[node] < 255) {
-      ++ties[node];
-    }
-  }
-
-  bool IsUniqueBest(NodeId node, uint32_t score) const {
-    return best[node] == score && ties[node] == 1;
-  }
-};
-
 class MatcherState {
  public:
   MatcherState(const Graph& g1, const Graph& g2, const MatcherConfig& config)
@@ -68,8 +41,10 @@ class MatcherState {
                         : std::max(4, pool_.num_threads())),
         map_1to2_(g1.num_nodes(), kInvalidNode),
         map_2to1_(g2.num_nodes(), kInvalidNode),
-        best1_(g1.num_nodes()),
-        best2_(g2.num_nodes()) {
+        best1_(config.use_parallel_selection ? 0 : g1.num_nodes()),
+        best2_(config.use_parallel_selection ? 0 : g2.num_nodes()),
+        atomic_best1_(config.use_parallel_selection ? g1.num_nodes() : 0),
+        atomic_best2_(config.use_parallel_selection ? g2.num_nodes() : 0) {
     level1_.resize(g1.num_nodes());
     for (NodeId v = 0; v < g1.num_nodes(); ++v) {
       level1_[v] = static_cast<uint8_t>(FloorLog2(std::max<NodeId>(1, g1.degree(v))));
@@ -143,38 +118,120 @@ class MatcherState {
   }
 
  private:
-  // --- Shared selection helper -------------------------------------------
-  // Applies the mutual-unique-best rule over the scored pairs provided by
-  // `for_each_scored(fn)` (fn(key, score) over *live, bucket-eligible*
-  // entries), then commits accepted links. Returns the number accepted.
-  template <typename ScanFn>
-  size_t SelectAndCommit(const ScanFn& for_each_scored, PhaseStats* stats) {
-    best1_.Clear();
-    best2_.Clear();
+  // --- Shared selection engine -------------------------------------------
+  // Applies the mutual-unique-best rule over the scored pairs held in
+  // `units` (disjoint score-map shards whose union is the set of live,
+  // bucket-eligible entries), then commits accepted links. Returns the
+  // number accepted. Two interchangeable engines fill the same stats:
+  //  * serial — one thread folds every unit into epoch-stamped tables;
+  //  * parallel — one task per unit feeds CAS-max atomic tables (observe
+  //    pass), then one task per unit applies the acceptance predicate
+  //    (accept pass). A candidate pair lives in exactly one unit, and the
+  //    fold is order-independent, so both engines produce bit-identical
+  //    matchings for any thread/shard counts.
+  size_t SelectAndCommit(const std::vector<const FlatCountMap*>& units,
+                         PhaseStats* stats) {
+    return config_.use_parallel_selection ? SelectParallel(units, stats)
+                                          : SelectSerial(units, stats);
+  }
+
+  size_t SelectSerial(const std::vector<const FlatCountMap*>& units,
+                      PhaseStats* stats) {
+    Timer timer;
+    best1_.NextEpoch();
+    best2_.NextEpoch();
     size_t candidate_pairs = 0;
-    for_each_scored([this, &candidate_pairs](uint64_t key, uint32_t score) {
-      best1_.Observe(PairFirst(key), score);
-      best2_.Observe(PairSecond(key), score);
-      ++candidate_pairs;
-    });
+    for (const FlatCountMap* unit : units) {
+      unit->ForEach([this, &candidate_pairs](uint64_t key, uint32_t score) {
+        best1_.Observe(PairFirst(key), score);
+        best2_.Observe(PairSecond(key), score);
+        ++candidate_pairs;
+      });
+    }
     stats->candidate_pairs = candidate_pairs;
+    stats->scan_seconds = timer.Seconds();
 
+    timer.Reset();
     std::vector<std::pair<NodeId, NodeId>> accepted;
-    for_each_scored([this, &accepted](uint64_t key, uint32_t score) {
-      if (score < config_.min_score) return;
-      NodeId u = PairFirst(key);
-      NodeId v = PairSecond(key);
-      // Already-matched nodes stay in the scored pool as *blockers* (their
-      // pairs keep outcompeting impostors — this is what defeats the sybil
-      // attack) but are never re-matched.
-      if (map_1to2_[u] != kInvalidNode || map_2to1_[v] != kInvalidNode) return;
-      if (best1_.IsUniqueBest(u, score) && best2_.IsUniqueBest(v, score)) {
-        accepted.emplace_back(u, v);
-      }
-    });
+    for (const FlatCountMap* unit : units) {
+      unit->ForEach([this, &accepted](uint64_t key, uint32_t score) {
+        if (score < config_.min_score) return;
+        NodeId u = PairFirst(key);
+        NodeId v = PairSecond(key);
+        // Already-matched nodes stay in the scored pool as *blockers* (their
+        // pairs keep outcompeting impostors — this is what defeats the sybil
+        // attack) but are never re-matched.
+        if (map_1to2_[u] != kInvalidNode || map_2to1_[v] != kInvalidNode) {
+          return;
+        }
+        if (best1_.IsUniqueBest(u, score) && best2_.IsUniqueBest(v, score)) {
+          accepted.emplace_back(u, v);
+        }
+      });
+    }
+    Commit(accepted);
+    stats->select_seconds = timer.Seconds();
+    return accepted.size();
+  }
 
-    // The accepted set is a matching on unmatched nodes by construction
-    // (unique best on both sides), so commits cannot conflict.
+  size_t SelectParallel(const std::vector<const FlatCountMap*>& units,
+                        PhaseStats* stats) {
+    Timer timer;
+    atomic_best1_.NextEpoch();
+    atomic_best2_.NextEpoch();
+    std::atomic<size_t> candidate_pairs{0};
+    for (const FlatCountMap* unit : units) {
+      if (unit->empty()) continue;
+      pool_.Submit([this, unit, &candidate_pairs] {
+        size_t local_pairs = 0;
+        unit->ForEach([this, &local_pairs](uint64_t key, uint32_t score) {
+          atomic_best1_.Observe(PairFirst(key), score);
+          atomic_best2_.Observe(PairSecond(key), score);
+          ++local_pairs;
+        });
+        candidate_pairs.fetch_add(local_pairs, std::memory_order_relaxed);
+      });
+    }
+    pool_.Wait();
+    stats->candidate_pairs = candidate_pairs.load();
+    stats->scan_seconds = timer.Seconds();
+
+    timer.Reset();
+    // Accept pass: reads the maps and the sealed best tables, writes only
+    // its own unit's accept list; commits happen after the barrier.
+    std::vector<std::vector<std::pair<NodeId, NodeId>>> accepted_per_unit(
+        units.size());
+    for (size_t i = 0; i < units.size(); ++i) {
+      if (units[i]->empty()) continue;
+      pool_.Submit([this, unit = units[i], &list = accepted_per_unit[i]] {
+        unit->ForEach([this, &list](uint64_t key, uint32_t score) {
+          if (score < config_.min_score) return;
+          NodeId u = PairFirst(key);
+          NodeId v = PairSecond(key);
+          if (map_1to2_[u] != kInvalidNode || map_2to1_[v] != kInvalidNode) {
+            return;
+          }
+          if (atomic_best1_.IsUniqueBest(u, score) &&
+              atomic_best2_.IsUniqueBest(v, score)) {
+            list.emplace_back(u, v);
+          }
+        });
+      });
+    }
+    pool_.Wait();
+
+    size_t accepted = 0;
+    for (const auto& list : accepted_per_unit) {
+      Commit(list);
+      accepted += list.size();
+    }
+    stats->select_seconds = timer.Seconds();
+    return accepted;
+  }
+
+  // The accepted set is a matching on unmatched nodes by construction
+  // (unique best on both sides), so commits cannot conflict.
+  void Commit(std::span<const std::pair<NodeId, NodeId>> accepted) {
     for (const auto& [u, v] : accepted) {
       RECONCILE_CHECK_EQ(map_1to2_[u], kInvalidNode);
       RECONCILE_CHECK_EQ(map_2to1_[v], kInvalidNode);
@@ -182,7 +239,6 @@ class MatcherState {
       map_2to1_[v] = u;
       links_.emplace_back(u, v);
     }
-    return accepted.size();
   }
 
   // --- Incremental engine --------------------------------------------------
@@ -242,12 +298,21 @@ class MatcherState {
     }
     pool_.Wait();
 
-    // Merge deltas into the persistent maps: one task per (level, shard).
+    // Merge deltas into the persistent maps: one task per (level, shard),
+    // pre-sized from the delta sizes so the merge never rehashes mid-loop.
     for (int level = 0; level < kNumLevels; ++level) {
       for (int shard = 0; shard < num_shards_; ++shard) {
         pool_.Submit([this, level, shard, &deltas] {
           FlatCountMap& target =
               scores_[static_cast<size_t>(level)][static_cast<size_t>(shard)];
+          size_t expected = target.size();
+          for (const Delta& delta : deltas) {
+            if (delta.maps.empty()) continue;
+            const auto& level_maps = delta.maps[static_cast<size_t>(level)];
+            if (level_maps.empty()) continue;
+            expected += level_maps[static_cast<size_t>(shard)].size();
+          }
+          target.Reserve(expected);
           for (const Delta& delta : deltas) {
             if (delta.maps.empty()) continue;
             const auto& level_maps = delta.maps[static_cast<size_t>(level)];
@@ -273,16 +338,21 @@ class MatcherState {
     stats.iteration = iteration;
     stats.bucket_exponent = bucket_exponent;
     stats.links_in = links_.size();
-    stats.emissions = EmitPendingLinks();
+    stats.num_threads = pool_.num_threads();
 
-    auto scan = [this, bucket_exponent](auto&& fn) {
-      for (int level = bucket_exponent; level < kNumLevels; ++level) {
-        for (const FlatCountMap& shard : scores_[static_cast<size_t>(level)]) {
-          shard.ForEach(fn);
-        }
+    Timer emit_timer;
+    stats.emissions = EmitPendingLinks();
+    stats.emit_seconds = emit_timer.Seconds();
+
+    std::vector<const FlatCountMap*> units;
+    units.reserve(static_cast<size_t>(kNumLevels - bucket_exponent) *
+                  static_cast<size_t>(num_shards_));
+    for (int level = bucket_exponent; level < kNumLevels; ++level) {
+      for (const FlatCountMap& shard : scores_[static_cast<size_t>(level)]) {
+        units.push_back(&shard);
       }
-    };
-    size_t accepted = SelectAndCommit(scan, &stats);
+    }
+    size_t accepted = SelectAndCommit(units, &stats);
 
     stats.new_links = accepted;
     stats.seconds = timer.Seconds();
@@ -290,7 +360,7 @@ class MatcherState {
     return accepted;
   }
 
-  // --- Reference engine ------------------------------------------------
+  // --- Reference scoring engine ----------------------------------------
   // Literal transcription of the paper's inner loop: rebuild the witness
   // counts for the current bucket from *all* current links via one
   // MapReduce round. Kept as the semantics reference; the incremental
@@ -302,7 +372,9 @@ class MatcherState {
     stats.iteration = iteration;
     stats.bucket_exponent = bucket_exponent;
     stats.links_in = links_.size();
+    stats.num_threads = pool_.num_threads();
 
+    Timer emit_timer;
     std::atomic<uint64_t> emissions{0};
     const int num_map_shards = num_shards_ * 4;
     std::vector<FlatCountMap> scores = mr::CountByKey(
@@ -321,13 +393,12 @@ class MatcherState {
           emissions.fetch_add(local_emissions, std::memory_order_relaxed);
         });
     stats.emissions = emissions.load();
+    stats.emit_seconds = emit_timer.Seconds();
 
-    auto scan = [&scores](auto&& fn) {
-      for (const FlatCountMap& shard : scores) {
-        shard.ForEach(fn);
-      }
-    };
-    size_t accepted = SelectAndCommit(scan, &stats);
+    std::vector<const FlatCountMap*> units;
+    units.reserve(scores.size());
+    for (const FlatCountMap& shard : scores) units.push_back(&shard);
+    size_t accepted = SelectAndCommit(units, &stats);
 
     stats.new_links = accepted;
     stats.seconds = timer.Seconds();
@@ -344,8 +415,12 @@ class MatcherState {
   std::vector<NodeId> map_2to1_;
   std::vector<std::pair<NodeId, NodeId>> links_;
   std::vector<PhaseStats> phases_;
+  // Only the engine selected by `config_.use_parallel_selection` allocates
+  // its tables; the other pair stays empty.
   BestTable best1_;
   BestTable best2_;
+  AtomicBestTable atomic_best1_;
+  AtomicBestTable atomic_best2_;
   std::vector<uint8_t> level1_;
   std::vector<uint8_t> level2_;
   // Incremental engine state.

@@ -42,6 +42,12 @@ struct MatcherConfig {
   /// matchings; the incremental one is asymptotically cheaper by the
   /// O(log max-degree) bucket-sweep factor.
   bool use_incremental_scoring = true;
+  /// Selection engine. `true` (default): the per-round mutual-unique-best
+  /// selection runs one task per score shard against atomic CAS-max best
+  /// tables, removing the serial tail that dominates once scoring is
+  /// parallel. `false`: reference single-threaded double scan. Both engines
+  /// produce bit-identical matchings for any thread/shard counts.
+  bool use_parallel_selection = true;
 };
 
 /// Runs User-Matching: expands the seed links into a one-to-one partial

@@ -4,6 +4,16 @@
 
 namespace reconcile {
 
+MatchResult::PhaseTimeTotals MatchResult::SumPhaseSeconds() const {
+  PhaseTimeTotals totals;
+  for (const PhaseStats& phase : phases) {
+    totals.emit_seconds += phase.emit_seconds;
+    totals.scan_seconds += phase.scan_seconds;
+    totals.select_seconds += phase.select_seconds;
+  }
+  return totals;
+}
+
 size_t MatchResult::NumLinks() const {
   size_t count = 0;
   for (NodeId v : map_1to2) {

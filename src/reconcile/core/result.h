@@ -19,7 +19,14 @@ struct PhaseStats {
   size_t emissions = 0;     ///< Candidate-pair witness emissions.
   size_t candidate_pairs = 0;  ///< Distinct candidate pairs scored.
   size_t new_links = 0;     ///< Links accepted this round.
-  double seconds = 0.0;
+  double seconds = 0.0;     ///< Whole-round wall clock.
+  // Per-round time split (seconds): witness emission / scoring, the
+  // best-table observe scan, and the accept-and-commit pass. The three do
+  // not sum exactly to `seconds` (unit bookkeeping sits between them).
+  double emit_seconds = 0.0;
+  double scan_seconds = 0.0;
+  double select_seconds = 0.0;
+  int num_threads = 0;      ///< Worker threads the round ran with.
 };
 
 /// Output of a matcher run: a (partial) one-to-one correspondence between
@@ -34,6 +41,14 @@ struct MatchResult {
   /// Per-round telemetry, in execution order.
   std::vector<PhaseStats> phases;
   double total_seconds = 0.0;
+
+  /// Whole-run totals of the per-round time split (seconds).
+  struct PhaseTimeTotals {
+    double emit_seconds = 0.0;
+    double scan_seconds = 0.0;
+    double select_seconds = 0.0;
+  };
+  PhaseTimeTotals SumPhaseSeconds() const;
 
   /// Total number of links in the mapping (seeds + discovered).
   size_t NumLinks() const;

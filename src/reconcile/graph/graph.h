@@ -10,6 +10,8 @@
 
 namespace reconcile {
 
+class ThreadPool;
+
 /// Immutable undirected simple graph in compressed sparse row (CSR) form.
 ///
 /// Two adjacency orderings are materialized per node:
@@ -34,7 +36,14 @@ class Graph {
 
   /// Builds a graph from `edges`. The edge list is normalized (copy taken);
   /// the node count is max(edges.num_nodes(), largest endpoint + 1).
+  /// Large inputs are built in parallel on an internal worker pool; the
+  /// result is independent of the thread count.
   static Graph FromEdgeList(EdgeList edges);
+
+  /// Same, but runs the parallel construction passes (degree count, CSR
+  /// scatter, per-node sorts for both adjacency orderings) on `pool`.
+  /// `pool == nullptr` forces the serial build.
+  static Graph FromEdgeList(EdgeList edges, ThreadPool* pool);
 
   NodeId num_nodes() const { return num_nodes_; }
 
@@ -68,6 +77,8 @@ class Graph {
   size_t degree_sum() const { return adjacency_.size(); }
 
  private:
+  static Graph FromNormalized(EdgeList edges, ThreadPool* pool);
+
   NodeId num_nodes_ = 0;
   NodeId max_degree_ = 0;
   // offsets_ has num_nodes_ + 1 entries; adjacency slices live in

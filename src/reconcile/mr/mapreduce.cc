@@ -6,13 +6,7 @@ namespace mr {
 void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
                  const std::function<void(size_t, size_t)>& fn) {
   RECONCILE_CHECK(pool != nullptr);
-  if (n == 0) return;
-  size_t step = std::max<size_t>(1, grain);
-  for (size_t begin = 0; begin < n; begin += step) {
-    size_t end = std::min(n, begin + step);
-    pool->Submit([begin, end, &fn] { fn(begin, end); });
-  }
-  pool->Wait();
+  ParallelForChunks(pool, n, grain, fn);
 }
 
 }  // namespace mr

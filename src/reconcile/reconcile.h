@@ -50,6 +50,7 @@
 #include "reconcile/theory/empirics.h"       // IWYU pragma: export
 #include "reconcile/theory/predictions.h"    // IWYU pragma: export
 
+#include "reconcile/core/best_table.h"       // IWYU pragma: export
 #include "reconcile/core/confidence.h"       // IWYU pragma: export
 #include "reconcile/core/matcher.h"          // IWYU pragma: export
 #include "reconcile/core/result.h"           // IWYU pragma: export

@@ -29,11 +29,7 @@ class FlatCountMap {
   FlatCountMap() { Rehash(kInitialCapacity); }
 
   /// Creates a map pre-sized so that `expected` entries fit without rehash.
-  explicit FlatCountMap(size_t expected) {
-    size_t cap = kInitialCapacity;
-    while (cap * kMaxLoadNum < expected * kMaxLoadDen) cap <<= 1;
-    Rehash(cap);
-  }
+  explicit FlatCountMap(size_t expected) { Rehash(CapacityFor(expected)); }
 
   FlatCountMap(const FlatCountMap&) = delete;
   FlatCountMap& operator=(const FlatCountMap&) = delete;
@@ -67,6 +63,14 @@ class FlatCountMap {
     return keys_[FindSlot(key)] != kEmptyKey;
   }
 
+  /// Grows the table so `expected` total entries fit without rehashing.
+  /// Existing entries are preserved; never shrinks. Call before bulk merges
+  /// whose result size is known (or bounded) up front.
+  void Reserve(size_t expected) {
+    size_t cap = CapacityFor(expected);
+    if (cap > capacity()) Rehash(cap);
+  }
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   size_t capacity() const { return keys_.size(); }
@@ -89,6 +93,14 @@ class FlatCountMap {
   // Max load factor 7/8.
   static constexpr size_t kMaxLoadNum = 7;
   static constexpr size_t kMaxLoadDen = 8;
+
+  /// Smallest power-of-two capacity holding `expected` entries within the
+  /// max load factor.
+  static size_t CapacityFor(size_t expected) {
+    size_t cap = kInitialCapacity;
+    while (cap * kMaxLoadNum < expected * kMaxLoadDen) cap <<= 1;
+    return cap;
+  }
 
   size_t FindSlot(uint64_t key) const {
     size_t mask = keys_.size() - 1;

@@ -39,6 +39,28 @@ int ThreadPool::DefaultThreads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+size_t ThreadPool::GrainSize(size_t n, int num_threads, size_t min_grain,
+                             int tasks_per_thread) {
+  const size_t tasks = static_cast<size_t>(std::max(1, num_threads)) *
+                       static_cast<size_t>(std::max(1, tasks_per_thread));
+  return std::max(std::max<size_t>(1, min_grain), (n + tasks - 1) / tasks);
+}
+
+void ParallelForChunks(ThreadPool* pool, size_t n, size_t grain,
+                       const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  size_t step = std::max<size_t>(1, grain);
+  if (pool == nullptr || step >= n) {
+    fn(0, n);
+    return;
+  }
+  for (size_t begin = 0; begin < n; begin += step) {
+    size_t end = std::min(n, begin + step);
+    pool->Submit([begin, end, &fn] { fn(begin, end); });
+  }
+  pool->Wait();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -39,6 +39,18 @@ class ThreadPool {
   /// Default parallelism: hardware concurrency, at least 1.
   static int DefaultThreads();
 
+  /// Suggested chunk size for splitting `n` items into parallel tasks:
+  /// targets `tasks_per_thread` tasks per worker (slack for load balancing
+  /// without drowning the queue in tiny tasks), never below `min_grain`
+  /// items per task.
+  static size_t GrainSize(size_t n, int num_threads, size_t min_grain = 1,
+                          int tasks_per_thread = 4);
+
+  /// `GrainSize` for this pool's worker count.
+  size_t GrainFor(size_t n, size_t min_grain = 1) const {
+    return GrainSize(n, num_threads(), min_grain);
+  }
+
  private:
   void WorkerLoop();
 
@@ -50,6 +62,12 @@ class ThreadPool {
   int in_flight_ = 0;
   bool shutting_down_ = false;
 };
+
+/// Runs `fn(begin, end)` over a partition of `[0, n)` into contiguous chunks
+/// of roughly `grain` items, executed on `pool`. Blocks until all chunks
+/// complete. `fn` must be safe to invoke concurrently on disjoint ranges.
+void ParallelForChunks(ThreadPool* pool, size_t n, size_t grain,
+                       const std::function<void(size_t, size_t)>& fn);
 
 }  // namespace reconcile
 

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "reconcile/util/rng.h"
+#include "reconcile/util/thread_pool.h"
+
 namespace reconcile {
 namespace {
 
@@ -133,6 +136,44 @@ TEST(GraphTest, CopyAndMoveSemantics) {
   Graph moved = std::move(copy);
   EXPECT_EQ(moved.num_edges(), g.num_edges());
   EXPECT_TRUE(moved.HasEdge(0, 1));
+}
+
+// The pool-parallel CSR build (atomic degree count, parallel scatter,
+// per-node sorts) must be bit-identical to the serial build, for any pool
+// size — including messy inputs with duplicates, self-loops and skew.
+TEST(GraphTest, ParallelBuildMatchesSerial) {
+  Rng rng(321);
+  EdgeList edges(2000);
+  for (int i = 0; i < 30000; ++i) {
+    // Skewed endpoints so a few nodes get large, sort-heavy neighbourhoods.
+    NodeId u = static_cast<NodeId>(rng.UniformInt(2000));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(u % 50 == 0 ? 2000 : 100));
+    edges.Add(u, v);  // self-loops and duplicates included on purpose
+  }
+
+  EdgeList serial_copy = edges;
+  Graph serial = Graph::FromEdgeList(std::move(serial_copy), nullptr);
+
+  for (int threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    EdgeList copy = edges;
+    Graph parallel = Graph::FromEdgeList(std::move(copy), &pool);
+    ASSERT_EQ(parallel.num_nodes(), serial.num_nodes());
+    ASSERT_EQ(parallel.num_edges(), serial.num_edges());
+    EXPECT_EQ(parallel.max_degree(), serial.max_degree());
+    for (NodeId v = 0; v < serial.num_nodes(); ++v) {
+      ASSERT_EQ(parallel.degree(v), serial.degree(v)) << "node " << v;
+      const auto a = serial.Neighbors(v);
+      const auto b = parallel.Neighbors(v);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << "Neighbors mismatch at node " << v << ", threads " << threads;
+      const auto c = serial.NeighborsByDegree(v);
+      const auto d = parallel.NeighborsByDegree(v);
+      ASSERT_TRUE(std::equal(c.begin(), c.end(), d.begin(), d.end()))
+          << "NeighborsByDegree mismatch at node " << v << ", threads "
+          << threads;
+    }
+  }
 }
 
 }  // namespace

@@ -40,6 +40,8 @@
 //   --threshold     matcher threshold T                         [2]
 //   --iterations    matcher outer iterations k                  [2]
 //   --no-bucketing  disable degree bucketing                    [false]
+//   --serial-selection  use the serial reference selection scan [false]
+//   --phase-table   print the per-round emit/scan/select split  [false]
 //   --baseline      none | simple | ns09 | features |
 //                   percolation (also run baseline)             [none]
 //   --degree-table  print per-degree-band precision/recall      [false]
@@ -200,16 +202,41 @@ int RunCli(const Flags& flags) {
   config.num_iterations = static_cast<int>(flags.GetInt("iterations", 2));
   config.use_degree_bucketing = !flags.GetBool("no-bucketing", false);
   config.num_threads = static_cast<int>(flags.GetInt("threads", 0));
+  config.use_parallel_selection = !flags.GetBool("serial-selection", false);
   MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
   MatchQuality quality = Evaluate(pair, result);
-  std::printf("\nUser-Matching (T=%u, k=%d, bucketing=%s): %.2fs, %zu rounds\n",
+  std::printf("\nUser-Matching (T=%u, k=%d, bucketing=%s, selection=%s): "
+              "%.2fs, %zu rounds\n",
               config.min_score, config.num_iterations,
               config.use_degree_bucketing ? "on" : "off",
+              config.use_parallel_selection ? "parallel" : "serial",
               result.total_seconds, result.phases.size());
+  const MatchResult::PhaseTimeTotals split = result.SumPhaseSeconds();
+  std::printf("  phase split: emit %.2fs | scan %.2fs | select %.2fs "
+              "(%d threads)\n",
+              split.emit_seconds, split.scan_seconds, split.select_seconds,
+              result.phases.empty() ? 0 : result.phases.front().num_threads);
   std::printf("  good %zu | bad %zu | precision %.2f%% | recall(all) %.2f%% | "
               "recall(new) %.2f%%\n",
               quality.new_good, quality.new_bad, 100.0 * quality.precision,
               100.0 * quality.recall_all, 100.0 * quality.recall_new);
+
+  if (flags.GetBool("phase-table", false)) {
+    Table table({"iter", "bucket", "links in", "emissions", "pairs", "new",
+                 "emit s", "scan s", "select s"});
+    for (const PhaseStats& phase : result.phases) {
+      table.AddRow({std::to_string(phase.iteration),
+                    std::to_string(phase.bucket_exponent),
+                    std::to_string(phase.links_in),
+                    std::to_string(phase.emissions),
+                    std::to_string(phase.candidate_pairs),
+                    std::to_string(phase.new_links),
+                    FormatDouble(phase.emit_seconds, 3),
+                    FormatDouble(phase.scan_seconds, 3),
+                    FormatDouble(phase.select_seconds, 3)});
+    }
+    table.Print(std::cout);
+  }
 
   if (flags.GetBool("degree-table", false)) {
     Table table({"degree band", "identifiable", "good", "bad", "precision",

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds and runs the perf-trajectory benchmarks, writing JSON baselines to
+# the repo root:
+#   BENCH_micro.json    — substrate hot paths + end-to-end matching
+#                         (serial- vs parallel-selection, 1/2/4 threads)
+#   BENCH_scaling.json  — Table-2 RMAT scaling shape
+#
+# Usage: tools/run_bench.sh [extra google-benchmark flags...]
+# The build directory defaults to <repo>/build-bench; override with
+# BUILD_DIR=... Compare JSONs across PRs to track the perf trajectory.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build-bench}"
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DRECONCILE_BUILD_BENCHMARKS=ON \
+  -DRECONCILE_BUILD_TESTS=OFF \
+  -DRECONCILE_BUILD_TOOLS=OFF
+cmake --build "$BUILD" -j "$(nproc)" --target bench_micro bench_table2_scaling
+
+"$BUILD/bench_micro" --benchmark_format=json "$@" > "$ROOT/BENCH_micro.json"
+"$BUILD/bench_table2_scaling" --benchmark_format=json "$@" \
+  > "$ROOT/BENCH_scaling.json"
+
+echo "wrote $ROOT/BENCH_micro.json and $ROOT/BENCH_scaling.json"
