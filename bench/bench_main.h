@@ -1,0 +1,99 @@
+#ifndef RECONCILE_BENCH_BENCH_MAIN_H_
+#define RECONCILE_BENCH_BENCH_MAIN_H_
+
+// Shared main() for the google-benchmark harnesses, replacing
+// BENCHMARK_MAIN(). It exists to keep the BENCH_*.json baselines honest:
+//
+//  * The reconcile git SHA and this harness's build type are embedded into
+//    the JSON context (`reconcile_git_sha`, `reconcile_build_type`), so a
+//    baseline can always be traced back to the exact commit and
+//    configuration that produced it.
+//
+//  * `library_build_type` is corrected when google-benchmark is linked from
+//    a distro package. That field is compiled into libbenchmark itself, and
+//    Debian builds the package without NDEBUG — so every baseline would be
+//    stamped "debug" even though all measured code (libreconcile and the
+//    bench translation units) is a Release build. The reporter below
+//    rewrites the field to this harness's own build type, which is exactly
+//    what the field reports when benchmark is FetchContent'd from source
+//    and inherits the project's CMAKE_BUILD_TYPE. A genuine debug harness
+//    still reports "debug" (and tools/run_bench.sh refuses to write a
+//    baseline from it).
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+// Set by CMake from `git rev-parse --short HEAD` at configure time.
+#ifndef RECONCILE_GIT_SHA
+#define RECONCILE_GIT_SHA "unknown"
+#endif
+
+namespace reconcile {
+namespace bench {
+
+#if defined(NDEBUG)
+inline constexpr const char kHarnessBuildType[] = "release";
+#else
+inline constexpr const char kHarnessBuildType[] = "debug";
+#endif
+
+// JSONReporter whose context block reports the build type of the measured
+// code (see file header). Everything else is the stock JSON output.
+class BuildTypeCorrectingJsonReporter : public benchmark::JSONReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    std::ostream& real_stream = GetOutputStream();
+    std::ostringstream buffer;
+    SetOutputStream(&buffer);
+    const bool ok = benchmark::JSONReporter::ReportContext(context);
+    SetOutputStream(&real_stream);
+
+    std::string text = buffer.str();
+    const std::string field = "\"library_build_type\": \"";
+    const size_t pos = text.find(field);
+    if (pos != std::string::npos) {
+      const size_t value_begin = pos + field.size();
+      const size_t value_end = text.find('"', value_begin);
+      if (value_end != std::string::npos) {
+        text.replace(value_begin, value_end - value_begin, kHarnessBuildType);
+      }
+    }
+    real_stream << text;
+    return ok;
+  }
+};
+
+inline int BenchmarkMain(int argc, char** argv) {
+  benchmark::AddCustomContext("reconcile_git_sha", RECONCILE_GIT_SHA);
+  benchmark::AddCustomContext("reconcile_build_type", kHarnessBuildType);
+  bool json_format = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--benchmark_format=json") == 0) {
+      json_format = true;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (json_format) {
+    BuildTypeCorrectingJsonReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace reconcile
+
+/// Drop-in replacement for BENCHMARK_MAIN() with baseline-context support.
+#define RECONCILE_BENCHMARK_MAIN()                 \
+  int main(int argc, char** argv) {                \
+    return reconcile::bench::BenchmarkMain(argc, argv); \
+  }
+
+#endif  // RECONCILE_BENCH_BENCH_MAIN_H_

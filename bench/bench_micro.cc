@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
 #include "reconcile/core/matcher.h"
 #include "reconcile/gen/chung_lu.h"
 #include "reconcile/gen/erdos_renyi.h"
@@ -13,6 +14,7 @@
 #include "reconcile/sampling/independent.h"
 #include "reconcile/seed/seeding.h"
 #include "reconcile/util/flat_hash_map.h"
+#include "reconcile/util/radix_sort.h"
 
 namespace reconcile {
 namespace {
@@ -30,6 +32,41 @@ void BM_FlatCountMapInsert(benchmark::State& state) {
                           static_cast<int64_t>(n));
 }
 BENCHMARK(BM_FlatCountMapInsert)->Arg(1 << 14)->Arg(1 << 18);
+
+// The radix backend's aggregation primitive over the same key stream: append
+// to a flat buffer, radix-sort, run-length-encode. Compare per-item cost
+// against BM_FlatCountMapInsert at equal n.
+void BM_SortAndCount(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> scratch;
+  for (auto _ : state) {
+    std::vector<uint64_t> keys;
+    keys.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      keys.push_back(HashMix64(i) | 1);
+    }
+    SortedCountRun run = SortAndCount(std::move(keys), scratch);
+    benchmark::DoNotOptimize(run.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SortAndCount)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RadixSortU64(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> source(n);
+  for (size_t i = 0; i < n; ++i) source[i] = HashMix64(i);
+  std::vector<uint64_t> scratch;
+  for (auto _ : state) {
+    std::vector<uint64_t> keys = source;
+    RadixSortU64(keys, scratch);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RadixSortU64)->Arg(1 << 14)->Arg(1 << 18);
 
 EdgeList MakeBenchEdges(NodeId nodes) {
   Graph source = GenerateErdosRenyi(nodes, 20.0 / static_cast<double>(nodes),
@@ -76,6 +113,43 @@ void BM_GraphBuildParallel4T(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphBuildSerial)->Arg(1 << 17);
 BENCHMARK(BM_GraphBuildParallel4T)->Arg(1 << 17);
+
+// Edge-list normalization (canonicalize + sort + dedup), serial vs pooled.
+// The input carries duplicates in both orientations plus self-loops so the
+// dedup sweep has real work.
+EdgeList MakeMessyBenchEdges(NodeId nodes) {
+  EdgeList base = MakeBenchEdges(nodes);
+  EdgeList messy(base.num_nodes());
+  messy.Reserve(base.size() * 2 + base.num_nodes() / 16);
+  for (const Edge& e : base.edges()) {
+    messy.Add(e.first, e.second);
+    messy.Add(e.second, e.first);  // duplicate, flipped orientation
+  }
+  for (NodeId v = 0; v < base.num_nodes(); v += 16) {
+    messy.Add(v, v);  // self-loop
+  }
+  return messy;
+}
+
+void NormalizeBenchmark(benchmark::State& state, int threads) {
+  EdgeList edges = MakeMessyBenchEdges(static_cast<NodeId>(state.range(0)));
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    EdgeList copy = edges;
+    copy.Normalize(threads > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(copy.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(edges.size()));
+}
+void BM_EdgeListNormalizeSerial(benchmark::State& state) {
+  NormalizeBenchmark(state, 1);
+}
+void BM_EdgeListNormalizeParallel4T(benchmark::State& state) {
+  NormalizeBenchmark(state, 4);
+}
+BENCHMARK(BM_EdgeListNormalizeSerial)->Arg(1 << 17);
+BENCHMARK(BM_EdgeListNormalizeParallel4T)->Arg(1 << 17);
 
 void BM_GenerateErdosRenyi(benchmark::State& state) {
   const NodeId n = static_cast<NodeId>(state.range(0));
@@ -130,13 +204,35 @@ void BM_CountByKey(benchmark::State& state) {
 }
 BENCHMARK(BM_CountByKey)->Arg(1)->Arg(2)->Arg(4);
 
+void BM_SortCountByKey(benchmark::State& state) {
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  constexpr size_t kItems = 100000;
+  for (auto _ : state) {
+    auto runs = mr::SortCountByKey(
+        &pool, kItems, 16, 8,
+        [](size_t i, auto emit) {
+          emit(HashMix64(i) % 5000);
+          emit(HashMix64(i * 31) % 5000);
+        },
+        [](uint64_t key) { return static_cast<int>(key * 8 / 5000); });
+    benchmark::DoNotOptimize(runs.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * kItems));
+}
+BENCHMARK(BM_SortCountByKey)->Arg(1)->Arg(2)->Arg(4);
+
 // End-to-end matching on a PA graph: incremental vs recompute scoring,
-// serial vs parallel selection, one vs many threads. The serial-selection
-// runs are the Amdahl baseline: scoring is parallel in both, so any gap at
-// >= 4 threads is the selection engine. Per-phase seconds from the final
-// run's PhaseStats are exported as counters (emit_s / scan_s / select_s).
+// serial vs parallel selection, radix vs hash aggregation, one vs many
+// threads. The serial-selection runs are the Amdahl baseline: scoring is
+// parallel in both, so any gap at >= 4 threads is the selection engine. The
+// BM_MatchHash* runs pin the hash backend so the radix-vs-hash gap stays
+// visible in the baseline JSON after the default flipped to radix. Per-phase
+// seconds from the final run's PhaseStats are exported as counters
+// (emit_s / scan_s / select_s).
 void MatchBenchmark(benchmark::State& state, bool incremental, int threads,
-                    bool parallel_selection) {
+                    bool parallel_selection,
+                    ScoringBackend backend = ScoringBackend::kRadixSort) {
   Graph g = GeneratePreferentialAttachment(8000, 10, 5);
   RealizationPair pair = SampleIndependent(g, {}, 6);
   SeedOptions seed_options;
@@ -146,6 +242,7 @@ void MatchBenchmark(benchmark::State& state, bool incremental, int threads,
   config.use_incremental_scoring = incremental;
   config.num_threads = threads;
   config.use_parallel_selection = parallel_selection;
+  config.scoring_backend = backend;
   MatchResult::PhaseTimeTotals split;
   for (auto _ : state) {
     MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
@@ -175,14 +272,26 @@ void BM_MatchSerialSelect1T(benchmark::State& state) {
 void BM_MatchSerialSelect4T(benchmark::State& state) {
   MatchBenchmark(state, true, 4, false);
 }
+void BM_MatchHash1T(benchmark::State& state) {
+  MatchBenchmark(state, true, 1, true, ScoringBackend::kHashMap);
+}
+void BM_MatchHash4T(benchmark::State& state) {
+  MatchBenchmark(state, true, 4, true, ScoringBackend::kHashMap);
+}
+void BM_MatchHashRecompute1T(benchmark::State& state) {
+  MatchBenchmark(state, false, 1, true, ScoringBackend::kHashMap);
+}
 BENCHMARK(BM_MatchIncremental1T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatchIncremental2T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatchIncremental4T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatchRecompute1T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatchSerialSelect1T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatchSerialSelect4T)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatchHash1T)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatchHash4T)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatchHashRecompute1T)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace reconcile
 
-BENCHMARK_MAIN();
+RECONCILE_BENCHMARK_MAIN();

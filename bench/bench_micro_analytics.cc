@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "reconcile/baseline/feature_matching.h"
 #include "reconcile/baseline/percolation.h"
 #include "reconcile/core/confidence.h"
@@ -136,4 +138,4 @@ BENCHMARK(BM_ConfidenceAudit)->Arg(1 << 12)->Arg(1 << 14);
 }  // namespace
 }  // namespace reconcile
 
-BENCHMARK_MAIN();
+RECONCILE_BENCHMARK_MAIN();

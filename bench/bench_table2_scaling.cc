@@ -18,6 +18,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
 #include "reconcile/core/matcher.h"
 #include "reconcile/gen/rmat.h"
 #include "reconcile/sampling/independent.h"
@@ -26,7 +27,7 @@
 namespace reconcile {
 namespace {
 
-void BM_Table2RmatMatch(benchmark::State& state) {
+void Table2Benchmark(benchmark::State& state, ScoringBackend backend) {
   const int scale = static_cast<int>(state.range(0));
   RmatParams params;
   params.scale = scale;
@@ -42,6 +43,7 @@ void BM_Table2RmatMatch(benchmark::State& state) {
       GenerateSeeds(pair, seed_options, 0xBE2C200 + static_cast<uint64_t>(scale));
   MatcherConfig config;
   config.min_score = 2;
+  config.scoring_backend = backend;
 
   MatchResult::PhaseTimeTotals split;
   for (auto _ : state) {
@@ -56,7 +58,22 @@ void BM_Table2RmatMatch(benchmark::State& state) {
   state.counters["select_s"] = split.select_seconds;
 }
 
+// Default (radix) backend — the trajectory series tracked across PRs.
+void BM_Table2RmatMatch(benchmark::State& state) {
+  Table2Benchmark(state, ScoringBackend::kRadixSort);
+}
+// Hash reference, kept in the baseline so the backend gap stays visible at
+// scale.
+void BM_Table2RmatMatchHash(benchmark::State& state) {
+  Table2Benchmark(state, ScoringBackend::kHashMap);
+}
+
 BENCHMARK(BM_Table2RmatMatch)
+    ->Arg(13)
+    ->Arg(15)
+    ->Arg(17)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table2RmatMatchHash)
     ->Arg(13)
     ->Arg(15)
     ->Arg(17)
@@ -65,4 +82,4 @@ BENCHMARK(BM_Table2RmatMatch)
 }  // namespace
 }  // namespace reconcile
 
-BENCHMARK_MAIN();
+RECONCILE_BENCHMARK_MAIN();

@@ -7,12 +7,40 @@
 #include "reconcile/mr/mapreduce.h"
 #include "reconcile/util/flat_hash_map.h"
 #include "reconcile/util/logging.h"
+#include "reconcile/util/radix_sort.h"
 #include "reconcile/util/thread_pool.h"
 #include "reconcile/util/timer.h"
 
 namespace reconcile {
 
 namespace {
+
+// One disjoint slice of the scored-pair multiset handed to selection: either
+// a hash-map shard (hash backend) or a sorted run (radix backend). A
+// candidate pair lives in exactly one unit either way, and the selection
+// fold is representation-agnostic — it only needs `ForEach(key, score)` —
+// so both backends flow through the same `SelectSerial` / `SelectParallel`
+// engines and stay bit-identical by construction.
+class ScoreUnit {
+ public:
+  explicit ScoreUnit(const FlatCountMap* map) : map_(map) {}
+  explicit ScoreUnit(const SortedCountRun* run) : run_(run) {}
+
+  bool empty() const { return map_ != nullptr ? map_->empty() : run_->empty(); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (map_ != nullptr) {
+      map_->ForEach(fn);
+    } else {
+      run_->ForEach(fn);
+    }
+  }
+
+ private:
+  const FlatCountMap* map_ = nullptr;
+  const SortedCountRun* run_ = nullptr;
+};
 
 // Degree levels partition candidate pairs by the first bucket in which they
 // become eligible: level(u, v) = min(log2 d1(u), log2 d2(v)), so the pairs
@@ -54,9 +82,29 @@ class MatcherState {
       level2_[v] = static_cast<uint8_t>(FloorLog2(std::max<NodeId>(1, g2.degree(v))));
     }
     if (config.use_incremental_scoring) {
-      scores_.resize(kNumLevels);
-      for (auto& level : scores_) {
-        level = std::vector<FlatCountMap>(static_cast<size_t>(num_shards_));
+      if (config.scoring_backend == ScoringBackend::kRadixSort) {
+        runs_.resize(kNumLevels);
+        for (auto& level : runs_) {
+          level.resize(static_cast<size_t>(num_shards_));
+        }
+      } else {
+        scores_.resize(kNumLevels);
+        for (auto& level : scores_) {
+          level = std::vector<FlatCountMap>(static_cast<size_t>(num_shards_));
+        }
+      }
+    }
+    if (config.scoring_backend == ScoringBackend::kRadixSort) {
+      // Range partition on the high key bits (the g1 node id): shard(u, v) =
+      // u * S / n1, precomputed per node so the emission loop pays one array
+      // load instead of a hash mix or a 64-bit divide. Each shard owns a
+      // contiguous key interval, so per-shard runs stay disjoint and their
+      // concatenation is globally sorted.
+      const uint64_t n1 = std::max<uint64_t>(1, g1.num_nodes());
+      radix_shard1_.resize(g1.num_nodes());
+      for (NodeId u = 0; u < g1.num_nodes(); ++u) {
+        radix_shard1_[u] = static_cast<uint32_t>(
+            static_cast<uint64_t>(u) * static_cast<uint64_t>(num_shards_) / n1);
       }
     }
   }
@@ -88,6 +136,23 @@ class MatcherState {
   // proportional to the live frontier.
   void CompactScores() {
     if (!config_.use_incremental_scoring) return;
+    if (config_.scoring_backend == ScoringBackend::kRadixSort) {
+      // Sorted runs compact with a single in-place filtering sweep — no
+      // rebuild, no rehash, order preserved.
+      for (auto& level : runs_) {
+        for (SortedCountRun& run : level) {
+          pool_.Submit([this, &run] {
+            if (run.empty()) return;
+            run.Filter([this](uint64_t key, uint32_t) {
+              return map_1to2_[PairFirst(key)] == kInvalidNode ||
+                     map_2to1_[PairSecond(key)] == kInvalidNode;
+            });
+          });
+        }
+      }
+      pool_.Wait();
+      return;
+    }
     for (auto& level : scores_) {
       for (FlatCountMap& shard : level) {
         pool_.Submit([this, &shard] {
@@ -120,8 +185,9 @@ class MatcherState {
  private:
   // --- Shared selection engine -------------------------------------------
   // Applies the mutual-unique-best rule over the scored pairs held in
-  // `units` (disjoint score-map shards whose union is the set of live,
-  // bucket-eligible entries), then commits accepted links. Returns the
+  // `units` (disjoint score units — hash shards or sorted runs — whose union
+  // is the set of live, bucket-eligible entries), then commits accepted
+  // links. Returns the
   // number accepted. Two interchangeable engines fill the same stats:
   //  * serial — one thread folds every unit into epoch-stamped tables;
   //  * parallel — one task per unit feeds CAS-max atomic tables (observe
@@ -129,20 +195,19 @@ class MatcherState {
   //    (accept pass). A candidate pair lives in exactly one unit, and the
   //    fold is order-independent, so both engines produce bit-identical
   //    matchings for any thread/shard counts.
-  size_t SelectAndCommit(const std::vector<const FlatCountMap*>& units,
+  size_t SelectAndCommit(const std::vector<ScoreUnit>& units,
                          PhaseStats* stats) {
     return config_.use_parallel_selection ? SelectParallel(units, stats)
                                           : SelectSerial(units, stats);
   }
 
-  size_t SelectSerial(const std::vector<const FlatCountMap*>& units,
-                      PhaseStats* stats) {
+  size_t SelectSerial(const std::vector<ScoreUnit>& units, PhaseStats* stats) {
     Timer timer;
     best1_.NextEpoch();
     best2_.NextEpoch();
     size_t candidate_pairs = 0;
-    for (const FlatCountMap* unit : units) {
-      unit->ForEach([this, &candidate_pairs](uint64_t key, uint32_t score) {
+    for (const ScoreUnit& unit : units) {
+      unit.ForEach([this, &candidate_pairs](uint64_t key, uint32_t score) {
         best1_.Observe(PairFirst(key), score);
         best2_.Observe(PairSecond(key), score);
         ++candidate_pairs;
@@ -153,8 +218,8 @@ class MatcherState {
 
     timer.Reset();
     std::vector<std::pair<NodeId, NodeId>> accepted;
-    for (const FlatCountMap* unit : units) {
-      unit->ForEach([this, &accepted](uint64_t key, uint32_t score) {
+    for (const ScoreUnit& unit : units) {
+      unit.ForEach([this, &accepted](uint64_t key, uint32_t score) {
         if (score < config_.min_score) return;
         NodeId u = PairFirst(key);
         NodeId v = PairSecond(key);
@@ -174,17 +239,17 @@ class MatcherState {
     return accepted.size();
   }
 
-  size_t SelectParallel(const std::vector<const FlatCountMap*>& units,
+  size_t SelectParallel(const std::vector<ScoreUnit>& units,
                         PhaseStats* stats) {
     Timer timer;
     atomic_best1_.NextEpoch();
     atomic_best2_.NextEpoch();
     std::atomic<size_t> candidate_pairs{0};
-    for (const FlatCountMap* unit : units) {
-      if (unit->empty()) continue;
-      pool_.Submit([this, unit, &candidate_pairs] {
+    for (const ScoreUnit& unit : units) {
+      if (unit.empty()) continue;
+      pool_.Submit([this, &unit, &candidate_pairs] {
         size_t local_pairs = 0;
-        unit->ForEach([this, &local_pairs](uint64_t key, uint32_t score) {
+        unit.ForEach([this, &local_pairs](uint64_t key, uint32_t score) {
           atomic_best1_.Observe(PairFirst(key), score);
           atomic_best2_.Observe(PairSecond(key), score);
           ++local_pairs;
@@ -202,9 +267,9 @@ class MatcherState {
     std::vector<std::vector<std::pair<NodeId, NodeId>>> accepted_per_unit(
         units.size());
     for (size_t i = 0; i < units.size(); ++i) {
-      if (units[i]->empty()) continue;
-      pool_.Submit([this, unit = units[i], &list = accepted_per_unit[i]] {
-        unit->ForEach([this, &list](uint64_t key, uint32_t score) {
+      if (units[i].empty()) continue;
+      pool_.Submit([this, &unit = units[i], &list = accepted_per_unit[i]] {
+        unit.ForEach([this, &list](uint64_t key, uint32_t score) {
           if (score < config_.min_score) return;
           NodeId u = PairFirst(key);
           NodeId v = PairSecond(key);
@@ -248,8 +313,16 @@ class MatcherState {
   // This is result-identical to the recompute path (verified by tests) and
   // removes the per-bucket rescoring factor from the running time.
 
-  // Folds links_[emitted_links_ ..) into the persistent score maps.
+  // Folds links_[emitted_links_ ..) into the persistent score state of the
+  // configured backend.
   uint64_t EmitPendingLinks() {
+    return config_.scoring_backend == ScoringBackend::kRadixSort
+               ? EmitPendingLinksRadix()
+               : EmitPendingLinksHash();
+  }
+
+  // Hash backend: every emission probes a per-(level, shard) FlatCountMap.
+  uint64_t EmitPendingLinksHash() {
     const size_t begin = emitted_links_;
     const size_t end = links_.size();
     if (begin == end) return 0;
@@ -332,6 +405,95 @@ class MatcherState {
     return total;
   }
 
+  // Radix backend: emissions append packed keys into per-(level, shard) flat
+  // buffers (one array store each — the shard is a precomputed per-node
+  // lookup, no hashing); each touched (level, shard) cell then sorts its
+  // delta, run-length-encodes it and folds it into the persistent sorted run
+  // with one linear two-way merge.
+  uint64_t EmitPendingLinksRadix() {
+    const size_t begin = emitted_links_;
+    const size_t end = links_.size();
+    if (begin == end) return 0;
+    emitted_links_ = end;
+
+    const NodeId dmin = static_cast<NodeId>(1u)
+                        << config_.min_bucket_exponent;
+    struct RadixDelta {
+      std::vector<std::vector<std::vector<uint64_t>>> keys;  // [level][shard]
+      uint64_t emissions = 0;
+    };
+    const size_t num_items = end - begin;
+    const size_t num_map_shards =
+        std::min<size_t>(num_items, static_cast<size_t>(num_shards_) * 4);
+    const size_t grain = (num_items + num_map_shards - 1) / num_map_shards;
+    std::vector<RadixDelta> deltas(num_map_shards);
+
+    size_t shard_index = 0;
+    for (size_t lo = 0; lo < num_items; lo += grain, ++shard_index) {
+      size_t hi = std::min(num_items, lo + grain);
+      RadixDelta& delta = deltas[shard_index];
+      pool_.Submit([this, begin, lo, hi, dmin, &delta] {
+        delta.keys.resize(kNumLevels);
+        auto& keys = delta.keys;
+        for (size_t item = lo; item < hi; ++item) {
+          const auto [a1, a2] = links_[begin + item];
+          for (NodeId u : g1_.NeighborsByDegree(a1)) {
+            if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
+            const uint8_t lu = level1_[u];
+            const uint32_t shard = radix_shard1_[u];
+            for (NodeId v : g2_.NeighborsByDegree(a2)) {
+              if (g2_.degree(v) < dmin) break;
+              const uint8_t level = std::min(lu, level2_[v]);
+              if (keys[level].empty()) {
+                keys[level].resize(static_cast<size_t>(num_shards_));
+              }
+              keys[level][shard].push_back(PackPair(u, v));
+              ++delta.emissions;
+            }
+          }
+        }
+      });
+    }
+    pool_.Wait();
+
+    // Sort-and-merge: one task per touched (level, shard). Concatenate the
+    // map chunks, radix-sort, run-length-encode, then fold into the
+    // persistent run with a linear merge (no rehashing anywhere).
+    for (int level = 0; level < kNumLevels; ++level) {
+      for (int shard = 0; shard < num_shards_; ++shard) {
+        size_t total = 0;
+        for (const RadixDelta& delta : deltas) {
+          if (delta.keys.empty()) continue;
+          const auto& level_keys = delta.keys[static_cast<size_t>(level)];
+          if (level_keys.empty()) continue;
+          total += level_keys[static_cast<size_t>(shard)].size();
+        }
+        if (total == 0) continue;
+        pool_.Submit([this, level, shard, total, &deltas] {
+          std::vector<uint64_t> raw;
+          raw.reserve(total);
+          for (const RadixDelta& delta : deltas) {
+            if (delta.keys.empty()) continue;
+            const auto& level_keys = delta.keys[static_cast<size_t>(level)];
+            if (level_keys.empty()) continue;
+            const auto& chunk = level_keys[static_cast<size_t>(shard)];
+            raw.insert(raw.end(), chunk.begin(), chunk.end());
+          }
+          std::vector<uint64_t> scratch;
+          SortedCountRun delta_run = SortAndCount(std::move(raw), scratch);
+          MergeCountRuns(
+              runs_[static_cast<size_t>(level)][static_cast<size_t>(shard)],
+              std::move(delta_run));
+        });
+      }
+    }
+    pool_.Wait();
+
+    uint64_t total = 0;
+    for (const RadixDelta& delta : deltas) total += delta.emissions;
+    return total;
+  }
+
   size_t RoundIncremental(int iteration, int bucket_exponent) {
     Timer timer;
     PhaseStats stats;
@@ -344,12 +506,20 @@ class MatcherState {
     stats.emissions = EmitPendingLinks();
     stats.emit_seconds = emit_timer.Seconds();
 
-    std::vector<const FlatCountMap*> units;
+    std::vector<ScoreUnit> units;
     units.reserve(static_cast<size_t>(kNumLevels - bucket_exponent) *
                   static_cast<size_t>(num_shards_));
-    for (int level = bucket_exponent; level < kNumLevels; ++level) {
-      for (const FlatCountMap& shard : scores_[static_cast<size_t>(level)]) {
-        units.push_back(&shard);
+    if (config_.scoring_backend == ScoringBackend::kRadixSort) {
+      for (int level = bucket_exponent; level < kNumLevels; ++level) {
+        for (const SortedCountRun& run : runs_[static_cast<size_t>(level)]) {
+          units.push_back(ScoreUnit(&run));
+        }
+      }
+    } else {
+      for (int level = bucket_exponent; level < kNumLevels; ++level) {
+        for (const FlatCountMap& shard : scores_[static_cast<size_t>(level)]) {
+          units.push_back(ScoreUnit(&shard));
+        }
       }
     }
     size_t accepted = SelectAndCommit(units, &stats);
@@ -377,27 +547,40 @@ class MatcherState {
     Timer emit_timer;
     std::atomic<uint64_t> emissions{0};
     const int num_map_shards = num_shards_ * 4;
-    std::vector<FlatCountMap> scores = mr::CountByKey(
-        &pool_, links_.size(), num_map_shards, num_shards_,
-        [this, dmin, &emissions](size_t item, auto emit) {
-          const auto [a1, a2] = links_[item];
-          uint64_t local_emissions = 0;
-          for (NodeId u : g1_.NeighborsByDegree(a1)) {
-            if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
-            for (NodeId v : g2_.NeighborsByDegree(a2)) {
-              if (g2_.degree(v) < dmin) break;
-              emit(PackPair(u, v));
-              ++local_emissions;
-            }
-          }
-          emissions.fetch_add(local_emissions, std::memory_order_relaxed);
-        });
+    auto map_fn = [this, dmin, &emissions](size_t item, auto emit) {
+      const auto [a1, a2] = links_[item];
+      uint64_t local_emissions = 0;
+      for (NodeId u : g1_.NeighborsByDegree(a1)) {
+        if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
+        for (NodeId v : g2_.NeighborsByDegree(a2)) {
+          if (g2_.degree(v) < dmin) break;
+          emit(PackPair(u, v));
+          ++local_emissions;
+        }
+      }
+      emissions.fetch_add(local_emissions, std::memory_order_relaxed);
+    };
+
+    std::vector<FlatCountMap> scores;
+    std::vector<SortedCountRun> runs;
+    std::vector<ScoreUnit> units;
+    if (config_.scoring_backend == ScoringBackend::kRadixSort) {
+      runs = mr::SortCountByKey(
+          &pool_, links_.size(), num_map_shards, num_shards_, map_fn,
+          [this](uint64_t key) { return radix_shard1_[PairFirst(key)]; });
+      units.reserve(runs.size());
+      for (const SortedCountRun& run : runs) units.push_back(ScoreUnit(&run));
+    } else {
+      scores = mr::CountByKey(&pool_, links_.size(), num_map_shards,
+                              num_shards_, map_fn);
+      units.reserve(scores.size());
+      for (const FlatCountMap& shard : scores) {
+        units.push_back(ScoreUnit(&shard));
+      }
+    }
     stats.emissions = emissions.load();
     stats.emit_seconds = emit_timer.Seconds();
 
-    std::vector<const FlatCountMap*> units;
-    units.reserve(scores.size());
-    for (const FlatCountMap& shard : scores) units.push_back(&shard);
     size_t accepted = SelectAndCommit(units, &stats);
 
     stats.new_links = accepted;
@@ -423,8 +606,12 @@ class MatcherState {
   AtomicBestTable atomic_best2_;
   std::vector<uint8_t> level1_;
   std::vector<uint8_t> level2_;
-  // Incremental engine state.
-  std::vector<std::vector<FlatCountMap>> scores_;  // [level][shard]
+  // Incremental engine state: exactly one of the two representations is
+  // populated, per `config_.scoring_backend`.
+  std::vector<std::vector<FlatCountMap>> scores_;   // [level][shard], hash
+  std::vector<std::vector<SortedCountRun>> runs_;   // [level][shard], radix
+  // Radix backend: reduce shard per g1 node (range partition, see ctor).
+  std::vector<uint32_t> radix_shard1_;
   size_t emitted_links_ = 0;
 };
 

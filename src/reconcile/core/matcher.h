@@ -12,6 +12,21 @@
 
 namespace reconcile {
 
+/// How a scoring round aggregates witness emissions into per-pair scores.
+enum class ScoringBackend {
+  /// Hash aggregation: every emission probes a `FlatCountMap` shard
+  /// (random access), and selection iterates hash buckets.
+  kHashMap,
+  /// Sort-based aggregation: emissions append packed keys into flat
+  /// per-shard buffers (no per-emission hashing); each shard is then
+  /// radix-sorted and run-length-encoded into a `SortedCountRun` that
+  /// selection scans linearly. The incremental engine keeps persistent
+  /// sorted runs per (level, shard) and folds each round's sorted delta in
+  /// with a linear two-way merge. Matchings are bit-identical to the hash
+  /// backend for every engine/thread/shard combination.
+  kRadixSort,
+};
+
 /// Tuning knobs for the User-Matching algorithm (paper §3.2).
 struct MatcherConfig {
   /// Number of outer iterations `k`. The paper notes k = 1 or 2 suffices.
@@ -48,6 +63,12 @@ struct MatcherConfig {
   /// parallel. `false`: reference single-threaded double scan. Both engines
   /// produce bit-identical matchings for any thread/shard counts.
   bool use_parallel_selection = true;
+  /// Witness-aggregation backend (see `ScoringBackend`). Both backends
+  /// produce bit-identical matchings; they differ only in memory-access
+  /// pattern and therefore speed. Sort-based aggregation is the default —
+  /// sequential emission and linear scans beat per-emission hash probes on
+  /// every measured workload; the hash map remains the reference engine.
+  ScoringBackend scoring_backend = ScoringBackend::kRadixSort;
 };
 
 /// Runs User-Matching: expands the seed links into a one-to-one partial

@@ -2,19 +2,83 @@
 
 #include <algorithm>
 
+#include "reconcile/util/thread_pool.h"
+
 namespace reconcile {
 
+namespace {
+
+// Below this size the serial normalize wins over task setup.
+constexpr size_t kParallelNormalizeThreshold = 1u << 15;
+
+}  // namespace
+
 void EdgeList::Normalize() {
-  for (Edge& e : edges_) {
-    if (e.first > e.second) std::swap(e.first, e.second);
+  ThreadPool* pool = edges_.size() >= kParallelNormalizeThreshold &&
+                             ThreadPool::DefaultThreads() > 1
+                         ? &ThreadPool::Shared()
+                         : nullptr;
+  Normalize(pool);
+}
+
+void EdgeList::Normalize(ThreadPool* pool) {
+  const size_t n = edges_.size();
+  if (pool == nullptr || pool->num_threads() < 2 || n < 2) {
+    for (Edge& e : edges_) {
+      if (e.first > e.second) std::swap(e.first, e.second);
+    }
+    std::sort(edges_.begin(), edges_.end());
+  } else {
+    // Parallel path. Chunk boundaries are fixed up front; sorting each
+    // chunk and merging pairwise yields the same fully sorted array as the
+    // serial sort, so the normalized list is thread-count independent.
+    const size_t grain = pool->GrainFor(n, 4096);
+    std::vector<size_t> bounds;
+    for (size_t b = 0; b < n; b += grain) bounds.push_back(b);
+    bounds.push_back(n);
+    const size_t num_chunks = bounds.size() - 1;
+
+    // Canonicalize endpoints and sort each chunk, one task per chunk.
+    for (size_t c = 0; c < num_chunks; ++c) {
+      pool->Submit([this, &bounds, c] {
+        auto begin = edges_.begin() + static_cast<ptrdiff_t>(bounds[c]);
+        auto end = edges_.begin() + static_cast<ptrdiff_t>(bounds[c + 1]);
+        for (auto it = begin; it != end; ++it) {
+          if (it->first > it->second) std::swap(it->first, it->second);
+        }
+        std::sort(begin, end);
+      });
+    }
+    pool->Wait();
+
+    // Merge ladder: each pass merges adjacent sorted range pairs in
+    // parallel.
+    for (size_t width = 1; width < num_chunks; width *= 2) {
+      for (size_t lo = 0; lo + width < num_chunks; lo += 2 * width) {
+        const size_t mid = lo + width;
+        const size_t hi = std::min(num_chunks, lo + 2 * width);
+        pool->Submit([this, &bounds, lo, mid, hi] {
+          std::inplace_merge(
+              edges_.begin() + static_cast<ptrdiff_t>(bounds[lo]),
+              edges_.begin() + static_cast<ptrdiff_t>(bounds[mid]),
+              edges_.begin() + static_cast<ptrdiff_t>(bounds[hi]));
+        });
+      }
+      pool->Wait();
+    }
   }
-  std::sort(edges_.begin(), edges_.end());
-  auto last = std::unique(edges_.begin(), edges_.end());
-  edges_.erase(last, edges_.end());
-  // Drop self-loops (canonical form has first == second for loops).
-  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
-                              [](const Edge& e) { return e.first == e.second; }),
-               edges_.end());
+
+  // Single linear sweep fusing dedup and self-loop removal, shared by both
+  // paths (duplicates are adjacent after the sort, so this equals
+  // sort + unique + remove loops).
+  size_t out = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Edge& e = edges_[i];
+    if (e.first == e.second) continue;
+    if (out > 0 && edges_[out - 1] == e) continue;
+    edges_[out++] = e;
+  }
+  edges_.resize(out);
 }
 
 }  // namespace reconcile

@@ -8,6 +8,8 @@
 
 namespace reconcile {
 
+class ThreadPool;
+
 /// Mutable collection of undirected edges used while constructing graphs.
 ///
 /// Generators append edges freely (duplicates and self-loops allowed); the
@@ -40,8 +42,15 @@ class EdgeList {
   }
 
   /// Sorts endpoint pairs canonically (min, max), drops self-loops and
-  /// duplicate edges. Idempotent.
+  /// duplicate edges. Idempotent. Large lists run the canonicalize and sort
+  /// passes on the process-wide shared pool; the result is independent of
+  /// the thread count.
   void Normalize();
+
+  /// Same, but runs the parallel passes on `pool` (chunked canonicalize,
+  /// chunk sorts, then a log2(chunks) ladder of pairwise in-place merges).
+  /// `pool == nullptr` forces the serial path.
+  void Normalize(ThreadPool* pool);
 
   size_t size() const { return edges_.size(); }
   bool empty() const { return edges_.empty(); }

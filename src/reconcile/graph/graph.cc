@@ -35,17 +35,23 @@ void SortAdjacencySerial(Graph* g, std::vector<NodeId>* adjacency,
 }  // namespace
 
 Graph Graph::FromEdgeList(EdgeList edges) {
-  edges.Normalize();
-  if (edges.size() >= kParallelBuildThreshold &&
-      ThreadPool::DefaultThreads() > 1) {
-    ThreadPool pool(ThreadPool::DefaultThreads());
-    return FromNormalized(std::move(edges), &pool);
+  // Large builds run on the process-wide shared pool instead of
+  // constructing and joining a transient pool per call. Normalization gets
+  // the pool based on the raw size; the build decision is re-checked after
+  // dedup may have shrunk the list below the threshold.
+  ThreadPool* pool = edges.size() >= kParallelBuildThreshold &&
+                             ThreadPool::DefaultThreads() > 1
+                         ? &ThreadPool::Shared()
+                         : nullptr;
+  edges.Normalize(pool);
+  if (pool != nullptr && edges.size() < kParallelBuildThreshold) {
+    pool = nullptr;
   }
-  return FromNormalized(std::move(edges), nullptr);
+  return FromNormalized(std::move(edges), pool);
 }
 
 Graph Graph::FromEdgeList(EdgeList edges, ThreadPool* pool) {
-  edges.Normalize();
+  edges.Normalize(pool);
   return FromNormalized(std::move(edges), pool);
 }
 

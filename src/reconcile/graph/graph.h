@@ -36,13 +36,14 @@ class Graph {
 
   /// Builds a graph from `edges`. The edge list is normalized (copy taken);
   /// the node count is max(edges.num_nodes(), largest endpoint + 1).
-  /// Large inputs are built in parallel on an internal worker pool; the
-  /// result is independent of the thread count.
+  /// Large inputs are normalized and built in parallel on the process-wide
+  /// shared pool (`ThreadPool::Shared()`); the result is independent of the
+  /// thread count.
   static Graph FromEdgeList(EdgeList edges);
 
-  /// Same, but runs the parallel construction passes (degree count, CSR
-  /// scatter, per-node sorts for both adjacency orderings) on `pool`.
-  /// `pool == nullptr` forces the serial build.
+  /// Same, but runs the parallel passes (edge-list normalization, degree
+  /// count, CSR scatter, per-node sorts for both adjacency orderings) on
+  /// `pool`. `pool == nullptr` forces the serial build.
   static Graph FromEdgeList(EdgeList edges, ThreadPool* pool);
 
   NodeId num_nodes() const { return num_nodes_; }

@@ -9,6 +9,7 @@
 
 #include "reconcile/util/flat_hash_map.h"
 #include "reconcile/util/logging.h"
+#include "reconcile/util/radix_sort.h"
 #include "reconcile/util/rng.h"
 #include "reconcile/util/thread_pool.h"
 
@@ -91,6 +92,80 @@ std::vector<FlatCountMap> CountByKey(ThreadPool* pool, size_t num_items,
               });
         }
         result[static_cast<size_t>(r)] = std::move(merged);
+      });
+    }
+    pool->Wait();
+  }
+  return result;
+}
+
+/// Sort-based sibling of `CountByKey`: the same map/emit contract and the
+/// same aggregate (every emitted key with its multiplicity), but produced by
+/// radix-partitioned sort-and-count instead of hash aggregation.
+///
+/// Each map shard appends raw keys into per-reduce-shard flat buffers (one
+/// `push_back` per emission — no hashing, no probing); the reduce phase
+/// concatenates each shard's chunks, radix-sorts them and run-length-encodes
+/// the result into a `SortedCountRun`. `shard_fn(key)` routes a key to its
+/// reduce shard in `[0, num_reduce_shards)`; it must be deterministic. A
+/// range partition on the high key bits (so each shard owns a contiguous key
+/// interval) keeps shard contents disjoint and globally ordered, but any
+/// deterministic partition yields the same aggregate.
+///
+/// The multiset of (key, count) pairs over all shards equals the sequential
+/// count, independent of shard or thread counts.
+template <typename MapFn, typename ShardFn>
+std::vector<SortedCountRun> SortCountByKey(ThreadPool* pool, size_t num_items,
+                                           int num_map_shards,
+                                           int num_reduce_shards,
+                                           MapFn&& map_fn, ShardFn&& shard_fn) {
+  RECONCILE_CHECK_GE(num_map_shards, 1);
+  RECONCILE_CHECK_GE(num_reduce_shards, 1);
+
+  // Map phase: chunked flat append buffers, partitioned by reduce shard at
+  // emission time.
+  std::vector<std::vector<std::vector<uint64_t>>> partial(
+      static_cast<size_t>(num_map_shards));
+  const size_t grain =
+      (num_items + static_cast<size_t>(num_map_shards) - 1) /
+      static_cast<size_t>(num_map_shards);
+  {
+    size_t shard = 0;
+    for (size_t begin = 0; begin < num_items; begin += grain, ++shard) {
+      size_t end = std::min(num_items, begin + grain);
+      std::vector<std::vector<uint64_t>>& buffers = partial[shard];
+      buffers.resize(static_cast<size_t>(num_reduce_shards));
+      pool->Submit([begin, end, &buffers, &map_fn, &shard_fn] {
+        auto emit = [&buffers, &shard_fn](uint64_t key) {
+          buffers[static_cast<size_t>(shard_fn(key))].push_back(key);
+        };
+        for (size_t item = begin; item < end; ++item) {
+          map_fn(item, emit);
+        }
+      });
+    }
+    pool->Wait();
+  }
+
+  // Reduce phase: per shard, gather the chunks, sort, run-length-encode.
+  std::vector<SortedCountRun> result(static_cast<size_t>(num_reduce_shards));
+  {
+    for (int r = 0; r < num_reduce_shards; ++r) {
+      pool->Submit([r, &result, &partial] {
+        size_t total = 0;
+        for (const std::vector<std::vector<uint64_t>>& buffers : partial) {
+          if (!buffers.empty()) total += buffers[static_cast<size_t>(r)].size();
+        }
+        if (total == 0) return;
+        std::vector<uint64_t> keys;
+        keys.reserve(total);
+        for (const std::vector<std::vector<uint64_t>>& buffers : partial) {
+          if (buffers.empty()) continue;
+          const std::vector<uint64_t>& chunk = buffers[static_cast<size_t>(r)];
+          keys.insert(keys.end(), chunk.begin(), chunk.end());
+        }
+        std::vector<uint64_t> scratch;
+        result[static_cast<size_t>(r)] = SortAndCount(std::move(keys), scratch);
       });
     }
     pool->Wait();

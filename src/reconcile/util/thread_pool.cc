@@ -39,6 +39,11 @@ int ThreadPool::DefaultThreads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(DefaultThreads());
+  return pool;
+}
+
 size_t ThreadPool::GrainSize(size_t n, int num_threads, size_t min_grain,
                              int tasks_per_thread) {
   const size_t tasks = static_cast<size_t>(std::max(1, num_threads)) *

@@ -39,6 +39,17 @@ class ThreadPool {
   /// Default parallelism: hardware concurrency, at least 1.
   static int DefaultThreads();
 
+  /// Process-wide shared pool with `DefaultThreads()` workers, created on
+  /// first use and alive for the rest of the process. For call sites that
+  /// have no pool of their own (auto-parallel graph builds, edge-list
+  /// normalization) — large one-shot operations no longer construct and
+  /// join a transient pool per call. `Wait()` barriers are pool-global, so
+  /// do not run concurrent barrier-style work on the shared pool from
+  /// multiple threads, and never from inside one of its own tasks;
+  /// subsystems with long-lived parallel phases (the matcher) keep their
+  /// own pools.
+  static ThreadPool& Shared();
+
   /// Suggested chunk size for splitting `n` items into parallel tasks:
   /// targets `tasks_per_thread` tasks per worker (slack for load balancing
   /// without drowning the queue in tiny tasks), never below `min_grain`

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "reconcile/util/rng.h"
+#include "reconcile/util/thread_pool.h"
+
 namespace reconcile {
 namespace {
 
@@ -89,6 +92,64 @@ TEST(EdgeListTest, NormalizeOnEmptyListIsNoOp) {
   EdgeList edges;
   edges.Normalize();
   EXPECT_TRUE(edges.empty());
+}
+
+// Messy random multigraph: duplicates (both orientations), self-loops,
+// skewed endpoints. Used to compare the serial and parallel normalize paths.
+EdgeList MakeMessyEdges(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  EdgeList edges(2000);
+  edges.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(2000));
+    NodeId v = rng.Bernoulli(0.05) ? u  // self-loop
+                                   : static_cast<NodeId>(rng.UniformInt(2000));
+    if (rng.Bernoulli(0.5)) std::swap(u, v);
+    edges.Add(u, v);
+  }
+  return edges;
+}
+
+TEST(EdgeListParallelNormalizeTest, MatchesSerialResult) {
+  for (size_t n : {10u, 1000u, 100000u}) {
+    EdgeList serial = MakeMessyEdges(n, 31 + n);
+    EdgeList parallel = serial;
+    serial.Normalize(nullptr);
+    ThreadPool pool(4);
+    parallel.Normalize(&pool);
+    EXPECT_EQ(parallel.edges(), serial.edges()) << "n=" << n;
+    EXPECT_EQ(parallel.num_nodes(), serial.num_nodes());
+  }
+}
+
+TEST(EdgeListParallelNormalizeTest, ThreadCountInvariance) {
+  EdgeList reference = MakeMessyEdges(60000, 77);
+  reference.Normalize(nullptr);
+  for (int threads : {2, 3, 8}) {
+    EdgeList edges = MakeMessyEdges(60000, 77);
+    ThreadPool pool(threads);
+    edges.Normalize(&pool);
+    EXPECT_EQ(edges.edges(), reference.edges()) << "threads=" << threads;
+  }
+}
+
+TEST(EdgeListParallelNormalizeTest, IdempotentOnPool) {
+  EdgeList edges = MakeMessyEdges(50000, 99);
+  ThreadPool pool(4);
+  edges.Normalize(&pool);
+  std::vector<Edge> once = edges.edges();
+  edges.Normalize(&pool);
+  EXPECT_EQ(edges.edges(), once);
+}
+
+TEST(EdgeListParallelNormalizeTest, AutoPathCrossesThreshold) {
+  // Above the internal threshold Normalize() may use the shared pool; the
+  // result must be identical to the explicitly serial path either way.
+  EdgeList auto_edges = MakeMessyEdges(80000, 123);
+  EdgeList serial_edges = auto_edges;
+  auto_edges.Normalize();
+  serial_edges.Normalize(nullptr);
+  EXPECT_EQ(auto_edges.edges(), serial_edges.edges());
 }
 
 }  // namespace

@@ -1,0 +1,127 @@
+// SortCountByKey must produce exactly the aggregate CountByKey produces —
+// every emitted key with its multiplicity — independent of map/reduce shard
+// counts and thread counts, with each shard's run sorted and routed by the
+// caller's shard function.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/mr/mapreduce.h"
+#include "reconcile/util/rng.h"
+
+namespace reconcile {
+namespace {
+
+// Deterministic emission pattern with heavy duplication across items.
+void EmitPattern(size_t item, const std::function<void(uint64_t)>& emit) {
+  emit(HashMix64(item) % 4096);
+  emit(HashMix64(item * 31) % 4096);
+  if (item % 3 == 0) emit(HashMix64(item) % 4096);  // repeat within one item
+}
+
+std::map<uint64_t, uint64_t> ReferenceCounts(size_t num_items) {
+  std::map<uint64_t, uint64_t> expected;
+  for (size_t item = 0; item < num_items; ++item) {
+    EmitPattern(item, [&expected](uint64_t key) { ++expected[key]; });
+  }
+  return expected;
+}
+
+// Range partition over the 4096-value key domain used by EmitPattern.
+int RangeShard(uint64_t key, int num_shards) {
+  return static_cast<int>(key * static_cast<uint64_t>(num_shards) / 4096);
+}
+
+TEST(SortCountByKeyTest, MatchesSequentialCounts) {
+  constexpr size_t kItems = 20000;
+  const std::map<uint64_t, uint64_t> expected = ReferenceCounts(kItems);
+
+  ThreadPool pool(4);
+  const int num_reduce_shards = 8;
+  std::vector<SortedCountRun> runs = mr::SortCountByKey(
+      &pool, kItems, 16, num_reduce_shards,
+      [](size_t item, auto emit) { EmitPattern(item, emit); },
+      [num_reduce_shards](uint64_t key) {
+        return RangeShard(key, num_reduce_shards);
+      });
+
+  std::map<uint64_t, uint64_t> actual;
+  for (int r = 0; r < num_reduce_shards; ++r) {
+    uint64_t last = 0;
+    bool first = true;
+    runs[static_cast<size_t>(r)].ForEach([&](uint64_t key, uint32_t count) {
+      // Routed to the right shard, sorted strictly within it.
+      EXPECT_EQ(RangeShard(key, num_reduce_shards), r);
+      if (!first) {
+        EXPECT_GT(key, last);
+      }
+      last = key;
+      first = false;
+      actual[key] += count;
+    });
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(SortCountByKeyTest, AggregateMatchesCountByKey) {
+  constexpr size_t kItems = 10000;
+  ThreadPool pool(3);
+  auto map_fn = [](size_t item, auto emit) { EmitPattern(item, emit); };
+
+  std::vector<FlatCountMap> hash_shards =
+      mr::CountByKey(&pool, kItems, 8, 5, map_fn);
+  std::vector<SortedCountRun> runs = mr::SortCountByKey(
+      &pool, kItems, 8, 5, map_fn,
+      [](uint64_t key) { return RangeShard(key, 5); });
+
+  std::map<uint64_t, uint64_t> from_hash;
+  for (const FlatCountMap& shard : hash_shards) {
+    shard.ForEach(
+        [&from_hash](uint64_t key, uint32_t count) { from_hash[key] += count; });
+  }
+  std::map<uint64_t, uint64_t> from_runs;
+  for (const SortedCountRun& run : runs) {
+    run.ForEach(
+        [&from_runs](uint64_t key, uint32_t count) { from_runs[key] += count; });
+  }
+  EXPECT_EQ(from_hash, from_runs);
+}
+
+TEST(SortCountByKeyTest, ShardAndThreadCountInvariance) {
+  constexpr size_t kItems = 5000;
+  const std::map<uint64_t, uint64_t> expected = ReferenceCounts(kItems);
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    for (int map_shards : {1, 7}) {
+      for (int reduce_shards : {1, 3, 13}) {
+        std::vector<SortedCountRun> runs = mr::SortCountByKey(
+            &pool, kItems, map_shards, reduce_shards,
+            [](size_t item, auto emit) { EmitPattern(item, emit); },
+            [reduce_shards](uint64_t key) {
+              return RangeShard(key, reduce_shards);
+            });
+        std::map<uint64_t, uint64_t> actual;
+        for (const SortedCountRun& run : runs) {
+          run.ForEach(
+              [&actual](uint64_t key, uint32_t count) { actual[key] += count; });
+        }
+        EXPECT_EQ(actual, expected)
+            << "threads=" << threads << " map=" << map_shards
+            << " reduce=" << reduce_shards;
+      }
+    }
+  }
+}
+
+TEST(SortCountByKeyTest, NoItemsYieldsEmptyRuns) {
+  ThreadPool pool(2);
+  std::vector<SortedCountRun> runs = mr::SortCountByKey(
+      &pool, 0, 4, 4, [](size_t, auto) {}, [](uint64_t) { return 0; });
+  ASSERT_EQ(runs.size(), 4u);
+  for (const SortedCountRun& run : runs) EXPECT_TRUE(run.empty());
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -96,5 +96,23 @@ TEST(ThreadPoolTest, DefaultThreadsPositive) {
   EXPECT_GE(ThreadPool::DefaultThreads(), 1);
 }
 
+TEST(ThreadPoolTest, SharedPoolIsAProcessWideSingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.num_threads(), ThreadPool::DefaultThreads());
+}
+
+TEST(ThreadPoolTest, SharedPoolRunsTasksAndIsReusable) {
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      ThreadPool::Shared().Submit([&counter] { counter.fetch_add(1); });
+    }
+    ThreadPool::Shared().Wait();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
 }  // namespace
 }  // namespace reconcile

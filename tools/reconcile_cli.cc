@@ -41,6 +41,7 @@
 //   --iterations    matcher outer iterations k                  [2]
 //   --no-bucketing  disable degree bucketing                    [false]
 //   --serial-selection  use the serial reference selection scan [false]
+//   --scoring-backend   hash | radix witness aggregation        [radix]
 //   --phase-table   print the per-round emit/scan/select split  [false]
 //   --baseline      none | simple | ns09 | features |
 //                   percolation (also run baseline)             [none]
@@ -203,14 +204,21 @@ int RunCli(const Flags& flags) {
   config.use_degree_bucketing = !flags.GetBool("no-bucketing", false);
   config.num_threads = static_cast<int>(flags.GetInt("threads", 0));
   config.use_parallel_selection = !flags.GetBool("serial-selection", false);
+  const std::string backend = flags.GetString("scoring-backend", "radix");
+  if (backend == "hash") {
+    config.scoring_backend = ScoringBackend::kHashMap;
+  } else {
+    RECONCILE_CHECK(backend == "radix") << "unknown --scoring-backend="
+                                        << backend;
+  }
   MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
   MatchQuality quality = Evaluate(pair, result);
-  std::printf("\nUser-Matching (T=%u, k=%d, bucketing=%s, selection=%s): "
-              "%.2fs, %zu rounds\n",
+  std::printf("\nUser-Matching (T=%u, k=%d, bucketing=%s, selection=%s, "
+              "backend=%s): %.2fs, %zu rounds\n",
               config.min_score, config.num_iterations,
               config.use_degree_bucketing ? "on" : "off",
               config.use_parallel_selection ? "parallel" : "serial",
-              result.total_seconds, result.phases.size());
+              backend.c_str(), result.total_seconds, result.phases.size());
   const MatchResult::PhaseTimeTotals split = result.SumPhaseSeconds();
   std::printf("  phase split: emit %.2fs | scan %.2fs | select %.2fs "
               "(%d threads)\n",
