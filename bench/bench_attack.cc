@@ -38,7 +38,7 @@ void Run() {
     seeds.fraction = 0.10;
     MatcherConfig config;
     config.min_score = 2;
-    ExperimentResult r = RunMatcherExperiment(clean, seeds, config, 0xA70003);
+    ExperimentResult r = RunExperiment(clean, seeds, config, 0xA70003);
     table.AddRow({"no attack", std::to_string(r.quality.new_good),
                   std::to_string(r.quality.new_bad),
                   bench::PercentCell(r.quality.precision),
@@ -53,7 +53,7 @@ void Run() {
     MatcherConfig config;
     config.min_score = 2;
     ExperimentResult r =
-        RunMatcherExperiment(attacked, seeds, config, 0xA70005);
+        RunExperiment(attacked, seeds, config, 0xA70005);
     table.AddRow({FormatDouble(attach, 2), std::to_string(r.quality.new_good),
                   std::to_string(r.quality.new_bad),
                   bench::PercentCell(r.quality.precision),

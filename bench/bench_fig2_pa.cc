@@ -39,7 +39,7 @@ void Run() {
       seeds.fraction = l;
       MatcherConfig config;
       config.min_score = threshold;
-      ExperimentResult r = RunMatcherExperiment(pair, seeds, config, 0xF160003);
+      ExperimentResult r = RunExperiment(pair, seeds, config, 0xF160003);
       table.AddRow({FormatPercent(l, 0), std::to_string(threshold),
                     std::to_string(r.quality.new_good),
                     std::to_string(r.quality.new_bad),

@@ -19,7 +19,7 @@ void RunBands(const RealizationPair& pair, const std::string& name,
   seeds.fraction = 0.10;
   MatcherConfig config;
   config.min_score = 2;
-  ExperimentResult r = RunMatcherExperiment(pair, seeds, config, seed);
+  ExperimentResult r = RunExperiment(pair, seeds, config, seed);
   std::vector<DegreeBandQuality> bands =
       EvaluateByDegree(pair, r.match, {5, 10, 20, 50, 100});
 

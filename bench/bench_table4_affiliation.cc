@@ -39,7 +39,7 @@ void Run() {
     seeds.fraction = 0.10;
     MatcherConfig config;
     config.min_score = threshold;
-    ExperimentResult r = RunMatcherExperiment(pair, seeds, config, 0xAF0003);
+    ExperimentResult r = RunExperiment(pair, seeds, config, 0xAF0003);
     table.AddRow({"10%", std::to_string(threshold),
                   std::to_string(r.quality.new_good),
                   std::to_string(r.quality.new_bad),

@@ -34,7 +34,7 @@ void RunRows(const RealizationPair& pair, const std::string& name,
     seeds.fraction = 0.10;
     MatcherConfig config;
     config.min_score = threshold;
-    ExperimentResult r = RunMatcherExperiment(pair, seeds, config, seed);
+    ExperimentResult r = RunExperiment(pair, seeds, config, seed);
     table.AddRow({"10%", std::to_string(threshold),
                   std::to_string(r.quality.new_good),
                   std::to_string(r.quality.new_bad),

@@ -13,8 +13,8 @@
 
 #include <cstdio>
 
-#include "reconcile/baseline/propagation.h"
-#include "reconcile/core/matcher.h"
+#include "reconcile/api/registry.h"
+#include "reconcile/api/spec.h"
 #include "reconcile/eval/datasets.h"
 #include "reconcile/eval/metrics.h"
 #include "reconcile/sampling/independent.h"
@@ -44,25 +44,23 @@ int main() {
   auto seeds = GenerateSeeds(pair, seeding, 31);
   std::printf("hand-identified seed accounts: %zu\n\n", seeds.size());
 
-  {
+  // Both the paper's algorithm and the NS09 baseline go through the same
+  // registry surface — comparing attacks is a matter of listing specs.
+  for (const char* spec_text : {"core:threshold=2", "ns09:theta=1"}) {
+    ReconcilerSpec spec;
+    std::string error;
+    if (!ReconcilerSpec::Parse(spec_text, &spec, &error)) {
+      std::fprintf(stderr, "bad spec %s: %s\n", spec_text, error.c_str());
+      return 1;
+    }
+    auto attack = Registry::Global().CreateOrDie(spec);
     Timer timer;
-    MatcherConfig config;
-    config.min_score = 2;
-    MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+    MatchResult result = attack->Run(pair.g1, pair.g2, seeds);
     MatchQuality q = Evaluate(pair, result);
-    std::printf("User-Matching:      %6zu re-identified, %5zu wrong "
-                "(error %.2f%%) in %.2fs\n",
-                q.new_good, q.new_bad, 100.0 * q.error_rate, timer.Seconds());
-  }
-  {
-    Timer timer;
-    PropagationConfig config;
-    config.theta = 1.0;
-    MatchResult result = PropagationMatch(pair.g1, pair.g2, seeds, config);
-    MatchQuality q = Evaluate(pair, result);
-    std::printf("NS09 propagation:   %6zu re-identified, %5zu wrong "
-                "(error %.2f%%) in %.2fs\n",
-                q.new_good, q.new_bad, 100.0 * q.error_rate, timer.Seconds());
+    std::printf("%-50s %6zu re-identified, %5zu wrong (error %.2f%%) "
+                "in %.2fs\n",
+                attack->Describe().c_str(), q.new_good, q.new_bad,
+                100.0 * q.error_rate, timer.Seconds());
   }
 
   std::printf("\nTakeaway: a released graph with even modest overlap against "

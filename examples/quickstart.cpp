@@ -10,7 +10,8 @@
 
 #include <cstdio>
 
-#include "reconcile/core/matcher.h"
+#include "reconcile/api/registry.h"
+#include "reconcile/api/spec.h"
 #include "reconcile/eval/metrics.h"
 #include "reconcile/gen/preferential_attachment.h"
 #include "reconcile/sampling/independent.h"
@@ -40,15 +41,16 @@ int main() {
   auto seeds = GenerateSeeds(pair, seeding, /*seed=*/7);
   std::printf("seed links: %zu\n", seeds.size());
 
-  // 4. Reconcile and score.
-  MatcherConfig config;
-  config.min_score = 2;       // threshold T
-  config.num_iterations = 2;  // k
-  MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+  // 4. Reconcile and score. Algorithms are addressed by registry key —
+  //    swap "core" for "percolation", "ns09", ... to try a baseline.
+  auto matcher = Registry::Global().CreateOrDie(
+      ReconcilerSpec("core").Set("threshold", "2").Set("iterations", "2"));
+  MatchResult result = matcher->Run(pair.g1, pair.g2, seeds);
   MatchQuality quality = Evaluate(pair, result);
 
-  std::printf("\nUser-Matching finished in %.2fs over %zu rounds\n",
-              result.total_seconds, result.phases.size());
+  std::printf("\n%s finished in %.2fs over %zu rounds\n",
+              matcher->Describe().c_str(), result.total_seconds,
+              result.phases.size());
   std::printf("new links discovered: %zu good, %zu bad\n", quality.new_good,
               quality.new_bad);
   std::printf("precision: %.2f%%   recall over identifiable users: %.2f%%\n",

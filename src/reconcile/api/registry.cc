@@ -1,0 +1,94 @@
+#include "reconcile/api/registry.h"
+
+#include <sstream>
+#include <utility>
+
+#include "reconcile/util/logging.h"
+
+namespace reconcile {
+
+namespace internal {
+// Defined in adapters.cc. Called once from Global(): an explicit hook
+// rather than static-initializer self-registration, so the adapters cannot
+// be dropped by the linker when the library is consumed as a static
+// archive.
+void RegisterBuiltinReconcilers(Registry& registry);
+}  // namespace internal
+
+Registry& Registry::Global() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    internal::RegisterBuiltinReconcilers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void Registry::Register(Entry entry) {
+  RECONCILE_CHECK(!entry.key.empty()) << "empty reconciler key";
+  RECONCILE_CHECK(entry.factory != nullptr)
+      << "null factory for reconciler '" << entry.key << "'";
+  RECONCILE_CHECK(entries_.find(entry.key) == entries_.end())
+      << "duplicate reconciler key '" << entry.key << "'";
+  std::string key = entry.key;
+  entries_.emplace(std::move(key), std::move(entry));
+}
+
+bool Registry::Has(const std::string& key) const {
+  return entries_.count(key) > 0;
+}
+
+std::vector<std::string> Registry::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    (void)entry;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+const Registry::Entry* Registry::Find(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::unique_ptr<Reconciler> Registry::Create(const ReconcilerSpec& spec,
+                                             std::string* error) const {
+  const Entry* entry = Find(spec.algorithm);
+  if (entry == nullptr) {
+    if (error != nullptr) {
+      std::ostringstream out;
+      out << "unknown algorithm '" << spec.algorithm << "' (registered:";
+      for (const std::string& key : Keys()) out << ' ' << key;
+      out << ')';
+      *error = out.str();
+    }
+    return nullptr;
+  }
+  return entry->factory(spec, error);
+}
+
+std::unique_ptr<Reconciler> Registry::CreateOrDie(
+    const ReconcilerSpec& spec) const {
+  std::string error;
+  std::unique_ptr<Reconciler> reconciler = Create(spec, &error);
+  RECONCILE_CHECK(reconciler != nullptr)
+      << "bad reconciler spec '" << spec.ToString() << "': " << error;
+  return reconciler;
+}
+
+std::string Registry::DescribeAll() const {
+  std::ostringstream out;
+  for (const auto& [key, entry] : entries_) {
+    out << "  " << key;
+    for (size_t pad = key.size(); pad < 14; ++pad) out << ' ';
+    out << entry.summary << '\n';
+    if (!entry.params.empty()) {
+      out << "                params: " << entry.params << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace reconcile

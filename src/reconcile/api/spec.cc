@@ -1,0 +1,174 @@
+#include "reconcile/api/spec.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace reconcile {
+
+namespace {
+
+// Splits "key=value[,key=value...]" into `out`. Returns false and fills
+// *error on an entry with no '=' or an empty key.
+bool ParseParamList(std::string_view text,
+                    std::map<std::string, std::string>* out,
+                    std::string* error) {
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    std::string_view item = text.substr(
+        start, comma == std::string_view::npos ? comma : comma - start);
+    if (item.empty()) {
+      if (error != nullptr) *error = "empty parameter in list";
+      return false;
+    }
+    size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      if (error != nullptr) {
+        *error = "parameter '" + std::string(item) + "' is not key=value";
+      }
+      return false;
+    }
+    (*out)[std::string(item.substr(0, eq))] = std::string(item.substr(eq + 1));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+ReconcilerSpec& ReconcilerSpec::Set(const std::string& key,
+                                    const std::string& value) {
+  params[key] = value;
+  return *this;
+}
+
+bool ReconcilerSpec::Parse(std::string_view text, ReconcilerSpec* out,
+                           std::string* error) {
+  ReconcilerSpec spec;
+  size_t colon = text.find(':');
+  std::string_view key =
+      colon == std::string_view::npos ? text : text.substr(0, colon);
+  if (key.empty()) {
+    if (error != nullptr) *error = "empty algorithm key";
+    return false;
+  }
+  spec.algorithm = std::string(key);
+  if (colon != std::string_view::npos) {
+    if (!ParseParamList(text.substr(colon + 1), &spec.params, error)) {
+      return false;
+    }
+  }
+  *out = std::move(spec);
+  return true;
+}
+
+bool ReconcilerSpec::MergeParams(std::string_view text, std::string* error) {
+  std::map<std::string, std::string> merged;
+  if (!ParseParamList(text, &merged, error)) return false;
+  for (auto& [key, value] : merged) {
+    params[key] = std::move(value);
+  }
+  return true;
+}
+
+std::string ReconcilerSpec::ToString() const {
+  std::string out = algorithm;
+  char sep = ':';
+  for (const auto& [key, value] : params) {
+    out += sep;
+    out += key;
+    out += '=';
+    out += value;
+    sep = ',';
+  }
+  return out;
+}
+
+ParamReader::ParamReader(const ReconcilerSpec& spec) : spec_(spec) {}
+
+std::string ParamReader::GetString(const std::string& key,
+                                   const std::string& default_value) {
+  read_[key] = true;
+  auto it = spec_.params.find(key);
+  return it == spec_.params.end() ? default_value : it->second;
+}
+
+int64_t ParamReader::GetInt(const std::string& key, int64_t default_value) {
+  read_[key] = true;
+  auto it = spec_.params.find(key);
+  if (it == spec_.params.end()) return default_value;
+  char* end = nullptr;
+  errno = 0;
+  int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (it->second.empty() || end == nullptr || *end != '\0' ||
+      errno == ERANGE) {
+    AddError("parameter '" + key + "' is not an integer: " + it->second);
+    return default_value;
+  }
+  return value;
+}
+
+uint32_t ParamReader::GetUint32(const std::string& key,
+                                uint32_t default_value) {
+  int64_t value = GetInt(key, default_value);
+  if (value < 0 || value > static_cast<int64_t>(UINT32_MAX)) {
+    AddError("parameter '" + key + "' is out of range: " +
+             std::to_string(value));
+    return default_value;
+  }
+  return static_cast<uint32_t>(value);
+}
+
+double ParamReader::GetDouble(const std::string& key, double default_value) {
+  read_[key] = true;
+  auto it = spec_.params.find(key);
+  if (it == spec_.params.end()) return default_value;
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(it->second.c_str(), &end);
+  if (it->second.empty() || end == nullptr || *end != '\0' ||
+      errno == ERANGE) {
+    AddError("parameter '" + key + "' is not a number: " + it->second);
+    return default_value;
+  }
+  return value;
+}
+
+bool ParamReader::GetBool(const std::string& key, bool default_value) {
+  read_[key] = true;
+  auto it = spec_.params.find(key);
+  if (it == spec_.params.end()) return default_value;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  AddError("parameter '" + key + "' is not a boolean: " + v);
+  return default_value;
+}
+
+void ParamReader::AddError(const std::string& message) {
+  errors_.push_back(message);
+}
+
+bool ParamReader::Finish(std::string* error) {
+  for (const auto& [key, value] : spec_.params) {
+    (void)value;
+    if (!read_.count(key)) {
+      errors_.push_back("unknown parameter '" + key + "' for algorithm '" +
+                        spec_.algorithm + "'");
+    }
+  }
+  if (errors_.empty()) return true;
+  if (error != nullptr) {
+    std::ostringstream joined;
+    for (size_t i = 0; i < errors_.size(); ++i) {
+      if (i > 0) joined << "; ";
+      joined << errors_[i];
+    }
+    *error = joined.str();
+  }
+  return false;
+}
+
+}  // namespace reconcile

@@ -2,14 +2,14 @@
 
 #include <sstream>
 
+#include "reconcile/api/adapters.h"
 #include "reconcile/util/timer.h"
 
 namespace reconcile {
 
-ExperimentResult RunMatcherExperiment(const RealizationPair& pair,
-                                      const SeedOptions& seed_options,
-                                      const MatcherConfig& matcher_config,
-                                      uint64_t seed) {
+ExperimentResult RunExperiment(const RealizationPair& pair,
+                               const SeedOptions& seed_options,
+                               const Reconciler& reconciler, uint64_t seed) {
   ExperimentResult result;
   Timer seed_timer;
   std::vector<std::pair<NodeId, NodeId>> seeds =
@@ -17,11 +17,19 @@ ExperimentResult RunMatcherExperiment(const RealizationPair& pair,
   result.seed_seconds = seed_timer.Seconds();
 
   Timer match_timer;
-  result.match = UserMatching(pair.g1, pair.g2, seeds, matcher_config);
+  result.match = reconciler.Run(pair.g1, pair.g2, seeds);
   result.match_seconds = match_timer.Seconds();
 
   result.quality = Evaluate(pair, result.match);
   return result;
+}
+
+ExperimentResult RunExperiment(const RealizationPair& pair,
+                               const SeedOptions& seed_options,
+                               const MatcherConfig& matcher_config,
+                               uint64_t seed) {
+  return RunExperiment(pair, seed_options, CoreReconciler(matcher_config),
+                       seed);
 }
 
 std::string FormatGoodBad(const MatchQuality& q) {

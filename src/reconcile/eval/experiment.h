@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "reconcile/api/reconciler.h"
 #include "reconcile/core/matcher.h"
 #include "reconcile/eval/metrics.h"
 #include "reconcile/sampling/realization.h"
@@ -11,7 +12,7 @@
 
 namespace reconcile {
 
-/// One end-to-end run: seeds drawn from the pair's ground truth, matcher
+/// One end-to-end run: seeds drawn from the pair's ground truth, algorithm
 /// executed, result scored. The glue used by every table/figure bench.
 struct ExperimentResult {
   MatchQuality quality;
@@ -21,11 +22,19 @@ struct ExperimentResult {
 };
 
 /// Draws seeds with `seed_options` (randomness from `seed`), runs
-/// User-Matching with `matcher_config` and evaluates against ground truth.
-ExperimentResult RunMatcherExperiment(const RealizationPair& pair,
-                                      const SeedOptions& seed_options,
-                                      const MatcherConfig& matcher_config,
-                                      uint64_t seed);
+/// `reconciler` and evaluates against ground truth. Works for any
+/// registered algorithm — construct the reconciler directly (api/adapters.h)
+/// or through `Registry::Create`.
+ExperimentResult RunExperiment(const RealizationPair& pair,
+                               const SeedOptions& seed_options,
+                               const Reconciler& reconciler, uint64_t seed);
+
+/// Convenience overload for the common case: runs the core User-Matching
+/// algorithm with `matcher_config`.
+ExperimentResult RunExperiment(const RealizationPair& pair,
+                               const SeedOptions& seed_options,
+                               const MatcherConfig& matcher_config,
+                               uint64_t seed);
 
 /// Renders "12345 / 99.9%"-style convenience strings used by the benches.
 std::string FormatGoodBad(const MatchQuality& q);

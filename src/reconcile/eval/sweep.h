@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "reconcile/core/matcher.h"
+#include "reconcile/api/spec.h"
 #include "reconcile/eval/metrics.h"
 #include "reconcile/eval/table.h"
 #include "reconcile/sampling/realization.h"
@@ -13,9 +13,14 @@
 
 namespace reconcile {
 
-/// One cell of a (seed fraction × threshold) sweep grid.
+/// One cell of a (algorithm × seed fraction × threshold) sweep grid.
 struct SweepPoint {
+  /// Spec string of the algorithm that produced the point (without the
+  /// per-cell threshold override), e.g. "core" or "simple:iterations=1".
+  std::string algorithm;
   double seed_fraction = 0.0;
+  /// The grid threshold, or 0 for algorithms without a threshold dimension
+  /// (they contribute one point per seed fraction).
   uint32_t threshold = 0;
   size_t num_seeds = 0;
   MatchQuality quality;
@@ -24,28 +29,38 @@ struct SweepPoint {
 
 /// Declarative grid for the experiment shape every figure/table in §5
 /// shares: fix a realization pair, vary the seed link probability `l` and
-/// matching threshold `T`, and report Good/Bad per cell. Seeds are redrawn
-/// per seed fraction (same draw across thresholds, as in the paper's
-/// figures, so threshold columns are directly comparable).
+/// matching threshold `T`, and report Good/Bad per cell — for any set of
+/// registered algorithms, so baselines drop into the same tables as the
+/// core matcher. Seeds are redrawn per seed fraction (same draw across
+/// algorithms and thresholds, as in the paper's figures, so columns are
+/// directly comparable).
+///
+/// The threshold dimension maps onto each algorithm's registered
+/// `threshold_param` ("threshold" for the witness-count algorithms, "theta"
+/// for ns09); algorithms without one (features) run once per fraction.
 struct SweepSpec {
+  /// Algorithms to sweep; resolved through `Registry::Global()`. Base
+  /// parameters (iterations, backend, ...) ride in each spec's param bag.
+  std::vector<ReconcilerSpec> algorithms = {ReconcilerSpec("core")};
   std::vector<double> seed_fractions = {0.05, 0.10, 0.20};
   std::vector<uint32_t> thresholds = {2, 3, 4, 5};
   SeedBias bias = SeedBias::kUniform;
-  /// Matcher settings; `min_score` is overridden per grid cell.
-  MatcherConfig matcher;
   uint64_t rng_seed = 1;
 };
 
-/// Runs the grid; points are ordered fraction-major, threshold-minor.
+/// Runs the grid; points are ordered fraction-major, then algorithm, then
+/// threshold. Fatal on an empty grid or an unresolvable algorithm spec.
 std::vector<SweepPoint> RunSweep(const RealizationPair& pair,
                                  const SweepSpec& spec);
 
-/// Renders the paper's table layout: one row per seed fraction, one
-/// "Good Bad" column pair per threshold.
+/// Renders the paper's table layout: one row per (algorithm, seed
+/// fraction), one "Good Bad" column pair per threshold. The algorithm
+/// label is omitted when the sweep covered a single algorithm; cells an
+/// algorithm did not produce (no threshold dimension) print "-".
 Table SweepToGoodBadTable(const std::vector<SweepPoint>& points);
 
-/// Renders a recall curve (one row per fraction, recall per threshold) —
-/// the shape of Figures 2 and 3.
+/// Renders a recall curve (one row per (algorithm, fraction), recall per
+/// threshold) — the shape of Figures 2 and 3.
 Table SweepToRecallTable(const std::vector<SweepPoint>& points);
 
 /// Serializes the sweep as CSV (header + one line per point) for plotting.

@@ -112,11 +112,42 @@ Graph Graph::FromNormalized(EdgeList edges, ThreadPool* pool) {
     }
   });
 
-  // Serial prefix sum: O(n) adds, never the bottleneck next to the sorts.
-  for (size_t v = 0; v < n; ++v) {
-    g.offsets_[v + 1] =
-        g.offsets_[v] + count[v].load(std::memory_order_relaxed);
-    count[v].store(0, std::memory_order_relaxed);  // reused as scatter cursor
+  // Blocked parallel scan over the degree counts: per-block totals in
+  // parallel, a serial exclusive scan of the block totals, then a parallel
+  // add-back that also resets the counters for reuse as scatter cursors.
+  // Fixed blocking and plain integer addition, so the offsets are
+  // bit-identical to a serial scan for any thread count.
+  {
+    const size_t block = ThreadPool::GrainSize(n, pool->num_threads(), 4096);
+    const size_t num_blocks = (n + block - 1) / block;
+    std::vector<size_t> block_base(num_blocks, 0);
+    ParallelForChunks(pool, num_blocks, 1, [&](size_t blo, size_t bhi) {
+      for (size_t b = blo; b < bhi; ++b) {
+        const size_t lo = b * block, hi = std::min(n, lo + block);
+        size_t sum = 0;
+        for (size_t v = lo; v < hi; ++v) {
+          sum += count[v].load(std::memory_order_relaxed);
+        }
+        block_base[b] = sum;
+      }
+    });
+    size_t running = 0;
+    for (size_t b = 0; b < num_blocks; ++b) {
+      const size_t total = block_base[b];
+      block_base[b] = running;
+      running += total;
+    }
+    ParallelForChunks(pool, num_blocks, 1, [&](size_t blo, size_t bhi) {
+      for (size_t b = blo; b < bhi; ++b) {
+        const size_t lo = b * block, hi = std::min(n, lo + block);
+        size_t prefix = block_base[b];
+        for (size_t v = lo; v < hi; ++v) {
+          prefix += count[v].load(std::memory_order_relaxed);
+          g.offsets_[v + 1] = prefix;
+          count[v].store(0, std::memory_order_relaxed);  // scatter cursor
+        }
+      }
+    });
   }
 
   g.adjacency_.resize(g.offsets_.back());

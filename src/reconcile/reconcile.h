@@ -10,7 +10,7 @@
 ///
 /// Layering (see DESIGN.md §2 for the subsystem inventory):
 ///   util -> graph -> {gen, sampling, seed, mr, theory}
-///        -> core -> baseline -> eval
+///        -> core -> baseline -> api -> eval
 
 #include "reconcile/util/flags.h"          // IWYU pragma: export
 #include "reconcile/util/logging.h"        // IWYU pragma: export
@@ -60,6 +60,11 @@
 #include "reconcile/baseline/feature_matching.h"  // IWYU pragma: export
 #include "reconcile/baseline/percolation.h"       // IWYU pragma: export
 #include "reconcile/baseline/propagation.h"       // IWYU pragma: export
+
+#include "reconcile/api/adapters.h"      // IWYU pragma: export
+#include "reconcile/api/reconciler.h"    // IWYU pragma: export
+#include "reconcile/api/registry.h"      // IWYU pragma: export
+#include "reconcile/api/spec.h"          // IWYU pragma: export
 
 #include "reconcile/eval/datasets.h"     // IWYU pragma: export
 #include "reconcile/eval/experiment.h"   // IWYU pragma: export

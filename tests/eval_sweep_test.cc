@@ -1,5 +1,6 @@
 #include "reconcile/eval/sweep.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -107,7 +108,70 @@ TEST(SweepTest, CsvHasHeaderAndOneLinePerPoint) {
     if (c == '\n') ++lines;
   }
   EXPECT_EQ(lines, 1u + points.size());
-  EXPECT_EQ(csv.rfind("seed_fraction,threshold", 0), 0u);
+  EXPECT_EQ(csv.rfind("algorithm,seed_fraction,threshold", 0), 0u);
+}
+
+TEST(SweepTest, AlgorithmDimension) {
+  RealizationPair pair = MakePair();
+  SweepSpec spec;
+  spec.algorithms = {ReconcilerSpec("core"),
+                     ReconcilerSpec("simple").Set("iterations", "1")};
+  spec.seed_fractions = {0.10};
+  spec.thresholds = {2, 3};
+  auto points = RunSweep(pair, spec);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].algorithm, "core");
+  EXPECT_EQ(points[1].algorithm, "core");
+  EXPECT_EQ(points[2].algorithm, "simple:iterations=1");
+  EXPECT_EQ(points[3].algorithm, "simple:iterations=1");
+  EXPECT_EQ(points[0].threshold, 2u);
+  EXPECT_EQ(points[1].threshold, 3u);
+  // Same seed draw for every algorithm at a fraction.
+  for (const SweepPoint& point : points) {
+    EXPECT_EQ(point.num_seeds, points[0].num_seeds);
+  }
+  Table table = SweepToGoodBadTable(points);
+  EXPECT_EQ(table.num_rows(), 2u);
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("core"), std::string::npos);
+  EXPECT_NE(out.str().find("simple:iterations=1"), std::string::npos);
+}
+
+TEST(SweepTest, ThresholdFreeAlgorithmRunsOncePerFraction) {
+  RealizationPair pair = MakePair();
+  SweepSpec spec;
+  spec.algorithms = {ReconcilerSpec("core"), ReconcilerSpec("features")};
+  spec.seed_fractions = {0.10};
+  spec.thresholds = {2, 3};
+  auto points = RunSweep(pair, spec);
+  // core contributes one point per threshold, features a single one.
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[2].algorithm, "features");
+  EXPECT_EQ(points[2].threshold, 0u);
+  // Tables render the partial column with a placeholder, not a crash.
+  std::ostringstream out;
+  SweepToGoodBadTable(points).Print(out);
+  EXPECT_NE(out.str().find('-'), std::string::npos);
+}
+
+TEST(SweepTest, CsvQuotesAlgorithmLabelsContainingCommas) {
+  SweepPoint point;
+  point.algorithm = "core:backend=hash,iterations=1";
+  point.seed_fraction = 0.1;
+  point.threshold = 2;
+  const std::string csv = SweepToCsv({point});
+  EXPECT_NE(csv.find("\"core:backend=hash,iterations=1\""),
+            std::string::npos);
+  // 9 header commas + 9 data separators + the 1 comma inside the quotes.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), ','), 19);
+}
+
+TEST(SweepTest, UnknownAlgorithmDies) {
+  RealizationPair pair = MakePair();
+  SweepSpec spec;
+  spec.algorithms = {ReconcilerSpec("nope")};
+  EXPECT_DEATH(RunSweep(pair, spec), "nope");
 }
 
 TEST(SweepTest, EmptySpecDies) {

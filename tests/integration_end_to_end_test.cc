@@ -34,7 +34,7 @@ TEST(EndToEndTest, ErdosRenyiIndependentDeletionPerfectPrecision) {
   RealizationPair pair = SampleIndependent(g, sample, 102);
   MatcherConfig config;
   config.min_score = 3;
-  ExperimentResult r = RunMatcherExperiment(pair, Fraction(0.1), config, 103);
+  ExperimentResult r = RunExperiment(pair, Fraction(0.1), config, 103);
   // The paper proves zero errors asymptotically; at n=2000 a handful of
   // coincidental 3-witness pairs can appear. Demand near-perfection.
   EXPECT_GE(r.quality.precision, 0.995);
@@ -47,7 +47,7 @@ TEST(EndToEndTest, PreferentialAttachmentIndependentDeletion) {
   RealizationPair pair = SampleIndependent(g, {}, 105);
   MatcherConfig config;
   config.min_score = 2;
-  ExperimentResult r = RunMatcherExperiment(pair, Fraction(0.05), config, 106);
+  ExperimentResult r = RunExperiment(pair, Fraction(0.05), config, 106);
   EXPECT_GE(r.quality.precision, 0.995);
   EXPECT_GT(r.quality.recall_all, 0.8);
 }
@@ -60,7 +60,7 @@ TEST(EndToEndTest, CascadeModelNearPerfect) {
   RealizationPair pair = SampleCascade(g, cascade, 108);
   MatcherConfig config;
   config.min_score = 2;
-  ExperimentResult r = RunMatcherExperiment(pair, Fraction(0.1), config, 109);
+  ExperimentResult r = RunExperiment(pair, Fraction(0.1), config, 109);
   EXPECT_GE(r.quality.precision, 0.99);
   EXPECT_GT(r.quality.recall_all, 0.7);
 }
@@ -71,7 +71,7 @@ TEST(EndToEndTest, CorrelatedCommunityDeletion) {
   RealizationPair pair = SampleCommunity(net, 0.25, 111);
   MatcherConfig config;
   config.min_score = 3;
-  ExperimentResult r = RunMatcherExperiment(pair, Fraction(0.1), config, 112);
+  ExperimentResult r = RunExperiment(pair, Fraction(0.1), config, 112);
   EXPECT_GE(r.quality.precision, 0.98);
   EXPECT_GT(r.quality.recall_all, 0.5);
 }
@@ -84,7 +84,7 @@ TEST(EndToEndTest, TimesliceCopiesStillMatchable) {
   RealizationPair pair = SampleTimeslice(g, slices, 114);
   MatcherConfig config;
   config.min_score = 2;
-  ExperimentResult r = RunMatcherExperiment(pair, Fraction(0.1), config, 115);
+  ExperimentResult r = RunExperiment(pair, Fraction(0.1), config, 115);
   EXPECT_GT(r.quality.precision, 0.9);
   EXPECT_GT(r.quality.new_good, 100u);
 }
@@ -99,7 +99,7 @@ TEST(EndToEndTest, AttackDoesNotBreakPrecision) {
   MatcherConfig config;
   config.min_score = 2;
   ExperimentResult r =
-      RunMatcherExperiment(attacked, Fraction(0.1), config, 119);
+      RunExperiment(attacked, Fraction(0.1), config, 119);
   EXPECT_GT(r.quality.precision, 0.97);
   EXPECT_GT(r.quality.recall_all, 0.6);
 }
@@ -110,7 +110,7 @@ TEST(EndToEndTest, WikipediaStylePairDegradesGracefully) {
   RealizationPair pair = MakeWikipediaPair(0.1, 120);
   MatcherConfig config;
   config.min_score = 3;
-  ExperimentResult r = RunMatcherExperiment(pair, Fraction(0.1), config, 121);
+  ExperimentResult r = RunExperiment(pair, Fraction(0.1), config, 121);
   EXPECT_GT(r.quality.precision, 0.7);
   EXPECT_GT(r.quality.new_good, 100u);
 }
@@ -119,7 +119,7 @@ TEST(EndToEndTest, ExperimentDriverReportsTimings) {
   Graph g = GenerateErdosRenyi(500, 0.03, 122);
   RealizationPair pair = SampleIndependent(g, {}, 123);
   ExperimentResult r =
-      RunMatcherExperiment(pair, Fraction(0.1), MatcherConfig{}, 124);
+      RunExperiment(pair, Fraction(0.1), MatcherConfig{}, 124);
   EXPECT_GE(r.match_seconds, 0.0);
   EXPECT_GE(r.seed_seconds, 0.0);
   EXPECT_EQ(r.quality.num_seeds, r.match.seeds.size());
@@ -129,9 +129,9 @@ TEST(EndToEndTest, RepeatedRunsAreIdentical) {
   Graph g = GeneratePreferentialAttachment(2000, 10, 125);
   RealizationPair pair = SampleIndependent(g, {}, 126);
   ExperimentResult a =
-      RunMatcherExperiment(pair, Fraction(0.1), MatcherConfig{}, 127);
+      RunExperiment(pair, Fraction(0.1), MatcherConfig{}, 127);
   ExperimentResult b =
-      RunMatcherExperiment(pair, Fraction(0.1), MatcherConfig{}, 127);
+      RunExperiment(pair, Fraction(0.1), MatcherConfig{}, 127);
   EXPECT_EQ(a.match.map_1to2, b.match.map_1to2);
   EXPECT_EQ(a.quality.new_good, b.quality.new_good);
   EXPECT_EQ(a.quality.new_bad, b.quality.new_bad);

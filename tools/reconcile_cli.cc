@@ -1,19 +1,20 @@
 // reconcile_cli — run any reconciliation experiment from the command line.
 //
 // The pipeline mirrors the library (and the paper): pick an underlying
-// network model, a two-copy realization process, a seeding strategy and the
-// matcher parameters; the tool reports good/bad link counts, precision and
-// recall against the hidden ground truth, optionally stratified by degree,
-// and can persist the generated copies.
+// network model, a two-copy realization process, a seeding strategy and an
+// *algorithm* — any key registered in `Registry::Global()` (the core
+// User-Matching matcher or any baseline), configured uniformly through
+// `key=value` parameters. The tool reports good/bad link counts, precision
+// and recall against the hidden ground truth, optionally stratified by
+// degree, and can persist the generated copies.
 //
 // Examples:
 //   reconcile_cli --model=pa --nodes=50000 --m=20 --process=independent
 //                 --s1=0.5 --s2=0.5 --seed-fraction=0.1 --threshold=2
 //   reconcile_cli --model=facebook --scale=0.25 --process=cascade --p=0.05
-//   reconcile_cli --model=affiliation --scale=0.1 --process=community
-//                 --delete-prob=0.25 --threshold=3
-//   reconcile_cli --model=er --nodes=2000 --er-p=0.02 --attack=0.5
-//                 --baseline=simple
+//   reconcile_cli --algorithm=percolation --param threshold=3
+//   reconcile_cli --algorithm=ns09:theta=1,max-sweeps=3 --model=er
+//   reconcile_cli --list-algorithms
 //
 // Flags (defaults in brackets):
 //   --model         er | pa | rmat | chunglu | ws | facebook | enron |
@@ -37,28 +38,30 @@
 //   --seed-bias     uniform | degree | top                      [uniform]
 //   --top-count     #seeds for --seed-bias=top                  [100]
 //   --wrong-seeds   fraction of corrupted seeds                 [0]
-//   --threshold     matcher threshold T                         [2]
-//   --iterations    matcher outer iterations k                  [2]
-//   --no-bucketing  disable degree bucketing                    [false]
-//   --serial-selection  use the serial reference selection scan [false]
-//   --scoring-backend   hash | radix witness aggregation        [radix]
+//   --algorithm     registry key, optionally with inline params
+//                   ("core", "percolation:threshold=3")         [core]
+//   --param         k=v[,k=v...] merged into the algorithm spec
+//   --list-algorithms / --help   print the registered algorithms
+//   --threshold     shorthand for --param threshold=...         [2]
+//   --iterations    shorthand for --param iterations=...        [2]
+//   --no-bucketing  shorthand for --param bucketing=false       [false]
+//   --serial-selection  shorthand for --param parallel-selection=false
+//   --scoring-backend   shorthand for --param backend=hash|radix
+//   --threads       shorthand for --param threads=...           [0]
 //   --phase-table   print the per-round emit/scan/select split  [false]
-//   --baseline      none | simple | ns09 | features |
-//                   percolation (also run baseline)             [none]
+//   --baseline      DEPRECATED alias: also run this algorithm
+//                   after the main one (use --algorithm)        [none]
 //   --degree-table  print per-degree-band precision/recall      [false]
-//   --threads       worker threads (0 = hardware)               [0]
 //   --rng-seed      master RNG seed                             [42]
 //   --save-g1/--save-g2   write copies as text edge lists
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
-#include "reconcile/baseline/common_neighbors.h"
-#include "reconcile/baseline/feature_matching.h"
-#include "reconcile/baseline/percolation.h"
-#include "reconcile/baseline/propagation.h"
-#include "reconcile/core/matcher.h"
+#include "reconcile/api/registry.h"
+#include "reconcile/api/spec.h"
 #include "reconcile/eval/datasets.h"
 #include "reconcile/eval/metrics.h"
 #include "reconcile/eval/table.h"
@@ -81,11 +84,89 @@
 namespace reconcile {
 namespace {
 
+void PrintAlgorithms() {
+  // Everything here comes from the registry, so extension algorithms and
+  // new parameters show up without touching the CLI.
+  std::printf("registered algorithms (--algorithm=<key>[:k=v,...], extra "
+              "--param k=v[,k=v...]):\n%s",
+              Registry::Global().DescribeAll().c_str());
+}
+
+// Builds the main algorithm spec: --algorithm (key plus optional inline
+// params), --param lists, then the legacy shorthand flags — only when
+// explicitly passed, so non-core algorithms aren't polluted with matcher
+// defaults they would reject.
+bool BuildSpec(const Flags& flags, ReconcilerSpec* spec, std::string* error) {
+  if (!ReconcilerSpec::Parse(flags.GetString("algorithm", "core"), spec,
+                             error)) {
+    return false;
+  }
+  if (flags.Has("param") &&
+      !spec->MergeParams(flags.GetString("param", ""), error)) {
+    return false;
+  }
+  if (flags.Has("threshold")) {
+    spec->Set("threshold", std::to_string(flags.GetInt("threshold", 2)));
+  }
+  if (flags.Has("iterations")) {
+    spec->Set("iterations", std::to_string(flags.GetInt("iterations", 2)));
+  }
+  if (flags.Has("threads")) {
+    spec->Set("threads", std::to_string(flags.GetInt("threads", 0)));
+  }
+  if (flags.GetBool("no-bucketing", false)) {
+    spec->Set("bucketing", "false");
+  }
+  if (flags.GetBool("serial-selection", false)) {
+    spec->Set("parallel-selection", "false");
+  }
+  if (flags.Has("scoring-backend")) {
+    spec->Set("backend", flags.GetString("scoring-backend", "radix"));
+  }
+  return true;
+}
+
+// The deprecated --baseline=<key> comparison: map the old hand-tuned
+// configurations onto registry specs.
+ReconcilerSpec BaselineAliasSpec(const std::string& baseline) {
+  ReconcilerSpec spec(baseline);
+  if (baseline == "simple") spec.Set("threshold", "1");
+  if (baseline == "ns09") spec.Set("theta", "1");
+  return spec;
+}
+
+void PrintQuality(const MatchQuality& quality) {
+  std::printf("  good %zu | bad %zu | precision %.2f%% | recall(all) %.2f%% | "
+              "recall(new) %.2f%%\n",
+              quality.new_good, quality.new_bad, 100.0 * quality.precision,
+              100.0 * quality.recall_all, 100.0 * quality.recall_new);
+}
+
 int RunCli(const Flags& flags) {
+  if (flags.GetBool("help", false) || flags.GetBool("list-algorithms", false)) {
+    PrintAlgorithms();
+    return 0;
+  }
+
   const uint64_t rng_seed = static_cast<uint64_t>(flags.GetInt("rng-seed", 42));
   const std::string model = flags.GetString("model", "pa");
   const std::string process = flags.GetString("process", "independent");
   const double scale = flags.GetDouble("scale", 0.25);
+
+  // --- Algorithm resolution (fail before the expensive pair build). ------
+  ReconcilerSpec spec;
+  std::string error;
+  if (!BuildSpec(flags, &spec, &error)) {
+    std::fprintf(stderr, "bad --algorithm/--param: %s\n", error.c_str());
+    return 2;
+  }
+  std::unique_ptr<Reconciler> reconciler =
+      Registry::Global().Create(spec, &error);
+  if (reconciler == nullptr) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    PrintAlgorithms();
+    return 2;
+  }
 
   // --- Underlying network / pair construction. ---------------------------
   Timer build_timer;
@@ -198,36 +279,18 @@ int RunCli(const Flags& flags) {
   std::printf("seeds: %zu (bias=%s)\n", seeds.size(), bias.c_str());
 
   // --- Match. --------------------------------------------------------------
-  MatcherConfig config;
-  config.min_score = static_cast<uint32_t>(flags.GetInt("threshold", 2));
-  config.num_iterations = static_cast<int>(flags.GetInt("iterations", 2));
-  config.use_degree_bucketing = !flags.GetBool("no-bucketing", false);
-  config.num_threads = static_cast<int>(flags.GetInt("threads", 0));
-  config.use_parallel_selection = !flags.GetBool("serial-selection", false);
-  const std::string backend = flags.GetString("scoring-backend", "radix");
-  if (backend == "hash") {
-    config.scoring_backend = ScoringBackend::kHashMap;
-  } else {
-    RECONCILE_CHECK(backend == "radix") << "unknown --scoring-backend="
-                                        << backend;
-  }
-  MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+  MatchResult result = reconciler->Run(pair.g1, pair.g2, seeds);
   MatchQuality quality = Evaluate(pair, result);
-  std::printf("\nUser-Matching (T=%u, k=%d, bucketing=%s, selection=%s, "
-              "backend=%s): %.2fs, %zu rounds\n",
-              config.min_score, config.num_iterations,
-              config.use_degree_bucketing ? "on" : "off",
-              config.use_parallel_selection ? "parallel" : "serial",
-              backend.c_str(), result.total_seconds, result.phases.size());
-  const MatchResult::PhaseTimeTotals split = result.SumPhaseSeconds();
-  std::printf("  phase split: emit %.2fs | scan %.2fs | select %.2fs "
-              "(%d threads)\n",
-              split.emit_seconds, split.scan_seconds, split.select_seconds,
-              result.phases.empty() ? 0 : result.phases.front().num_threads);
-  std::printf("  good %zu | bad %zu | precision %.2f%% | recall(all) %.2f%% | "
-              "recall(new) %.2f%%\n",
-              quality.new_good, quality.new_bad, 100.0 * quality.precision,
-              100.0 * quality.recall_all, 100.0 * quality.recall_new);
+  std::printf("\n%s: %.2fs, %zu rounds\n", reconciler->Describe().c_str(),
+              result.total_seconds, result.phases.size());
+  if (reconciler->ExposesPhaseStats() && !result.phases.empty()) {
+    const MatchResult::PhaseTimeTotals split = result.SumPhaseSeconds();
+    std::printf("  phase split: emit %.2fs | scan %.2fs | select %.2fs "
+                "(%d threads)\n",
+                split.emit_seconds, split.scan_seconds, split.select_seconds,
+                result.phases.front().num_threads);
+  }
+  PrintQuality(quality);
 
   if (flags.GetBool("phase-table", false)) {
     Table table({"iter", "bucket", "links in", "emissions", "pairs", "new",
@@ -264,44 +327,24 @@ int RunCli(const Flags& flags) {
     table.Print(std::cout);
   }
 
-  // --- Optional baseline. ---------------------------------------------------
+  // --- Deprecated --baseline alias: run a second algorithm for comparison.
   std::string baseline = flags.GetString("baseline", "none");
-  if (baseline == "simple") {
-    SimpleMatcherConfig simple;
-    simple.min_score = 1;
-    MatchResult b = SimpleCommonNeighborsMatch(pair.g1, pair.g2, seeds, simple);
-    MatchQuality bq = Evaluate(pair, b);
-    std::printf("simple baseline (T=1): good %zu | bad %zu | precision "
-                "%.2f%% | recall(all) %.2f%%\n",
-                bq.new_good, bq.new_bad, 100.0 * bq.precision,
-                100.0 * bq.recall_all);
-  } else if (baseline == "ns09") {
-    PropagationConfig prop;
-    prop.theta = 1.0;
-    MatchResult b = PropagationMatch(pair.g1, pair.g2, seeds, prop);
-    MatchQuality bq = Evaluate(pair, b);
-    std::printf("NS09 baseline (theta=1): good %zu | bad %zu | precision "
-                "%.2f%% | recall(all) %.2f%% | %.2fs\n",
-                bq.new_good, bq.new_bad, 100.0 * bq.precision,
-                100.0 * bq.recall_all, b.total_seconds);
-  } else if (baseline == "features") {
-    FeatureMatcherConfig features;
-    MatchResult b = StructuralFeatureMatch(pair.g1, pair.g2, seeds, features);
-    MatchQuality bq = Evaluate(pair, b);
-    std::printf("feature baseline (depth=2): good %zu | bad %zu | precision "
-                "%.2f%% | recall(all) %.2f%% | %.2fs\n",
-                bq.new_good, bq.new_bad, 100.0 * bq.precision,
-                100.0 * bq.recall_all, b.total_seconds);
-  } else if (baseline == "percolation") {
-    PercolationConfig pgm;
-    MatchResult b = PercolationMatch(pair.g1, pair.g2, seeds, pgm);
-    MatchQuality bq = Evaluate(pair, b);
-    std::printf("percolation baseline (r=2): good %zu | bad %zu | precision "
-                "%.2f%% | recall(all) %.2f%% | %.2fs\n",
-                bq.new_good, bq.new_bad, 100.0 * bq.precision,
-                100.0 * bq.recall_all, b.total_seconds);
-  } else {
-    RECONCILE_CHECK(baseline == "none") << "unknown --baseline=" << baseline;
+  if (baseline != "none") {
+    ReconcilerSpec alias = BaselineAliasSpec(baseline);
+    std::fprintf(stderr,
+                 "warning: --baseline is deprecated; use "
+                 "--algorithm=%s (running it additionally for comparison)\n",
+                 alias.ToString().c_str());
+    std::unique_ptr<Reconciler> comparison =
+        Registry::Global().Create(alias, &error);
+    if (comparison == nullptr) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    MatchResult b = comparison->Run(pair.g1, pair.g2, seeds);
+    std::printf("\n%s: %.2fs\n", comparison->Describe().c_str(),
+                b.total_seconds);
+    PrintQuality(Evaluate(pair, b));
   }
 
   for (const std::string& key : flags.UnusedKeys()) {
