@@ -232,7 +232,9 @@ BENCHMARK(BM_SortCountByKey)->Arg(1)->Arg(2)->Arg(4);
 // (emit_s / scan_s / select_s).
 void MatchBenchmark(benchmark::State& state, bool incremental, int threads,
                     bool parallel_selection,
-                    ScoringBackend backend = ScoringBackend::kRadixSort) {
+                    ScoringBackend backend = ScoringBackend::kRadixSort,
+                    Scheduler scheduler = Scheduler::kAuto,
+                    int lsm_max_tiers = 2) {
   Graph g = GeneratePreferentialAttachment(8000, 10, 5);
   RealizationPair pair = SampleIndependent(g, {}, 6);
   SeedOptions seed_options;
@@ -243,6 +245,8 @@ void MatchBenchmark(benchmark::State& state, bool incremental, int threads,
   config.num_threads = threads;
   config.use_parallel_selection = parallel_selection;
   config.scoring_backend = backend;
+  config.scheduler = scheduler;
+  config.lsm_max_tiers = lsm_max_tiers;
   MatchResult::PhaseTimeTotals split;
   for (auto _ : state) {
     MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
@@ -250,6 +254,7 @@ void MatchBenchmark(benchmark::State& state, bool incremental, int threads,
     split = result.SumPhaseSeconds();
   }
   state.counters["emit_s"] = split.emit_seconds;
+  state.counters["merge_s"] = split.merge_seconds;
   state.counters["scan_s"] = split.scan_seconds;
   state.counters["select_s"] = split.select_seconds;
 }
@@ -281,6 +286,18 @@ void BM_MatchHash4T(benchmark::State& state) {
 void BM_MatchHashRecompute1T(benchmark::State& state) {
   MatchBenchmark(state, false, 1, true, ScoringBackend::kHashMap);
 }
+// Scheduler series: the default 4T run resolves to work-stealing; this one
+// pins static chunking so the scheduler gap stays visible in the baseline.
+void BM_MatchStaticSched4T(benchmark::State& state) {
+  MatchBenchmark(state, true, 4, true, ScoringBackend::kRadixSort,
+                 Scheduler::kStatic);
+}
+// LSM series: single-tier store (merge every round delta into the big run —
+// the pre-LSM behavior) under the default scheduler.
+void BM_MatchSingleTier4T(benchmark::State& state) {
+  MatchBenchmark(state, true, 4, true, ScoringBackend::kRadixSort,
+                 Scheduler::kAuto, /*lsm_max_tiers=*/1);
+}
 BENCHMARK(BM_MatchIncremental1T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatchIncremental2T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatchIncremental4T)->Unit(benchmark::kMillisecond);
@@ -290,6 +307,8 @@ BENCHMARK(BM_MatchSerialSelect4T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatchHash1T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatchHash4T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatchHashRecompute1T)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatchStaticSched4T)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatchSingleTier4T)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace reconcile

@@ -1,0 +1,91 @@
+// Hub-heavy skew benchmark (google-benchmark): end-to-end matching on a
+// power-law Chung-Lu pair whose witness emission is dominated by a few hub
+// links — a hub link (a1, a2) emits ~deg(a1)·deg(a2) candidate pairs, so
+// with static chunking whichever worker draws the hub chunk serializes the
+// round (the imbalance Wakita & Tsurumi describe for mega-scale social
+// graphs). The grid is scheduler × scoring backend at a fixed thread count;
+// compare the `emit_s` counters of the static vs stealing series to read
+// the scheduler's effect on the emission phase, and `merge_s` for the LSM
+// tier store (`tiers=1` pins the pre-LSM merge-every-round behavior).
+//
+// Top-degree-biased seeds put the hubs into the witness set from round one,
+// so the skew is live in every measured round. `tools/run_bench.sh`
+// captures this harness as BENCH_skew.json.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_main.h"
+#include "reconcile/core/matcher.h"
+#include "reconcile/gen/chung_lu.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/seed/seeding.h"
+
+namespace reconcile {
+namespace {
+
+// Exponent 2.1 is deep in the heavy-tail regime: the top node's degree is
+// within an order of magnitude of n, so per-link emission cost spans ~4
+// decades across the witness set.
+RealizationPair MakeSkewPair() {
+  std::vector<double> weights = PowerLawWeights(24000, 2.1, 16.0);
+  Graph g = GenerateChungLu(weights, 0x5CE11);
+  IndependentSampleOptions sample;
+  sample.s1 = sample.s2 = 0.6;
+  return SampleIndependent(g, sample, 0x5CE12);
+}
+
+void SkewMatchBenchmark(benchmark::State& state, Scheduler scheduler,
+                        ScoringBackend backend, int lsm_max_tiers = 2) {
+  static const RealizationPair& pair = *new RealizationPair(MakeSkewPair());
+  SeedOptions seed_options;
+  seed_options.bias = SeedBias::kTopDegree;
+  seed_options.fixed_count = 400;
+  auto seeds = GenerateSeeds(pair, seed_options, 0x5CE13);
+
+  MatcherConfig config;
+  config.num_threads = 4;
+  config.scheduler = scheduler;
+  config.scoring_backend = backend;
+  config.lsm_max_tiers = lsm_max_tiers;
+  MatchResult::PhaseTimeTotals split;
+  for (auto _ : state) {
+    MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+    benchmark::DoNotOptimize(result.NumLinks());
+    split = result.SumPhaseSeconds();
+  }
+  state.counters["emit_s"] = split.emit_seconds;
+  state.counters["merge_s"] = split.merge_seconds;
+  state.counters["scan_s"] = split.scan_seconds;
+  state.counters["select_s"] = split.select_seconds;
+}
+
+void BM_SkewMatchStealingRadix(benchmark::State& state) {
+  SkewMatchBenchmark(state, Scheduler::kWorkStealing,
+                     ScoringBackend::kRadixSort);
+}
+void BM_SkewMatchStaticRadix(benchmark::State& state) {
+  SkewMatchBenchmark(state, Scheduler::kStatic, ScoringBackend::kRadixSort);
+}
+void BM_SkewMatchStealingHash(benchmark::State& state) {
+  SkewMatchBenchmark(state, Scheduler::kWorkStealing,
+                     ScoringBackend::kHashMap);
+}
+void BM_SkewMatchStaticHash(benchmark::State& state) {
+  SkewMatchBenchmark(state, Scheduler::kStatic, ScoringBackend::kHashMap);
+}
+// LSM off (single tier): isolates the tier store's contribution within the
+// stealing/radix configuration.
+void BM_SkewMatchStealingRadixSingleTier(benchmark::State& state) {
+  SkewMatchBenchmark(state, Scheduler::kWorkStealing,
+                     ScoringBackend::kRadixSort, /*lsm_max_tiers=*/1);
+}
+BENCHMARK(BM_SkewMatchStealingRadix)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkewMatchStaticRadix)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkewMatchStealingHash)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkewMatchStaticHash)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkewMatchStealingRadixSingleTier)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace reconcile
+
+RECONCILE_BENCHMARK_MAIN();

@@ -54,6 +54,7 @@ void Table2Benchmark(benchmark::State& state, ScoringBackend backend) {
   state.counters["nodes"] = static_cast<double>(g.num_nodes());
   state.counters["edges"] = static_cast<double>(g.num_edges());
   state.counters["emit_s"] = split.emit_seconds;
+  state.counters["merge_s"] = split.merge_seconds;
   state.counters["scan_s"] = split.scan_seconds;
   state.counters["select_s"] = split.select_seconds;
 }

@@ -58,6 +58,28 @@ std::unique_ptr<Reconciler> MakeCore(const ReconcilerSpec& spec,
   } else {
     reader.AddError("parameter 'backend' must be hash or radix: " + backend);
   }
+  std::string scheduler =
+      reader.GetString("scheduler", SchedulerName(config.scheduler));
+  if (!ParseScheduler(scheduler, &config.scheduler)) {
+    reader.AddError("parameter 'scheduler' must be auto, static or stealing: " +
+                    scheduler);
+  }
+  const int64_t grain = reader.GetInt("grain", 0);
+  if (grain < 0) {
+    reader.AddError("parameter 'grain' must be >= 0");
+  } else {
+    config.scheduler_grain = static_cast<size_t>(grain);
+  }
+  config.lsm_max_tiers =
+      GetIntParam(reader, "max-tiers", config.lsm_max_tiers);
+  if (config.lsm_max_tiers < 1) {
+    reader.AddError("parameter 'max-tiers' must be >= 1");
+  }
+  config.lsm_size_ratio = reader.GetDouble("tier-ratio", config.lsm_size_ratio);
+  if (config.lsm_size_ratio < 0.0) {
+    reader.AddError("parameter 'tier-ratio' must be >= 0 (0 disables the "
+                    "ratio trigger)");
+  }
   if (config.num_iterations < 1) {
     reader.AddError("parameter 'iterations' must be >= 1");
   }
@@ -151,7 +173,8 @@ std::string CoreReconciler::Describe() const {
       << (config_.use_parallel_selection ? "parallel" : "serial")
       << ", scoring="
       << (config_.use_incremental_scoring ? "incremental" : "recompute")
-      << ")";
+      << ", scheduler=" << SchedulerName(config_.scheduler)
+      << ", tiers=" << config_.lsm_max_tiers << ")";
   return out.str();
 }
 
@@ -196,7 +219,9 @@ void RegisterBuiltinReconcilers(Registry& registry) {
                   "scoring, mutual-best selection",
        .params = "threshold, iterations, bucketing, min-bucket-exponent, "
                  "threads, shards, stop-when-stable, incremental, "
-                 "parallel-selection, backend=hash|radix",
+                 "parallel-selection, backend=hash|radix, "
+                 "scheduler=auto|static|stealing, grain, max-tiers, "
+                 "tier-ratio",
        .threshold_param = "threshold",
        .factory = MakeCore});
   registry.Register(

@@ -7,39 +7,52 @@
 #include "reconcile/mr/mapreduce.h"
 #include "reconcile/util/flat_hash_map.h"
 #include "reconcile/util/logging.h"
+#include "reconcile/util/parallel_for.h"
 #include "reconcile/util/radix_sort.h"
 #include "reconcile/util/thread_pool.h"
+#include "reconcile/util/tiered_store.h"
 #include "reconcile/util/timer.h"
 
 namespace reconcile {
 
 namespace {
 
-// One disjoint slice of the scored-pair multiset handed to selection: either
-// a hash-map shard (hash backend) or a sorted run (radix backend). A
-// candidate pair lives in exactly one unit either way, and the selection
-// fold is representation-agnostic — it only needs `ForEach(key, score)` —
-// so both backends flow through the same `SelectSerial` / `SelectParallel`
-// engines and stay bit-identical by construction.
+// One disjoint slice of the scored-pair multiset handed to selection: a
+// hash-map shard (hash backend), a sorted run (radix recompute engine), or
+// an LSM tier stack (radix incremental engine — its `ForEach` k-way-merges
+// the tiers, so a key split across tiers still surfaces exactly once with
+// its total count). A candidate pair lives in exactly one unit in every
+// representation, and the selection fold is representation-agnostic — it
+// only needs `ForEach(key, score)` — so all backends flow through the same
+// `SelectSerial` / `SelectParallel` engines and stay bit-identical by
+// construction.
 class ScoreUnit {
  public:
   explicit ScoreUnit(const FlatCountMap* map) : map_(map) {}
   explicit ScoreUnit(const SortedCountRun* run) : run_(run) {}
+  explicit ScoreUnit(const TieredCountRuns* store) : store_(store) {}
 
-  bool empty() const { return map_ != nullptr ? map_->empty() : run_->empty(); }
+  bool empty() const {
+    if (map_ != nullptr) return map_->empty();
+    if (run_ != nullptr) return run_->empty();
+    return store_->empty();
+  }
 
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     if (map_ != nullptr) {
       map_->ForEach(fn);
-    } else {
+    } else if (run_ != nullptr) {
       run_->ForEach(fn);
+    } else {
+      store_->ForEach(fn);
     }
   }
 
  private:
   const FlatCountMap* map_ = nullptr;
   const SortedCountRun* run_ = nullptr;
+  const TieredCountRuns* store_ = nullptr;
 };
 
 // Degree levels partition candidate pairs by the first bucket in which they
@@ -64,6 +77,8 @@ class MatcherState {
         config_(config),
         pool_(config.num_threads > 0 ? config.num_threads
                                      : ThreadPool::DefaultThreads()),
+        scheduler_(ResolveScheduler(config.scheduler)),
+        tier_policy_{config.lsm_max_tiers, config.lsm_size_ratio},
         num_shards_(config.num_shards > 0
                         ? config.num_shards
                         : std::max(4, pool_.num_threads())),
@@ -136,39 +151,45 @@ class MatcherState {
   // proportional to the live frontier.
   void CompactScores() {
     if (!config_.use_incremental_scoring) return;
+    const size_t cells =
+        static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_);
     if (config_.scoring_backend == ScoringBackend::kRadixSort) {
-      // Sorted runs compact with a single in-place filtering sweep — no
-      // rebuild, no rehash, order preserved.
-      for (auto& level : runs_) {
-        for (SortedCountRun& run : level) {
-          pool_.Submit([this, &run] {
-            if (run.empty()) return;
-            run.Filter([this](uint64_t key, uint32_t) {
-              return map_1to2_[PairFirst(key)] == kInvalidNode ||
-                     map_2to1_[PairSecond(key)] == kInvalidNode;
-            });
-          });
-        }
-      }
-      pool_.Wait();
-      return;
-    }
-    for (auto& level : scores_) {
-      for (FlatCountMap& shard : level) {
-        pool_.Submit([this, &shard] {
-          if (shard.empty()) return;
-          FlatCountMap compacted(shard.size());
-          shard.ForEach([this, &compacted](uint64_t key, uint32_t count) {
-            if (map_1to2_[PairFirst(key)] == kInvalidNode ||
-                map_2to1_[PairSecond(key)] == kInvalidNode) {
-              compacted.AddCount(key, count);
+      // Tier stacks compact with an in-place filtering sweep per tier — no
+      // rebuild, no rehash, order preserved. The liveness predicate depends
+      // on the key alone, so filtering tiers independently preserves every
+      // key's cross-tier total.
+      ParallelForSched(
+          &pool_, scheduler_, cells, 1, [this](size_t lo, size_t hi) {
+            for (size_t cell = lo; cell < hi; ++cell) {
+              TieredCountRuns& store =
+                  runs_[cell / static_cast<size_t>(num_shards_)]
+                       [cell % static_cast<size_t>(num_shards_)];
+              if (store.empty()) continue;
+              store.Filter([this](uint64_t key, uint32_t) {
+                return map_1to2_[PairFirst(key)] == kInvalidNode ||
+                       map_2to1_[PairSecond(key)] == kInvalidNode;
+              });
             }
           });
-          shard = std::move(compacted);
-        });
-      }
+      return;
     }
-    pool_.Wait();
+    ParallelForSched(
+        &pool_, scheduler_, cells, 1, [this](size_t lo, size_t hi) {
+          for (size_t cell = lo; cell < hi; ++cell) {
+            FlatCountMap& shard =
+                scores_[cell / static_cast<size_t>(num_shards_)]
+                       [cell % static_cast<size_t>(num_shards_)];
+            if (shard.empty()) continue;
+            FlatCountMap compacted(shard.size());
+            shard.ForEach([this, &compacted](uint64_t key, uint32_t count) {
+              if (map_1to2_[PairFirst(key)] == kInvalidNode ||
+                  map_2to1_[PairSecond(key)] == kInvalidNode) {
+                compacted.AddCount(key, count);
+              }
+            });
+            shard = std::move(compacted);
+          }
+        });
   }
 
   MatchResult TakeResult(std::span<const std::pair<NodeId, NodeId>> seeds,
@@ -244,20 +265,27 @@ class MatcherState {
     Timer timer;
     atomic_best1_.NextEpoch();
     atomic_best2_.NextEpoch();
+    // Both passes run one unit at a time under the configured scheduler
+    // (static: one queued task per unit; stealing: units are claimed
+    // dynamically, so a handful of huge hub-level units no longer pins the
+    // round on whichever worker drew them). The observe fold is a CAS-max —
+    // commutative — and the accept pass writes only per-unit lists, so the
+    // schedule is unobservable in the result.
     std::atomic<size_t> candidate_pairs{0};
-    for (const ScoreUnit& unit : units) {
-      if (unit.empty()) continue;
-      pool_.Submit([this, &unit, &candidate_pairs] {
-        size_t local_pairs = 0;
-        unit.ForEach([this, &local_pairs](uint64_t key, uint32_t score) {
-          atomic_best1_.Observe(PairFirst(key), score);
-          atomic_best2_.Observe(PairSecond(key), score);
-          ++local_pairs;
+    ParallelForSched(
+        &pool_, scheduler_, units.size(), 1,
+        [this, &units, &candidate_pairs](size_t lo, size_t hi) {
+          size_t local_pairs = 0;
+          for (size_t i = lo; i < hi; ++i) {
+            units[i].ForEach([this, &local_pairs](uint64_t key,
+                                                  uint32_t score) {
+              atomic_best1_.Observe(PairFirst(key), score);
+              atomic_best2_.Observe(PairSecond(key), score);
+              ++local_pairs;
+            });
+          }
+          candidate_pairs.fetch_add(local_pairs, std::memory_order_relaxed);
         });
-        candidate_pairs.fetch_add(local_pairs, std::memory_order_relaxed);
-      });
-    }
-    pool_.Wait();
     stats->candidate_pairs = candidate_pairs.load();
     stats->scan_seconds = timer.Seconds();
 
@@ -266,24 +294,26 @@ class MatcherState {
     // its own unit's accept list; commits happen after the barrier.
     std::vector<std::vector<std::pair<NodeId, NodeId>>> accepted_per_unit(
         units.size());
-    for (size_t i = 0; i < units.size(); ++i) {
-      if (units[i].empty()) continue;
-      pool_.Submit([this, &unit = units[i], &list = accepted_per_unit[i]] {
-        unit.ForEach([this, &list](uint64_t key, uint32_t score) {
-          if (score < config_.min_score) return;
-          NodeId u = PairFirst(key);
-          NodeId v = PairSecond(key);
-          if (map_1to2_[u] != kInvalidNode || map_2to1_[v] != kInvalidNode) {
-            return;
-          }
-          if (atomic_best1_.IsUniqueBest(u, score) &&
-              atomic_best2_.IsUniqueBest(v, score)) {
-            list.emplace_back(u, v);
+    ParallelForSched(
+        &pool_, scheduler_, units.size(), 1,
+        [this, &units, &accepted_per_unit](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            auto& list = accepted_per_unit[i];
+            units[i].ForEach([this, &list](uint64_t key, uint32_t score) {
+              if (score < config_.min_score) return;
+              NodeId u = PairFirst(key);
+              NodeId v = PairSecond(key);
+              if (map_1to2_[u] != kInvalidNode ||
+                  map_2to1_[v] != kInvalidNode) {
+                return;
+              }
+              if (atomic_best1_.IsUniqueBest(u, score) &&
+                  atomic_best2_.IsUniqueBest(v, score)) {
+                list.emplace_back(u, v);
+              }
+            });
           }
         });
-      });
-    }
-    pool_.Wait();
 
     size_t accepted = 0;
     for (const auto& list : accepted_per_unit) {
@@ -314,18 +344,33 @@ class MatcherState {
   // removes the per-bucket rescoring factor from the running time.
 
   // Folds links_[emitted_links_ ..) into the persistent score state of the
-  // configured backend.
-  uint64_t EmitPendingLinks() {
-    return config_.scoring_backend == ScoringBackend::kRadixSort
-               ? EmitPendingLinksRadix()
-               : EmitPendingLinksHash();
+  // configured backend, filling `stats`' emission count plus the time split:
+  // `emit_seconds` covers witness enumeration (the map phase), and
+  // `merge_seconds` covers folding the deltas into the persistent state
+  // (hash merges / radix sort + tier compaction) — the part that used to
+  // hide inside emit.
+  void EmitPendingLinks(PhaseStats* stats) {
+    if (config_.scoring_backend == ScoringBackend::kRadixSort) {
+      EmitPendingLinksRadix(stats);
+    } else {
+      EmitPendingLinksHash(stats);
+    }
+  }
+
+  // Chunk size the work-stealing emission loop claims per lock acquisition.
+  // Per-item cost is heavy-tailed on skewed graphs (a hub link emits
+  // deg(hub)^2-ish pairs), so the auto grain aims well below the static
+  // chunk size; claims are a spinlock pop, so the extra traffic is cheap.
+  size_t EmitGrain(size_t num_items) const {
+    if (config_.scheduler_grain > 0) return config_.scheduler_grain;
+    return ThreadPool::GrainSize(num_items, pool_.num_threads(), 1, 64);
   }
 
   // Hash backend: every emission probes a per-(level, shard) FlatCountMap.
-  uint64_t EmitPendingLinksHash() {
+  void EmitPendingLinksHash(PhaseStats* stats) {
     const size_t begin = emitted_links_;
     const size_t end = links_.size();
-    if (begin == end) return 0;
+    if (begin == end) return;
     emitted_links_ = end;
 
     const NodeId dmin = static_cast<NodeId>(1u)
@@ -335,85 +380,90 @@ class MatcherState {
       uint64_t emissions = 0;
     };
     const size_t num_items = end - begin;
-    const size_t num_map_shards =
-        std::min<size_t>(num_items, static_cast<size_t>(num_shards_) * 4);
-    const size_t grain = (num_items + num_map_shards - 1) / num_map_shards;
-    std::vector<Delta> deltas(num_map_shards);
 
-    size_t shard_index = 0;
-    for (size_t lo = 0; lo < num_items; lo += grain, ++shard_index) {
-      size_t hi = std::min(num_items, lo + grain);
-      Delta& delta = deltas[shard_index];
-      pool_.Submit([this, begin, lo, hi, dmin, &delta] {
-        delta.maps.resize(kNumLevels);
-        auto& maps = delta.maps;
-        for (size_t item = lo; item < hi; ++item) {
-          const auto [a1, a2] = links_[begin + item];
-          for (NodeId u : g1_.NeighborsByDegree(a1)) {
-            if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
-            const uint8_t lu = level1_[u];
-            for (NodeId v : g2_.NeighborsByDegree(a2)) {
-              if (g2_.degree(v) < dmin) break;
-              const uint8_t level = std::min(lu, level2_[v]);
-              const uint64_t key = PackPair(u, v);
-              if (maps[level].empty()) {
-                maps[level] =
-                    std::vector<FlatCountMap>(static_cast<size_t>(num_shards_));
-              }
-              maps[level][static_cast<size_t>(
-                              mr::ShardOfKey(key, num_shards_))]
-                  .AddCount(key, 1);
-              ++delta.emissions;
+    // One delta set per producer (`ParallelProduce`): per fixed chunk under
+    // the static scheduler, per worker slot under work-stealing. The merge
+    // sums counts commutatively, so which items land in which delta is
+    // unobservable.
+    Timer emit_timer;
+    auto emit_range = [this, begin, dmin](Delta& delta, size_t lo, size_t hi) {
+      if (delta.maps.empty()) delta.maps.resize(kNumLevels);
+      auto& maps = delta.maps;
+      for (size_t item = lo; item < hi; ++item) {
+        const auto [a1, a2] = links_[begin + item];
+        for (NodeId u : g1_.NeighborsByDegree(a1)) {
+          if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
+          const uint8_t lu = level1_[u];
+          for (NodeId v : g2_.NeighborsByDegree(a2)) {
+            if (g2_.degree(v) < dmin) break;
+            const uint8_t level = std::min(lu, level2_[v]);
+            const uint64_t key = PackPair(u, v);
+            if (maps[level].empty()) {
+              maps[level] =
+                  std::vector<FlatCountMap>(static_cast<size_t>(num_shards_));
             }
+            maps[level][static_cast<size_t>(mr::ShardOfKey(key, num_shards_))]
+                .AddCount(key, 1);
+            ++delta.emissions;
           }
         }
-      });
-    }
-    pool_.Wait();
+      }
+    };
+    std::vector<Delta> deltas = ParallelProduce<Delta>(
+        &pool_, scheduler_, num_items,
+        static_cast<size_t>(num_shards_) * 4, EmitGrain(num_items),
+        emit_range);
+    stats->emit_seconds += emit_timer.Seconds();
 
-    // Merge deltas into the persistent maps: one task per (level, shard),
-    // pre-sized from the delta sizes so the merge never rehashes mid-loop.
-    for (int level = 0; level < kNumLevels; ++level) {
-      for (int shard = 0; shard < num_shards_; ++shard) {
-        pool_.Submit([this, level, shard, &deltas] {
-          FlatCountMap& target =
-              scores_[static_cast<size_t>(level)][static_cast<size_t>(shard)];
-          size_t expected = target.size();
-          for (const Delta& delta : deltas) {
-            if (delta.maps.empty()) continue;
-            const auto& level_maps = delta.maps[static_cast<size_t>(level)];
-            if (level_maps.empty()) continue;
-            expected += level_maps[static_cast<size_t>(shard)].size();
-          }
-          target.Reserve(expected);
-          for (const Delta& delta : deltas) {
-            if (delta.maps.empty()) continue;
-            const auto& level_maps = delta.maps[static_cast<size_t>(level)];
-            if (level_maps.empty()) continue;
-            level_maps[static_cast<size_t>(shard)].ForEach(
-                [&target](uint64_t key, uint32_t count) {
-                  target.AddCount(key, count);
-                });
+    // Merge deltas into the persistent maps: one (level, shard) cell at a
+    // time, pre-sized from the delta sizes so the merge never rehashes
+    // mid-loop.
+    Timer merge_timer;
+    ParallelForSched(
+        &pool_, scheduler_,
+        static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_), 1,
+        [this, &deltas](size_t lo_cell, size_t hi_cell) {
+          for (size_t cell = lo_cell; cell < hi_cell; ++cell) {
+            const size_t level = cell / static_cast<size_t>(num_shards_);
+            const size_t shard = cell % static_cast<size_t>(num_shards_);
+            FlatCountMap& target = scores_[level][shard];
+            size_t expected = target.size();
+            for (const Delta& delta : deltas) {
+              if (delta.maps.empty()) continue;
+              const auto& level_maps = delta.maps[level];
+              if (level_maps.empty()) continue;
+              expected += level_maps[shard].size();
+            }
+            if (expected == target.size()) continue;
+            target.Reserve(expected);
+            for (const Delta& delta : deltas) {
+              if (delta.maps.empty()) continue;
+              const auto& level_maps = delta.maps[level];
+              if (level_maps.empty()) continue;
+              level_maps[shard].ForEach(
+                  [&target](uint64_t key, uint32_t count) {
+                    target.AddCount(key, count);
+                  });
+            }
           }
         });
-      }
-    }
-    pool_.Wait();
+    stats->merge_seconds += merge_timer.Seconds();
 
-    uint64_t total = 0;
-    for (const Delta& delta : deltas) total += delta.emissions;
-    return total;
+    for (const Delta& delta : deltas) {
+      stats->emissions += static_cast<size_t>(delta.emissions);
+    }
   }
 
   // Radix backend: emissions append packed keys into per-(level, shard) flat
   // buffers (one array store each — the shard is a precomputed per-node
   // lookup, no hashing); each touched (level, shard) cell then sorts its
-  // delta, run-length-encodes it and folds it into the persistent sorted run
-  // with one linear two-way merge.
-  uint64_t EmitPendingLinksRadix() {
+  // delta, run-length-encodes it and appends it to the cell's LSM tier
+  // stack, which folds tiers into the big persistent run only when the
+  // size-ratio policy trips.
+  void EmitPendingLinksRadix(PhaseStats* stats) {
     const size_t begin = emitted_links_;
     const size_t end = links_.size();
-    if (begin == end) return 0;
+    if (begin == end) return;
     emitted_links_ = end;
 
     const NodeId dmin = static_cast<NodeId>(1u)
@@ -423,75 +473,76 @@ class MatcherState {
       uint64_t emissions = 0;
     };
     const size_t num_items = end - begin;
-    const size_t num_map_shards =
-        std::min<size_t>(num_items, static_cast<size_t>(num_shards_) * 4);
-    const size_t grain = (num_items + num_map_shards - 1) / num_map_shards;
-    std::vector<RadixDelta> deltas(num_map_shards);
 
-    size_t shard_index = 0;
-    for (size_t lo = 0; lo < num_items; lo += grain, ++shard_index) {
-      size_t hi = std::min(num_items, lo + grain);
-      RadixDelta& delta = deltas[shard_index];
-      pool_.Submit([this, begin, lo, hi, dmin, &delta] {
-        delta.keys.resize(kNumLevels);
-        auto& keys = delta.keys;
-        for (size_t item = lo; item < hi; ++item) {
-          const auto [a1, a2] = links_[begin + item];
-          for (NodeId u : g1_.NeighborsByDegree(a1)) {
-            if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
-            const uint8_t lu = level1_[u];
-            const uint32_t shard = radix_shard1_[u];
-            for (NodeId v : g2_.NeighborsByDegree(a2)) {
-              if (g2_.degree(v) < dmin) break;
-              const uint8_t level = std::min(lu, level2_[v]);
-              if (keys[level].empty()) {
-                keys[level].resize(static_cast<size_t>(num_shards_));
-              }
-              keys[level][shard].push_back(PackPair(u, v));
-              ++delta.emissions;
+    Timer emit_timer;
+    auto emit_range = [this, begin, dmin](RadixDelta& delta, size_t lo,
+                                          size_t hi) {
+      if (delta.keys.empty()) delta.keys.resize(kNumLevels);
+      auto& keys = delta.keys;
+      for (size_t item = lo; item < hi; ++item) {
+        const auto [a1, a2] = links_[begin + item];
+        for (NodeId u : g1_.NeighborsByDegree(a1)) {
+          if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
+          const uint8_t lu = level1_[u];
+          const uint32_t shard = radix_shard1_[u];
+          for (NodeId v : g2_.NeighborsByDegree(a2)) {
+            if (g2_.degree(v) < dmin) break;
+            const uint8_t level = std::min(lu, level2_[v]);
+            if (keys[level].empty()) {
+              keys[level].resize(static_cast<size_t>(num_shards_));
             }
+            keys[level][shard].push_back(PackPair(u, v));
+            ++delta.emissions;
           }
         }
-      });
-    }
-    pool_.Wait();
-
-    // Sort-and-merge: one task per touched (level, shard). Concatenate the
-    // map chunks, radix-sort, run-length-encode, then fold into the
-    // persistent run with a linear merge (no rehashing anywhere).
-    for (int level = 0; level < kNumLevels; ++level) {
-      for (int shard = 0; shard < num_shards_; ++shard) {
-        size_t total = 0;
-        for (const RadixDelta& delta : deltas) {
-          if (delta.keys.empty()) continue;
-          const auto& level_keys = delta.keys[static_cast<size_t>(level)];
-          if (level_keys.empty()) continue;
-          total += level_keys[static_cast<size_t>(shard)].size();
-        }
-        if (total == 0) continue;
-        pool_.Submit([this, level, shard, total, &deltas] {
-          std::vector<uint64_t> raw;
-          raw.reserve(total);
-          for (const RadixDelta& delta : deltas) {
-            if (delta.keys.empty()) continue;
-            const auto& level_keys = delta.keys[static_cast<size_t>(level)];
-            if (level_keys.empty()) continue;
-            const auto& chunk = level_keys[static_cast<size_t>(shard)];
-            raw.insert(raw.end(), chunk.begin(), chunk.end());
-          }
-          std::vector<uint64_t> scratch;
-          SortedCountRun delta_run = SortAndCount(std::move(raw), scratch);
-          MergeCountRuns(
-              runs_[static_cast<size_t>(level)][static_cast<size_t>(shard)],
-              std::move(delta_run));
-        });
       }
-    }
-    pool_.Wait();
+    };
+    std::vector<RadixDelta> deltas = ParallelProduce<RadixDelta>(
+        &pool_, scheduler_, num_items,
+        static_cast<size_t>(num_shards_) * 4, EmitGrain(num_items),
+        emit_range);
+    stats->emit_seconds += emit_timer.Seconds();
 
-    uint64_t total = 0;
-    for (const RadixDelta& delta : deltas) total += delta.emissions;
-    return total;
+    // Sort-and-append: one touched (level, shard) cell at a time.
+    // Concatenate the producer chunks, radix-sort, run-length-encode, then
+    // append the round delta as a new LSM tier (compaction per the
+    // size-ratio policy — late low-yield rounds usually stop here without
+    // touching the big run).
+    Timer merge_timer;
+    ParallelForSched(
+        &pool_, scheduler_,
+        static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_), 1,
+        [this, &deltas](size_t lo_cell, size_t hi_cell) {
+          std::vector<uint64_t> scratch;
+          for (size_t cell = lo_cell; cell < hi_cell; ++cell) {
+            const size_t level = cell / static_cast<size_t>(num_shards_);
+            const size_t shard = cell % static_cast<size_t>(num_shards_);
+            size_t total = 0;
+            for (const RadixDelta& delta : deltas) {
+              if (delta.keys.empty()) continue;
+              const auto& level_keys = delta.keys[level];
+              if (level_keys.empty()) continue;
+              total += level_keys[shard].size();
+            }
+            if (total == 0) continue;
+            std::vector<uint64_t> raw;
+            raw.reserve(total);
+            for (const RadixDelta& delta : deltas) {
+              if (delta.keys.empty()) continue;
+              const auto& level_keys = delta.keys[level];
+              if (level_keys.empty()) continue;
+              const auto& chunk = level_keys[shard];
+              raw.insert(raw.end(), chunk.begin(), chunk.end());
+            }
+            SortedCountRun delta_run = SortAndCount(std::move(raw), scratch);
+            runs_[level][shard].Append(std::move(delta_run), tier_policy_);
+          }
+        });
+    stats->merge_seconds += merge_timer.Seconds();
+
+    for (const RadixDelta& delta : deltas) {
+      stats->emissions += static_cast<size_t>(delta.emissions);
+    }
   }
 
   size_t RoundIncremental(int iteration, int bucket_exponent) {
@@ -502,17 +553,15 @@ class MatcherState {
     stats.links_in = links_.size();
     stats.num_threads = pool_.num_threads();
 
-    Timer emit_timer;
-    stats.emissions = EmitPendingLinks();
-    stats.emit_seconds = emit_timer.Seconds();
+    EmitPendingLinks(&stats);
 
     std::vector<ScoreUnit> units;
     units.reserve(static_cast<size_t>(kNumLevels - bucket_exponent) *
                   static_cast<size_t>(num_shards_));
     if (config_.scoring_backend == ScoringBackend::kRadixSort) {
       for (int level = bucket_exponent; level < kNumLevels; ++level) {
-        for (const SortedCountRun& run : runs_[static_cast<size_t>(level)]) {
-          units.push_back(ScoreUnit(&run));
+        for (const TieredCountRuns& store : runs_[static_cast<size_t>(level)]) {
+          units.push_back(ScoreUnit(&store));
         }
       }
     } else {
@@ -567,19 +616,24 @@ class MatcherState {
     if (config_.scoring_backend == ScoringBackend::kRadixSort) {
       runs = mr::SortCountByKey(
           &pool_, links_.size(), num_map_shards, num_shards_, map_fn,
-          [this](uint64_t key) { return radix_shard1_[PairFirst(key)]; });
+          [this](uint64_t key) { return radix_shard1_[PairFirst(key)]; },
+          scheduler_, &stats.merge_seconds);
       units.reserve(runs.size());
       for (const SortedCountRun& run : runs) units.push_back(ScoreUnit(&run));
     } else {
       scores = mr::CountByKey(&pool_, links_.size(), num_map_shards,
-                              num_shards_, map_fn);
+                              num_shards_, map_fn, scheduler_,
+                              &stats.merge_seconds);
       units.reserve(scores.size());
       for (const FlatCountMap& shard : scores) {
         units.push_back(ScoreUnit(&shard));
       }
     }
     stats.emissions = emissions.load();
-    stats.emit_seconds = emit_timer.Seconds();
+    // The mr round's reduce time is reported as merge; the map phase is the
+    // emit proper.
+    stats.emit_seconds = std::max(0.0, emit_timer.Seconds() -
+                                           stats.merge_seconds);
 
     size_t accepted = SelectAndCommit(units, &stats);
 
@@ -593,6 +647,10 @@ class MatcherState {
   const Graph& g2_;
   MatcherConfig config_;
   ThreadPool pool_;
+  // Resolved once (kAuto -> env/default) so every loop in the run uses the
+  // same engine.
+  Scheduler scheduler_;
+  TierPolicy tier_policy_;
   int num_shards_;
   std::vector<NodeId> map_1to2_;
   std::vector<NodeId> map_2to1_;
@@ -607,9 +665,11 @@ class MatcherState {
   std::vector<uint8_t> level1_;
   std::vector<uint8_t> level2_;
   // Incremental engine state: exactly one of the two representations is
-  // populated, per `config_.scoring_backend`.
-  std::vector<std::vector<FlatCountMap>> scores_;   // [level][shard], hash
-  std::vector<std::vector<SortedCountRun>> runs_;   // [level][shard], radix
+  // populated, per `config_.scoring_backend`. The radix representation is an
+  // LSM tier stack per (level, shard); `tier_policy_` decides when round
+  // deltas fold into the big run.
+  std::vector<std::vector<FlatCountMap>> scores_;     // [level][shard], hash
+  std::vector<std::vector<TieredCountRuns>> runs_;    // [level][shard], radix
   // Radix backend: reduce shard per g1 node (range partition, see ctor).
   std::vector<uint32_t> radix_shard1_;
   size_t emitted_links_ = 0;

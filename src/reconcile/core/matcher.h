@@ -9,6 +9,7 @@
 #include "reconcile/core/result.h"
 #include "reconcile/graph/graph.h"
 #include "reconcile/graph/types.h"
+#include "reconcile/util/parallel_for.h"
 
 namespace reconcile {
 
@@ -69,6 +70,31 @@ struct MatcherConfig {
   /// sequential emission and linear scans beat per-emission hash probes on
   /// every measured workload; the hash map remains the reference engine.
   ScoringBackend scoring_backend = ScoringBackend::kRadixSort;
+  /// How the hot-path loops (witness emission, the selection scan/accept
+  /// passes) distribute work across threads (see `Scheduler`). `kAuto`
+  /// follows the process default: work-stealing, unless the
+  /// `RECONCILE_SCHEDULER` environment variable overrides it. Static
+  /// chunking is the reference engine. Matchings are bit-identical for every
+  /// scheduler/grain/steal schedule: the loops aggregate commutatively, so
+  /// the partition of items into chunks is unobservable in the result.
+  Scheduler scheduler = Scheduler::kAuto;
+  /// Chunk size the work-stealing scheduler claims per lock acquisition in
+  /// the emission loop (0 = auto). Smaller grains rebalance skewed (hub-
+  /// heavy) rounds at finer resolution for a little more claim traffic.
+  /// Results are grain-invariant.
+  size_t scheduler_grain = 0;
+  /// LSM-style tiered score store (radix backend, incremental engine only):
+  /// cap on resident sorted-run tiers per (level, shard). Round deltas
+  /// accumulate as small tiers and fold into the big persistent run only
+  /// when `lsm_size_ratio` or this cap trips, so late low-yield rounds stop
+  /// rewriting the full run every round. `1` restores the pre-LSM
+  /// merge-every-round behavior. The default 2 (big run + one delta batch)
+  /// halves merge traffic while the selection scan stays on the two-way
+  /// fast path; higher caps defer merges further but pay a k-way scan
+  /// fold. Matchings are identical for all settings.
+  int lsm_max_tiers = 2;
+  /// Size-ratio compaction trigger (see `TierPolicy::size_ratio`).
+  double lsm_size_ratio = 4.0;
 };
 
 /// Runs User-Matching: expands the seed links into a one-to-one partial

@@ -8,6 +8,7 @@ MatchResult::PhaseTimeTotals MatchResult::SumPhaseSeconds() const {
   PhaseTimeTotals totals;
   for (const PhaseStats& phase : phases) {
     totals.emit_seconds += phase.emit_seconds;
+    totals.merge_seconds += phase.merge_seconds;
     totals.scan_seconds += phase.scan_seconds;
     totals.select_seconds += phase.select_seconds;
   }

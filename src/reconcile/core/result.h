@@ -20,10 +20,14 @@ struct PhaseStats {
   size_t candidate_pairs = 0;  ///< Distinct candidate pairs scored.
   size_t new_links = 0;     ///< Links accepted this round.
   double seconds = 0.0;     ///< Whole-round wall clock.
-  // Per-round time split (seconds): witness emission / scoring, the
-  // best-table observe scan, and the accept-and-commit pass. The three do
-  // not sum exactly to `seconds` (unit bookkeeping sits between them).
+  // Per-round time split (seconds): witness emission (enumerating candidate
+  // pairs — the map side), merge/compaction (folding emission deltas into
+  // the persistent score state: hash-map merges, radix sort + LSM tier
+  // compaction, mr reduce), the best-table observe scan, and the
+  // accept-and-commit pass. The four do not sum exactly to `seconds` (unit
+  // bookkeeping sits between them).
   double emit_seconds = 0.0;
+  double merge_seconds = 0.0;
   double scan_seconds = 0.0;
   double select_seconds = 0.0;
   int num_threads = 0;      ///< Worker threads the round ran with.
@@ -45,6 +49,7 @@ struct MatchResult {
   /// Whole-run totals of the per-round time split (seconds).
   struct PhaseTimeTotals {
     double emit_seconds = 0.0;
+    double merge_seconds = 0.0;
     double scan_seconds = 0.0;
     double select_seconds = 0.0;
   };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "reconcile/util/parallel_for.h"
 #include "reconcile/util/thread_pool.h"
 
 namespace reconcile {
@@ -38,18 +39,24 @@ void EdgeList::Normalize(ThreadPool* pool) {
     bounds.push_back(n);
     const size_t num_chunks = bounds.size() - 1;
 
-    // Canonicalize endpoints and sort each chunk, one task per chunk.
-    for (size_t c = 0; c < num_chunks; ++c) {
-      pool->Submit([this, &bounds, c] {
-        auto begin = edges_.begin() + static_cast<ptrdiff_t>(bounds[c]);
-        auto end = edges_.begin() + static_cast<ptrdiff_t>(bounds[c + 1]);
-        for (auto it = begin; it != end; ++it) {
-          if (it->first > it->second) std::swap(it->first, it->second);
-        }
-        std::sort(begin, end);
-      });
-    }
-    pool->Wait();
+    // Canonicalize endpoints and sort each chunk. Chunk boundaries are
+    // fixed; the process-default scheduler only decides which worker runs
+    // which chunk (stealing evens out chunks that sort slower).
+    ParallelForSched(pool, Scheduler::kAuto, num_chunks, 1,
+                     [this, &bounds](size_t lo, size_t hi) {
+                       for (size_t c = lo; c < hi; ++c) {
+                         auto begin = edges_.begin() +
+                                      static_cast<ptrdiff_t>(bounds[c]);
+                         auto end = edges_.begin() +
+                                    static_cast<ptrdiff_t>(bounds[c + 1]);
+                         for (auto it = begin; it != end; ++it) {
+                           if (it->first > it->second) {
+                             std::swap(it->first, it->second);
+                           }
+                         }
+                         std::sort(begin, end);
+                       }
+                     });
 
     // Merge ladder: each pass merges adjacent sorted range pairs in
     // parallel.

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "reconcile/util/logging.h"
+#include "reconcile/util/parallel_for.h"
 #include "reconcile/util/thread_pool.h"
 
 namespace reconcile {
@@ -97,15 +98,19 @@ Graph Graph::FromNormalized(EdgeList edges, ThreadPool* pool) {
     return g;
   }
 
-  // Parallel build. Scatter order into each adjacency slice depends on task
-  // interleaving, but the per-node sorts impose the canonical order, so the
-  // resulting graph is bit-identical to the serial build.
+  // Parallel build, scheduled per the process-wide scheduler default
+  // (work-stealing unless RECONCILE_SCHEDULER overrides): power-law degree
+  // sequences make the per-node sort passes heavily skewed, and stealing
+  // repairs that imbalance at runtime. Scatter order into each adjacency
+  // slice depends on task interleaving under either scheduler, but the
+  // per-node sorts impose the canonical order, so the resulting graph is
+  // bit-identical to the serial build.
   const size_t edge_grain = pool->GrainFor(m, 1024);
   const size_t node_grain = pool->GrainFor(n, 256);
 
   // Degree count via relaxed atomics (increments commute).
   std::vector<std::atomic<NodeId>> count(n);
-  ParallelForChunks(pool, m, edge_grain, [&es, &count](size_t lo, size_t hi) {
+  ParallelForSched(pool, Scheduler::kAuto, m, edge_grain, [&es, &count](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       count[es[i].first].fetch_add(1, std::memory_order_relaxed);
       count[es[i].second].fetch_add(1, std::memory_order_relaxed);
@@ -121,7 +126,7 @@ Graph Graph::FromNormalized(EdgeList edges, ThreadPool* pool) {
     const size_t block = ThreadPool::GrainSize(n, pool->num_threads(), 4096);
     const size_t num_blocks = (n + block - 1) / block;
     std::vector<size_t> block_base(num_blocks, 0);
-    ParallelForChunks(pool, num_blocks, 1, [&](size_t blo, size_t bhi) {
+    ParallelForSched(pool, Scheduler::kAuto, num_blocks, 1, [&](size_t blo, size_t bhi) {
       for (size_t b = blo; b < bhi; ++b) {
         const size_t lo = b * block, hi = std::min(n, lo + block);
         size_t sum = 0;
@@ -137,7 +142,7 @@ Graph Graph::FromNormalized(EdgeList edges, ThreadPool* pool) {
       block_base[b] = running;
       running += total;
     }
-    ParallelForChunks(pool, num_blocks, 1, [&](size_t blo, size_t bhi) {
+    ParallelForSched(pool, Scheduler::kAuto, num_blocks, 1, [&](size_t blo, size_t bhi) {
       for (size_t b = blo; b < bhi; ++b) {
         const size_t lo = b * block, hi = std::min(n, lo + block);
         size_t prefix = block_base[b];
@@ -151,7 +156,7 @@ Graph Graph::FromNormalized(EdgeList edges, ThreadPool* pool) {
   }
 
   g.adjacency_.resize(g.offsets_.back());
-  ParallelForChunks(pool, m, edge_grain, [&](size_t lo, size_t hi) {
+  ParallelForSched(pool, Scheduler::kAuto, m, edge_grain, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       const auto [a, b] = es[i];
       g.adjacency_[g.offsets_[a] +
@@ -161,7 +166,7 @@ Graph Graph::FromNormalized(EdgeList edges, ThreadPool* pool) {
     }
   });
 
-  ParallelForChunks(pool, n, node_grain, [&g](size_t lo, size_t hi) {
+  ParallelForSched(pool, Scheduler::kAuto, n, node_grain, [&g](size_t lo, size_t hi) {
     for (size_t v = lo; v < hi; ++v) {
       std::sort(
           g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]),
@@ -174,7 +179,7 @@ Graph Graph::FromNormalized(EdgeList edges, ThreadPool* pool) {
   }
 
   g.by_degree_.resize(g.adjacency_.size());
-  ParallelForChunks(pool, n, node_grain, [&g](size_t lo, size_t hi) {
+  ParallelForSched(pool, Scheduler::kAuto, n, node_grain, [&g](size_t lo, size_t hi) {
     for (size_t v = lo; v < hi; ++v) {
       auto begin = g.by_degree_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]);
       std::copy(g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]),

@@ -9,9 +9,11 @@
 
 #include "reconcile/util/flat_hash_map.h"
 #include "reconcile/util/logging.h"
+#include "reconcile/util/parallel_for.h"
 #include "reconcile/util/radix_sort.h"
 #include "reconcile/util/rng.h"
 #include "reconcile/util/thread_pool.h"
+#include "reconcile/util/timer.h"
 
 namespace reconcile {
 namespace mr {
@@ -41,40 +43,48 @@ inline int ShardOfKey(uint64_t key, int num_shards) {
 /// result, independent of shard or thread counts.
 ///
 /// `map_fn(size_t item, Emit emit)` with `emit(uint64_t key)`.
+///
+/// `scheduler` picks how map work is distributed (`kAuto` follows the
+/// process default): static keeps one combiner set per fixed map chunk;
+/// work-stealing keeps one per worker slot and rebalances skewed items while
+/// the phase runs. The aggregate is identical either way (counts sum
+/// commutatively). When `reduce_seconds` is non-null the reduce phase's
+/// wall-clock is added to it.
 template <typename MapFn>
 std::vector<FlatCountMap> CountByKey(ThreadPool* pool, size_t num_items,
                                      int num_map_shards, int num_reduce_shards,
-                                     MapFn&& map_fn) {
+                                     MapFn&& map_fn,
+                                     Scheduler scheduler = Scheduler::kAuto,
+                                     double* reduce_seconds = nullptr) {
   RECONCILE_CHECK_GE(num_map_shards, 1);
   RECONCILE_CHECK_GE(num_reduce_shards, 1);
 
-  // Map phase with per-shard combiners.
-  std::vector<std::vector<FlatCountMap>> partial(
-      static_cast<size_t>(num_map_shards));
+  // Map phase with per-producer combiners (`ParallelProduce`: per fixed
+  // chunk under static scheduling, per worker slot under work-stealing).
   const size_t grain =
       (num_items + static_cast<size_t>(num_map_shards) - 1) /
       static_cast<size_t>(num_map_shards);
-  {
-    size_t shard = 0;
-    std::vector<std::function<void()>> tasks;
-    for (size_t begin = 0; begin < num_items; begin += grain, ++shard) {
-      size_t end = std::min(num_items, begin + grain);
-      std::vector<FlatCountMap>& maps = partial[shard];
-      maps = std::vector<FlatCountMap>(static_cast<size_t>(num_reduce_shards));
-      pool->Submit([begin, end, num_reduce_shards, &maps, &map_fn] {
-        auto emit = [&maps, num_reduce_shards](uint64_t key) {
-          maps[static_cast<size_t>(ShardOfKey(key, num_reduce_shards))]
-              .AddCount(key, 1);
-        };
-        for (size_t item = begin; item < end; ++item) {
-          map_fn(item, emit);
-        }
-      });
-    }
-    pool->Wait();
-  }
+  std::vector<std::vector<FlatCountMap>> partial =
+      ParallelProduce<std::vector<FlatCountMap>>(
+          pool, scheduler, num_items, static_cast<size_t>(num_map_shards),
+          std::max<size_t>(1, grain / 8),
+          [num_reduce_shards, &map_fn](std::vector<FlatCountMap>& maps,
+                                       size_t begin, size_t end) {
+            if (maps.empty()) {
+              maps = std::vector<FlatCountMap>(
+                  static_cast<size_t>(num_reduce_shards));
+            }
+            auto emit = [&maps, num_reduce_shards](uint64_t key) {
+              maps[static_cast<size_t>(ShardOfKey(key, num_reduce_shards))]
+                  .AddCount(key, 1);
+            };
+            for (size_t item = begin; item < end; ++item) {
+              map_fn(item, emit);
+            }
+          });
 
-  // Reduce phase: merge combiners per reduce shard, in fixed map-shard order.
+  // Reduce phase: merge combiners per reduce shard, in fixed producer order.
+  Timer reduce_timer;
   std::vector<FlatCountMap> result(static_cast<size_t>(num_reduce_shards));
   {
     for (int r = 0; r < num_reduce_shards; ++r) {
@@ -96,6 +106,7 @@ std::vector<FlatCountMap> CountByKey(ThreadPool* pool, size_t num_items,
     }
     pool->Wait();
   }
+  if (reduce_seconds != nullptr) *reduce_seconds += reduce_timer.Seconds();
   return result;
 }
 
@@ -118,36 +129,39 @@ template <typename MapFn, typename ShardFn>
 std::vector<SortedCountRun> SortCountByKey(ThreadPool* pool, size_t num_items,
                                            int num_map_shards,
                                            int num_reduce_shards,
-                                           MapFn&& map_fn, ShardFn&& shard_fn) {
+                                           MapFn&& map_fn, ShardFn&& shard_fn,
+                                           Scheduler scheduler = Scheduler::kAuto,
+                                           double* reduce_seconds = nullptr) {
   RECONCILE_CHECK_GE(num_map_shards, 1);
   RECONCILE_CHECK_GE(num_reduce_shards, 1);
 
-  // Map phase: chunked flat append buffers, partitioned by reduce shard at
-  // emission time.
-  std::vector<std::vector<std::vector<uint64_t>>> partial(
-      static_cast<size_t>(num_map_shards));
+  // Map phase: flat append buffers per producer (`ParallelProduce`: fixed
+  // chunk under static, worker slot under work-stealing), partitioned by
+  // reduce shard at emission time. The reduce sort makes the producer
+  // partition unobservable.
   const size_t grain =
       (num_items + static_cast<size_t>(num_map_shards) - 1) /
       static_cast<size_t>(num_map_shards);
-  {
-    size_t shard = 0;
-    for (size_t begin = 0; begin < num_items; begin += grain, ++shard) {
-      size_t end = std::min(num_items, begin + grain);
-      std::vector<std::vector<uint64_t>>& buffers = partial[shard];
-      buffers.resize(static_cast<size_t>(num_reduce_shards));
-      pool->Submit([begin, end, &buffers, &map_fn, &shard_fn] {
-        auto emit = [&buffers, &shard_fn](uint64_t key) {
-          buffers[static_cast<size_t>(shard_fn(key))].push_back(key);
-        };
-        for (size_t item = begin; item < end; ++item) {
-          map_fn(item, emit);
-        }
-      });
-    }
-    pool->Wait();
-  }
+  std::vector<std::vector<std::vector<uint64_t>>> partial =
+      ParallelProduce<std::vector<std::vector<uint64_t>>>(
+          pool, scheduler, num_items, static_cast<size_t>(num_map_shards),
+          std::max<size_t>(1, grain / 8),
+          [num_reduce_shards, &map_fn, &shard_fn](
+              std::vector<std::vector<uint64_t>>& buffers, size_t begin,
+              size_t end) {
+            if (buffers.empty()) {
+              buffers.resize(static_cast<size_t>(num_reduce_shards));
+            }
+            auto emit = [&buffers, &shard_fn](uint64_t key) {
+              buffers[static_cast<size_t>(shard_fn(key))].push_back(key);
+            };
+            for (size_t item = begin; item < end; ++item) {
+              map_fn(item, emit);
+            }
+          });
 
   // Reduce phase: per shard, gather the chunks, sort, run-length-encode.
+  Timer reduce_timer;
   std::vector<SortedCountRun> result(static_cast<size_t>(num_reduce_shards));
   {
     for (int r = 0; r < num_reduce_shards; ++r) {
@@ -170,6 +184,7 @@ std::vector<SortedCountRun> SortCountByKey(ThreadPool* pool, size_t num_items,
     }
     pool->Wait();
   }
+  if (reduce_seconds != nullptr) *reduce_seconds += reduce_timer.Seconds();
   return result;
 }
 

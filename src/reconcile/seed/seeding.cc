@@ -3,20 +3,61 @@
 #include <algorithm>
 
 #include "reconcile/util/logging.h"
+#include "reconcile/util/parallel_for.h"
 #include "reconcile/util/rng.h"
+#include "reconcile/util/thread_pool.h"
 
 namespace reconcile {
 
+namespace {
+
+// Below this many underlying nodes the serial sweep wins over task setup.
+constexpr size_t kParallelSeedThreshold = 1u << 14;
+
+// Pure per-node uniform draw in [0, 1): a deterministic function of
+// (seed, salt, node) with no sequential generator state, so the decision
+// for a node is independent of evaluation order — the parallel and serial
+// sweeps produce identical seed sets for any thread count, grain or steal
+// schedule.
+double NodeUniform(uint64_t seed, uint64_t salt, NodeId u) {
+  uint64_t x =
+      HashMix64(seed + 0x9e3779b97f4a7c15ULL * (salt + 1) + 0x2545f491ULL);
+  x = HashMix64(x ^ (static_cast<uint64_t>(u) + 0x9e3779b97f4a7c15ULL));
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+// Bernoulli(p) on the per-node stream, with Rng::Bernoulli's clamping.
+bool NodeBernoulli(double p, uint64_t seed, uint64_t salt, NodeId u) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NodeUniform(seed, salt, u) < p;
+}
+
+ThreadPool* SeedPool(size_t num_nodes) {
+  return num_nodes >= kParallelSeedThreshold && ThreadPool::DefaultThreads() > 1
+             ? &ThreadPool::Shared()
+             : nullptr;
+}
+
+}  // namespace
+
 std::vector<std::pair<NodeId, NodeId>> GenerateSeeds(
     const RealizationPair& pair, const SeedOptions& options, uint64_t seed) {
-  Rng rng(seed);
   std::vector<std::pair<NodeId, NodeId>> seeds;
+  const size_t n = pair.map_1to2.size();
+  // Per-node decisions run on the shared pool (the last fully serial
+  // pipeline stage before the matcher); the ordered collect below stays a
+  // cheap linear sweep, so the output is the same for every thread count.
+  ThreadPool* pool = SeedPool(n);
+  const size_t grain = ThreadPool::GrainSize(n, ParallelSlots(pool), 1024);
 
   // Corrupts a fraction of seeds after generation; defined here so every
-  // bias mode shares it.
-  auto corrupt = [&options, &rng](std::vector<std::pair<NodeId, NodeId>>* out,
+  // bias mode shares it. Operates on the (small) seed list, serially — its
+  // retry loop is inherently sequential.
+  auto corrupt = [&options, seed](std::vector<std::pair<NodeId, NodeId>>* out,
                                   const RealizationPair& p) {
     if (options.wrong_fraction <= 0.0 || p.g2.num_nodes() == 0) return;
+    Rng rng(HashMix64(seed + 0xC0881735u));
     std::vector<char> used2(p.g2.num_nodes(), 0);
     for (const auto& [u, v] : *out) {
       (void)u;
@@ -40,42 +81,99 @@ std::vector<std::pair<NodeId, NodeId>> GenerateSeeds(
 
   switch (options.bias) {
     case SeedBias::kUniform: {
-      for (NodeId u = 0; u < pair.map_1to2.size(); ++u) {
-        NodeId v = pair.map_1to2[u];
-        if (v == kInvalidNode) continue;
-        if (rng.Bernoulli(options.fraction)) seeds.emplace_back(u, v);
+      std::vector<char> take(n, 0);
+      ParallelForSched(pool, Scheduler::kAuto, n, grain,
+                       [&pair, &take, &options, seed](size_t lo, size_t hi) {
+                         for (size_t u = lo; u < hi; ++u) {
+                           const NodeId node = static_cast<NodeId>(u);
+                           if (pair.map_1to2[node] == kInvalidNode) continue;
+                           take[u] = NodeBernoulli(options.fraction, seed,
+                                                   /*salt=*/0, node);
+                         }
+                       });
+      for (size_t u = 0; u < n; ++u) {
+        if (take[u]) {
+          const NodeId node = static_cast<NodeId>(u);
+          seeds.emplace_back(node, pair.map_1to2[node]);
+        }
       }
       break;
     }
     case SeedBias::kDegreeProportional: {
       // Scale so that the *average* linking probability equals `fraction`
       // while individual probabilities stay proportional to min-degree.
-      double total = 0.0;
-      size_t mapped = 0;
-      for (NodeId u = 0; u < pair.map_1to2.size(); ++u) {
-        NodeId v = pair.map_1to2[u];
-        if (v == kInvalidNode) continue;
-        total += std::min(pair.g1.degree(u), pair.g2.degree(v));
-        ++mapped;
+      // Degrees are integers, so the totals accumulate exactly in uint64 —
+      // fixed blocks summed in block order keep the result thread-count
+      // independent.
+      const size_t num_blocks = n == 0 ? 0 : (n + grain - 1) / grain;
+      std::vector<uint64_t> block_total(num_blocks, 0);
+      std::vector<uint64_t> block_mapped(num_blocks, 0);
+      ParallelForSched(
+          pool, Scheduler::kAuto, num_blocks, 1,
+          [&pair, &block_total, &block_mapped, n, grain](size_t blo,
+                                                         size_t bhi) {
+            for (size_t b = blo; b < bhi; ++b) {
+              const size_t lo = b * grain, hi = std::min(n, lo + grain);
+              uint64_t total = 0, mapped = 0;
+              for (size_t u = lo; u < hi; ++u) {
+                const NodeId node = static_cast<NodeId>(u);
+                const NodeId v = pair.map_1to2[node];
+                if (v == kInvalidNode) continue;
+                total += std::min(pair.g1.degree(node), pair.g2.degree(v));
+                ++mapped;
+              }
+              block_total[b] = total;
+              block_mapped[b] = mapped;
+            }
+          });
+      uint64_t total = 0, mapped = 0;
+      for (size_t b = 0; b < num_blocks; ++b) {
+        total += block_total[b];
+        mapped += block_mapped[b];
       }
-      if (total <= 0.0) break;
-      double scale = options.fraction * static_cast<double>(mapped) / total;
-      for (NodeId u = 0; u < pair.map_1to2.size(); ++u) {
-        NodeId v = pair.map_1to2[u];
-        if (v == kInvalidNode) continue;
-        double p = scale * std::min(pair.g1.degree(u), pair.g2.degree(v));
-        if (rng.Bernoulli(std::min(1.0, p))) seeds.emplace_back(u, v);
+      if (total == 0) break;
+      const double scale = options.fraction * static_cast<double>(mapped) /
+                           static_cast<double>(total);
+      std::vector<char> take(n, 0);
+      ParallelForSched(pool, Scheduler::kAuto, n, grain,
+                       [&pair, &take, scale, seed](size_t lo, size_t hi) {
+                         for (size_t u = lo; u < hi; ++u) {
+                           const NodeId node = static_cast<NodeId>(u);
+                           const NodeId v = pair.map_1to2[node];
+                           if (v == kInvalidNode) continue;
+                           const double p =
+                               scale * std::min(pair.g1.degree(node),
+                                                pair.g2.degree(v));
+                           take[u] = NodeBernoulli(p, seed, /*salt=*/1, node);
+                         }
+                       });
+      for (size_t u = 0; u < n; ++u) {
+        if (take[u]) {
+          const NodeId node = static_cast<NodeId>(u);
+          seeds.emplace_back(node, pair.map_1to2[node]);
+        }
       }
       break;
     }
     case SeedBias::kTopDegree: {
       RECONCILE_CHECK_GT(options.fixed_count, 0u);
+      std::vector<char> valid(n, 0);
+      ParallelForSched(pool, Scheduler::kAuto, n, grain,
+                       [&pair, &valid](size_t lo, size_t hi) {
+                         for (size_t u = lo; u < hi; ++u) {
+                           const NodeId node = static_cast<NodeId>(u);
+                           const NodeId v = pair.map_1to2[node];
+                           if (v == kInvalidNode) continue;
+                           valid[u] = pair.g1.degree(node) > 0 &&
+                                      pair.g2.degree(v) > 0;
+                         }
+                       });
       std::vector<std::pair<NodeId, NodeId>> candidates;
-      for (NodeId u = 0; u < pair.map_1to2.size(); ++u) {
-        NodeId v = pair.map_1to2[u];
-        if (v == kInvalidNode) continue;
-        if (pair.g1.degree(u) == 0 || pair.g2.degree(v) == 0) continue;
-        candidates.emplace_back(u, v);
+      for (size_t u = 0; u < n; ++u) {
+        if (valid[u]) {
+          const NodeId node = static_cast<NodeId>(u);
+          candidates.emplace_back(node, pair.map_1to2[node]);
+        }
       }
       std::sort(candidates.begin(), candidates.end(),
                 [&pair](const auto& a, const auto& b) {

@@ -36,6 +36,11 @@ struct SeedOptions {
 
 /// Samples the initial set of trusted cross-network links from the hidden
 /// ground truth of `pair`. Returned pairs are (g1 node, g2 node).
+///
+/// Per-node decisions are pure functions of (seed, node) evaluated on the
+/// process-wide shared pool for large inputs, so the seed set is identical
+/// for every thread count and scheduler (and to the serial sweep on small
+/// inputs).
 std::vector<std::pair<NodeId, NodeId>> GenerateSeeds(
     const RealizationPair& pair, const SeedOptions& options, uint64_t seed);
 

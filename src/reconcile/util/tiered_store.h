@@ -1,0 +1,167 @@
+#ifndef RECONCILE_UTIL_TIERED_STORE_H_
+#define RECONCILE_UTIL_TIERED_STORE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "reconcile/util/radix_sort.h"
+
+namespace reconcile {
+
+/// When `TieredCountRuns::Append` folds tiers together (size-tiered
+/// compaction, LSM-style). Both knobs only move merge work around in time;
+/// the aggregate the store represents — and therefore every matching
+/// computed from it — is identical for all settings.
+struct TierPolicy {
+  /// Hard cap on resident tiers (values < 1 behave as 1). `1` merges every
+  /// delta straight into the single persistent run — the pre-LSM behavior;
+  /// `2` (one big run + one delta batch) keeps scans on the two-way merge
+  /// fast path.
+  int max_tiers = 2;
+  /// A freshly appended tier is folded into its predecessor while the
+  /// predecessor is at most this factor larger (then the merged result is
+  /// re-checked against *its* predecessor, cascading). Tier sizes therefore
+  /// stay geometrically separated, so total merge traffic is O(N log N)
+  /// instead of the O(N · rounds) of merging every round delta into one big
+  /// run. Values <= 0 disable the ratio trigger — only `max_tiers` forces
+  /// merges.
+  double size_ratio = 4.0;
+};
+
+/// LSM-style tiered aggregate of `(key, count)` pairs: a short stack of
+/// `SortedCountRun` tiers (oldest and largest first) that together represent
+/// one logical count multiset. Round deltas land as small new tiers; the big
+/// persistent run is only rewritten when the size-ratio policy trips, so
+/// late low-yield rounds stop paying a full-run merge each round.
+///
+/// A key may appear in several tiers; `ForEach`/`Count` fold the tiers back
+/// together on the fly (k-way merge summing duplicate keys), so consumers
+/// see exactly the single-run aggregate. `k` is bounded by
+/// `TierPolicy::max_tiers`, keeping scans linear with a small constant.
+class TieredCountRuns {
+ public:
+  /// Appends a round delta as a new tier, then applies `policy`'s merge
+  /// cascade. Empty deltas are dropped.
+  void Append(SortedCountRun&& delta, const TierPolicy& policy) {
+    if (delta.empty()) return;
+    tiers_.push_back(std::move(delta));
+    const size_t cap = static_cast<size_t>(std::max(1, policy.max_tiers));
+    const double ratio = policy.size_ratio;
+    while (tiers_.size() > 1 &&
+           (tiers_.size() > cap ||
+            (ratio > 0.0 &&
+             static_cast<double>(tiers_[tiers_.size() - 2].size()) <=
+                 ratio * static_cast<double>(tiers_.back().size())))) {
+      SortedCountRun top = std::move(tiers_.back());
+      tiers_.pop_back();
+      MergeCountRuns(tiers_.back(), std::move(top));
+    }
+  }
+
+  /// Folds everything into a single tier (a full compaction).
+  void Compact() {
+    while (tiers_.size() > 1) {
+      SortedCountRun top = std::move(tiers_.back());
+      tiers_.pop_back();
+      MergeCountRuns(tiers_.back(), std::move(top));
+    }
+  }
+
+  /// Invokes `fn(key, total_count)` once per distinct key, in ascending key
+  /// order, with counts summed across tiers — identical to the `ForEach` of
+  /// the fully merged run.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (tiers_.empty()) return;
+    if (tiers_.size() == 1) {
+      tiers_[0].ForEach(fn);
+      return;
+    }
+    if (tiers_.size() == 2) {
+      // Two tiers (one big run + one delta batch) is the steady state under
+      // small caps; a branch-lean two-way merge keeps the selection scan
+      // close to single-run cost.
+      const SortedCountRun& a = tiers_[0];
+      const SortedCountRun& b = tiers_[1];
+      size_t i = 0, j = 0;
+      while (i < a.size() && j < b.size()) {
+        const uint64_t ka = a.keys[i];
+        const uint64_t kb = b.keys[j];
+        if (ka < kb) {
+          fn(ka, a.counts[i++]);
+        } else if (kb < ka) {
+          fn(kb, b.counts[j++]);
+        } else {
+          fn(ka, a.counts[i++] + b.counts[j++]);
+        }
+      }
+      for (; i < a.size(); ++i) fn(a.keys[i], a.counts[i]);
+      for (; j < b.size(); ++j) fn(b.keys[j], b.counts[j]);
+      return;
+    }
+    const size_t k = tiers_.size();
+    std::vector<size_t> pos(k, 0);
+    for (;;) {
+      uint64_t min_key = std::numeric_limits<uint64_t>::max();
+      bool any = false;
+      for (size_t t = 0; t < k; ++t) {
+        if (pos[t] >= tiers_[t].size()) continue;
+        any = true;
+        min_key = std::min(min_key, tiers_[t].keys[pos[t]]);
+      }
+      if (!any) break;
+      uint32_t total = 0;
+      for (size_t t = 0; t < k; ++t) {
+        if (pos[t] < tiers_[t].size() && tiers_[t].keys[pos[t]] == min_key) {
+          total += tiers_[t].counts[pos[t]];
+          ++pos[t];
+        }
+      }
+      fn(min_key, total);
+    }
+  }
+
+  /// Total count for `key` across tiers (0 if absent).
+  uint32_t Count(uint64_t key) const {
+    uint32_t total = 0;
+    for (const SortedCountRun& tier : tiers_) total += tier.Count(key);
+    return total;
+  }
+
+  /// Keeps only entries with `pred(key, tier_count)`. The predicate sees the
+  /// per-tier count, so it must decide on the key alone (the matcher's
+  /// liveness sweep does); tiers emptied by the sweep are dropped.
+  template <typename Pred>
+  void Filter(Pred&& pred) {
+    for (SortedCountRun& tier : tiers_) tier.Filter(pred);
+    tiers_.erase(std::remove_if(tiers_.begin(), tiers_.end(),
+                                [](const SortedCountRun& tier) {
+                                  return tier.empty();
+                                }),
+                 tiers_.end());
+  }
+
+  bool empty() const { return tiers_.empty(); }
+  size_t num_tiers() const { return tiers_.size(); }
+
+  /// Total resident entries across tiers (an upper bound on distinct keys —
+  /// a key split across tiers is counted once per tier).
+  size_t total_entries() const {
+    size_t total = 0;
+    for (const SortedCountRun& tier : tiers_) total += tier.size();
+    return total;
+  }
+
+  const std::vector<SortedCountRun>& tiers() const { return tiers_; }
+
+ private:
+  std::vector<SortedCountRun> tiers_;
+};
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_UTIL_TIERED_STORE_H_

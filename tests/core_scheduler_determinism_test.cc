@@ -1,0 +1,168 @@
+// Scheduler and LSM-store equivalence: the work-stealing scheduler must
+// produce bit-identical matchings to static chunking for every grain and
+// steal schedule, and the tiered score store must be unobservable for every
+// tier threshold — including policies that force compaction mid-run. Any
+// divergence means a hot-path loop's aggregation stopped being
+// partition-independent, or a tier fold lost/duplicated a count.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/core/matcher.h"
+#include "reconcile/gen/chung_lu.h"
+#include "reconcile/gen/preferential_attachment.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/seed/seeding.h"
+
+namespace reconcile {
+namespace {
+
+struct Workload {
+  RealizationPair pair;
+  std::vector<std::pair<NodeId, NodeId>> seeds;
+};
+
+// Chung-Lu at exponent 2.2 gives real hubs, so the stealing schedule
+// actually differs from the static one instead of degenerating to it.
+Workload MakeWorkload(uint64_t rng_seed) {
+  Graph g = rng_seed % 2 == 0
+                ? GenerateChungLu(PowerLawWeights(1600, 2.2, 12.0), rng_seed)
+                : GeneratePreferentialAttachment(1400, 8, rng_seed);
+  IndependentSampleOptions options;
+  options.s1 = 0.6;
+  options.s2 = 0.6;
+  Workload w;
+  w.pair = SampleIndependent(g, options, rng_seed + 1);
+  SeedOptions seeding;
+  seeding.fraction = 0.08;
+  w.seeds = GenerateSeeds(w.pair, seeding, rng_seed + 2);
+  return w;
+}
+
+void ExpectSameMatching(const MatchResult& result, const MatchResult& reference) {
+  ASSERT_EQ(result.map_1to2, reference.map_1to2);
+  ASSERT_EQ(result.map_2to1, reference.map_2to1);
+}
+
+// Static vs work-stealing across grains, threads, and both scoring
+// backends. The static / 1-thread run anchors each workload.
+TEST(SchedulerDeterminismTest, StealingMatchesStaticAcrossGrid) {
+  for (uint64_t rng_seed : {7101u, 7102u}) {
+    SCOPED_TRACE("rng_seed=" + std::to_string(rng_seed));
+    Workload w = MakeWorkload(rng_seed);
+
+    MatcherConfig reference_config;
+    reference_config.scheduler = Scheduler::kStatic;
+    reference_config.num_threads = 1;
+    MatchResult reference =
+        UserMatching(w.pair.g1, w.pair.g2, w.seeds, reference_config);
+    ASSERT_GT(reference.NumNewLinks(), 0u)
+        << "workload too easy to detect divergence";
+
+    for (ScoringBackend backend :
+         {ScoringBackend::kRadixSort, ScoringBackend::kHashMap}) {
+      for (Scheduler scheduler :
+           {Scheduler::kStatic, Scheduler::kWorkStealing}) {
+        for (size_t grain : {size_t{0}, size_t{1}, size_t{7}, size_t{4096}}) {
+          for (int threads : {2, 5}) {
+            SCOPED_TRACE(std::string("backend=") +
+                         (backend == ScoringBackend::kRadixSort ? "radix"
+                                                                : "hash") +
+                         " scheduler=" + SchedulerName(scheduler) +
+                         " grain=" + std::to_string(grain) +
+                         " threads=" + std::to_string(threads));
+            MatcherConfig config;
+            config.scoring_backend = backend;
+            config.scheduler = scheduler;
+            config.scheduler_grain = grain;
+            config.num_threads = threads;
+            MatchResult result =
+                UserMatching(w.pair.g1, w.pair.g2, w.seeds, config);
+            ExpectSameMatching(result, reference);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Representation-independent per-round telemetry must agree between
+// schedulers (wall-clock obviously differs).
+TEST(SchedulerDeterminismTest, PhaseCountersMatchBetweenSchedulers) {
+  Workload w = MakeWorkload(7103);
+  MatcherConfig static_config;
+  static_config.scheduler = Scheduler::kStatic;
+  static_config.num_threads = 4;
+  MatcherConfig stealing_config = static_config;
+  stealing_config.scheduler = Scheduler::kWorkStealing;
+  MatchResult a = UserMatching(w.pair.g1, w.pair.g2, w.seeds, static_config);
+  MatchResult b = UserMatching(w.pair.g1, w.pair.g2, w.seeds, stealing_config);
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (size_t i = 0; i < a.phases.size(); ++i) {
+    EXPECT_EQ(a.phases[i].emissions, b.phases[i].emissions);
+    EXPECT_EQ(a.phases[i].candidate_pairs, b.phases[i].candidate_pairs);
+    EXPECT_EQ(a.phases[i].new_links, b.phases[i].new_links);
+    EXPECT_EQ(a.phases[i].links_in, b.phases[i].links_in);
+  }
+}
+
+// LSM tier thresholds: every (max_tiers, size_ratio) combination — from
+// merge-every-round (max_tiers=1) through ratio=0 (tiers only fold when the
+// cap forces a mid-round compaction cascade) — must yield the single-tier
+// matching. Runs both schedulers so tier folds interleave with both
+// schedules, and both selection engines over the multi-tier units.
+TEST(LsmStoreDeterminismTest, TierThresholdsAreUnobservable) {
+  for (uint64_t rng_seed : {7201u, 7202u}) {
+    SCOPED_TRACE("rng_seed=" + std::to_string(rng_seed));
+    Workload w = MakeWorkload(rng_seed);
+
+    MatcherConfig reference_config;
+    reference_config.lsm_max_tiers = 1;  // pre-LSM behavior
+    reference_config.num_threads = 1;
+    MatchResult reference =
+        UserMatching(w.pair.g1, w.pair.g2, w.seeds, reference_config);
+    ASSERT_GT(reference.NumNewLinks(), 0u);
+
+    for (int max_tiers : {2, 3, 8}) {
+      for (double ratio : {0.0, 1.0, 4.0, 1e9}) {
+        for (Scheduler scheduler :
+             {Scheduler::kStatic, Scheduler::kWorkStealing}) {
+          for (bool parallel_selection : {true, false}) {
+            SCOPED_TRACE("max_tiers=" + std::to_string(max_tiers) +
+                         " ratio=" + std::to_string(ratio) + " scheduler=" +
+                         SchedulerName(scheduler) + " parallel_selection=" +
+                         std::to_string(parallel_selection));
+            MatcherConfig config;
+            config.lsm_max_tiers = max_tiers;
+            config.lsm_size_ratio = ratio;
+            config.scheduler = scheduler;
+            config.use_parallel_selection = parallel_selection;
+            config.num_threads = 4;
+            MatchResult result =
+                UserMatching(w.pair.g1, w.pair.g2, w.seeds, config);
+            ExpectSameMatching(result, reference);
+          }
+        }
+      }
+    }
+  }
+}
+
+// The tier store only exists in the incremental radix engine; the recompute
+// engine must be unaffected by (and identical under) any tier policy.
+TEST(LsmStoreDeterminismTest, RecomputeEngineIgnoresTierPolicy) {
+  Workload w = MakeWorkload(7203);
+  MatcherConfig incremental;
+  MatchResult reference =
+      UserMatching(w.pair.g1, w.pair.g2, w.seeds, incremental);
+  MatcherConfig recompute;
+  recompute.use_incremental_scoring = false;
+  recompute.lsm_max_tiers = 7;
+  recompute.lsm_size_ratio = 0.0;
+  MatchResult result = UserMatching(w.pair.g1, w.pair.g2, w.seeds, recompute);
+  ExpectSameMatching(result, reference);
+}
+
+}  // namespace
+}  // namespace reconcile

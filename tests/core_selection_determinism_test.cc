@@ -90,9 +90,11 @@ TEST(SelectionDeterminismTest, PhaseTimeSplitIsPopulated) {
     for (const PhaseStats& phase : result.phases) {
       EXPECT_EQ(phase.num_threads, 2);
       EXPECT_GE(phase.emit_seconds, 0.0);
+      EXPECT_GE(phase.merge_seconds, 0.0);
       EXPECT_GE(phase.scan_seconds, 0.0);
       EXPECT_GE(phase.select_seconds, 0.0);
-      EXPECT_LE(phase.emit_seconds + phase.scan_seconds + phase.select_seconds,
+      EXPECT_LE(phase.emit_seconds + phase.merge_seconds +
+                    phase.scan_seconds + phase.select_seconds,
                 phase.seconds + 1e-6);
     }
   }

@@ -47,6 +47,10 @@
 //   --no-bucketing  shorthand for --param bucketing=false       [false]
 //   --serial-selection  shorthand for --param parallel-selection=false
 //   --scoring-backend   shorthand for --param backend=hash|radix
+//   --scheduler     shorthand for --param scheduler=auto|static|stealing
+//                   (hot-path loop scheduling; stealing is the default)
+//   --grain         shorthand for --param grain=... (work-stealing chunk
+//                   size, 0 = auto)
 //   --threads       shorthand for --param threads=...           [0]
 //   --phase-table   print the per-round emit/scan/select split  [false]
 //   --baseline      DEPRECATED alias: also run this algorithm
@@ -122,6 +126,12 @@ bool BuildSpec(const Flags& flags, ReconcilerSpec* spec, std::string* error) {
   }
   if (flags.Has("scoring-backend")) {
     spec->Set("backend", flags.GetString("scoring-backend", "radix"));
+  }
+  if (flags.Has("scheduler")) {
+    spec->Set("scheduler", flags.GetString("scheduler", "auto"));
+  }
+  if (flags.Has("grain")) {
+    spec->Set("grain", std::to_string(flags.GetInt("grain", 0)));
   }
   return true;
 }
@@ -285,16 +295,16 @@ int RunCli(const Flags& flags) {
               result.total_seconds, result.phases.size());
   if (reconciler->ExposesPhaseStats() && !result.phases.empty()) {
     const MatchResult::PhaseTimeTotals split = result.SumPhaseSeconds();
-    std::printf("  phase split: emit %.2fs | scan %.2fs | select %.2fs "
-                "(%d threads)\n",
-                split.emit_seconds, split.scan_seconds, split.select_seconds,
-                result.phases.front().num_threads);
+    std::printf("  phase split: emit %.2fs | merge %.2fs | scan %.2fs | "
+                "select %.2fs (%d threads)\n",
+                split.emit_seconds, split.merge_seconds, split.scan_seconds,
+                split.select_seconds, result.phases.front().num_threads);
   }
   PrintQuality(quality);
 
   if (flags.GetBool("phase-table", false)) {
     Table table({"iter", "bucket", "links in", "emissions", "pairs", "new",
-                 "emit s", "scan s", "select s"});
+                 "emit s", "merge s", "scan s", "select s"});
     for (const PhaseStats& phase : result.phases) {
       table.AddRow({std::to_string(phase.iteration),
                     std::to_string(phase.bucket_exponent),
@@ -303,6 +313,7 @@ int RunCli(const Flags& flags) {
                     std::to_string(phase.candidate_pairs),
                     std::to_string(phase.new_links),
                     FormatDouble(phase.emit_seconds, 3),
+                    FormatDouble(phase.merge_seconds, 3),
                     FormatDouble(phase.scan_seconds, 3),
                     FormatDouble(phase.select_seconds, 3)});
     }

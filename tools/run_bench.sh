@@ -5,6 +5,10 @@
 #                         (radix vs hash scoring backends, serial vs
 #                         parallel selection, 1/2/4 threads)
 #   BENCH_scaling.json  — Table-2 RMAT scaling shape (both backends)
+#   BENCH_skew.json     — hub-heavy Chung-Lu matching, scheduler x backend
+#                         (static vs work-stealing emission, LSM tier store
+#                         on/off; emit_s / merge_s counters carry the
+#                         per-phase split)
 #
 # Usage: tools/run_bench.sh [extra google-benchmark flags...]
 # The build directory defaults to <repo>/build-bench; override with
@@ -24,7 +28,7 @@ cmake -B "$BUILD" -S "$ROOT" \
   -DRECONCILE_BUILD_BENCHMARKS=ON \
   -DRECONCILE_BUILD_TESTS=OFF \
   -DRECONCILE_BUILD_TOOLS=OFF
-cmake --build "$BUILD" -j "$(nproc)" --target bench_micro bench_table2_scaling
+cmake --build "$BUILD" -j "$(nproc)" --target bench_micro bench_table2_scaling bench_skew
 
 # Refuse to bless a baseline whose context says the measured code was not a
 # Release build. Output goes to a temp file first so a failed check never
@@ -44,14 +48,18 @@ check_release() {
 
 TMP_MICRO="$(mktemp)"
 TMP_SCALING="$(mktemp)"
-trap 'rm -f "$TMP_MICRO" "$TMP_SCALING"' EXIT
+TMP_SKEW="$(mktemp)"
+trap 'rm -f "$TMP_MICRO" "$TMP_SCALING" "$TMP_SKEW"' EXIT
 
 "$BUILD/bench_micro" --benchmark_format=json "$@" > "$TMP_MICRO"
 check_release "$TMP_MICRO"
 "$BUILD/bench_table2_scaling" --benchmark_format=json "$@" > "$TMP_SCALING"
 check_release "$TMP_SCALING"
+"$BUILD/bench_skew" --benchmark_format=json "$@" > "$TMP_SKEW"
+check_release "$TMP_SKEW"
 
 mv "$TMP_MICRO" "$ROOT/BENCH_micro.json"
 mv "$TMP_SCALING" "$ROOT/BENCH_scaling.json"
+mv "$TMP_SKEW" "$ROOT/BENCH_skew.json"
 
-echo "wrote $ROOT/BENCH_micro.json and $ROOT/BENCH_scaling.json"
+echo "wrote $ROOT/BENCH_micro.json, $ROOT/BENCH_scaling.json and $ROOT/BENCH_skew.json"
