@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_adapter_differential_test.dir/tests/api_adapter_differential_test.cc.o"
+  "CMakeFiles/api_adapter_differential_test.dir/tests/api_adapter_differential_test.cc.o.d"
+  "api_adapter_differential_test"
+  "api_adapter_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_adapter_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

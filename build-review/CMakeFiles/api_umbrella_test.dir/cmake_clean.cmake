@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_umbrella_test.dir/tests/api_umbrella_test.cc.o"
+  "CMakeFiles/api_umbrella_test.dir/tests/api_umbrella_test.cc.o.d"
+  "api_umbrella_test"
+  "api_umbrella_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_umbrella_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_feature_matching_test.dir/tests/baseline_feature_matching_test.cc.o"
+  "CMakeFiles/baseline_feature_matching_test.dir/tests/baseline_feature_matching_test.cc.o.d"
+  "baseline_feature_matching_test"
+  "baseline_feature_matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_feature_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_percolation_test.dir/tests/baseline_percolation_test.cc.o"
+  "CMakeFiles/baseline_percolation_test.dir/tests/baseline_percolation_test.cc.o.d"
+  "baseline_percolation_test"
+  "baseline_percolation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_percolation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

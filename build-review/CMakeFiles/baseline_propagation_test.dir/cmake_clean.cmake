@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_propagation_test.dir/tests/baseline_propagation_test.cc.o"
+  "CMakeFiles/baseline_propagation_test.dir/tests/baseline_propagation_test.cc.o.d"
+  "baseline_propagation_test"
+  "baseline_propagation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

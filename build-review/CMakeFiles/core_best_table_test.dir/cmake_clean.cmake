@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_best_table_test.dir/tests/core_best_table_test.cc.o"
+  "CMakeFiles/core_best_table_test.dir/tests/core_best_table_test.cc.o.d"
+  "core_best_table_test"
+  "core_best_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_best_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

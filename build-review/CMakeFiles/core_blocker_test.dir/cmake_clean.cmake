@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_blocker_test.dir/tests/core_blocker_test.cc.o"
+  "CMakeFiles/core_blocker_test.dir/tests/core_blocker_test.cc.o.d"
+  "core_blocker_test"
+  "core_blocker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_blocker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_confidence_test.dir/tests/core_confidence_test.cc.o"
+  "CMakeFiles/core_confidence_test.dir/tests/core_confidence_test.cc.o.d"
+  "core_confidence_test"
+  "core_confidence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_confidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_matcher_property_test.dir/tests/core_matcher_property_test.cc.o"
+  "CMakeFiles/core_matcher_property_test.dir/tests/core_matcher_property_test.cc.o.d"
+  "core_matcher_property_test"
+  "core_matcher_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_matcher_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

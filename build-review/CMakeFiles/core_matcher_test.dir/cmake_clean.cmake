@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_matcher_test.dir/tests/core_matcher_test.cc.o"
+  "CMakeFiles/core_matcher_test.dir/tests/core_matcher_test.cc.o.d"
+  "core_matcher_test"
+  "core_matcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scheduler_determinism_test.dir/tests/core_scheduler_determinism_test.cc.o"
+  "CMakeFiles/core_scheduler_determinism_test.dir/tests/core_scheduler_determinism_test.cc.o.d"
+  "core_scheduler_determinism_test"
+  "core_scheduler_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scheduler_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scoring_backend_test.dir/tests/core_scoring_backend_test.cc.o"
+  "CMakeFiles/core_scoring_backend_test.dir/tests/core_scoring_backend_test.cc.o.d"
+  "core_scoring_backend_test"
+  "core_scoring_backend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scoring_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_witness_test.dir/tests/core_witness_test.cc.o"
+  "CMakeFiles/core_witness_test.dir/tests/core_witness_test.cc.o.d"
+  "core_witness_test"
+  "core_witness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_witness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

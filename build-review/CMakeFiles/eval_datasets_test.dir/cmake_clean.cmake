@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_datasets_test.dir/tests/eval_datasets_test.cc.o"
+  "CMakeFiles/eval_datasets_test.dir/tests/eval_datasets_test.cc.o.d"
+  "eval_datasets_test"
+  "eval_datasets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_match_io_test.dir/tests/eval_match_io_test.cc.o"
+  "CMakeFiles/eval_match_io_test.dir/tests/eval_match_io_test.cc.o.d"
+  "eval_match_io_test"
+  "eval_match_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_match_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

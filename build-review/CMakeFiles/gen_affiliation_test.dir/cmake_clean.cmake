@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_affiliation_test.dir/tests/gen_affiliation_test.cc.o"
+  "CMakeFiles/gen_affiliation_test.dir/tests/gen_affiliation_test.cc.o.d"
+  "gen_affiliation_test"
+  "gen_affiliation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_affiliation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

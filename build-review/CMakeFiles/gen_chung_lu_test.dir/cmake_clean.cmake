@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_chung_lu_test.dir/tests/gen_chung_lu_test.cc.o"
+  "CMakeFiles/gen_chung_lu_test.dir/tests/gen_chung_lu_test.cc.o.d"
+  "gen_chung_lu_test"
+  "gen_chung_lu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_chung_lu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

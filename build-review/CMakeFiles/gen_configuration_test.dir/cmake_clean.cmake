@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_configuration_test.dir/tests/gen_configuration_test.cc.o"
+  "CMakeFiles/gen_configuration_test.dir/tests/gen_configuration_test.cc.o.d"
+  "gen_configuration_test"
+  "gen_configuration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_configuration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

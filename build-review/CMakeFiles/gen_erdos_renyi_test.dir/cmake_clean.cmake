@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_erdos_renyi_test.dir/tests/gen_erdos_renyi_test.cc.o"
+  "CMakeFiles/gen_erdos_renyi_test.dir/tests/gen_erdos_renyi_test.cc.o.d"
+  "gen_erdos_renyi_test"
+  "gen_erdos_renyi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_erdos_renyi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_preferential_attachment_test.dir/tests/gen_preferential_attachment_test.cc.o"
+  "CMakeFiles/gen_preferential_attachment_test.dir/tests/gen_preferential_attachment_test.cc.o.d"
+  "gen_preferential_attachment_test"
+  "gen_preferential_attachment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_preferential_attachment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

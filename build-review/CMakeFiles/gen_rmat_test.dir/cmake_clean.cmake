@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_rmat_test.dir/tests/gen_rmat_test.cc.o"
+  "CMakeFiles/gen_rmat_test.dir/tests/gen_rmat_test.cc.o.d"
+  "gen_rmat_test"
+  "gen_rmat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_rmat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

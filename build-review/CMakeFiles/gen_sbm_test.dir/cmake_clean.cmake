@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_sbm_test.dir/tests/gen_sbm_test.cc.o"
+  "CMakeFiles/gen_sbm_test.dir/tests/gen_sbm_test.cc.o.d"
+  "gen_sbm_test"
+  "gen_sbm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_sbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_watts_strogatz_test.dir/tests/gen_watts_strogatz_test.cc.o"
+  "CMakeFiles/gen_watts_strogatz_test.dir/tests/gen_watts_strogatz_test.cc.o.d"
+  "gen_watts_strogatz_test"
+  "gen_watts_strogatz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_watts_strogatz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_csr_invariants_test.dir/tests/graph_csr_invariants_test.cc.o"
+  "CMakeFiles/graph_csr_invariants_test.dir/tests/graph_csr_invariants_test.cc.o.d"
+  "graph_csr_invariants_test"
+  "graph_csr_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_csr_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_edge_list_test.dir/tests/graph_edge_list_test.cc.o"
+  "CMakeFiles/graph_edge_list_test.dir/tests/graph_edge_list_test.cc.o.d"
+  "graph_edge_list_test"
+  "graph_edge_list_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_edge_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_permutation_test.dir/tests/graph_permutation_test.cc.o"
+  "CMakeFiles/graph_permutation_test.dir/tests/graph_permutation_test.cc.o.d"
+  "graph_permutation_test"
+  "graph_permutation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_permutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

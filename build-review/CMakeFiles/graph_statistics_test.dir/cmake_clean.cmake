@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_statistics_test.dir/tests/graph_statistics_test.cc.o"
+  "CMakeFiles/graph_statistics_test.dir/tests/graph_statistics_test.cc.o.d"
+  "graph_statistics_test"
+  "graph_statistics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

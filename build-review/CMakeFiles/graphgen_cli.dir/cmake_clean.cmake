@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphgen_cli.dir/tools/graphgen_cli.cc.o"
+  "CMakeFiles/graphgen_cli.dir/tools/graphgen_cli.cc.o.d"
+  "graphgen_cli"
+  "graphgen_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphgen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphstats_cli.dir/tools/graphstats_cli.cc.o"
+  "CMakeFiles/graphstats_cli.dir/tools/graphstats_cli.cc.o.d"
+  "graphstats_cli"
+  "graphstats_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphstats_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

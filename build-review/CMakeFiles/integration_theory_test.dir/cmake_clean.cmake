@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_theory_test.dir/tests/integration_theory_test.cc.o"
+  "CMakeFiles/integration_theory_test.dir/tests/integration_theory_test.cc.o.d"
+  "integration_theory_test"
+  "integration_theory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

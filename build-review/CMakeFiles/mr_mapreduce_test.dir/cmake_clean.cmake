@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_mapreduce_test.dir/tests/mr_mapreduce_test.cc.o"
+  "CMakeFiles/mr_mapreduce_test.dir/tests/mr_mapreduce_test.cc.o.d"
+  "mr_mapreduce_test"
+  "mr_mapreduce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_mapreduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_sort_count_test.dir/tests/mr_sort_count_test.cc.o"
+  "CMakeFiles/mr_sort_count_test.dir/tests/mr_sort_count_test.cc.o.d"
+  "mr_sort_count_test"
+  "mr_sort_count_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_sort_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

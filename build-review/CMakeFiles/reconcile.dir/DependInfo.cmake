@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reconcile/api/adapters.cc" "CMakeFiles/reconcile.dir/src/reconcile/api/adapters.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/api/adapters.cc.o.d"
+  "/root/repo/src/reconcile/api/registry.cc" "CMakeFiles/reconcile.dir/src/reconcile/api/registry.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/api/registry.cc.o.d"
+  "/root/repo/src/reconcile/api/spec.cc" "CMakeFiles/reconcile.dir/src/reconcile/api/spec.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/api/spec.cc.o.d"
+  "/root/repo/src/reconcile/baseline/common_neighbors.cc" "CMakeFiles/reconcile.dir/src/reconcile/baseline/common_neighbors.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/baseline/common_neighbors.cc.o.d"
+  "/root/repo/src/reconcile/baseline/feature_matching.cc" "CMakeFiles/reconcile.dir/src/reconcile/baseline/feature_matching.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/baseline/feature_matching.cc.o.d"
+  "/root/repo/src/reconcile/baseline/percolation.cc" "CMakeFiles/reconcile.dir/src/reconcile/baseline/percolation.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/baseline/percolation.cc.o.d"
+  "/root/repo/src/reconcile/baseline/propagation.cc" "CMakeFiles/reconcile.dir/src/reconcile/baseline/propagation.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/baseline/propagation.cc.o.d"
+  "/root/repo/src/reconcile/core/confidence.cc" "CMakeFiles/reconcile.dir/src/reconcile/core/confidence.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/core/confidence.cc.o.d"
+  "/root/repo/src/reconcile/core/matcher.cc" "CMakeFiles/reconcile.dir/src/reconcile/core/matcher.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/core/matcher.cc.o.d"
+  "/root/repo/src/reconcile/core/result.cc" "CMakeFiles/reconcile.dir/src/reconcile/core/result.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/core/result.cc.o.d"
+  "/root/repo/src/reconcile/core/witness.cc" "CMakeFiles/reconcile.dir/src/reconcile/core/witness.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/core/witness.cc.o.d"
+  "/root/repo/src/reconcile/eval/datasets.cc" "CMakeFiles/reconcile.dir/src/reconcile/eval/datasets.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/eval/datasets.cc.o.d"
+  "/root/repo/src/reconcile/eval/experiment.cc" "CMakeFiles/reconcile.dir/src/reconcile/eval/experiment.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/eval/experiment.cc.o.d"
+  "/root/repo/src/reconcile/eval/match_io.cc" "CMakeFiles/reconcile.dir/src/reconcile/eval/match_io.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/eval/match_io.cc.o.d"
+  "/root/repo/src/reconcile/eval/metrics.cc" "CMakeFiles/reconcile.dir/src/reconcile/eval/metrics.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/eval/metrics.cc.o.d"
+  "/root/repo/src/reconcile/eval/sweep.cc" "CMakeFiles/reconcile.dir/src/reconcile/eval/sweep.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/eval/sweep.cc.o.d"
+  "/root/repo/src/reconcile/eval/table.cc" "CMakeFiles/reconcile.dir/src/reconcile/eval/table.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/eval/table.cc.o.d"
+  "/root/repo/src/reconcile/gen/affiliation.cc" "CMakeFiles/reconcile.dir/src/reconcile/gen/affiliation.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/gen/affiliation.cc.o.d"
+  "/root/repo/src/reconcile/gen/chung_lu.cc" "CMakeFiles/reconcile.dir/src/reconcile/gen/chung_lu.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/gen/chung_lu.cc.o.d"
+  "/root/repo/src/reconcile/gen/configuration.cc" "CMakeFiles/reconcile.dir/src/reconcile/gen/configuration.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/gen/configuration.cc.o.d"
+  "/root/repo/src/reconcile/gen/erdos_renyi.cc" "CMakeFiles/reconcile.dir/src/reconcile/gen/erdos_renyi.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/gen/erdos_renyi.cc.o.d"
+  "/root/repo/src/reconcile/gen/preferential_attachment.cc" "CMakeFiles/reconcile.dir/src/reconcile/gen/preferential_attachment.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/gen/preferential_attachment.cc.o.d"
+  "/root/repo/src/reconcile/gen/rmat.cc" "CMakeFiles/reconcile.dir/src/reconcile/gen/rmat.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/gen/rmat.cc.o.d"
+  "/root/repo/src/reconcile/gen/sbm.cc" "CMakeFiles/reconcile.dir/src/reconcile/gen/sbm.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/gen/sbm.cc.o.d"
+  "/root/repo/src/reconcile/gen/watts_strogatz.cc" "CMakeFiles/reconcile.dir/src/reconcile/gen/watts_strogatz.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/gen/watts_strogatz.cc.o.d"
+  "/root/repo/src/reconcile/graph/algorithms.cc" "CMakeFiles/reconcile.dir/src/reconcile/graph/algorithms.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/graph/algorithms.cc.o.d"
+  "/root/repo/src/reconcile/graph/edge_list.cc" "CMakeFiles/reconcile.dir/src/reconcile/graph/edge_list.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/graph/edge_list.cc.o.d"
+  "/root/repo/src/reconcile/graph/graph.cc" "CMakeFiles/reconcile.dir/src/reconcile/graph/graph.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/graph/graph.cc.o.d"
+  "/root/repo/src/reconcile/graph/io.cc" "CMakeFiles/reconcile.dir/src/reconcile/graph/io.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/graph/io.cc.o.d"
+  "/root/repo/src/reconcile/graph/permutation.cc" "CMakeFiles/reconcile.dir/src/reconcile/graph/permutation.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/graph/permutation.cc.o.d"
+  "/root/repo/src/reconcile/graph/statistics.cc" "CMakeFiles/reconcile.dir/src/reconcile/graph/statistics.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/graph/statistics.cc.o.d"
+  "/root/repo/src/reconcile/mr/mapreduce.cc" "CMakeFiles/reconcile.dir/src/reconcile/mr/mapreduce.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/mr/mapreduce.cc.o.d"
+  "/root/repo/src/reconcile/sampling/attack.cc" "CMakeFiles/reconcile.dir/src/reconcile/sampling/attack.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/sampling/attack.cc.o.d"
+  "/root/repo/src/reconcile/sampling/cascade.cc" "CMakeFiles/reconcile.dir/src/reconcile/sampling/cascade.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/sampling/cascade.cc.o.d"
+  "/root/repo/src/reconcile/sampling/community.cc" "CMakeFiles/reconcile.dir/src/reconcile/sampling/community.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/sampling/community.cc.o.d"
+  "/root/repo/src/reconcile/sampling/independent.cc" "CMakeFiles/reconcile.dir/src/reconcile/sampling/independent.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/sampling/independent.cc.o.d"
+  "/root/repo/src/reconcile/sampling/realization.cc" "CMakeFiles/reconcile.dir/src/reconcile/sampling/realization.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/sampling/realization.cc.o.d"
+  "/root/repo/src/reconcile/sampling/tie_strength.cc" "CMakeFiles/reconcile.dir/src/reconcile/sampling/tie_strength.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/sampling/tie_strength.cc.o.d"
+  "/root/repo/src/reconcile/sampling/timeslice.cc" "CMakeFiles/reconcile.dir/src/reconcile/sampling/timeslice.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/sampling/timeslice.cc.o.d"
+  "/root/repo/src/reconcile/seed/seeding.cc" "CMakeFiles/reconcile.dir/src/reconcile/seed/seeding.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/seed/seeding.cc.o.d"
+  "/root/repo/src/reconcile/theory/empirics.cc" "CMakeFiles/reconcile.dir/src/reconcile/theory/empirics.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/theory/empirics.cc.o.d"
+  "/root/repo/src/reconcile/theory/predictions.cc" "CMakeFiles/reconcile.dir/src/reconcile/theory/predictions.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/theory/predictions.cc.o.d"
+  "/root/repo/src/reconcile/util/flags.cc" "CMakeFiles/reconcile.dir/src/reconcile/util/flags.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/util/flags.cc.o.d"
+  "/root/repo/src/reconcile/util/logging.cc" "CMakeFiles/reconcile.dir/src/reconcile/util/logging.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/util/logging.cc.o.d"
+  "/root/repo/src/reconcile/util/parallel_for.cc" "CMakeFiles/reconcile.dir/src/reconcile/util/parallel_for.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/util/parallel_for.cc.o.d"
+  "/root/repo/src/reconcile/util/rng.cc" "CMakeFiles/reconcile.dir/src/reconcile/util/rng.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/util/rng.cc.o.d"
+  "/root/repo/src/reconcile/util/thread_pool.cc" "CMakeFiles/reconcile.dir/src/reconcile/util/thread_pool.cc.o" "gcc" "CMakeFiles/reconcile.dir/src/reconcile/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconcile_cli.dir/tools/reconcile_cli.cc.o"
+  "CMakeFiles/reconcile_cli.dir/tools/reconcile_cli.cc.o.d"
+  "reconcile_cli"
+  "reconcile_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconcile_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_community_test.dir/tests/sampling_community_test.cc.o"
+  "CMakeFiles/sampling_community_test.dir/tests/sampling_community_test.cc.o.d"
+  "sampling_community_test"
+  "sampling_community_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_community_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

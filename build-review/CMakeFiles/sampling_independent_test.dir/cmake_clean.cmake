@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_independent_test.dir/tests/sampling_independent_test.cc.o"
+  "CMakeFiles/sampling_independent_test.dir/tests/sampling_independent_test.cc.o.d"
+  "sampling_independent_test"
+  "sampling_independent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_independent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

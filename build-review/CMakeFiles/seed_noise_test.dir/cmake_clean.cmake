@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_noise_test.dir/tests/seed_noise_test.cc.o"
+  "CMakeFiles/seed_noise_test.dir/tests/seed_noise_test.cc.o.d"
+  "seed_noise_test"
+  "seed_noise_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

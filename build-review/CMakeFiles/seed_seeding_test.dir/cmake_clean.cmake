@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_seeding_test.dir/tests/seed_seeding_test.cc.o"
+  "CMakeFiles/seed_seeding_test.dir/tests/seed_seeding_test.cc.o.d"
+  "seed_seeding_test"
+  "seed_seeding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_seeding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_empirics_test.dir/tests/theory_empirics_test.cc.o"
+  "CMakeFiles/theory_empirics_test.dir/tests/theory_empirics_test.cc.o.d"
+  "theory_empirics_test"
+  "theory_empirics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_empirics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

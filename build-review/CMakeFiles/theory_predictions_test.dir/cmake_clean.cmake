@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_predictions_test.dir/tests/theory_predictions_test.cc.o"
+  "CMakeFiles/theory_predictions_test.dir/tests/theory_predictions_test.cc.o.d"
+  "theory_predictions_test"
+  "theory_predictions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_predictions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_flat_hash_map_test.dir/tests/util_flat_hash_map_test.cc.o"
+  "CMakeFiles/util_flat_hash_map_test.dir/tests/util_flat_hash_map_test.cc.o.d"
+  "util_flat_hash_map_test"
+  "util_flat_hash_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_flat_hash_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

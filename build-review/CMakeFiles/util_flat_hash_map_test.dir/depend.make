@@ -1,0 +1,2 @@
+# Empty dependencies file for util_flat_hash_map_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tiered_store_test.dir/tests/util_tiered_store_test.cc.o"
+  "CMakeFiles/util_tiered_store_test.dir/tests/util_tiered_store_test.cc.o.d"
+  "util_tiered_store_test"
+  "util_tiered_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tiered_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
