@@ -35,7 +35,9 @@ RealizationPair MakeSkewPair() {
 }
 
 void SkewMatchBenchmark(benchmark::State& state, Scheduler scheduler,
-                        ScoringBackend backend, int lsm_max_tiers = 2) {
+                        ScoringBackend backend, int lsm_max_tiers = 2,
+                        PlacementPolicy placement = PlacementPolicy::kNone,
+                        int placement_domains = 0) {
   static const RealizationPair& pair = *new RealizationPair(MakeSkewPair());
   SeedOptions seed_options;
   seed_options.bias = SeedBias::kTopDegree;
@@ -47,16 +49,29 @@ void SkewMatchBenchmark(benchmark::State& state, Scheduler scheduler,
   config.scheduler = scheduler;
   config.scoring_backend = backend;
   config.lsm_max_tiers = lsm_max_tiers;
+  config.placement = placement;
+  config.placement_domains = placement_domains;
   MatchResult::PhaseTimeTotals split;
+  MatchResult::PlacementTotals locality;
   for (auto _ : state) {
     MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
     benchmark::DoNotOptimize(result.NumLinks());
     split = result.SumPhaseSeconds();
+    locality = result.SumPlacementCounters();
   }
   state.counters["emit_s"] = split.emit_seconds;
   state.counters["merge_s"] = split.merge_seconds;
   state.counters["scan_s"] = split.scan_seconds;
   state.counters["select_s"] = split.select_seconds;
+  // Placement locality: score-unit tasks executed on their home domain vs
+  // stolen cross-domain. With placement none (the baseline series) every
+  // task is "local" by definition; the placed series surface the split
+  // even on hosts where wall-clock cannot (single-socket CI).
+  state.counters["local_units"] =
+      static_cast<double>(locality.local_unit_tasks);
+  state.counters["remote_steals"] =
+      static_cast<double>(locality.remote_unit_steals);
+  state.counters["domains"] = static_cast<double>(locality.domains);
 }
 
 void BM_SkewMatchStealingRadix(benchmark::State& state) {
@@ -79,11 +94,29 @@ void BM_SkewMatchStealingRadixSingleTier(benchmark::State& state) {
   SkewMatchBenchmark(state, Scheduler::kWorkStealing,
                      ScoringBackend::kRadixSort, /*lsm_max_tiers=*/1);
 }
+// Shard placement over a forced 2-domain synthetic topology: on a real
+// multi-socket host the domains come from sysfs and the series reads the
+// cross-node traffic placement removes; on single-socket hosts the
+// synthetic domains still exercise the domain-biased claiming, so the
+// local/remote counters stay meaningful everywhere.
+void BM_SkewMatchStealingRadixPlacedDomain(benchmark::State& state) {
+  SkewMatchBenchmark(state, Scheduler::kWorkStealing,
+                     ScoringBackend::kRadixSort, /*lsm_max_tiers=*/2,
+                     PlacementPolicy::kDomain, /*placement_domains=*/2);
+}
+void BM_SkewMatchStealingRadixPlacedInterleave(benchmark::State& state) {
+  SkewMatchBenchmark(state, Scheduler::kWorkStealing,
+                     ScoringBackend::kRadixSort, /*lsm_max_tiers=*/2,
+                     PlacementPolicy::kInterleave, /*placement_domains=*/2);
+}
 BENCHMARK(BM_SkewMatchStealingRadix)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SkewMatchStaticRadix)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SkewMatchStealingHash)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SkewMatchStaticHash)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SkewMatchStealingRadixSingleTier)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkewMatchStealingRadixPlacedDomain)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkewMatchStealingRadixPlacedInterleave)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace reconcile

@@ -80,6 +80,21 @@ std::unique_ptr<Reconciler> MakeCore(const ReconcilerSpec& spec,
     reader.AddError("parameter 'tier-ratio' must be >= 0 (0 disables the "
                     "ratio trigger)");
   }
+  std::string placement =
+      reader.GetString("placement", PlacementName(config.placement));
+  if (!ParsePlacement(placement, &config.placement)) {
+    reader.AddError(
+        "parameter 'placement' must be auto, none, interleave or domain: " +
+        placement);
+  }
+  config.placement_domains =
+      GetIntParam(reader, "placement-domains", config.placement_domains);
+  if (config.placement_domains < 0 ||
+      config.placement_domains > kMaxSyntheticDomains) {
+    reader.AddError("parameter 'placement-domains' must be in [0, " +
+                    std::to_string(kMaxSyntheticDomains) +
+                    "] (0 detects the machine topology)");
+  }
   if (config.num_iterations < 1) {
     reader.AddError("parameter 'iterations' must be >= 1");
   }
@@ -174,7 +189,8 @@ std::string CoreReconciler::Describe() const {
       << ", scoring="
       << (config_.use_incremental_scoring ? "incremental" : "recompute")
       << ", scheduler=" << SchedulerName(config_.scheduler)
-      << ", tiers=" << config_.lsm_max_tiers << ")";
+      << ", tiers=" << config_.lsm_max_tiers
+      << ", placement=" << PlacementName(config_.placement) << ")";
   return out.str();
 }
 
@@ -221,7 +237,8 @@ void RegisterBuiltinReconcilers(Registry& registry) {
                  "threads, shards, stop-when-stable, incremental, "
                  "parallel-selection, backend=hash|radix, "
                  "scheduler=auto|static|stealing, grain, max-tiers, "
-                 "tier-ratio",
+                 "tier-ratio, placement=auto|none|interleave|domain, "
+                 "placement-domains",
        .threshold_param = "threshold",
        .factory = MakeCore});
   registry.Register(

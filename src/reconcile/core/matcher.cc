@@ -69,6 +69,23 @@ int FloorLog2(NodeId x) {
   return log;
 }
 
+// The topology the placement layer homes shards onto: a per-run synthetic
+// override (tests, experiments) or the cached machine detection (which the
+// RECONCILE_PLACEMENT_DOMAINS env var can also force).
+MachineTopology PlacementTopology(const MatcherConfig& config) {
+  if (config.placement_domains > 0) {
+    return config.placement_domains == 1
+               ? SingleDomainTopology()
+               : SyntheticTopology(config.placement_domains);
+  }
+  return DetectTopology();
+}
+
+// How many entries a hash score shard is pre-sized for by the first-touch
+// pass (enough that the initial growth happens on home-domain pages; later
+// growth re-touches from the merge loop, which is also domain-homed).
+constexpr size_t kFirstTouchEntries = 1024;
+
 class MatcherState {
  public:
   MatcherState(const Graph& g1, const Graph& g2, const MatcherConfig& config)
@@ -82,6 +99,9 @@ class MatcherState {
         num_shards_(config.num_shards > 0
                         ? config.num_shards
                         : std::max(4, pool_.num_threads())),
+        topology_(PlacementTopology(config)),
+        placement_(topology_, config.placement, num_shards_,
+                   pool_.num_threads()),
         map_1to2_(g1.num_nodes(), kInvalidNode),
         map_2to1_(g2.num_nodes(), kInvalidNode),
         best1_(config.use_parallel_selection ? 0 : g1.num_nodes()),
@@ -122,6 +142,15 @@ class MatcherState {
             static_cast<uint64_t>(u) * static_cast<uint64_t>(num_shards_) / n1);
       }
     }
+    if (placement_.active()) {
+      // Bind workers to their home domain's CPUs (real topologies only),
+      // then first-touch the persistent score shards from a home-domain
+      // worker so their pages land on the right node before the first
+      // merge. Both are locality-only: results are bit-identical whether
+      // or not either succeeds.
+      placement_.PinWorkers(&pool_);
+      FirstTouchScoreState();
+    }
   }
 
   void SeedLinks(std::span<const std::pair<NodeId, NodeId>> seeds) {
@@ -136,6 +165,39 @@ class MatcherState {
       map_2to1_[v] = u;
       links_.emplace_back(u, v);
     }
+  }
+
+  // Home domain of a (level, shard) cell / score unit: levels share one
+  // shard layout, so homing depends on the shard alone and a shard's hash
+  // map, tier stack and selection unit all land on the same domain.
+  std::function<int(size_t)> CellDomainFn() const {
+    return [this](size_t cell) {
+      return placement_.HomeOfShard(
+          static_cast<int>(cell % static_cast<size_t>(num_shards_)));
+    };
+  }
+
+  // First-touch pass: with an active placement, pre-size each persistent
+  // (level, shard) buffer from a worker on the cell's home domain so the
+  // backing pages are allocated there (first writer owns the page under
+  // first-touch NUMA policy). Recompute engines build fresh state per round
+  // inside the (already domain-homed) reduce, so only the incremental
+  // engine keeps state long enough to pre-touch.
+  void FirstTouchScoreState() {
+    if (!config_.use_incremental_scoring) return;
+    const size_t cells =
+        static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_);
+    placement_.ParallelForPlaced(
+        &pool_, scheduler_, cells, CellDomainFn(), [this](size_t cell) {
+          const size_t level = cell / static_cast<size_t>(num_shards_);
+          const size_t shard = cell % static_cast<size_t>(num_shards_);
+          if (config_.scoring_backend == ScoringBackend::kRadixSort) {
+            runs_[level][shard].ReserveTiers(
+                static_cast<size_t>(std::max(1, config_.lsm_max_tiers)) + 1);
+          } else {
+            scores_[level][shard].Reserve(kFirstTouchEntries);
+          }
+        });
   }
 
   // One scoring round at bucket exponent `bucket_exponent` (candidates must
@@ -153,43 +215,46 @@ class MatcherState {
     if (!config_.use_incremental_scoring) return;
     const size_t cells =
         static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_);
+    // Locality of the compact tasks is credited to the next round's
+    // telemetry (`compact_placed_stats_`): compaction runs between rounds,
+    // where no PhaseStats exists yet.
     if (config_.scoring_backend == ScoringBackend::kRadixSort) {
       // Tier stacks compact with an in-place filtering sweep per tier — no
       // rebuild, no rehash, order preserved. The liveness predicate depends
       // on the key alone, so filtering tiers independently preserves every
       // key's cross-tier total.
-      ParallelForSched(
-          &pool_, scheduler_, cells, 1, [this](size_t lo, size_t hi) {
-            for (size_t cell = lo; cell < hi; ++cell) {
-              TieredCountRuns& store =
-                  runs_[cell / static_cast<size_t>(num_shards_)]
-                       [cell % static_cast<size_t>(num_shards_)];
-              if (store.empty()) continue;
-              store.Filter([this](uint64_t key, uint32_t) {
-                return map_1to2_[PairFirst(key)] == kInvalidNode ||
-                       map_2to1_[PairSecond(key)] == kInvalidNode;
-              });
-            }
-          });
+      placement_.ParallelForPlaced(
+          &pool_, scheduler_, cells, CellDomainFn(),
+          [this](size_t cell) {
+            TieredCountRuns& store =
+                runs_[cell / static_cast<size_t>(num_shards_)]
+                     [cell % static_cast<size_t>(num_shards_)];
+            if (store.empty()) return;
+            store.Filter([this](uint64_t key, uint32_t) {
+              return map_1to2_[PairFirst(key)] == kInvalidNode ||
+                     map_2to1_[PairSecond(key)] == kInvalidNode;
+            });
+          },
+          &compact_placed_stats_);
       return;
     }
-    ParallelForSched(
-        &pool_, scheduler_, cells, 1, [this](size_t lo, size_t hi) {
-          for (size_t cell = lo; cell < hi; ++cell) {
-            FlatCountMap& shard =
-                scores_[cell / static_cast<size_t>(num_shards_)]
-                       [cell % static_cast<size_t>(num_shards_)];
-            if (shard.empty()) continue;
-            FlatCountMap compacted(shard.size());
-            shard.ForEach([this, &compacted](uint64_t key, uint32_t count) {
-              if (map_1to2_[PairFirst(key)] == kInvalidNode ||
-                  map_2to1_[PairSecond(key)] == kInvalidNode) {
-                compacted.AddCount(key, count);
-              }
-            });
-            shard = std::move(compacted);
-          }
-        });
+    placement_.ParallelForPlaced(
+        &pool_, scheduler_, cells, CellDomainFn(),
+        [this](size_t cell) {
+          FlatCountMap& shard =
+              scores_[cell / static_cast<size_t>(num_shards_)]
+                     [cell % static_cast<size_t>(num_shards_)];
+          if (shard.empty()) return;
+          FlatCountMap compacted(shard.size());
+          shard.ForEach([this, &compacted](uint64_t key, uint32_t count) {
+            if (map_1to2_[PairFirst(key)] == kInvalidNode ||
+                map_2to1_[PairSecond(key)] == kInvalidNode) {
+              compacted.AddCount(key, count);
+            }
+          });
+          shard = std::move(compacted);
+        },
+        &compact_placed_stats_);
   }
 
   MatchResult TakeResult(std::span<const std::pair<NodeId, NodeId>> seeds,
@@ -268,52 +333,55 @@ class MatcherState {
     // Both passes run one unit at a time under the configured scheduler
     // (static: one queued task per unit; stealing: units are claimed
     // dynamically, so a handful of huge hub-level units no longer pins the
-    // round on whichever worker drew them). The observe fold is a CAS-max —
-    // commutative — and the accept pass writes only per-unit lists, so the
-    // schedule is unobservable in the result.
+    // round on whichever worker drew them; an active placement claims
+    // domain-local units first and steals remote only when dry). The
+    // observe fold is a CAS-max — commutative — and the accept pass writes
+    // only per-unit lists, so the schedule is unobservable in the result.
     std::atomic<size_t> candidate_pairs{0};
-    ParallelForSched(
-        &pool_, scheduler_, units.size(), 1,
-        [this, &units, &candidate_pairs](size_t lo, size_t hi) {
+    PlacedLoopStats scan_placed;
+    placement_.ParallelForPlaced(
+        &pool_, scheduler_, units.size(), CellDomainFn(),
+        [this, &units, &candidate_pairs](size_t i) {
           size_t local_pairs = 0;
-          for (size_t i = lo; i < hi; ++i) {
-            units[i].ForEach([this, &local_pairs](uint64_t key,
-                                                  uint32_t score) {
-              atomic_best1_.Observe(PairFirst(key), score);
-              atomic_best2_.Observe(PairSecond(key), score);
-              ++local_pairs;
-            });
-          }
+          units[i].ForEach([this, &local_pairs](uint64_t key, uint32_t score) {
+            atomic_best1_.Observe(PairFirst(key), score);
+            atomic_best2_.Observe(PairSecond(key), score);
+            ++local_pairs;
+          });
           candidate_pairs.fetch_add(local_pairs, std::memory_order_relaxed);
-        });
+        },
+        &scan_placed);
     stats->candidate_pairs = candidate_pairs.load();
     stats->scan_seconds = timer.Seconds();
+    stats->local_unit_tasks += scan_placed.local_tasks;
+    stats->remote_unit_steals += scan_placed.remote_steals;
 
     timer.Reset();
     // Accept pass: reads the maps and the sealed best tables, writes only
     // its own unit's accept list; commits happen after the barrier.
     std::vector<std::vector<std::pair<NodeId, NodeId>>> accepted_per_unit(
         units.size());
-    ParallelForSched(
-        &pool_, scheduler_, units.size(), 1,
-        [this, &units, &accepted_per_unit](size_t lo, size_t hi) {
-          for (size_t i = lo; i < hi; ++i) {
-            auto& list = accepted_per_unit[i];
-            units[i].ForEach([this, &list](uint64_t key, uint32_t score) {
-              if (score < config_.min_score) return;
-              NodeId u = PairFirst(key);
-              NodeId v = PairSecond(key);
-              if (map_1to2_[u] != kInvalidNode ||
-                  map_2to1_[v] != kInvalidNode) {
-                return;
-              }
-              if (atomic_best1_.IsUniqueBest(u, score) &&
-                  atomic_best2_.IsUniqueBest(v, score)) {
-                list.emplace_back(u, v);
-              }
-            });
-          }
-        });
+    PlacedLoopStats accept_placed;
+    placement_.ParallelForPlaced(
+        &pool_, scheduler_, units.size(), CellDomainFn(),
+        [this, &units, &accepted_per_unit](size_t i) {
+          auto& list = accepted_per_unit[i];
+          units[i].ForEach([this, &list](uint64_t key, uint32_t score) {
+            if (score < config_.min_score) return;
+            NodeId u = PairFirst(key);
+            NodeId v = PairSecond(key);
+            if (map_1to2_[u] != kInvalidNode || map_2to1_[v] != kInvalidNode) {
+              return;
+            }
+            if (atomic_best1_.IsUniqueBest(u, score) &&
+                atomic_best2_.IsUniqueBest(v, score)) {
+              list.emplace_back(u, v);
+            }
+          });
+        },
+        &accept_placed);
+    stats->local_unit_tasks += accept_placed.local_tasks;
+    stats->remote_unit_steals += accept_placed.remote_steals;
 
     size_t accepted = 0;
     for (const auto& list : accepted_per_unit) {
@@ -417,37 +485,41 @@ class MatcherState {
 
     // Merge deltas into the persistent maps: one (level, shard) cell at a
     // time, pre-sized from the delta sizes so the merge never rehashes
-    // mid-loop.
+    // mid-loop. Cells run domain-homed under an active placement (the
+    // merge is the pass that touches every persistent page, so it is where
+    // shard homing pays).
     Timer merge_timer;
-    ParallelForSched(
+    PlacedLoopStats merge_placed;
+    placement_.ParallelForPlaced(
         &pool_, scheduler_,
-        static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_), 1,
-        [this, &deltas](size_t lo_cell, size_t hi_cell) {
-          for (size_t cell = lo_cell; cell < hi_cell; ++cell) {
-            const size_t level = cell / static_cast<size_t>(num_shards_);
-            const size_t shard = cell % static_cast<size_t>(num_shards_);
-            FlatCountMap& target = scores_[level][shard];
-            size_t expected = target.size();
-            for (const Delta& delta : deltas) {
-              if (delta.maps.empty()) continue;
-              const auto& level_maps = delta.maps[level];
-              if (level_maps.empty()) continue;
-              expected += level_maps[shard].size();
-            }
-            if (expected == target.size()) continue;
-            target.Reserve(expected);
-            for (const Delta& delta : deltas) {
-              if (delta.maps.empty()) continue;
-              const auto& level_maps = delta.maps[level];
-              if (level_maps.empty()) continue;
-              level_maps[shard].ForEach(
-                  [&target](uint64_t key, uint32_t count) {
-                    target.AddCount(key, count);
-                  });
-            }
+        static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_),
+        CellDomainFn(),
+        [this, &deltas](size_t cell) {
+          const size_t level = cell / static_cast<size_t>(num_shards_);
+          const size_t shard = cell % static_cast<size_t>(num_shards_);
+          FlatCountMap& target = scores_[level][shard];
+          size_t expected = target.size();
+          for (const Delta& delta : deltas) {
+            if (delta.maps.empty()) continue;
+            const auto& level_maps = delta.maps[level];
+            if (level_maps.empty()) continue;
+            expected += level_maps[shard].size();
           }
-        });
+          if (expected == target.size()) return;
+          target.Reserve(expected);
+          for (const Delta& delta : deltas) {
+            if (delta.maps.empty()) continue;
+            const auto& level_maps = delta.maps[level];
+            if (level_maps.empty()) continue;
+            level_maps[shard].ForEach([&target](uint64_t key, uint32_t count) {
+              target.AddCount(key, count);
+            });
+          }
+        },
+        &merge_placed);
     stats->merge_seconds += merge_timer.Seconds();
+    stats->local_unit_tasks += merge_placed.local_tasks;
+    stats->remote_unit_steals += merge_placed.remote_steals;
 
     for (const Delta& delta : deltas) {
       stats->emissions += static_cast<size_t>(delta.emissions);
@@ -507,38 +579,43 @@ class MatcherState {
     // Concatenate the producer chunks, radix-sort, run-length-encode, then
     // append the round delta as a new LSM tier (compaction per the
     // size-ratio policy — late low-yield rounds usually stop here without
-    // touching the big run).
+    // touching the big run). Cells run domain-homed under an active
+    // placement, so a tier's pages are written by the domain that will
+    // scan and compact them.
     Timer merge_timer;
-    ParallelForSched(
+    PlacedLoopStats merge_placed;
+    placement_.ParallelForPlaced(
         &pool_, scheduler_,
-        static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_), 1,
-        [this, &deltas](size_t lo_cell, size_t hi_cell) {
-          std::vector<uint64_t> scratch;
-          for (size_t cell = lo_cell; cell < hi_cell; ++cell) {
-            const size_t level = cell / static_cast<size_t>(num_shards_);
-            const size_t shard = cell % static_cast<size_t>(num_shards_);
-            size_t total = 0;
-            for (const RadixDelta& delta : deltas) {
-              if (delta.keys.empty()) continue;
-              const auto& level_keys = delta.keys[level];
-              if (level_keys.empty()) continue;
-              total += level_keys[shard].size();
-            }
-            if (total == 0) continue;
-            std::vector<uint64_t> raw;
-            raw.reserve(total);
-            for (const RadixDelta& delta : deltas) {
-              if (delta.keys.empty()) continue;
-              const auto& level_keys = delta.keys[level];
-              if (level_keys.empty()) continue;
-              const auto& chunk = level_keys[shard];
-              raw.insert(raw.end(), chunk.begin(), chunk.end());
-            }
-            SortedCountRun delta_run = SortAndCount(std::move(raw), scratch);
-            runs_[level][shard].Append(std::move(delta_run), tier_policy_);
+        static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_),
+        CellDomainFn(),
+        [this, &deltas](size_t cell) {
+          const size_t level = cell / static_cast<size_t>(num_shards_);
+          const size_t shard = cell % static_cast<size_t>(num_shards_);
+          size_t total = 0;
+          for (const RadixDelta& delta : deltas) {
+            if (delta.keys.empty()) continue;
+            const auto& level_keys = delta.keys[level];
+            if (level_keys.empty()) continue;
+            total += level_keys[shard].size();
           }
-        });
+          if (total == 0) return;
+          std::vector<uint64_t> raw;
+          raw.reserve(total);
+          for (const RadixDelta& delta : deltas) {
+            if (delta.keys.empty()) continue;
+            const auto& level_keys = delta.keys[level];
+            if (level_keys.empty()) continue;
+            const auto& chunk = level_keys[shard];
+            raw.insert(raw.end(), chunk.begin(), chunk.end());
+          }
+          std::vector<uint64_t> scratch;
+          SortedCountRun delta_run = SortAndCount(std::move(raw), scratch);
+          runs_[level][shard].Append(std::move(delta_run), tier_policy_);
+        },
+        &merge_placed);
     stats->merge_seconds += merge_timer.Seconds();
+    stats->local_unit_tasks += merge_placed.local_tasks;
+    stats->remote_unit_steals += merge_placed.remote_steals;
 
     for (const RadixDelta& delta : deltas) {
       stats->emissions += static_cast<size_t>(delta.emissions);
@@ -552,6 +629,12 @@ class MatcherState {
     stats.bucket_exponent = bucket_exponent;
     stats.links_in = links_.size();
     stats.num_threads = pool_.num_threads();
+    stats.placement_domains =
+        placement_.active() ? placement_.num_domains() : 1;
+    // Credit any between-round compaction since the last round here.
+    stats.local_unit_tasks += compact_placed_stats_.local_tasks;
+    stats.remote_unit_steals += compact_placed_stats_.remote_steals;
+    compact_placed_stats_ = PlacedLoopStats{};
 
     EmitPendingLinks(&stats);
 
@@ -592,6 +675,8 @@ class MatcherState {
     stats.bucket_exponent = bucket_exponent;
     stats.links_in = links_.size();
     stats.num_threads = pool_.num_threads();
+    stats.placement_domains =
+        placement_.active() ? placement_.num_domains() : 1;
 
     Timer emit_timer;
     std::atomic<uint64_t> emissions{0};
@@ -613,22 +698,26 @@ class MatcherState {
     std::vector<FlatCountMap> scores;
     std::vector<SortedCountRun> runs;
     std::vector<ScoreUnit> units;
+    PlacedLoopStats reduce_placed;
     if (config_.scoring_backend == ScoringBackend::kRadixSort) {
       runs = mr::SortCountByKey(
           &pool_, links_.size(), num_map_shards, num_shards_, map_fn,
           [this](uint64_t key) { return radix_shard1_[PairFirst(key)]; },
-          scheduler_, &stats.merge_seconds);
+          scheduler_, &stats.merge_seconds, &placement_, &reduce_placed);
       units.reserve(runs.size());
       for (const SortedCountRun& run : runs) units.push_back(ScoreUnit(&run));
     } else {
       scores = mr::CountByKey(&pool_, links_.size(), num_map_shards,
                               num_shards_, map_fn, scheduler_,
-                              &stats.merge_seconds);
+                              &stats.merge_seconds, &placement_,
+                              &reduce_placed);
       units.reserve(scores.size());
       for (const FlatCountMap& shard : scores) {
         units.push_back(ScoreUnit(&shard));
       }
     }
+    stats.local_unit_tasks += reduce_placed.local_tasks;
+    stats.remote_unit_steals += reduce_placed.remote_steals;
     stats.emissions = emissions.load();
     // The mr round's reduce time is reported as merge; the map phase is the
     // emit proper.
@@ -652,6 +741,15 @@ class MatcherState {
   Scheduler scheduler_;
   TierPolicy tier_policy_;
   int num_shards_;
+  // Shard-placement layer: the topology (detected, or forced synthetic for
+  // tests) and the policy object homing each score shard on a memory
+  // domain. Inactive (single domain / placement=none) placements delegate
+  // every loop to the pre-placement path.
+  MachineTopology topology_;
+  ShardPlacement placement_;
+  // Locality split of the between-round CompactScores tasks, credited to
+  // the next round's PhaseStats.
+  PlacedLoopStats compact_placed_stats_;
   std::vector<NodeId> map_1to2_;
   std::vector<NodeId> map_2to1_;
   std::vector<std::pair<NodeId, NodeId>> links_;

@@ -10,6 +10,7 @@
 #include "reconcile/graph/graph.h"
 #include "reconcile/graph/types.h"
 #include "reconcile/util/parallel_for.h"
+#include "reconcile/util/placement.h"
 
 namespace reconcile {
 
@@ -95,6 +96,23 @@ struct MatcherConfig {
   int lsm_max_tiers = 2;
   /// Size-ratio compaction trigger (see `TierPolicy::size_ratio`).
   double lsm_size_ratio = 4.0;
+  /// Topology-aware homing of the persistent per-(level, shard) score state
+  /// (see `PlacementPolicy`): each shard gets a home memory domain, pool
+  /// workers are pinned to domains, the score-unit loops (merge, compact,
+  /// selection scan/accept) run domain-local work first and steal remote
+  /// only when dry, and shard buffers are first-touched from their home
+  /// domain. `kAuto` follows the process default (`RECONCILE_PLACEMENT`
+  /// override, else domain homing on multi-domain hosts, none otherwise).
+  /// All policies produce bit-identical matchings; `kNone` preserves the
+  /// pre-placement behavior byte for byte, and single-domain hosts take
+  /// that path under every policy.
+  PlacementPolicy placement = PlacementPolicy::kAuto;
+  /// Synthetic domain-count override for the placement topology (0 = detect
+  /// the machine; >= 1 forces that many CPU-less domains, clamped to
+  /// `kMaxSyntheticDomains`). Lets tests and single-socket hosts exercise
+  /// the multi-domain paths; the process-wide `RECONCILE_PLACEMENT_DOMAINS`
+  /// env var does the same for a whole run.
+  int placement_domains = 0;
 };
 
 /// Runs User-Matching: expands the seed links into a one-to-one partial

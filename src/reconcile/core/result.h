@@ -31,6 +31,15 @@ struct PhaseStats {
   double scan_seconds = 0.0;
   double select_seconds = 0.0;
   int num_threads = 0;      ///< Worker threads the round ran with.
+  // Shard-placement locality split over this round's score-unit tasks
+  // (merge cells + the selection scan/accept unit passes): tasks executed
+  // by a worker of the unit's home domain vs stolen cross-domain after the
+  // thief's own domain ran dry. With placement off (or one domain) every
+  // task counts as local. These are the observable signal for placement on
+  // hosts where wall-clock cannot show it.
+  size_t local_unit_tasks = 0;
+  size_t remote_unit_steals = 0;
+  int placement_domains = 1;  ///< Memory domains the round placed over.
 };
 
 /// Output of a matcher run: a (partial) one-to-one correspondence between
@@ -54,6 +63,14 @@ struct MatchResult {
     double select_seconds = 0.0;
   };
   PhaseTimeTotals SumPhaseSeconds() const;
+
+  /// Whole-run totals of the shard-placement locality counters.
+  struct PlacementTotals {
+    size_t local_unit_tasks = 0;
+    size_t remote_unit_steals = 0;
+    int domains = 1;  ///< Max over rounds (constant within a run).
+  };
+  PlacementTotals SumPlacementCounters() const;
 
   /// Total number of links in the mapping (seeds + discovered).
   size_t NumLinks() const;

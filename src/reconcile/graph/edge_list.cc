@@ -75,17 +75,73 @@ void EdgeList::Normalize(ThreadPool* pool) {
     }
   }
 
-  // Single linear sweep fusing dedup and self-loop removal, shared by both
-  // paths (duplicates are adjacent after the sort, so this equals
-  // sort + unique + remove loops).
-  size_t out = 0;
-  for (size_t i = 0; i < n; ++i) {
+  DedupSweep(pool);
+}
+
+// Dedup + self-loop removal over the sorted edge array. An edge is kept iff
+// it is not a self-loop and differs from its predecessor *input* element —
+// equivalent to the classic "differs from the last kept edge" rule because
+// the array is sorted: if e equals its predecessor, that predecessor was
+// either kept (so e is a duplicate of the last kept edge) or was a
+// self-loop (then e is the same self-loop). The predicate is therefore a
+// pure function of (edges_[i-1], edges_[i]), which is what makes the
+// blocked parallel sweep possible.
+void EdgeList::DedupSweep(ThreadPool* pool) {
+  const size_t n = edges_.size();
+  auto keep = [this](size_t i) {
     const Edge& e = edges_[i];
-    if (e.first == e.second) continue;
-    if (out > 0 && edges_[out - 1] == e) continue;
-    edges_[out++] = e;
+    if (e.first == e.second) return false;
+    return i == 0 || !(edges_[i - 1] == e);
+  };
+
+  if (pool == nullptr || pool->num_threads() < 2 || n < 2) {
+    // Serial reference sweep (also the historical in-place code path).
+    size_t out = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!keep(i)) continue;
+      edges_[out++] = edges_[i];
+    }
+    edges_.resize(out);
+    return;
   }
-  edges_.resize(out);
+
+  // Blocked scan: per-block kept counts -> serial prefix over the block
+  // totals -> parallel compaction into a fresh array (in-place parallel
+  // compaction would let block b overwrite input another block has not
+  // consumed yet). Output order equals the serial sweep regardless of the
+  // block partition or thread count, because the keep predicate is local
+  // and blocks write disjoint pre-computed output ranges in input order.
+  const size_t grain = pool->GrainFor(n, 4096);
+  std::vector<size_t> bounds;
+  for (size_t b = 0; b < n; b += grain) bounds.push_back(b);
+  bounds.push_back(n);
+  const size_t num_blocks = bounds.size() - 1;
+
+  std::vector<size_t> offsets(num_blocks + 1, 0);
+  ParallelForSched(pool, Scheduler::kAuto, num_blocks, 1,
+                   [&bounds, &offsets, &keep](size_t lo, size_t hi) {
+                     for (size_t b = lo; b < hi; ++b) {
+                       size_t count = 0;
+                       for (size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
+                         if (keep(i)) ++count;
+                       }
+                       offsets[b + 1] = count;
+                     }
+                   });
+  for (size_t b = 0; b < num_blocks; ++b) offsets[b + 1] += offsets[b];
+
+  std::vector<Edge> compacted(offsets[num_blocks]);
+  ParallelForSched(pool, Scheduler::kAuto, num_blocks, 1,
+                   [this, &bounds, &offsets, &compacted, &keep](size_t lo,
+                                                               size_t hi) {
+                     for (size_t b = lo; b < hi; ++b) {
+                       size_t out = offsets[b];
+                       for (size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
+                         if (keep(i)) compacted[out++] = edges_[i];
+                       }
+                     }
+                   });
+  edges_ = std::move(compacted);
 }
 
 }  // namespace reconcile

@@ -42,14 +42,16 @@ class EdgeList {
   }
 
   /// Sorts endpoint pairs canonically (min, max), drops self-loops and
-  /// duplicate edges. Idempotent. Large lists run the canonicalize and sort
-  /// passes on the process-wide shared pool; the result is independent of
-  /// the thread count.
+  /// duplicate edges. Idempotent. Large lists run the canonicalize, sort
+  /// and dedup passes on the process-wide shared pool; the result is
+  /// independent of the thread count.
   void Normalize();
 
   /// Same, but runs the parallel passes on `pool` (chunked canonicalize,
-  /// chunk sorts, then a log2(chunks) ladder of pairwise in-place merges).
-  /// `pool == nullptr` forces the serial path.
+  /// chunk sorts, a log2(chunks) ladder of pairwise in-place merges, then a
+  /// blocked dedup/self-loop sweep: per-block keep counts, a serial prefix
+  /// over block totals, parallel compaction). `pool == nullptr` forces the
+  /// serial path.
   void Normalize(ThreadPool* pool);
 
   size_t size() const { return edges_.size(); }
@@ -59,6 +61,11 @@ class EdgeList {
   std::vector<Edge>& mutable_edges() { return edges_; }
 
  private:
+  /// Fused dedup + self-loop removal over the sorted array; parallel
+  /// (blocked scan) when `pool` has >= 2 threads, serial reference sweep
+  /// otherwise. Output is identical either way for any thread count.
+  void DedupSweep(ThreadPool* pool);
+
   std::vector<Edge> edges_;
   NodeId num_nodes_ = 0;
 };

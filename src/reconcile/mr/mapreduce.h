@@ -10,6 +10,7 @@
 #include "reconcile/util/flat_hash_map.h"
 #include "reconcile/util/logging.h"
 #include "reconcile/util/parallel_for.h"
+#include "reconcile/util/placement.h"
 #include "reconcile/util/radix_sort.h"
 #include "reconcile/util/rng.h"
 #include "reconcile/util/thread_pool.h"
@@ -50,12 +51,20 @@ inline int ShardOfKey(uint64_t key, int num_shards) {
 /// the phase runs. The aggregate is identical either way (counts sum
 /// commutatively). When `reduce_seconds` is non-null the reduce phase's
 /// wall-clock is added to it.
+///
+/// `placement`, when non-null and active, homes each reduce shard on its
+/// placement domain: the reduce tasks run domain-local first, stealing
+/// remote shards only when the local domain is dry (`placed_stats` takes
+/// the locality split). Null/inactive placement keeps the historical
+/// one-task-per-shard submission byte for byte.
 template <typename MapFn>
 std::vector<FlatCountMap> CountByKey(ThreadPool* pool, size_t num_items,
                                      int num_map_shards, int num_reduce_shards,
                                      MapFn&& map_fn,
                                      Scheduler scheduler = Scheduler::kAuto,
-                                     double* reduce_seconds = nullptr) {
+                                     double* reduce_seconds = nullptr,
+                                     const ShardPlacement* placement = nullptr,
+                                     PlacedLoopStats* placed_stats = nullptr) {
   RECONCILE_CHECK_GE(num_map_shards, 1);
   RECONCILE_CHECK_GE(num_reduce_shards, 1);
 
@@ -86,23 +95,30 @@ std::vector<FlatCountMap> CountByKey(ThreadPool* pool, size_t num_items,
   // Reduce phase: merge combiners per reduce shard, in fixed producer order.
   Timer reduce_timer;
   std::vector<FlatCountMap> result(static_cast<size_t>(num_reduce_shards));
-  {
-    for (int r = 0; r < num_reduce_shards; ++r) {
-      pool->Submit([r, &result, &partial] {
-        size_t expected = 0;
-        for (const std::vector<FlatCountMap>& maps : partial) {
-          if (!maps.empty()) expected += maps[static_cast<size_t>(r)].size();
-        }
-        FlatCountMap merged(expected);
-        for (const std::vector<FlatCountMap>& maps : partial) {
-          if (maps.empty()) continue;
-          maps[static_cast<size_t>(r)].ForEach(
-              [&merged](uint64_t key, uint32_t count) {
-                merged.AddCount(key, count);
-              });
-        }
-        result[static_cast<size_t>(r)] = std::move(merged);
+  auto reduce_shard = [&result, &partial](size_t r) {
+    size_t expected = 0;
+    for (const std::vector<FlatCountMap>& maps : partial) {
+      if (!maps.empty()) expected += maps[r].size();
+    }
+    FlatCountMap merged(expected);
+    for (const std::vector<FlatCountMap>& maps : partial) {
+      if (maps.empty()) continue;
+      maps[r].ForEach([&merged](uint64_t key, uint32_t count) {
+        merged.AddCount(key, count);
       });
+    }
+    result[r] = std::move(merged);
+  };
+  if (placement != nullptr && placement->active()) {
+    placement->ParallelForPlaced(
+        pool, scheduler, static_cast<size_t>(num_reduce_shards),
+        [placement](size_t r) {
+          return placement->HomeOfShard(static_cast<int>(r));
+        },
+        reduce_shard, placed_stats);
+  } else {
+    for (int r = 0; r < num_reduce_shards; ++r) {
+      pool->Submit([r, &reduce_shard] { reduce_shard(static_cast<size_t>(r)); });
     }
     pool->Wait();
   }
@@ -124,14 +140,18 @@ std::vector<FlatCountMap> CountByKey(ThreadPool* pool, size_t num_items,
 /// deterministic partition yields the same aggregate.
 ///
 /// The multiset of (key, count) pairs over all shards equals the sequential
-/// count, independent of shard or thread counts.
+/// count, independent of shard or thread counts. `placement`/`placed_stats`
+/// behave as in `CountByKey`: active placement runs the reduce shards
+/// domain-local first, null/inactive keeps the historical submission.
 template <typename MapFn, typename ShardFn>
 std::vector<SortedCountRun> SortCountByKey(ThreadPool* pool, size_t num_items,
                                            int num_map_shards,
                                            int num_reduce_shards,
                                            MapFn&& map_fn, ShardFn&& shard_fn,
                                            Scheduler scheduler = Scheduler::kAuto,
-                                           double* reduce_seconds = nullptr) {
+                                           double* reduce_seconds = nullptr,
+                                           const ShardPlacement* placement = nullptr,
+                                           PlacedLoopStats* placed_stats = nullptr) {
   RECONCILE_CHECK_GE(num_map_shards, 1);
   RECONCILE_CHECK_GE(num_reduce_shards, 1);
 
@@ -163,24 +183,32 @@ std::vector<SortedCountRun> SortCountByKey(ThreadPool* pool, size_t num_items,
   // Reduce phase: per shard, gather the chunks, sort, run-length-encode.
   Timer reduce_timer;
   std::vector<SortedCountRun> result(static_cast<size_t>(num_reduce_shards));
-  {
+  auto reduce_shard = [&result, &partial](size_t r) {
+    size_t total = 0;
+    for (const std::vector<std::vector<uint64_t>>& buffers : partial) {
+      if (!buffers.empty()) total += buffers[r].size();
+    }
+    if (total == 0) return;
+    std::vector<uint64_t> keys;
+    keys.reserve(total);
+    for (const std::vector<std::vector<uint64_t>>& buffers : partial) {
+      if (buffers.empty()) continue;
+      const std::vector<uint64_t>& chunk = buffers[r];
+      keys.insert(keys.end(), chunk.begin(), chunk.end());
+    }
+    std::vector<uint64_t> scratch;
+    result[r] = SortAndCount(std::move(keys), scratch);
+  };
+  if (placement != nullptr && placement->active()) {
+    placement->ParallelForPlaced(
+        pool, scheduler, static_cast<size_t>(num_reduce_shards),
+        [placement](size_t r) {
+          return placement->HomeOfShard(static_cast<int>(r));
+        },
+        reduce_shard, placed_stats);
+  } else {
     for (int r = 0; r < num_reduce_shards; ++r) {
-      pool->Submit([r, &result, &partial] {
-        size_t total = 0;
-        for (const std::vector<std::vector<uint64_t>>& buffers : partial) {
-          if (!buffers.empty()) total += buffers[static_cast<size_t>(r)].size();
-        }
-        if (total == 0) return;
-        std::vector<uint64_t> keys;
-        keys.reserve(total);
-        for (const std::vector<std::vector<uint64_t>>& buffers : partial) {
-          if (buffers.empty()) continue;
-          const std::vector<uint64_t>& chunk = buffers[static_cast<size_t>(r)];
-          keys.insert(keys.end(), chunk.begin(), chunk.end());
-        }
-        std::vector<uint64_t> scratch;
-        result[static_cast<size_t>(r)] = SortAndCount(std::move(keys), scratch);
-      });
+      pool->Submit([r, &reduce_shard] { reduce_shard(static_cast<size_t>(r)); });
     }
     pool->Wait();
   }

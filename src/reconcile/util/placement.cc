@@ -1,0 +1,222 @@
+#include "reconcile/util/placement.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace reconcile {
+
+namespace {
+
+PlacementPolicy DefaultPolicy(const MachineTopology& topo) {
+  const char* env = std::getenv("RECONCILE_PLACEMENT");
+  PlacementPolicy parsed;
+  if (env != nullptr && ParsePlacement(env, &parsed) &&
+      parsed != PlacementPolicy::kAuto) {
+    return parsed;
+  }
+  // Domain homing is the right default wherever it can matter; on
+  // single-domain hosts every policy is equivalent, so report the cheaper
+  // truth.
+  return topo.multi_domain() ? PlacementPolicy::kDomain
+                             : PlacementPolicy::kNone;
+}
+
+// Per-domain claim cursor, cache-line padded: every claim is one
+// fetch_add, so false sharing between domains' cursors would serialize
+// exactly the traffic placement exists to keep apart.
+struct alignas(64) DomainCursor {
+  std::atomic<size_t> next{0};
+};
+
+}  // namespace
+
+PlacementPolicy ResolvePlacement(PlacementPolicy policy,
+                                 const MachineTopology& topo) {
+  return policy == PlacementPolicy::kAuto ? DefaultPolicy(topo) : policy;
+}
+
+const char* PlacementName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kAuto:
+      return "auto";
+    case PlacementPolicy::kNone:
+      return "none";
+    case PlacementPolicy::kInterleave:
+      return "interleave";
+    case PlacementPolicy::kDomain:
+      return "domain";
+  }
+  return "auto";
+}
+
+bool ParsePlacement(const std::string& text, PlacementPolicy* out) {
+  if (text == "auto") {
+    *out = PlacementPolicy::kAuto;
+  } else if (text == "none") {
+    *out = PlacementPolicy::kNone;
+  } else if (text == "interleave") {
+    *out = PlacementPolicy::kInterleave;
+  } else if (text == "domain") {
+    *out = PlacementPolicy::kDomain;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ShardPlacement::ShardPlacement(const MachineTopology& topo,
+                               PlacementPolicy policy, int num_shards,
+                               int num_workers)
+    : topo_(topo),
+      policy_(ResolvePlacement(policy, topo)),
+      num_shards_(std::max(1, num_shards)) {
+  active_ = policy_ != PlacementPolicy::kNone && topo_.multi_domain();
+  if (!active_) return;
+
+  const int domains = topo_.num_domains();
+  shard_domain_.resize(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    shard_domain_[static_cast<size_t>(s)] =
+        policy_ == PlacementPolicy::kInterleave
+            ? s % domains
+            : static_cast<int>(static_cast<size_t>(s) *
+                               static_cast<size_t>(domains) /
+                               static_cast<size_t>(num_shards_));
+  }
+
+  // Contiguous worker blocks per domain, proportional to CPU counts so a
+  // lopsided machine (or a memory-only-node survivor) still gets its share
+  // of workers. Synthetic domains have no CPU lists and weigh equally.
+  const int workers = std::max(1, num_workers);
+  std::vector<size_t> weight(static_cast<size_t>(domains), 1);
+  size_t total = 0;
+  for (int d = 0; d < domains; ++d) {
+    const size_t cpus = topo_.domains[static_cast<size_t>(d)].cpus.size();
+    if (cpus > 0) weight[static_cast<size_t>(d)] = cpus;
+    total += weight[static_cast<size_t>(d)];
+  }
+  worker_domain_.resize(static_cast<size_t>(workers));
+  size_t cumulative = 0;
+  int domain = 0;
+  for (int w = 0; w < workers; ++w) {
+    // Worker w sits at fraction w/W of the pool; advance the domain until
+    // its cumulative weight window covers that point.
+    const size_t point = static_cast<size_t>(w) * total;
+    while (domain + 1 < domains &&
+           point >= (cumulative + weight[static_cast<size_t>(domain)]) *
+                        static_cast<size_t>(workers)) {
+      cumulative += weight[static_cast<size_t>(domain)];
+      ++domain;
+    }
+    worker_domain_[static_cast<size_t>(w)] = domain;
+  }
+}
+
+void ShardPlacement::PinWorkers(ThreadPool* pool) const {
+  if (!active_ || topo_.synthetic || pool == nullptr) return;
+  for (int w = 0; w < pool->num_threads(); ++w) {
+    const int d = DomainOfWorker(w);
+    pool->PinWorkerToCpus(w, topo_.domains[static_cast<size_t>(d)].cpus);
+  }
+}
+
+void ShardPlacement::ParallelForPlaced(
+    ThreadPool* pool, Scheduler scheduler, size_t n,
+    const std::function<int(size_t)>& domain_of,
+    const std::function<void(size_t)>& fn, PlacedLoopStats* stats) const {
+  if (!active_ || pool == nullptr || pool->num_threads() < 2 || n < 2) {
+    // Pre-placement loop shape: per-item tasks under the configured
+    // scheduler (all call sites used grain 1 for their cell loops).
+    ParallelForSched(pool, scheduler, n, 1, [&fn](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    });
+    if (stats != nullptr) stats->local_tasks += n;
+    return;
+  }
+
+  // Bucket items by home domain (deterministic: input order within each
+  // bucket). Which worker executes an item is schedule-dependent, so `fn`
+  // must stay partition-independent — same contract as ParallelForSched.
+  const int domains = topo_.num_domains();
+  std::vector<std::vector<uint32_t>> buckets(static_cast<size_t>(domains));
+  for (size_t i = 0; i < n; ++i) {
+    const int d =
+        std::clamp(domain_of(i), 0, domains - 1);
+    buckets[static_cast<size_t>(d)].push_back(static_cast<uint32_t>(i));
+  }
+
+  std::vector<DomainCursor> cursors(static_cast<size_t>(domains));
+  std::atomic<size_t> local_total{0};
+  std::atomic<size_t> remote_total{0};
+
+  const int tasks = static_cast<int>(
+      std::min<size_t>(n, static_cast<size_t>(pool->num_threads())));
+  for (int t = 0; t < tasks; ++t) {
+    pool->Submit([this, t, domains, &buckets, &cursors, &fn, &local_total,
+                  &remote_total] {
+      // Locality follows the executing thread (which PinWorkers bound to a
+      // domain), not the submission slot — any worker may pick this task.
+      int worker = ThreadPool::CurrentWorkerIndex();
+      if (worker < 0) worker = t;
+      const int home = DomainOfWorker(worker);
+      auto& home_bucket = buckets[static_cast<size_t>(home)];
+      auto& home_cursor = cursors[static_cast<size_t>(home)].next;
+      size_t local = 0, remote = 0;
+      bool home_dry = false;
+      for (;;) {
+        uint32_t item = 0;
+        bool is_local = false;
+        if (!home_dry) {
+          const size_t idx = home_cursor.fetch_add(1, std::memory_order_relaxed);
+          if (idx < home_bucket.size()) {
+            item = home_bucket[idx];
+            is_local = true;
+          } else {
+            home_dry = true;
+          }
+        }
+        if (!is_local) {
+          // Home domain dry: steal from the remote domain with the most
+          // unclaimed items (racy estimate; the fetch_add claim is the
+          // authority, a lost race just rescans).
+          int victim = -1;
+          size_t best = 0;
+          for (int v = 0; v < domains; ++v) {
+            if (v == home) continue;
+            const size_t size = buckets[static_cast<size_t>(v)].size();
+            const size_t cur =
+                cursors[static_cast<size_t>(v)].next.load(
+                    std::memory_order_relaxed);
+            const size_t remaining = cur < size ? size - cur : 0;
+            if (remaining > best) {
+              best = remaining;
+              victim = v;
+            }
+          }
+          if (victim < 0) break;  // every domain drained — retire
+          const size_t idx = cursors[static_cast<size_t>(victim)].next
+                                 .fetch_add(1, std::memory_order_relaxed);
+          if (idx >= buckets[static_cast<size_t>(victim)].size()) continue;
+          item = buckets[static_cast<size_t>(victim)][idx];
+        }
+        fn(item);
+        if (is_local) {
+          ++local;
+        } else {
+          ++remote;
+        }
+      }
+      local_total.fetch_add(local, std::memory_order_relaxed);
+      remote_total.fetch_add(remote, std::memory_order_relaxed);
+    });
+  }
+  pool->Wait();
+
+  if (stats != nullptr) {
+    stats->local_tasks += local_total.load();
+    stats->remote_steals += remote_total.load();
+  }
+}
+
+}  // namespace reconcile

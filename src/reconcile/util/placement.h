@@ -1,0 +1,129 @@
+#ifndef RECONCILE_UTIL_PLACEMENT_H_
+#define RECONCILE_UTIL_PLACEMENT_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "reconcile/util/parallel_for.h"
+#include "reconcile/util/thread_pool.h"
+#include "reconcile/util/topology.h"
+
+namespace reconcile {
+
+/// How the persistent per-(level, shard) score state is homed onto the
+/// machine's memory domains. Every policy produces bit-identical matchings
+/// (placement only decides *where* work runs and memory lives, never *what*
+/// is computed); they differ in cross-domain traffic on multi-socket hosts.
+enum class PlacementPolicy {
+  /// Resolve at construction: the `RECONCILE_PLACEMENT` environment
+  /// variable ("none" | "interleave" | "domain") when set; otherwise
+  /// `kDomain` on multi-domain topologies and `kNone` on single-domain
+  /// hosts (where all policies are equivalent anyway).
+  kAuto,
+  /// No placement: no worker pinning, no steal-order bias, no first-touch
+  /// pass — byte-for-byte the pre-placement behavior.
+  kNone,
+  /// Round-robin shard homing: shard `s` lives on domain `s % D`. Spreads
+  /// every level's shards across all domains, so per-domain load is even
+  /// but adjacent shards never share a domain.
+  kInterleave,
+  /// Contiguous-block homing: shard `s` lives on domain `s * D / S`. Each
+  /// domain owns a contiguous key range (the radix backend's shards are a
+  /// range partition on the g1 node id), so a domain's workers sweep
+  /// contiguous score state.
+  kDomain,
+};
+
+/// Maps `kAuto` onto the process default for `topo` (environment override
+/// or kDomain/kNone by domain count); explicit values pass through.
+PlacementPolicy ResolvePlacement(PlacementPolicy policy,
+                                 const MachineTopology& topo);
+
+/// "auto" | "none" | "interleave" | "domain".
+const char* PlacementName(PlacementPolicy policy);
+
+/// Parses "auto" | "none" | "interleave" | "domain".
+bool ParsePlacement(const std::string& text, PlacementPolicy* out);
+
+/// Locality telemetry from one placed loop: how many tasks ran on a worker
+/// of their home domain vs were stolen cross-domain once the thief's own
+/// domain ran dry. Zero remote steals with balanced domains is the ideal;
+/// the counters make placement observable even where wall-clock cannot
+/// show it (single-core CI with synthetic domains).
+struct PlacedLoopStats {
+  size_t local_tasks = 0;
+  size_t remote_steals = 0;
+};
+
+/// The shard-placement policy object: assigns each score shard a home
+/// domain, maps pool workers onto domains, pins them there (real
+/// topologies only), and runs domain-biased loops over shard-indexed work.
+///
+/// `active()` is false when the resolved policy is `kNone` *or* the
+/// topology has one domain; every method then degenerates to the exact
+/// pre-placement behavior, so single-socket hosts see zero change.
+class ShardPlacement {
+ public:
+  /// `num_workers` is the pool size the worker→domain map covers;
+  /// `num_shards` the score-state shard count homes are computed for.
+  ShardPlacement(const MachineTopology& topo, PlacementPolicy policy,
+                 int num_shards, int num_workers);
+
+  /// Resolved policy (`kAuto` already mapped to a concrete one).
+  PlacementPolicy policy() const { return policy_; }
+  bool active() const { return active_; }
+  int num_domains() const { return topo_.num_domains(); }
+  int num_shards() const { return num_shards_; }
+
+  /// Home domain of score shard `shard` (identically 0 when inactive).
+  int HomeOfShard(int shard) const {
+    return active_ ? shard_domain_[static_cast<size_t>(shard)] : 0;
+  }
+
+  /// Home domain of pool worker `worker`: contiguous worker blocks per
+  /// domain, sized proportionally to the domains' CPU counts (evenly for
+  /// synthetic domains), so every domain with capacity gets workers.
+  int DomainOfWorker(int worker) const {
+    if (!active_ || worker < 0 ||
+        worker >= static_cast<int>(worker_domain_.size())) {
+      return 0;
+    }
+    return worker_domain_[static_cast<size_t>(worker)];
+  }
+
+  /// Pins each of `pool`'s workers to its home domain's CPUs. Best effort:
+  /// skipped entirely for synthetic domains (no CPU lists) and inactive
+  /// placements; per-worker failures are ignored (affinity is a locality
+  /// hint, never a correctness requirement).
+  void PinWorkers(ThreadPool* pool) const;
+
+  /// Domain-biased parallel-for over `[0, n)`: `domain_of(i)` gives item
+  /// i's home domain; each worker drains its own domain's items first and
+  /// steals from the fullest remote domain only when its own is dry.
+  /// `fn(i)` runs exactly once per item, on an unspecified worker — bodies
+  /// must be the same partition-independent shape `ParallelForSched`
+  /// requires, so results are bit-identical to any other schedule.
+  ///
+  /// When inactive (or `pool` is small), delegates to `ParallelForSched`
+  /// with grain 1 — the exact loop shape the call sites used before
+  /// placement existed. `stats`, if non-null, accumulates the local/remote
+  /// split (all-local when inactive).
+  void ParallelForPlaced(ThreadPool* pool, Scheduler scheduler, size_t n,
+                         const std::function<int(size_t)>& domain_of,
+                         const std::function<void(size_t)>& fn,
+                         PlacedLoopStats* stats = nullptr) const;
+
+ private:
+  MachineTopology topo_;
+  PlacementPolicy policy_;
+  int num_shards_;
+  bool active_;
+  std::vector<int> shard_domain_;   // [shard] -> home domain
+  std::vector<int> worker_domain_;  // [worker] -> home domain
+};
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_UTIL_PLACEMENT_H_

@@ -2,13 +2,28 @@
 
 #include <algorithm>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace reconcile {
+
+namespace {
+
+// Worker identity of the calling thread. -1 outside pool workers. A thread
+// belongs to exactly one pool for its whole lifetime, so a plain index
+// (rather than a (pool, index) pair) is unambiguous for the pool's own
+// loops, which are the only consumers.
+thread_local int t_worker_index = -1;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   int n = std::max(1, num_threads);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -32,6 +47,25 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   work_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+int ThreadPool::CurrentWorkerIndex() { return t_worker_index; }
+
+bool ThreadPool::PinWorkerToCpus(int worker, const std::vector<int>& cpus) {
+  if (worker < 0 || worker >= num_threads() || cpus.empty()) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int cpu : cpus) {
+    if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+    CPU_SET(cpu, &set);
+  }
+  return pthread_setaffinity_np(
+             workers_[static_cast<size_t>(worker)].native_handle(),
+             sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
 }
 
 int ThreadPool::DefaultThreads() {
@@ -66,7 +100,8 @@ void ParallelForChunks(ThreadPool* pool, size_t n, size_t grain,
   pool->Wait();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  t_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {

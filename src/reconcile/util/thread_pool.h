@@ -36,6 +36,19 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Index of the calling thread within its owning pool (`[0, num_threads)`),
+  /// or -1 when the caller is not a pool worker. Worker indices are stable
+  /// for the thread's lifetime, so loops can key per-worker state (domain
+  /// homes, accumulation buffers) off the executing thread rather than the
+  /// task submission order.
+  static int CurrentWorkerIndex();
+
+  /// Best-effort OS affinity: restricts worker `worker` to the given CPUs
+  /// (the shard-placement layer pins workers to their home domain's CPUs).
+  /// Returns false — leaving affinity unchanged — on non-Linux builds, bad
+  /// arguments, or a failed syscall. Never affects results, only locality.
+  bool PinWorkerToCpus(int worker, const std::vector<int>& cpus);
+
   /// Default parallelism: hardware concurrency, at least 1.
   static int DefaultThreads();
 
@@ -63,7 +76,7 @@ class ThreadPool {
   }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   std::mutex mutex_;
   std::condition_variable work_available_;

@@ -145,6 +145,11 @@ class TieredCountRuns {
                  tiers_.end());
   }
 
+  /// Pre-sizes the tier stack (not the runs — those are appended whole).
+  /// The shard-placement first-touch pass calls this from a home-domain
+  /// worker so the stack's backing pages are allocated there.
+  void ReserveTiers(size_t n) { tiers_.reserve(n); }
+
   bool empty() const { return tiers_.empty(); }
   size_t num_tiers() const { return tiers_.size(); }
 

@@ -149,6 +149,129 @@ TEST(LsmStoreDeterminismTest, TierThresholdsAreUnobservable) {
   }
 }
 
+// Shard placement must be unobservable in the matching: the grid runs
+// placement x scoring backend x scheduler x threads over a forced 3-domain
+// synthetic topology (so the domain-biased claiming, worker homing and
+// first-touch paths are all live even on single-socket CI hosts) against
+// the single-thread static/none reference. Any divergence means a placed
+// loop dropped/duplicated a cell or a fold stopped being
+// partition-independent.
+TEST(PlacementDeterminismTest, PoliciesMatchReferenceAcrossGrid) {
+  for (uint64_t rng_seed : {7301u, 7302u}) {
+    SCOPED_TRACE("rng_seed=" + std::to_string(rng_seed));
+    Workload w = MakeWorkload(rng_seed);
+
+    MatcherConfig reference_config;
+    reference_config.scheduler = Scheduler::kStatic;
+    reference_config.placement = PlacementPolicy::kNone;
+    reference_config.num_threads = 1;
+    MatchResult reference =
+        UserMatching(w.pair.g1, w.pair.g2, w.seeds, reference_config);
+    ASSERT_GT(reference.NumNewLinks(), 0u)
+        << "workload too easy to detect divergence";
+
+    for (PlacementPolicy placement :
+         {PlacementPolicy::kNone, PlacementPolicy::kInterleave,
+          PlacementPolicy::kDomain}) {
+      for (ScoringBackend backend :
+           {ScoringBackend::kRadixSort, ScoringBackend::kHashMap}) {
+        for (Scheduler scheduler :
+             {Scheduler::kStatic, Scheduler::kWorkStealing}) {
+          for (int threads : {2, 5}) {
+            SCOPED_TRACE(std::string("placement=") + PlacementName(placement) +
+                         " backend=" +
+                         (backend == ScoringBackend::kRadixSort ? "radix"
+                                                                : "hash") +
+                         " scheduler=" + SchedulerName(scheduler) +
+                         " threads=" + std::to_string(threads));
+            MatcherConfig config;
+            config.placement = placement;
+            config.placement_domains = 3;
+            config.scoring_backend = backend;
+            config.scheduler = scheduler;
+            config.num_threads = threads;
+            MatchResult result =
+                UserMatching(w.pair.g1, w.pair.g2, w.seeds, config);
+            ExpectSameMatching(result, reference);
+          }
+        }
+      }
+    }
+  }
+}
+
+// The locality counters must account for every score-unit task, and an
+// active multi-domain placement must report its domain count while
+// placement=none stays on the single-domain fallback telemetry.
+TEST(PlacementDeterminismTest, LocalityCountersAccountForUnitTasks) {
+  Workload w = MakeWorkload(7303);
+
+  MatcherConfig placed_config;
+  placed_config.placement = PlacementPolicy::kDomain;
+  placed_config.placement_domains = 3;
+  placed_config.num_threads = 4;
+  MatchResult placed = UserMatching(w.pair.g1, w.pair.g2, w.seeds,
+                                    placed_config);
+  ASSERT_FALSE(placed.phases.empty());
+  for (const PhaseStats& phase : placed.phases) {
+    EXPECT_EQ(phase.placement_domains, 3);
+  }
+  const MatchResult::PlacementTotals totals = placed.SumPlacementCounters();
+  EXPECT_GT(totals.local_unit_tasks + totals.remote_unit_steals, 0u);
+  EXPECT_EQ(totals.domains, 3);
+
+  MatcherConfig none_config = placed_config;
+  none_config.placement = PlacementPolicy::kNone;
+  MatchResult none = UserMatching(w.pair.g1, w.pair.g2, w.seeds, none_config);
+  for (const PhaseStats& phase : none.phases) {
+    EXPECT_EQ(phase.placement_domains, 1);
+    EXPECT_EQ(phase.remote_unit_steals, 0u);
+  }
+  // Emissions and candidate pairs are schedule-independent, so the placed
+  // and unplaced runs must agree on them round by round.
+  ASSERT_EQ(placed.phases.size(), none.phases.size());
+  for (size_t i = 0; i < placed.phases.size(); ++i) {
+    EXPECT_EQ(placed.phases[i].emissions, none.phases[i].emissions);
+    EXPECT_EQ(placed.phases[i].candidate_pairs,
+              none.phases[i].candidate_pairs);
+    EXPECT_EQ(placed.phases[i].new_links, none.phases[i].new_links);
+  }
+}
+
+// The recompute engine routes its reduce through the placed loop too (one
+// fresh state per round); placement and serial selection must both stay
+// unobservable there.
+TEST(PlacementDeterminismTest, RecomputeAndSerialSelectionUnaffected) {
+  Workload w = MakeWorkload(7304);
+  MatcherConfig reference_config;
+  reference_config.placement = PlacementPolicy::kNone;
+  reference_config.num_threads = 1;
+  MatchResult reference =
+      UserMatching(w.pair.g1, w.pair.g2, w.seeds, reference_config);
+  for (bool incremental : {false, true}) {
+    for (bool parallel_selection : {false, true}) {
+      for (ScoringBackend backend :
+           {ScoringBackend::kRadixSort, ScoringBackend::kHashMap}) {
+        SCOPED_TRACE(std::string("incremental=") +
+                     std::to_string(incremental) + " parallel_selection=" +
+                     std::to_string(parallel_selection) + " backend=" +
+                     (backend == ScoringBackend::kRadixSort ? "radix"
+                                                            : "hash"));
+        MatcherConfig config;
+        config.use_incremental_scoring = incremental;
+        config.use_parallel_selection = parallel_selection;
+        config.scoring_backend = backend;
+        config.placement = PlacementPolicy::kDomain;
+        config.placement_domains = 2;
+        config.num_threads = 4;
+        MatchResult result =
+            UserMatching(w.pair.g1, w.pair.g2, w.seeds, config);
+        ExpectSameMatching(result, reference);
+      }
+    }
+  }
+}
+
 // The tier store only exists in the incremental radix engine; the recompute
 // engine must be unaffected by (and identical under) any tier policy.
 TEST(LsmStoreDeterminismTest, RecomputeEngineIgnoresTierPolicy) {

@@ -142,6 +142,40 @@ TEST(EdgeListParallelNormalizeTest, IdempotentOnPool) {
   EXPECT_EQ(edges.edges(), once);
 }
 
+// Adversarial input for the blocked dedup sweep: a handful of distinct
+// edges each repeated thousands of times, plus self-loop runs — after the
+// sort, equal runs span many dedup blocks, so keep-decisions at block
+// boundaries (compare against the predecessor in the *previous* block) and
+// the prefix-sum offsets are all exercised. Any boundary bug duplicates or
+// drops an edge relative to the serial sweep.
+TEST(EdgeListParallelNormalizeTest, DedupRunsSpanningBlocksMatchSerial) {
+  Rng rng(4242);
+  EdgeList reference(64);
+  reference.Reserve(120000);
+  for (size_t i = 0; i < 120000; ++i) {
+    // ~20 distinct undirected edges + ~4 distinct self-loops, heavily
+    // repeated in random order and random orientation.
+    if (rng.Bernoulli(0.1)) {
+      NodeId u = static_cast<NodeId>(rng.UniformInt(4));
+      reference.Add(u, u);
+    } else {
+      NodeId u = static_cast<NodeId>(rng.UniformInt(5));
+      NodeId v = static_cast<NodeId>(5 + rng.UniformInt(4));
+      if (rng.Bernoulli(0.5)) std::swap(u, v);
+      reference.Add(u, v);
+    }
+  }
+  EdgeList serial = reference;
+  serial.Normalize(nullptr);
+  ASSERT_LE(serial.size(), 20u);  // dedup actually collapsed the runs
+  for (int threads : {2, 3, 5, 8}) {
+    EdgeList parallel = reference;
+    ThreadPool pool(threads);
+    parallel.Normalize(&pool);
+    EXPECT_EQ(parallel.edges(), serial.edges()) << "threads=" << threads;
+  }
+}
+
 TEST(EdgeListParallelNormalizeTest, AutoPathCrossesThreshold) {
   // Above the internal threshold Normalize() may use the shared pool; the
   // result must be identical to the explicitly serial path either way.

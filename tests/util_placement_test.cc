@@ -1,0 +1,194 @@
+// Shard placement: policy resolution/parsing, shard and worker homing, and
+// the domain-biased placed parallel-for (coverage, counters, inactive
+// delegation). Everything here runs on synthetic topologies so the
+// multi-domain paths are exercised regardless of the host.
+#include "reconcile/util/placement.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/util/thread_pool.h"
+#include "reconcile/util/topology.h"
+
+namespace reconcile {
+namespace {
+
+TEST(PlacementPolicyTest, ParseAndNameRoundTrip) {
+  for (PlacementPolicy policy :
+       {PlacementPolicy::kAuto, PlacementPolicy::kNone,
+        PlacementPolicy::kInterleave, PlacementPolicy::kDomain}) {
+    PlacementPolicy parsed;
+    ASSERT_TRUE(ParsePlacement(PlacementName(policy), &parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  PlacementPolicy out;
+  EXPECT_FALSE(ParsePlacement("numa", &out));
+  EXPECT_FALSE(ParsePlacement("", &out));
+}
+
+TEST(PlacementPolicyTest, ExplicitPoliciesPassThroughResolve) {
+  const MachineTopology multi = SyntheticTopology(2);
+  EXPECT_EQ(ResolvePlacement(PlacementPolicy::kNone, multi),
+            PlacementPolicy::kNone);
+  EXPECT_EQ(ResolvePlacement(PlacementPolicy::kInterleave, multi),
+            PlacementPolicy::kInterleave);
+  EXPECT_EQ(ResolvePlacement(PlacementPolicy::kDomain, multi),
+            PlacementPolicy::kDomain);
+}
+
+TEST(ShardPlacementTest, InactiveOnSingleDomainOrNonePolicy) {
+  ShardPlacement single(SingleDomainTopology(), PlacementPolicy::kDomain, 8,
+                        4);
+  EXPECT_FALSE(single.active());
+  EXPECT_EQ(single.HomeOfShard(5), 0);
+  ShardPlacement none(SyntheticTopology(4), PlacementPolicy::kNone, 8, 4);
+  EXPECT_FALSE(none.active());
+  EXPECT_EQ(none.DomainOfWorker(3), 0);
+}
+
+TEST(ShardPlacementTest, InterleaveHomesRoundRobin) {
+  ShardPlacement placement(SyntheticTopology(3), PlacementPolicy::kInterleave,
+                           8, 6);
+  ASSERT_TRUE(placement.active());
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_EQ(placement.HomeOfShard(s), s % 3) << "shard " << s;
+  }
+}
+
+TEST(ShardPlacementTest, DomainHomesContiguousBlocks) {
+  ShardPlacement placement(SyntheticTopology(2), PlacementPolicy::kDomain, 8,
+                           4);
+  ASSERT_TRUE(placement.active());
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(placement.HomeOfShard(s), 0);
+  for (int s = 4; s < 8; ++s) EXPECT_EQ(placement.HomeOfShard(s), 1);
+  // Homes never decrease along the shard axis (contiguous key ranges).
+  ShardPlacement odd(SyntheticTopology(3), PlacementPolicy::kDomain, 7, 4);
+  int prev = 0;
+  for (int s = 0; s < 7; ++s) {
+    EXPECT_GE(odd.HomeOfShard(s), prev);
+    prev = odd.HomeOfShard(s);
+  }
+  EXPECT_EQ(odd.HomeOfShard(6), 2);  // every domain gets shards
+}
+
+TEST(ShardPlacementTest, WorkersSplitAcrossDomains) {
+  ShardPlacement placement(SyntheticTopology(2), PlacementPolicy::kDomain, 8,
+                           4);
+  EXPECT_EQ(placement.DomainOfWorker(0), 0);
+  EXPECT_EQ(placement.DomainOfWorker(1), 0);
+  EXPECT_EQ(placement.DomainOfWorker(2), 1);
+  EXPECT_EQ(placement.DomainOfWorker(3), 1);
+  // Out-of-range workers (pool grew, fallback ids) clamp to domain 0.
+  EXPECT_EQ(placement.DomainOfWorker(-1), 0);
+  EXPECT_EQ(placement.DomainOfWorker(99), 0);
+}
+
+TEST(ShardPlacementTest, WorkerSplitFollowsCpuWeights) {
+  // Real (non-synthetic) domains with lopsided CPU counts: 6 vs 2 CPUs
+  // should put ~3/4 of the workers on domain 0.
+  MachineTopology topo;
+  topo.domains.resize(2);
+  topo.domains[0].id = 0;
+  topo.domains[0].cpus = {0, 1, 2, 3, 4, 5};
+  topo.domains[1].id = 1;
+  topo.domains[1].cpus = {6, 7};
+  ShardPlacement placement(topo, PlacementPolicy::kDomain, 8, 8);
+  int on_domain0 = 0;
+  for (int w = 0; w < 8; ++w) {
+    if (placement.DomainOfWorker(w) == 0) ++on_domain0;
+  }
+  EXPECT_EQ(on_domain0, 6);
+}
+
+// The placed loop must execute every index exactly once no matter how the
+// claims interleave, and the counters must account for every task.
+TEST(PlacedParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (int domains : {2, 3, 5}) {
+    ShardPlacement placement(SyntheticTopology(domains),
+                             PlacementPolicy::kInterleave, 16,
+                             pool.num_threads());
+    ASSERT_TRUE(placement.active());
+    const size_t n = 500;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    PlacedLoopStats stats;
+    placement.ParallelForPlaced(
+        &pool, Scheduler::kAuto, n,
+        [&placement](size_t i) {
+          return placement.HomeOfShard(static_cast<int>(i % 16));
+        },
+        [&hits](size_t i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        &stats);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " domains " << domains;
+    }
+    EXPECT_EQ(stats.local_tasks + stats.remote_steals, n);
+  }
+}
+
+TEST(PlacedParallelForTest, InactivePlacementDelegatesAndCountsLocal) {
+  ThreadPool pool(4);
+  ShardPlacement placement(SingleDomainTopology(), PlacementPolicy::kDomain,
+                           8, pool.num_threads());
+  ASSERT_FALSE(placement.active());
+  const size_t n = 200;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  PlacedLoopStats stats;
+  placement.ParallelForPlaced(
+      &pool, Scheduler::kAuto, n, [](size_t) { return 0; },
+      [&hits](size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      &stats);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+  EXPECT_EQ(stats.local_tasks, n);
+  EXPECT_EQ(stats.remote_steals, 0u);
+}
+
+TEST(PlacedParallelForTest, SerialAndTinyInputsStillCover) {
+  ShardPlacement placement(SyntheticTopology(2), PlacementPolicy::kDomain, 4,
+                           1);
+  // Null pool: the delegate path must run everything inline.
+  int count = 0;
+  placement.ParallelForPlaced(
+      nullptr, Scheduler::kAuto, 5, [](size_t) { return 1; },
+      [&count](size_t) { ++count; });
+  EXPECT_EQ(count, 5);
+  // n = 1 short-circuits below the placed machinery.
+  ThreadPool pool(3);
+  std::atomic<int> one{0};
+  placement.ParallelForPlaced(
+      &pool, Scheduler::kAuto, 1, [](size_t) { return 1; },
+      [&one](size_t) { one.fetch_add(1); });
+  EXPECT_EQ(one.load(), 1);
+}
+
+// A domain with zero workers (more domains than pool threads): all of its
+// items must still run, surfacing as remote steals.
+TEST(PlacedParallelForTest, DomainsWithoutWorkersAreStolenDry) {
+  ThreadPool pool(2);
+  ShardPlacement placement(SyntheticTopology(4), PlacementPolicy::kInterleave,
+                           4, pool.num_threads());
+  ASSERT_TRUE(placement.active());
+  const size_t n = 100;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  PlacedLoopStats stats;
+  placement.ParallelForPlaced(
+      &pool, Scheduler::kAuto, n,
+      [&placement](size_t i) {
+        return placement.HomeOfShard(static_cast<int>(i % 4));
+      },
+      [&hits](size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      &stats);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+  EXPECT_EQ(stats.local_tasks + stats.remote_steals, n);
+  EXPECT_GT(stats.remote_steals, 0u);
+}
+
+}  // namespace
+}  // namespace reconcile
