@@ -6,6 +6,7 @@
 
 #include "reconcile/api/registry.h"
 #include "reconcile/api/spec.h"
+#include "reconcile/util/fault.h"
 
 namespace reconcile {
 
@@ -94,6 +95,24 @@ std::unique_ptr<Reconciler> MakeCore(const ReconcilerSpec& spec,
     reader.AddError("parameter 'placement-domains' must be in [0, " +
                     std::to_string(kMaxSyntheticDomains) +
                     "] (0 detects the machine topology)");
+  }
+  config.checkpoint_dir =
+      reader.GetString("checkpoint-dir", config.checkpoint_dir);
+  config.checkpoint_every_rounds = GetIntParam(
+      reader, "checkpoint-every", config.checkpoint_every_rounds);
+  if (config.checkpoint_every_rounds < 1) {
+    reader.AddError("parameter 'checkpoint-every' must be >= 1");
+  }
+  config.resume = reader.GetBool("resume", config.resume);
+  if (config.resume && config.checkpoint_dir.empty()) {
+    reader.AddError("parameter 'resume' requires 'checkpoint-dir'");
+  }
+  config.fault_spec = reader.GetString("fault", config.fault_spec);
+  if (!config.fault_spec.empty()) {
+    std::string fault_error;
+    if (!ValidateFaultSpec(config.fault_spec, &fault_error)) {
+      reader.AddError("parameter 'fault' is malformed: " + fault_error);
+    }
   }
   if (config.num_iterations < 1) {
     reader.AddError("parameter 'iterations' must be >= 1");
@@ -238,7 +257,8 @@ void RegisterBuiltinReconcilers(Registry& registry) {
                  "parallel-selection, backend=hash|radix, "
                  "scheduler=auto|static|stealing, grain, max-tiers, "
                  "tier-ratio, placement=auto|none|interleave|domain, "
-                 "placement-domains",
+                 "placement-domains, checkpoint-dir, checkpoint-every, "
+                 "resume, fault",
        .threshold_param = "threshold",
        .factory = MakeCore});
   registry.Register(

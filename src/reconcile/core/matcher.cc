@@ -1,777 +1,50 @@
 #include "reconcile/core/matcher.h"
 
 #include <algorithm>
-#include <atomic>
 
-#include "reconcile/core/best_table.h"
-#include "reconcile/mr/mapreduce.h"
-#include "reconcile/util/flat_hash_map.h"
+#include "reconcile/core/matcher_state.h"
+#include "reconcile/util/checkpoint.h"
+#include "reconcile/util/fault.h"
 #include "reconcile/util/logging.h"
-#include "reconcile/util/parallel_for.h"
-#include "reconcile/util/radix_sort.h"
-#include "reconcile/util/thread_pool.h"
-#include "reconcile/util/tiered_store.h"
+#include "reconcile/util/shutdown.h"
 #include "reconcile/util/timer.h"
 
 namespace reconcile {
 
 namespace {
 
-// One disjoint slice of the scored-pair multiset handed to selection: a
-// hash-map shard (hash backend), a sorted run (radix recompute engine), or
-// an LSM tier stack (radix incremental engine — its `ForEach` k-way-merges
-// the tiers, so a key split across tiers still surfaces exactly once with
-// its total count). A candidate pair lives in exactly one unit in every
-// representation, and the selection fold is representation-agnostic — it
-// only needs `ForEach(key, score)` — so all backends flow through the same
-// `SelectSerial` / `SelectParallel` engines and stay bit-identical by
-// construction.
-class ScoreUnit {
- public:
-  explicit ScoreUnit(const FlatCountMap* map) : map_(map) {}
-  explicit ScoreUnit(const SortedCountRun* run) : run_(run) {}
-  explicit ScoreUnit(const TieredCountRuns* store) : store_(store) {}
-
-  bool empty() const {
-    if (map_ != nullptr) return map_->empty();
-    if (run_ != nullptr) return run_->empty();
-    return store_->empty();
-  }
-
-  template <typename Fn>
-  void ForEach(Fn&& fn) const {
-    if (map_ != nullptr) {
-      map_->ForEach(fn);
-    } else if (run_ != nullptr) {
-      run_->ForEach(fn);
-    } else {
-      store_->ForEach(fn);
-    }
-  }
-
- private:
-  const FlatCountMap* map_ = nullptr;
-  const SortedCountRun* run_ = nullptr;
-  const TieredCountRuns* store_ = nullptr;
-};
-
-// Degree levels partition candidate pairs by the first bucket in which they
-// become eligible: level(u, v) = min(log2 d1(u), log2 d2(v)), so the pairs
-// eligible at bucket threshold 2^j are exactly those stored at levels >= j.
-constexpr int kNumLevels = 33;
-
-int FloorLog2(NodeId x) {
-  int log = 0;
-  while (x > 1) {
-    x >>= 1;
-    ++log;
-  }
-  return log;
-}
-
-// The topology the placement layer homes shards onto: a per-run synthetic
-// override (tests, experiments) or the cached machine detection (which the
-// RECONCILE_PLACEMENT_DOMAINS env var can also force).
-MachineTopology PlacementTopology(const MatcherConfig& config) {
-  if (config.placement_domains > 0) {
-    return config.placement_domains == 1
-               ? SingleDomainTopology()
-               : SyntheticTopology(config.placement_domains);
-  }
-  return DetectTopology();
-}
-
-// How many entries a hash score shard is pre-sized for by the first-touch
-// pass (enough that the initial growth happens on home-domain pages; later
-// growth re-touches from the merge loop, which is also domain-homed).
-constexpr size_t kFirstTouchEntries = 1024;
-
-class MatcherState {
- public:
-  MatcherState(const Graph& g1, const Graph& g2, const MatcherConfig& config)
-      : g1_(g1),
-        g2_(g2),
-        config_(config),
-        pool_(config.num_threads > 0 ? config.num_threads
-                                     : ThreadPool::DefaultThreads()),
-        scheduler_(ResolveScheduler(config.scheduler)),
-        tier_policy_{config.lsm_max_tiers, config.lsm_size_ratio},
-        num_shards_(config.num_shards > 0
-                        ? config.num_shards
-                        : std::max(4, pool_.num_threads())),
-        topology_(PlacementTopology(config)),
-        placement_(topology_, config.placement, num_shards_,
-                   pool_.num_threads()),
-        map_1to2_(g1.num_nodes(), kInvalidNode),
-        map_2to1_(g2.num_nodes(), kInvalidNode),
-        best1_(config.use_parallel_selection ? 0 : g1.num_nodes()),
-        best2_(config.use_parallel_selection ? 0 : g2.num_nodes()),
-        atomic_best1_(config.use_parallel_selection ? g1.num_nodes() : 0),
-        atomic_best2_(config.use_parallel_selection ? g2.num_nodes() : 0) {
-    level1_.resize(g1.num_nodes());
-    for (NodeId v = 0; v < g1.num_nodes(); ++v) {
-      level1_[v] = static_cast<uint8_t>(FloorLog2(std::max<NodeId>(1, g1.degree(v))));
-    }
-    level2_.resize(g2.num_nodes());
-    for (NodeId v = 0; v < g2.num_nodes(); ++v) {
-      level2_[v] = static_cast<uint8_t>(FloorLog2(std::max<NodeId>(1, g2.degree(v))));
-    }
-    if (config.use_incremental_scoring) {
-      if (config.scoring_backend == ScoringBackend::kRadixSort) {
-        runs_.resize(kNumLevels);
-        for (auto& level : runs_) {
-          level.resize(static_cast<size_t>(num_shards_));
-        }
-      } else {
-        scores_.resize(kNumLevels);
-        for (auto& level : scores_) {
-          level = std::vector<FlatCountMap>(static_cast<size_t>(num_shards_));
-        }
-      }
-    }
-    if (config.scoring_backend == ScoringBackend::kRadixSort) {
-      // Range partition on the high key bits (the g1 node id): shard(u, v) =
-      // u * S / n1, precomputed per node so the emission loop pays one array
-      // load instead of a hash mix or a 64-bit divide. Each shard owns a
-      // contiguous key interval, so per-shard runs stay disjoint and their
-      // concatenation is globally sorted.
-      const uint64_t n1 = std::max<uint64_t>(1, g1.num_nodes());
-      radix_shard1_.resize(g1.num_nodes());
-      for (NodeId u = 0; u < g1.num_nodes(); ++u) {
-        radix_shard1_[u] = static_cast<uint32_t>(
-            static_cast<uint64_t>(u) * static_cast<uint64_t>(num_shards_) / n1);
-      }
-    }
-    if (placement_.active()) {
-      // Bind workers to their home domain's CPUs (real topologies only),
-      // then first-touch the persistent score shards from a home-domain
-      // worker so their pages land on the right node before the first
-      // merge. Both are locality-only: results are bit-identical whether
-      // or not either succeeds.
-      placement_.PinWorkers(&pool_);
-      FirstTouchScoreState();
-    }
-  }
-
-  void SeedLinks(std::span<const std::pair<NodeId, NodeId>> seeds) {
-    for (const auto& [u, v] : seeds) {
-      RECONCILE_CHECK_LT(u, g1_.num_nodes());
-      RECONCILE_CHECK_LT(v, g2_.num_nodes());
-      RECONCILE_CHECK_EQ(map_1to2_[u], kInvalidNode)
-          << "duplicate seed for g1 node " << u;
-      RECONCILE_CHECK_EQ(map_2to1_[v], kInvalidNode)
-          << "duplicate seed for g2 node " << v;
-      map_1to2_[u] = v;
-      map_2to1_[v] = u;
-      links_.emplace_back(u, v);
-    }
-  }
-
-  // Home domain of a (level, shard) cell / score unit: levels share one
-  // shard layout, so homing depends on the shard alone and a shard's hash
-  // map, tier stack and selection unit all land on the same domain.
-  std::function<int(size_t)> CellDomainFn() const {
-    return [this](size_t cell) {
-      return placement_.HomeOfShard(
-          static_cast<int>(cell % static_cast<size_t>(num_shards_)));
-    };
-  }
-
-  // First-touch pass: with an active placement, pre-size each persistent
-  // (level, shard) buffer from a worker on the cell's home domain so the
-  // backing pages are allocated there (first writer owns the page under
-  // first-touch NUMA policy). Recompute engines build fresh state per round
-  // inside the (already domain-homed) reduce, so only the incremental
-  // engine keeps state long enough to pre-touch.
-  void FirstTouchScoreState() {
-    if (!config_.use_incremental_scoring) return;
-    const size_t cells =
-        static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_);
-    placement_.ParallelForPlaced(
-        &pool_, scheduler_, cells, CellDomainFn(), [this](size_t cell) {
-          const size_t level = cell / static_cast<size_t>(num_shards_);
-          const size_t shard = cell % static_cast<size_t>(num_shards_);
-          if (config_.scoring_backend == ScoringBackend::kRadixSort) {
-            runs_[level][shard].ReserveTiers(
-                static_cast<size_t>(std::max(1, config_.lsm_max_tiers)) + 1);
-          } else {
-            scores_[level][shard].Reserve(kFirstTouchEntries);
-          }
-        });
-  }
-
-  // One scoring round at bucket exponent `bucket_exponent` (candidates must
-  // have degree >= 2^bucket_exponent on both sides). Returns links accepted.
-  size_t Round(int iteration, int bucket_exponent) {
-    return config_.use_incremental_scoring
-               ? RoundIncremental(iteration, bucket_exponent)
-               : RoundRecompute(iteration, bucket_exponent);
-  }
-
-  // Drops dead entries (pairs with a matched endpoint) from the persistent
-  // score maps; called between outer iterations to keep scans and memory
-  // proportional to the live frontier.
-  void CompactScores() {
-    if (!config_.use_incremental_scoring) return;
-    const size_t cells =
-        static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_);
-    // Locality of the compact tasks is credited to the next round's
-    // telemetry (`compact_placed_stats_`): compaction runs between rounds,
-    // where no PhaseStats exists yet.
-    if (config_.scoring_backend == ScoringBackend::kRadixSort) {
-      // Tier stacks compact with an in-place filtering sweep per tier — no
-      // rebuild, no rehash, order preserved. The liveness predicate depends
-      // on the key alone, so filtering tiers independently preserves every
-      // key's cross-tier total.
-      placement_.ParallelForPlaced(
-          &pool_, scheduler_, cells, CellDomainFn(),
-          [this](size_t cell) {
-            TieredCountRuns& store =
-                runs_[cell / static_cast<size_t>(num_shards_)]
-                     [cell % static_cast<size_t>(num_shards_)];
-            if (store.empty()) return;
-            store.Filter([this](uint64_t key, uint32_t) {
-              return map_1to2_[PairFirst(key)] == kInvalidNode ||
-                     map_2to1_[PairSecond(key)] == kInvalidNode;
-            });
-          },
-          &compact_placed_stats_);
+// Resume: walk the checkpoint directory newest-first and restore the first
+// snapshot that validates end to end. Corrupt or mismatched files are
+// warnings, not errors — recovery falls back to the previous checkpoint,
+// and to a fresh start if none survives.
+void TryResume(MatcherState* state, const std::string& dir) {
+  std::vector<CheckpointFile> checkpoints = ListCheckpoints(dir);
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    std::string error;
+    if (state->LoadSnapshot(it->path, &error)) {
+      RECONCILE_LOG(Info) << "resumed from " << it->path << " ("
+                          << state->completed_rounds()
+                          << " rounds completed, " << state->num_links()
+                          << " links)";
       return;
     }
-    placement_.ParallelForPlaced(
-        &pool_, scheduler_, cells, CellDomainFn(),
-        [this](size_t cell) {
-          FlatCountMap& shard =
-              scores_[cell / static_cast<size_t>(num_shards_)]
-                     [cell % static_cast<size_t>(num_shards_)];
-          if (shard.empty()) return;
-          FlatCountMap compacted(shard.size());
-          shard.ForEach([this, &compacted](uint64_t key, uint32_t count) {
-            if (map_1to2_[PairFirst(key)] == kInvalidNode ||
-                map_2to1_[PairSecond(key)] == kInvalidNode) {
-              compacted.AddCount(key, count);
-            }
-          });
-          shard = std::move(compacted);
-        },
-        &compact_placed_stats_);
+    RECONCILE_LOG(Warning) << "skipping checkpoint " << it->path << ": "
+                           << error;
   }
+  RECONCILE_LOG(Warning) << "no usable checkpoint in " << dir
+                         << "; starting from the seeds";
+}
 
-  MatchResult TakeResult(std::span<const std::pair<NodeId, NodeId>> seeds,
-                         double total_seconds) {
-    MatchResult result;
-    result.map_1to2 = std::move(map_1to2_);
-    result.map_2to1 = std::move(map_2to1_);
-    result.seeds.assign(seeds.begin(), seeds.end());
-    result.phases = std::move(phases_);
-    result.total_seconds = total_seconds;
-    return result;
+// Writes the post-round snapshot for the current state. Failure is a
+// warning: the matcher keeps running, it just loses this recovery point
+// (an injected `io:checkpoint_write_fail` exercises exactly this path).
+void WriteCheckpoint(const MatcherState& state, const std::string& dir) {
+  const std::string path = CheckpointPath(dir, state.completed_rounds());
+  std::string error;
+  if (!state.SaveSnapshot(path, &error)) {
+    RECONCILE_LOG(Warning) << "checkpoint write failed: " << error;
   }
-
- private:
-  // --- Shared selection engine -------------------------------------------
-  // Applies the mutual-unique-best rule over the scored pairs held in
-  // `units` (disjoint score units — hash shards or sorted runs — whose union
-  // is the set of live, bucket-eligible entries), then commits accepted
-  // links. Returns the
-  // number accepted. Two interchangeable engines fill the same stats:
-  //  * serial — one thread folds every unit into epoch-stamped tables;
-  //  * parallel — one task per unit feeds CAS-max atomic tables (observe
-  //    pass), then one task per unit applies the acceptance predicate
-  //    (accept pass). A candidate pair lives in exactly one unit, and the
-  //    fold is order-independent, so both engines produce bit-identical
-  //    matchings for any thread/shard counts.
-  size_t SelectAndCommit(const std::vector<ScoreUnit>& units,
-                         PhaseStats* stats) {
-    return config_.use_parallel_selection ? SelectParallel(units, stats)
-                                          : SelectSerial(units, stats);
-  }
-
-  size_t SelectSerial(const std::vector<ScoreUnit>& units, PhaseStats* stats) {
-    Timer timer;
-    best1_.NextEpoch();
-    best2_.NextEpoch();
-    size_t candidate_pairs = 0;
-    for (const ScoreUnit& unit : units) {
-      unit.ForEach([this, &candidate_pairs](uint64_t key, uint32_t score) {
-        best1_.Observe(PairFirst(key), score);
-        best2_.Observe(PairSecond(key), score);
-        ++candidate_pairs;
-      });
-    }
-    stats->candidate_pairs = candidate_pairs;
-    stats->scan_seconds = timer.Seconds();
-
-    timer.Reset();
-    std::vector<std::pair<NodeId, NodeId>> accepted;
-    for (const ScoreUnit& unit : units) {
-      unit.ForEach([this, &accepted](uint64_t key, uint32_t score) {
-        if (score < config_.min_score) return;
-        NodeId u = PairFirst(key);
-        NodeId v = PairSecond(key);
-        // Already-matched nodes stay in the scored pool as *blockers* (their
-        // pairs keep outcompeting impostors — this is what defeats the sybil
-        // attack) but are never re-matched.
-        if (map_1to2_[u] != kInvalidNode || map_2to1_[v] != kInvalidNode) {
-          return;
-        }
-        if (best1_.IsUniqueBest(u, score) && best2_.IsUniqueBest(v, score)) {
-          accepted.emplace_back(u, v);
-        }
-      });
-    }
-    Commit(accepted);
-    stats->select_seconds = timer.Seconds();
-    return accepted.size();
-  }
-
-  size_t SelectParallel(const std::vector<ScoreUnit>& units,
-                        PhaseStats* stats) {
-    Timer timer;
-    atomic_best1_.NextEpoch();
-    atomic_best2_.NextEpoch();
-    // Both passes run one unit at a time under the configured scheduler
-    // (static: one queued task per unit; stealing: units are claimed
-    // dynamically, so a handful of huge hub-level units no longer pins the
-    // round on whichever worker drew them; an active placement claims
-    // domain-local units first and steals remote only when dry). The
-    // observe fold is a CAS-max — commutative — and the accept pass writes
-    // only per-unit lists, so the schedule is unobservable in the result.
-    std::atomic<size_t> candidate_pairs{0};
-    PlacedLoopStats scan_placed;
-    placement_.ParallelForPlaced(
-        &pool_, scheduler_, units.size(), CellDomainFn(),
-        [this, &units, &candidate_pairs](size_t i) {
-          size_t local_pairs = 0;
-          units[i].ForEach([this, &local_pairs](uint64_t key, uint32_t score) {
-            atomic_best1_.Observe(PairFirst(key), score);
-            atomic_best2_.Observe(PairSecond(key), score);
-            ++local_pairs;
-          });
-          candidate_pairs.fetch_add(local_pairs, std::memory_order_relaxed);
-        },
-        &scan_placed);
-    stats->candidate_pairs = candidate_pairs.load();
-    stats->scan_seconds = timer.Seconds();
-    stats->local_unit_tasks += scan_placed.local_tasks;
-    stats->remote_unit_steals += scan_placed.remote_steals;
-
-    timer.Reset();
-    // Accept pass: reads the maps and the sealed best tables, writes only
-    // its own unit's accept list; commits happen after the barrier.
-    std::vector<std::vector<std::pair<NodeId, NodeId>>> accepted_per_unit(
-        units.size());
-    PlacedLoopStats accept_placed;
-    placement_.ParallelForPlaced(
-        &pool_, scheduler_, units.size(), CellDomainFn(),
-        [this, &units, &accepted_per_unit](size_t i) {
-          auto& list = accepted_per_unit[i];
-          units[i].ForEach([this, &list](uint64_t key, uint32_t score) {
-            if (score < config_.min_score) return;
-            NodeId u = PairFirst(key);
-            NodeId v = PairSecond(key);
-            if (map_1to2_[u] != kInvalidNode || map_2to1_[v] != kInvalidNode) {
-              return;
-            }
-            if (atomic_best1_.IsUniqueBest(u, score) &&
-                atomic_best2_.IsUniqueBest(v, score)) {
-              list.emplace_back(u, v);
-            }
-          });
-        },
-        &accept_placed);
-    stats->local_unit_tasks += accept_placed.local_tasks;
-    stats->remote_unit_steals += accept_placed.remote_steals;
-
-    size_t accepted = 0;
-    for (const auto& list : accepted_per_unit) {
-      Commit(list);
-      accepted += list.size();
-    }
-    stats->select_seconds = timer.Seconds();
-    return accepted;
-  }
-
-  // The accepted set is a matching on unmatched nodes by construction
-  // (unique best on both sides), so commits cannot conflict.
-  void Commit(std::span<const std::pair<NodeId, NodeId>> accepted) {
-    for (const auto& [u, v] : accepted) {
-      RECONCILE_CHECK_EQ(map_1to2_[u], kInvalidNode);
-      RECONCILE_CHECK_EQ(map_2to1_[v], kInvalidNode);
-      map_1to2_[u] = v;
-      map_2to1_[v] = u;
-      links_.emplace_back(u, v);
-    }
-  }
-
-  // --- Incremental engine --------------------------------------------------
-  // Witness scores are additive over links, so each link's neighbour-pair
-  // contributions are emitted exactly once — when the link enters L — into
-  // persistent per-level score maps. A bucket-j round scans levels >= j.
-  // This is result-identical to the recompute path (verified by tests) and
-  // removes the per-bucket rescoring factor from the running time.
-
-  // Folds links_[emitted_links_ ..) into the persistent score state of the
-  // configured backend, filling `stats`' emission count plus the time split:
-  // `emit_seconds` covers witness enumeration (the map phase), and
-  // `merge_seconds` covers folding the deltas into the persistent state
-  // (hash merges / radix sort + tier compaction) — the part that used to
-  // hide inside emit.
-  void EmitPendingLinks(PhaseStats* stats) {
-    if (config_.scoring_backend == ScoringBackend::kRadixSort) {
-      EmitPendingLinksRadix(stats);
-    } else {
-      EmitPendingLinksHash(stats);
-    }
-  }
-
-  // Chunk size the work-stealing emission loop claims per lock acquisition.
-  // Per-item cost is heavy-tailed on skewed graphs (a hub link emits
-  // deg(hub)^2-ish pairs), so the auto grain aims well below the static
-  // chunk size; claims are a spinlock pop, so the extra traffic is cheap.
-  size_t EmitGrain(size_t num_items) const {
-    if (config_.scheduler_grain > 0) return config_.scheduler_grain;
-    return ThreadPool::GrainSize(num_items, pool_.num_threads(), 1, 64);
-  }
-
-  // Hash backend: every emission probes a per-(level, shard) FlatCountMap.
-  void EmitPendingLinksHash(PhaseStats* stats) {
-    const size_t begin = emitted_links_;
-    const size_t end = links_.size();
-    if (begin == end) return;
-    emitted_links_ = end;
-
-    const NodeId dmin = static_cast<NodeId>(1u)
-                        << config_.min_bucket_exponent;
-    struct Delta {
-      std::vector<std::vector<FlatCountMap>> maps;  // [level][shard]
-      uint64_t emissions = 0;
-    };
-    const size_t num_items = end - begin;
-
-    // One delta set per producer (`ParallelProduce`): per fixed chunk under
-    // the static scheduler, per worker slot under work-stealing. The merge
-    // sums counts commutatively, so which items land in which delta is
-    // unobservable.
-    Timer emit_timer;
-    auto emit_range = [this, begin, dmin](Delta& delta, size_t lo, size_t hi) {
-      if (delta.maps.empty()) delta.maps.resize(kNumLevels);
-      auto& maps = delta.maps;
-      for (size_t item = lo; item < hi; ++item) {
-        const auto [a1, a2] = links_[begin + item];
-        for (NodeId u : g1_.NeighborsByDegree(a1)) {
-          if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
-          const uint8_t lu = level1_[u];
-          for (NodeId v : g2_.NeighborsByDegree(a2)) {
-            if (g2_.degree(v) < dmin) break;
-            const uint8_t level = std::min(lu, level2_[v]);
-            const uint64_t key = PackPair(u, v);
-            if (maps[level].empty()) {
-              maps[level] =
-                  std::vector<FlatCountMap>(static_cast<size_t>(num_shards_));
-            }
-            maps[level][static_cast<size_t>(mr::ShardOfKey(key, num_shards_))]
-                .AddCount(key, 1);
-            ++delta.emissions;
-          }
-        }
-      }
-    };
-    std::vector<Delta> deltas = ParallelProduce<Delta>(
-        &pool_, scheduler_, num_items,
-        static_cast<size_t>(num_shards_) * 4, EmitGrain(num_items),
-        emit_range);
-    stats->emit_seconds += emit_timer.Seconds();
-
-    // Merge deltas into the persistent maps: one (level, shard) cell at a
-    // time, pre-sized from the delta sizes so the merge never rehashes
-    // mid-loop. Cells run domain-homed under an active placement (the
-    // merge is the pass that touches every persistent page, so it is where
-    // shard homing pays).
-    Timer merge_timer;
-    PlacedLoopStats merge_placed;
-    placement_.ParallelForPlaced(
-        &pool_, scheduler_,
-        static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_),
-        CellDomainFn(),
-        [this, &deltas](size_t cell) {
-          const size_t level = cell / static_cast<size_t>(num_shards_);
-          const size_t shard = cell % static_cast<size_t>(num_shards_);
-          FlatCountMap& target = scores_[level][shard];
-          size_t expected = target.size();
-          for (const Delta& delta : deltas) {
-            if (delta.maps.empty()) continue;
-            const auto& level_maps = delta.maps[level];
-            if (level_maps.empty()) continue;
-            expected += level_maps[shard].size();
-          }
-          if (expected == target.size()) return;
-          target.Reserve(expected);
-          for (const Delta& delta : deltas) {
-            if (delta.maps.empty()) continue;
-            const auto& level_maps = delta.maps[level];
-            if (level_maps.empty()) continue;
-            level_maps[shard].ForEach([&target](uint64_t key, uint32_t count) {
-              target.AddCount(key, count);
-            });
-          }
-        },
-        &merge_placed);
-    stats->merge_seconds += merge_timer.Seconds();
-    stats->local_unit_tasks += merge_placed.local_tasks;
-    stats->remote_unit_steals += merge_placed.remote_steals;
-
-    for (const Delta& delta : deltas) {
-      stats->emissions += static_cast<size_t>(delta.emissions);
-    }
-  }
-
-  // Radix backend: emissions append packed keys into per-(level, shard) flat
-  // buffers (one array store each — the shard is a precomputed per-node
-  // lookup, no hashing); each touched (level, shard) cell then sorts its
-  // delta, run-length-encodes it and appends it to the cell's LSM tier
-  // stack, which folds tiers into the big persistent run only when the
-  // size-ratio policy trips.
-  void EmitPendingLinksRadix(PhaseStats* stats) {
-    const size_t begin = emitted_links_;
-    const size_t end = links_.size();
-    if (begin == end) return;
-    emitted_links_ = end;
-
-    const NodeId dmin = static_cast<NodeId>(1u)
-                        << config_.min_bucket_exponent;
-    struct RadixDelta {
-      std::vector<std::vector<std::vector<uint64_t>>> keys;  // [level][shard]
-      uint64_t emissions = 0;
-    };
-    const size_t num_items = end - begin;
-
-    Timer emit_timer;
-    auto emit_range = [this, begin, dmin](RadixDelta& delta, size_t lo,
-                                          size_t hi) {
-      if (delta.keys.empty()) delta.keys.resize(kNumLevels);
-      auto& keys = delta.keys;
-      for (size_t item = lo; item < hi; ++item) {
-        const auto [a1, a2] = links_[begin + item];
-        for (NodeId u : g1_.NeighborsByDegree(a1)) {
-          if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
-          const uint8_t lu = level1_[u];
-          const uint32_t shard = radix_shard1_[u];
-          for (NodeId v : g2_.NeighborsByDegree(a2)) {
-            if (g2_.degree(v) < dmin) break;
-            const uint8_t level = std::min(lu, level2_[v]);
-            if (keys[level].empty()) {
-              keys[level].resize(static_cast<size_t>(num_shards_));
-            }
-            keys[level][shard].push_back(PackPair(u, v));
-            ++delta.emissions;
-          }
-        }
-      }
-    };
-    std::vector<RadixDelta> deltas = ParallelProduce<RadixDelta>(
-        &pool_, scheduler_, num_items,
-        static_cast<size_t>(num_shards_) * 4, EmitGrain(num_items),
-        emit_range);
-    stats->emit_seconds += emit_timer.Seconds();
-
-    // Sort-and-append: one touched (level, shard) cell at a time.
-    // Concatenate the producer chunks, radix-sort, run-length-encode, then
-    // append the round delta as a new LSM tier (compaction per the
-    // size-ratio policy — late low-yield rounds usually stop here without
-    // touching the big run). Cells run domain-homed under an active
-    // placement, so a tier's pages are written by the domain that will
-    // scan and compact them.
-    Timer merge_timer;
-    PlacedLoopStats merge_placed;
-    placement_.ParallelForPlaced(
-        &pool_, scheduler_,
-        static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_),
-        CellDomainFn(),
-        [this, &deltas](size_t cell) {
-          const size_t level = cell / static_cast<size_t>(num_shards_);
-          const size_t shard = cell % static_cast<size_t>(num_shards_);
-          size_t total = 0;
-          for (const RadixDelta& delta : deltas) {
-            if (delta.keys.empty()) continue;
-            const auto& level_keys = delta.keys[level];
-            if (level_keys.empty()) continue;
-            total += level_keys[shard].size();
-          }
-          if (total == 0) return;
-          std::vector<uint64_t> raw;
-          raw.reserve(total);
-          for (const RadixDelta& delta : deltas) {
-            if (delta.keys.empty()) continue;
-            const auto& level_keys = delta.keys[level];
-            if (level_keys.empty()) continue;
-            const auto& chunk = level_keys[shard];
-            raw.insert(raw.end(), chunk.begin(), chunk.end());
-          }
-          std::vector<uint64_t> scratch;
-          SortedCountRun delta_run = SortAndCount(std::move(raw), scratch);
-          runs_[level][shard].Append(std::move(delta_run), tier_policy_);
-        },
-        &merge_placed);
-    stats->merge_seconds += merge_timer.Seconds();
-    stats->local_unit_tasks += merge_placed.local_tasks;
-    stats->remote_unit_steals += merge_placed.remote_steals;
-
-    for (const RadixDelta& delta : deltas) {
-      stats->emissions += static_cast<size_t>(delta.emissions);
-    }
-  }
-
-  size_t RoundIncremental(int iteration, int bucket_exponent) {
-    Timer timer;
-    PhaseStats stats;
-    stats.iteration = iteration;
-    stats.bucket_exponent = bucket_exponent;
-    stats.links_in = links_.size();
-    stats.num_threads = pool_.num_threads();
-    stats.placement_domains =
-        placement_.active() ? placement_.num_domains() : 1;
-    // Credit any between-round compaction since the last round here.
-    stats.local_unit_tasks += compact_placed_stats_.local_tasks;
-    stats.remote_unit_steals += compact_placed_stats_.remote_steals;
-    compact_placed_stats_ = PlacedLoopStats{};
-
-    EmitPendingLinks(&stats);
-
-    std::vector<ScoreUnit> units;
-    units.reserve(static_cast<size_t>(kNumLevels - bucket_exponent) *
-                  static_cast<size_t>(num_shards_));
-    if (config_.scoring_backend == ScoringBackend::kRadixSort) {
-      for (int level = bucket_exponent; level < kNumLevels; ++level) {
-        for (const TieredCountRuns& store : runs_[static_cast<size_t>(level)]) {
-          units.push_back(ScoreUnit(&store));
-        }
-      }
-    } else {
-      for (int level = bucket_exponent; level < kNumLevels; ++level) {
-        for (const FlatCountMap& shard : scores_[static_cast<size_t>(level)]) {
-          units.push_back(ScoreUnit(&shard));
-        }
-      }
-    }
-    size_t accepted = SelectAndCommit(units, &stats);
-
-    stats.new_links = accepted;
-    stats.seconds = timer.Seconds();
-    phases_.push_back(stats);
-    return accepted;
-  }
-
-  // --- Reference scoring engine ----------------------------------------
-  // Literal transcription of the paper's inner loop: rebuild the witness
-  // counts for the current bucket from *all* current links via one
-  // MapReduce round. Kept as the semantics reference; the incremental
-  // engine must produce identical results.
-  size_t RoundRecompute(int iteration, int bucket_exponent) {
-    Timer timer;
-    const NodeId dmin = static_cast<NodeId>(1u) << bucket_exponent;
-    PhaseStats stats;
-    stats.iteration = iteration;
-    stats.bucket_exponent = bucket_exponent;
-    stats.links_in = links_.size();
-    stats.num_threads = pool_.num_threads();
-    stats.placement_domains =
-        placement_.active() ? placement_.num_domains() : 1;
-
-    Timer emit_timer;
-    std::atomic<uint64_t> emissions{0};
-    const int num_map_shards = num_shards_ * 4;
-    auto map_fn = [this, dmin, &emissions](size_t item, auto emit) {
-      const auto [a1, a2] = links_[item];
-      uint64_t local_emissions = 0;
-      for (NodeId u : g1_.NeighborsByDegree(a1)) {
-        if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
-        for (NodeId v : g2_.NeighborsByDegree(a2)) {
-          if (g2_.degree(v) < dmin) break;
-          emit(PackPair(u, v));
-          ++local_emissions;
-        }
-      }
-      emissions.fetch_add(local_emissions, std::memory_order_relaxed);
-    };
-
-    std::vector<FlatCountMap> scores;
-    std::vector<SortedCountRun> runs;
-    std::vector<ScoreUnit> units;
-    PlacedLoopStats reduce_placed;
-    if (config_.scoring_backend == ScoringBackend::kRadixSort) {
-      runs = mr::SortCountByKey(
-          &pool_, links_.size(), num_map_shards, num_shards_, map_fn,
-          [this](uint64_t key) { return radix_shard1_[PairFirst(key)]; },
-          scheduler_, &stats.merge_seconds, &placement_, &reduce_placed);
-      units.reserve(runs.size());
-      for (const SortedCountRun& run : runs) units.push_back(ScoreUnit(&run));
-    } else {
-      scores = mr::CountByKey(&pool_, links_.size(), num_map_shards,
-                              num_shards_, map_fn, scheduler_,
-                              &stats.merge_seconds, &placement_,
-                              &reduce_placed);
-      units.reserve(scores.size());
-      for (const FlatCountMap& shard : scores) {
-        units.push_back(ScoreUnit(&shard));
-      }
-    }
-    stats.local_unit_tasks += reduce_placed.local_tasks;
-    stats.remote_unit_steals += reduce_placed.remote_steals;
-    stats.emissions = emissions.load();
-    // The mr round's reduce time is reported as merge; the map phase is the
-    // emit proper.
-    stats.emit_seconds = std::max(0.0, emit_timer.Seconds() -
-                                           stats.merge_seconds);
-
-    size_t accepted = SelectAndCommit(units, &stats);
-
-    stats.new_links = accepted;
-    stats.seconds = timer.Seconds();
-    phases_.push_back(stats);
-    return accepted;
-  }
-
-  const Graph& g1_;
-  const Graph& g2_;
-  MatcherConfig config_;
-  ThreadPool pool_;
-  // Resolved once (kAuto -> env/default) so every loop in the run uses the
-  // same engine.
-  Scheduler scheduler_;
-  TierPolicy tier_policy_;
-  int num_shards_;
-  // Shard-placement layer: the topology (detected, or forced synthetic for
-  // tests) and the policy object homing each score shard on a memory
-  // domain. Inactive (single domain / placement=none) placements delegate
-  // every loop to the pre-placement path.
-  MachineTopology topology_;
-  ShardPlacement placement_;
-  // Locality split of the between-round CompactScores tasks, credited to
-  // the next round's PhaseStats.
-  PlacedLoopStats compact_placed_stats_;
-  std::vector<NodeId> map_1to2_;
-  std::vector<NodeId> map_2to1_;
-  std::vector<std::pair<NodeId, NodeId>> links_;
-  std::vector<PhaseStats> phases_;
-  // Only the engine selected by `config_.use_parallel_selection` allocates
-  // its tables; the other pair stays empty.
-  BestTable best1_;
-  BestTable best2_;
-  AtomicBestTable atomic_best1_;
-  AtomicBestTable atomic_best2_;
-  std::vector<uint8_t> level1_;
-  std::vector<uint8_t> level2_;
-  // Incremental engine state: exactly one of the two representations is
-  // populated, per `config_.scoring_backend`. The radix representation is an
-  // LSM tier stack per (level, shard); `tier_policy_` decides when round
-  // deltas fold into the big run.
-  std::vector<std::vector<FlatCountMap>> scores_;     // [level][shard], hash
-  std::vector<std::vector<TieredCountRuns>> runs_;    // [level][shard], radix
-  // Radix backend: reduce shard per g1 node (range partition, see ctor).
-  std::vector<uint32_t> radix_shard1_;
-  size_t emitted_links_ = 0;
-};
+}
 
 }  // namespace
 
@@ -780,29 +53,49 @@ MatchResult UserMatching(const Graph& g1, const Graph& g2,
                          const MatcherConfig& config) {
   RECONCILE_CHECK_GE(config.num_iterations, 1);
   RECONCILE_CHECK_GE(config.min_bucket_exponent, 0);
+  if (!config.fault_spec.empty()) {
+    std::string error;
+    RECONCILE_CHECK(ArmFaults(config.fault_spec, &error))
+        << "bad fault spec: " << error;
+  }
+
   Timer timer;
   MatcherState state(g1, g2, config);
   state.SeedLinks(seeds);
 
-  const NodeId max_degree = std::max(g1.max_degree(), g2.max_degree());
-  const int top_exponent =
-      config.use_degree_bucketing && max_degree > 0 ? FloorLog2(max_degree) : 0;
-  const int bottom_exponent =
-      std::min(config.min_bucket_exponent, top_exponent);
-
-  for (int iteration = 1; iteration <= config.num_iterations; ++iteration) {
-    size_t new_links = 0;
-    if (config.use_degree_bucketing) {
-      for (int j = top_exponent; j >= bottom_exponent; --j) {
-        new_links += state.Round(iteration, j);
-      }
-    } else {
-      new_links += state.Round(iteration, config.min_bucket_exponent);
-    }
-    if (config.stop_when_stable && new_links == 0) break;
-    if (iteration < config.num_iterations) state.CompactScores();
+  const bool checkpointing = !config.checkpoint_dir.empty();
+  const int every = std::max(1, config.checkpoint_every_rounds);
+  if (checkpointing) {
+    std::string error;
+    RECONCILE_CHECK(EnsureDir(config.checkpoint_dir, &error))
+        << "cannot create checkpoint directory: " << error;
+    if (config.resume) TryResume(&state, config.checkpoint_dir);
   }
-  return state.TakeResult(seeds, timer.Seconds());
+
+  bool stopped_early = false;
+  while (!state.Done()) {
+    state.RunRound();
+    // Fault hook between completing a round and persisting it: a
+    // `crash:after_round=k` kill lands before the round-k checkpoint, so a
+    // resume re-runs from an earlier snapshot (exercising replay, not just
+    // reload).
+    FaultValuePoint("after_round", state.completed_rounds());
+    if (checkpointing &&
+        (state.Done() || state.completed_rounds() % every == 0)) {
+      WriteCheckpoint(state, config.checkpoint_dir);
+    }
+    if (GracefulStopRequested() && !state.Done()) {
+      stopped_early = true;
+      break;
+    }
+  }
+  // A graceful stop (SIGTERM/SIGINT, or the `stop:` fault kind) finishes
+  // the in-flight round, persists it, and returns the partial matching.
+  if (stopped_early && checkpointing &&
+      state.completed_rounds() % every != 0) {
+    WriteCheckpoint(state, config.checkpoint_dir);
+  }
+  return state.TakeResult(timer.Seconds());
 }
 
 }  // namespace reconcile

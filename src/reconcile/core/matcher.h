@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -113,6 +114,26 @@ struct MatcherConfig {
   /// the multi-domain paths; the process-wide `RECONCILE_PLACEMENT_DOMAINS`
   /// env var does the same for a whole run.
   int placement_domains = 0;
+  /// Crash safety: when non-empty, the matcher snapshots its full
+  /// cross-round state (`MatcherState`) into this directory after every
+  /// `checkpoint_every_rounds`-th completed round (and always after the
+  /// final one), atomically — temp file + fsync + rename, so a kill at any
+  /// instant leaves either the previous or the new snapshot, never a torn
+  /// one. Files are named `state-round-NNNNNN.ckpt`.
+  std::string checkpoint_dir;
+  /// Checkpoint cadence in completed rounds (values < 1 behave as 1).
+  int checkpoint_every_rounds = 1;
+  /// Resume from the newest valid snapshot in `checkpoint_dir` before
+  /// running any round. Corrupt, truncated or mismatched snapshots are
+  /// skipped with a warning (falling back to the next-older file; a fresh
+  /// start if none survives) — never a crash. The resumed run commits the
+  /// same links as an uninterrupted one: matchings are bit-identical.
+  bool resume = false;
+  /// Deterministic fault injection for crash-safety tests (see
+  /// `util/fault.h` for the spec grammar, e.g. `crash:after_round=3` or
+  /// `io:checkpoint_write_fail`). Empty = no faults armed here (the
+  /// `RECONCILE_FAULT` env var still applies process-wide).
+  std::string fault_spec;
 };
 
 /// Runs User-Matching: expands the seed links into a one-to-one partial

@@ -1,0 +1,1128 @@
+#include "reconcile/core/matcher_state.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+#include "reconcile/mr/mapreduce.h"
+#include "reconcile/util/checkpoint.h"
+#include "reconcile/util/logging.h"
+#include "reconcile/util/timer.h"
+
+namespace reconcile {
+
+namespace {
+
+// Degree levels partition candidate pairs by the first bucket in which they
+// become eligible: level(u, v) = min(log2 d1(u), log2 d2(v)), so the pairs
+// eligible at bucket threshold 2^j are exactly those stored at levels >= j.
+constexpr int kNumLevels = 33;
+
+int FloorLog2(NodeId x) {
+  int log = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++log;
+  }
+  return log;
+}
+
+// The topology the placement layer homes shards onto: a per-run synthetic
+// override (tests, experiments) or the cached machine detection (which the
+// RECONCILE_PLACEMENT_DOMAINS env var can also force).
+MachineTopology PlacementTopology(const MatcherConfig& config) {
+  if (config.placement_domains > 0) {
+    return config.placement_domains == 1
+               ? SingleDomainTopology()
+               : SyntheticTopology(config.placement_domains);
+  }
+  return DetectTopology();
+}
+
+// How many entries a hash score shard is pre-sized for by the first-touch
+// pass (enough that the initial growth happens on home-domain pages; later
+// growth re-touches from the merge loop, which is also domain-homed).
+constexpr size_t kFirstTouchEntries = 1024;
+
+// Nodes/edges/degree-sequence mix binding a snapshot to its graph pair. A
+// sanity check against resuming into the wrong run, not a collision-proof
+// content hash.
+uint64_t GraphFingerprint(const Graph& g) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(g.num_nodes());
+  mix(g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) mix(g.degree(v));
+  return h;
+}
+
+// Snapshot section ids (see SaveSnapshot for the layout).
+constexpr uint32_t kSectionMeta = 1;
+constexpr uint32_t kSectionLinks = 2;
+constexpr uint32_t kSectionScoresHash = 3;
+constexpr uint32_t kSectionScoresRadix = 4;
+
+// Bumped whenever the META/LINKS/SCORES payloads change shape.
+constexpr uint32_t kMatcherStateVersion = 1;
+
+}  // namespace
+
+// One disjoint slice of the scored-pair multiset handed to selection: a
+// hash-map shard (hash backend), a sorted run (radix recompute engine), or
+// an LSM tier stack (radix incremental engine — its `ForEach` k-way-merges
+// the tiers, so a key split across tiers still surfaces exactly once with
+// its total count). A candidate pair lives in exactly one unit in every
+// representation, and the selection fold is representation-agnostic — it
+// only needs `ForEach(key, score)` — so all backends flow through the same
+// `SelectSerial` / `SelectParallel` engines and stay bit-identical by
+// construction.
+class ScoreUnit {
+ public:
+  explicit ScoreUnit(const FlatCountMap* map) : map_(map) {}
+  explicit ScoreUnit(const SortedCountRun* run) : run_(run) {}
+  explicit ScoreUnit(const TieredCountRuns* store) : store_(store) {}
+
+  bool empty() const {
+    if (map_ != nullptr) return map_->empty();
+    if (run_ != nullptr) return run_->empty();
+    return store_->empty();
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (map_ != nullptr) {
+      map_->ForEach(fn);
+    } else if (run_ != nullptr) {
+      run_->ForEach(fn);
+    } else {
+      store_->ForEach(fn);
+    }
+  }
+
+ private:
+  const FlatCountMap* map_ = nullptr;
+  const SortedCountRun* run_ = nullptr;
+  const TieredCountRuns* store_ = nullptr;
+};
+
+MatcherState::MatcherState(const Graph& g1, const Graph& g2,
+                           const MatcherConfig& config)
+    : g1_(g1),
+      g2_(g2),
+      config_(config),
+      pool_(config.num_threads > 0 ? config.num_threads
+                                   : ThreadPool::DefaultThreads()),
+      scheduler_(ResolveScheduler(config.scheduler)),
+      tier_policy_{config.lsm_max_tiers, config.lsm_size_ratio},
+      num_shards_(config.num_shards > 0
+                      ? config.num_shards
+                      : std::max(4, pool_.num_threads())),
+      topology_(PlacementTopology(config)),
+      placement_(topology_, config.placement, num_shards_,
+                 pool_.num_threads()),
+      map_1to2_(g1.num_nodes(), kInvalidNode),
+      map_2to1_(g2.num_nodes(), kInvalidNode),
+      best1_(config.use_parallel_selection ? 0 : g1.num_nodes()),
+      best2_(config.use_parallel_selection ? 0 : g2.num_nodes()),
+      atomic_best1_(config.use_parallel_selection ? g1.num_nodes() : 0),
+      atomic_best2_(config.use_parallel_selection ? g2.num_nodes() : 0) {
+  level1_.resize(g1.num_nodes());
+  for (NodeId v = 0; v < g1.num_nodes(); ++v) {
+    level1_[v] =
+        static_cast<uint8_t>(FloorLog2(std::max<NodeId>(1, g1.degree(v))));
+  }
+  level2_.resize(g2.num_nodes());
+  for (NodeId v = 0; v < g2.num_nodes(); ++v) {
+    level2_[v] =
+        static_cast<uint8_t>(FloorLog2(std::max<NodeId>(1, g2.degree(v))));
+  }
+  if (config.use_incremental_scoring) {
+    if (config.scoring_backend == ScoringBackend::kRadixSort) {
+      runs_.resize(kNumLevels);
+      for (auto& level : runs_) {
+        level.resize(static_cast<size_t>(num_shards_));
+      }
+    } else {
+      scores_.resize(kNumLevels);
+      for (auto& level : scores_) {
+        level = std::vector<FlatCountMap>(static_cast<size_t>(num_shards_));
+      }
+    }
+  }
+  if (config.scoring_backend == ScoringBackend::kRadixSort) {
+    // Range partition on the high key bits (the g1 node id): shard(u, v) =
+    // u * S / n1, precomputed per node so the emission loop pays one array
+    // load instead of a hash mix or a 64-bit divide. Each shard owns a
+    // contiguous key interval, so per-shard runs stay disjoint and their
+    // concatenation is globally sorted.
+    const uint64_t n1 = std::max<uint64_t>(1, g1.num_nodes());
+    radix_shard1_.resize(g1.num_nodes());
+    for (NodeId u = 0; u < g1.num_nodes(); ++u) {
+      radix_shard1_[u] = static_cast<uint32_t>(
+          static_cast<uint64_t>(u) * static_cast<uint64_t>(num_shards_) / n1);
+    }
+  }
+  if (placement_.active()) {
+    // Bind workers to their home domain's CPUs (real topologies only),
+    // then first-touch the persistent score shards from a home-domain
+    // worker so their pages land on the right node before the first
+    // merge. Both are locality-only: results are bit-identical whether
+    // or not either succeeds.
+    placement_.PinWorkers(&pool_);
+    FirstTouchScoreState();
+  }
+
+  graph_fp1_ = GraphFingerprint(g1);
+  graph_fp2_ = GraphFingerprint(g2);
+
+  const NodeId max_degree = std::max(g1.max_degree(), g2.max_degree());
+  top_exponent_ = config.use_degree_bucketing && max_degree > 0
+                      ? FloorLog2(max_degree)
+                      : 0;
+  bottom_exponent_ = std::min(config.min_bucket_exponent, top_exponent_);
+  current_bucket_ = config.use_degree_bucketing ? top_exponent_
+                                                : config.min_bucket_exponent;
+}
+
+MatcherState::~MatcherState() = default;
+
+void MatcherState::SeedLinks(
+    std::span<const std::pair<NodeId, NodeId>> seeds) {
+  RECONCILE_CHECK(!seeded_) << "SeedLinks called twice";
+  RECONCILE_CHECK_EQ(links_.size(), 0u);
+  seeded_ = true;
+  num_seeds_ = seeds.size();
+  for (const auto& [u, v] : seeds) {
+    RECONCILE_CHECK_LT(u, g1_.num_nodes());
+    RECONCILE_CHECK_LT(v, g2_.num_nodes());
+    RECONCILE_CHECK_EQ(map_1to2_[u], kInvalidNode)
+        << "duplicate seed for g1 node " << u;
+    RECONCILE_CHECK_EQ(map_2to1_[v], kInvalidNode)
+        << "duplicate seed for g2 node " << v;
+    map_1to2_[u] = v;
+    map_2to1_[v] = u;
+    links_.emplace_back(u, v);
+  }
+}
+
+// Home domain of a (level, shard) cell / score unit: levels share one
+// shard layout, so homing depends on the shard alone and a shard's hash
+// map, tier stack and selection unit all land on the same domain.
+std::function<int(size_t)> MatcherState::CellDomainFn() const {
+  return [this](size_t cell) {
+    return placement_.HomeOfShard(
+        static_cast<int>(cell % static_cast<size_t>(num_shards_)));
+  };
+}
+
+// First-touch pass: with an active placement, pre-size each persistent
+// (level, shard) buffer from a worker on the cell's home domain so the
+// backing pages are allocated there (first writer owns the page under
+// first-touch NUMA policy). Recompute engines build fresh state per round
+// inside the (already domain-homed) reduce, so only the incremental
+// engine keeps state long enough to pre-touch.
+void MatcherState::FirstTouchScoreState() {
+  if (!config_.use_incremental_scoring) return;
+  const size_t cells =
+      static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_);
+  placement_.ParallelForPlaced(
+      &pool_, scheduler_, cells, CellDomainFn(), [this](size_t cell) {
+        const size_t level = cell / static_cast<size_t>(num_shards_);
+        const size_t shard = cell % static_cast<size_t>(num_shards_);
+        if (config_.scoring_backend == ScoringBackend::kRadixSort) {
+          runs_[level][shard].ReserveTiers(
+              static_cast<size_t>(std::max(1, config_.lsm_max_tiers)) + 1);
+        } else {
+          scores_[level][shard].Reserve(kFirstTouchEntries);
+        }
+      });
+}
+
+size_t MatcherState::RunRound() {
+  RECONCILE_CHECK(seeded_) << "RunRound before SeedLinks";
+  RECONCILE_CHECK(!done_) << "RunRound on a finished state";
+  const size_t accepted = Round(iteration_, current_bucket_);
+  ++completed_rounds_;
+  new_links_this_iteration_ += accepted;
+  AdvanceCursor();
+  return accepted;
+}
+
+// Advances the flattened (iteration, bucket) cursor past the round that
+// just ran — the exact schedule the old driver loop produced: buckets
+// top..bottom per iteration (one round per iteration without bucketing),
+// stop at the iteration cap or on a stable iteration, compact the score
+// state between iterations.
+void MatcherState::AdvanceCursor() {
+  if (config_.use_degree_bucketing && current_bucket_ > bottom_exponent_) {
+    --current_bucket_;
+    return;
+  }
+  // The round that just ran closed iteration `iteration_`.
+  if ((config_.stop_when_stable && new_links_this_iteration_ == 0) ||
+      iteration_ >= config_.num_iterations) {
+    done_ = true;
+    return;
+  }
+  CompactScores();
+  ++iteration_;
+  new_links_this_iteration_ = 0;
+  current_bucket_ = config_.use_degree_bucketing ? top_exponent_
+                                                 : config_.min_bucket_exponent;
+}
+
+// One scoring round at bucket exponent `bucket_exponent` (candidates must
+// have degree >= 2^bucket_exponent on both sides). Returns links accepted.
+size_t MatcherState::Round(int iteration, int bucket_exponent) {
+  return config_.use_incremental_scoring
+             ? RoundIncremental(iteration, bucket_exponent)
+             : RoundRecompute(iteration, bucket_exponent);
+}
+
+// Drops dead entries (pairs with a matched endpoint) from the persistent
+// score maps; called between outer iterations to keep scans and memory
+// proportional to the live frontier.
+void MatcherState::CompactScores() {
+  if (!config_.use_incremental_scoring) return;
+  const size_t cells =
+      static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_);
+  // Locality of the compact tasks is credited to the next round's
+  // telemetry (`compact_placed_stats_`): compaction runs between rounds,
+  // where no PhaseStats exists yet.
+  if (config_.scoring_backend == ScoringBackend::kRadixSort) {
+    // Tier stacks compact with an in-place filtering sweep per tier — no
+    // rebuild, no rehash, order preserved. The liveness predicate depends
+    // on the key alone, so filtering tiers independently preserves every
+    // key's cross-tier total.
+    placement_.ParallelForPlaced(
+        &pool_, scheduler_, cells, CellDomainFn(),
+        [this](size_t cell) {
+          TieredCountRuns& store =
+              runs_[cell / static_cast<size_t>(num_shards_)]
+                   [cell % static_cast<size_t>(num_shards_)];
+          if (store.empty()) return;
+          store.Filter([this](uint64_t key, uint32_t) {
+            return map_1to2_[PairFirst(key)] == kInvalidNode ||
+                   map_2to1_[PairSecond(key)] == kInvalidNode;
+          });
+        },
+        &compact_placed_stats_);
+    return;
+  }
+  placement_.ParallelForPlaced(
+      &pool_, scheduler_, cells, CellDomainFn(),
+      [this](size_t cell) {
+        FlatCountMap& shard =
+            scores_[cell / static_cast<size_t>(num_shards_)]
+                   [cell % static_cast<size_t>(num_shards_)];
+        if (shard.empty()) return;
+        FlatCountMap compacted(shard.size());
+        shard.ForEach([this, &compacted](uint64_t key, uint32_t count) {
+          if (map_1to2_[PairFirst(key)] == kInvalidNode ||
+              map_2to1_[PairSecond(key)] == kInvalidNode) {
+            compacted.AddCount(key, count);
+          }
+        });
+        shard = std::move(compacted);
+      },
+      &compact_placed_stats_);
+}
+
+MatchResult MatcherState::TakeResult(double total_seconds) {
+  MatchResult result;
+  result.seeds.assign(links_.begin(),
+                      links_.begin() + static_cast<ptrdiff_t>(num_seeds_));
+  result.map_1to2 = std::move(map_1to2_);
+  result.map_2to1 = std::move(map_2to1_);
+  result.phases = std::move(phases_);
+  result.total_seconds = total_seconds;
+  return result;
+}
+
+// --- Shared selection engine -------------------------------------------
+// Applies the mutual-unique-best rule over the scored pairs held in
+// `units` (disjoint score units — hash shards or sorted runs — whose union
+// is the set of live, bucket-eligible entries), then commits accepted
+// links. Returns the
+// number accepted. Two interchangeable engines fill the same stats:
+//  * serial — one thread folds every unit into epoch-stamped tables;
+//  * parallel — one task per unit feeds CAS-max atomic tables (observe
+//    pass), then one task per unit applies the acceptance predicate
+//    (accept pass). A candidate pair lives in exactly one unit, and the
+//    fold is order-independent, so both engines produce bit-identical
+//    matchings for any thread/shard counts.
+size_t MatcherState::SelectAndCommit(const std::vector<ScoreUnit>& units,
+                                     PhaseStats* stats) {
+  return config_.use_parallel_selection ? SelectParallel(units, stats)
+                                        : SelectSerial(units, stats);
+}
+
+size_t MatcherState::SelectSerial(const std::vector<ScoreUnit>& units,
+                                  PhaseStats* stats) {
+  Timer timer;
+  best1_.NextEpoch();
+  best2_.NextEpoch();
+  size_t candidate_pairs = 0;
+  for (const ScoreUnit& unit : units) {
+    unit.ForEach([this, &candidate_pairs](uint64_t key, uint32_t score) {
+      best1_.Observe(PairFirst(key), score);
+      best2_.Observe(PairSecond(key), score);
+      ++candidate_pairs;
+    });
+  }
+  stats->candidate_pairs = candidate_pairs;
+  stats->scan_seconds = timer.Seconds();
+
+  timer.Reset();
+  std::vector<std::pair<NodeId, NodeId>> accepted;
+  for (const ScoreUnit& unit : units) {
+    unit.ForEach([this, &accepted](uint64_t key, uint32_t score) {
+      if (score < config_.min_score) return;
+      NodeId u = PairFirst(key);
+      NodeId v = PairSecond(key);
+      // Already-matched nodes stay in the scored pool as *blockers* (their
+      // pairs keep outcompeting impostors — this is what defeats the sybil
+      // attack) but are never re-matched.
+      if (map_1to2_[u] != kInvalidNode || map_2to1_[v] != kInvalidNode) {
+        return;
+      }
+      if (best1_.IsUniqueBest(u, score) && best2_.IsUniqueBest(v, score)) {
+        accepted.emplace_back(u, v);
+      }
+    });
+  }
+  Commit(accepted);
+  stats->select_seconds = timer.Seconds();
+  return accepted.size();
+}
+
+size_t MatcherState::SelectParallel(const std::vector<ScoreUnit>& units,
+                                    PhaseStats* stats) {
+  Timer timer;
+  atomic_best1_.NextEpoch();
+  atomic_best2_.NextEpoch();
+  // Both passes run one unit at a time under the configured scheduler
+  // (static: one queued task per unit; stealing: units are claimed
+  // dynamically, so a handful of huge hub-level units no longer pins the
+  // round on whichever worker drew them; an active placement claims
+  // domain-local units first and steals remote only when dry). The
+  // observe fold is a CAS-max — commutative — and the accept pass writes
+  // only per-unit lists, so the schedule is unobservable in the result.
+  std::atomic<size_t> candidate_pairs{0};
+  PlacedLoopStats scan_placed;
+  placement_.ParallelForPlaced(
+      &pool_, scheduler_, units.size(), CellDomainFn(),
+      [this, &units, &candidate_pairs](size_t i) {
+        size_t local_pairs = 0;
+        units[i].ForEach([this, &local_pairs](uint64_t key, uint32_t score) {
+          atomic_best1_.Observe(PairFirst(key), score);
+          atomic_best2_.Observe(PairSecond(key), score);
+          ++local_pairs;
+        });
+        candidate_pairs.fetch_add(local_pairs, std::memory_order_relaxed);
+      },
+      &scan_placed);
+  stats->candidate_pairs = candidate_pairs.load();
+  stats->scan_seconds = timer.Seconds();
+  stats->local_unit_tasks += scan_placed.local_tasks;
+  stats->remote_unit_steals += scan_placed.remote_steals;
+
+  timer.Reset();
+  // Accept pass: reads the maps and the sealed best tables, writes only
+  // its own unit's accept list; commits happen after the barrier.
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> accepted_per_unit(
+      units.size());
+  PlacedLoopStats accept_placed;
+  placement_.ParallelForPlaced(
+      &pool_, scheduler_, units.size(), CellDomainFn(),
+      [this, &units, &accepted_per_unit](size_t i) {
+        auto& list = accepted_per_unit[i];
+        units[i].ForEach([this, &list](uint64_t key, uint32_t score) {
+          if (score < config_.min_score) return;
+          NodeId u = PairFirst(key);
+          NodeId v = PairSecond(key);
+          if (map_1to2_[u] != kInvalidNode || map_2to1_[v] != kInvalidNode) {
+            return;
+          }
+          if (atomic_best1_.IsUniqueBest(u, score) &&
+              atomic_best2_.IsUniqueBest(v, score)) {
+            list.emplace_back(u, v);
+          }
+        });
+      },
+      &accept_placed);
+  stats->local_unit_tasks += accept_placed.local_tasks;
+  stats->remote_unit_steals += accept_placed.remote_steals;
+
+  size_t accepted = 0;
+  for (const auto& list : accepted_per_unit) {
+    Commit(list);
+    accepted += list.size();
+  }
+  stats->select_seconds = timer.Seconds();
+  return accepted;
+}
+
+// The accepted set is a matching on unmatched nodes by construction
+// (unique best on both sides), so commits cannot conflict.
+void MatcherState::Commit(
+    std::span<const std::pair<NodeId, NodeId>> accepted) {
+  for (const auto& [u, v] : accepted) {
+    RECONCILE_CHECK_EQ(map_1to2_[u], kInvalidNode);
+    RECONCILE_CHECK_EQ(map_2to1_[v], kInvalidNode);
+    map_1to2_[u] = v;
+    map_2to1_[v] = u;
+    links_.emplace_back(u, v);
+  }
+}
+
+// --- Incremental engine --------------------------------------------------
+// Witness scores are additive over links, so each link's neighbour-pair
+// contributions are emitted exactly once — when the link enters L — into
+// persistent per-level score maps. A bucket-j round scans levels >= j.
+// This is result-identical to the recompute path (verified by tests) and
+// removes the per-bucket rescoring factor from the running time.
+
+// Folds links_[emitted_links_ ..) into the persistent score state of the
+// configured backend, filling `stats`' emission count plus the time split:
+// `emit_seconds` covers witness enumeration (the map phase), and
+// `merge_seconds` covers folding the deltas into the persistent state
+// (hash merges / radix sort + tier compaction) — the part that used to
+// hide inside emit.
+void MatcherState::EmitPendingLinks(PhaseStats* stats) {
+  if (config_.scoring_backend == ScoringBackend::kRadixSort) {
+    EmitPendingLinksRadix(stats);
+  } else {
+    EmitPendingLinksHash(stats);
+  }
+}
+
+// Chunk size the work-stealing emission loop claims per lock acquisition.
+// Per-item cost is heavy-tailed on skewed graphs (a hub link emits
+// deg(hub)^2-ish pairs), so the auto grain aims well below the static
+// chunk size; claims are a spinlock pop, so the extra traffic is cheap.
+size_t MatcherState::EmitGrain(size_t num_items) const {
+  if (config_.scheduler_grain > 0) return config_.scheduler_grain;
+  return ThreadPool::GrainSize(num_items, pool_.num_threads(), 1, 64);
+}
+
+// Hash backend: every emission probes a per-(level, shard) FlatCountMap.
+void MatcherState::EmitPendingLinksHash(PhaseStats* stats) {
+  const size_t begin = emitted_links_;
+  const size_t end = links_.size();
+  if (begin == end) return;
+  emitted_links_ = end;
+
+  const NodeId dmin = static_cast<NodeId>(1u) << config_.min_bucket_exponent;
+  struct Delta {
+    std::vector<std::vector<FlatCountMap>> maps;  // [level][shard]
+    uint64_t emissions = 0;
+  };
+  const size_t num_items = end - begin;
+
+  // One delta set per producer (`ParallelProduce`): per fixed chunk under
+  // the static scheduler, per worker slot under work-stealing. The merge
+  // sums counts commutatively, so which items land in which delta is
+  // unobservable.
+  Timer emit_timer;
+  auto emit_range = [this, begin, dmin](Delta& delta, size_t lo, size_t hi) {
+    if (delta.maps.empty()) delta.maps.resize(kNumLevels);
+    auto& maps = delta.maps;
+    for (size_t item = lo; item < hi; ++item) {
+      const auto [a1, a2] = links_[begin + item];
+      for (NodeId u : g1_.NeighborsByDegree(a1)) {
+        if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
+        const uint8_t lu = level1_[u];
+        for (NodeId v : g2_.NeighborsByDegree(a2)) {
+          if (g2_.degree(v) < dmin) break;
+          const uint8_t level = std::min(lu, level2_[v]);
+          const uint64_t key = PackPair(u, v);
+          if (maps[level].empty()) {
+            maps[level] =
+                std::vector<FlatCountMap>(static_cast<size_t>(num_shards_));
+          }
+          maps[level][static_cast<size_t>(mr::ShardOfKey(key, num_shards_))]
+              .AddCount(key, 1);
+          ++delta.emissions;
+        }
+      }
+    }
+  };
+  std::vector<Delta> deltas = ParallelProduce<Delta>(
+      &pool_, scheduler_, num_items, static_cast<size_t>(num_shards_) * 4,
+      EmitGrain(num_items), emit_range);
+  stats->emit_seconds += emit_timer.Seconds();
+
+  // Merge deltas into the persistent maps: one (level, shard) cell at a
+  // time, pre-sized from the delta sizes so the merge never rehashes
+  // mid-loop. Cells run domain-homed under an active placement (the
+  // merge is the pass that touches every persistent page, so it is where
+  // shard homing pays).
+  Timer merge_timer;
+  PlacedLoopStats merge_placed;
+  placement_.ParallelForPlaced(
+      &pool_, scheduler_,
+      static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_),
+      CellDomainFn(),
+      [this, &deltas](size_t cell) {
+        const size_t level = cell / static_cast<size_t>(num_shards_);
+        const size_t shard = cell % static_cast<size_t>(num_shards_);
+        FlatCountMap& target = scores_[level][shard];
+        size_t expected = target.size();
+        for (const Delta& delta : deltas) {
+          if (delta.maps.empty()) continue;
+          const auto& level_maps = delta.maps[level];
+          if (level_maps.empty()) continue;
+          expected += level_maps[shard].size();
+        }
+        if (expected == target.size()) return;
+        target.Reserve(expected);
+        for (const Delta& delta : deltas) {
+          if (delta.maps.empty()) continue;
+          const auto& level_maps = delta.maps[level];
+          if (level_maps.empty()) continue;
+          level_maps[shard].ForEach([&target](uint64_t key, uint32_t count) {
+            target.AddCount(key, count);
+          });
+        }
+      },
+      &merge_placed);
+  stats->merge_seconds += merge_timer.Seconds();
+  stats->local_unit_tasks += merge_placed.local_tasks;
+  stats->remote_unit_steals += merge_placed.remote_steals;
+
+  for (const Delta& delta : deltas) {
+    stats->emissions += static_cast<size_t>(delta.emissions);
+  }
+}
+
+// Radix backend: emissions append packed keys into per-(level, shard) flat
+// buffers (one array store each — the shard is a precomputed per-node
+// lookup, no hashing); each touched (level, shard) cell then sorts its
+// delta, run-length-encodes it and appends it to the cell's LSM tier
+// stack, which folds tiers into the big persistent run only when the
+// size-ratio policy trips.
+void MatcherState::EmitPendingLinksRadix(PhaseStats* stats) {
+  const size_t begin = emitted_links_;
+  const size_t end = links_.size();
+  if (begin == end) return;
+  emitted_links_ = end;
+
+  const NodeId dmin = static_cast<NodeId>(1u) << config_.min_bucket_exponent;
+  struct RadixDelta {
+    std::vector<std::vector<std::vector<uint64_t>>> keys;  // [level][shard]
+    uint64_t emissions = 0;
+  };
+  const size_t num_items = end - begin;
+
+  Timer emit_timer;
+  auto emit_range = [this, begin, dmin](RadixDelta& delta, size_t lo,
+                                        size_t hi) {
+    if (delta.keys.empty()) delta.keys.resize(kNumLevels);
+    auto& keys = delta.keys;
+    for (size_t item = lo; item < hi; ++item) {
+      const auto [a1, a2] = links_[begin + item];
+      for (NodeId u : g1_.NeighborsByDegree(a1)) {
+        if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
+        const uint8_t lu = level1_[u];
+        const uint32_t shard = radix_shard1_[u];
+        for (NodeId v : g2_.NeighborsByDegree(a2)) {
+          if (g2_.degree(v) < dmin) break;
+          const uint8_t level = std::min(lu, level2_[v]);
+          if (keys[level].empty()) {
+            keys[level].resize(static_cast<size_t>(num_shards_));
+          }
+          keys[level][shard].push_back(PackPair(u, v));
+          ++delta.emissions;
+        }
+      }
+    }
+  };
+  std::vector<RadixDelta> deltas = ParallelProduce<RadixDelta>(
+      &pool_, scheduler_, num_items, static_cast<size_t>(num_shards_) * 4,
+      EmitGrain(num_items), emit_range);
+  stats->emit_seconds += emit_timer.Seconds();
+
+  // Sort-and-append: one touched (level, shard) cell at a time.
+  // Concatenate the producer chunks, radix-sort, run-length-encode, then
+  // append the round delta as a new LSM tier (compaction per the
+  // size-ratio policy — late low-yield rounds usually stop here without
+  // touching the big run). Cells run domain-homed under an active
+  // placement, so a tier's pages are written by the domain that will
+  // scan and compact them.
+  Timer merge_timer;
+  PlacedLoopStats merge_placed;
+  placement_.ParallelForPlaced(
+      &pool_, scheduler_,
+      static_cast<size_t>(kNumLevels) * static_cast<size_t>(num_shards_),
+      CellDomainFn(),
+      [this, &deltas](size_t cell) {
+        const size_t level = cell / static_cast<size_t>(num_shards_);
+        const size_t shard = cell % static_cast<size_t>(num_shards_);
+        size_t total = 0;
+        for (const RadixDelta& delta : deltas) {
+          if (delta.keys.empty()) continue;
+          const auto& level_keys = delta.keys[level];
+          if (level_keys.empty()) continue;
+          total += level_keys[shard].size();
+        }
+        if (total == 0) return;
+        std::vector<uint64_t> raw;
+        raw.reserve(total);
+        for (const RadixDelta& delta : deltas) {
+          if (delta.keys.empty()) continue;
+          const auto& level_keys = delta.keys[level];
+          if (level_keys.empty()) continue;
+          const auto& chunk = level_keys[shard];
+          raw.insert(raw.end(), chunk.begin(), chunk.end());
+        }
+        std::vector<uint64_t> scratch;
+        SortedCountRun delta_run = SortAndCount(std::move(raw), scratch);
+        runs_[level][shard].Append(std::move(delta_run), tier_policy_);
+      },
+      &merge_placed);
+  stats->merge_seconds += merge_timer.Seconds();
+  stats->local_unit_tasks += merge_placed.local_tasks;
+  stats->remote_unit_steals += merge_placed.remote_steals;
+
+  for (const RadixDelta& delta : deltas) {
+    stats->emissions += static_cast<size_t>(delta.emissions);
+  }
+}
+
+size_t MatcherState::RoundIncremental(int iteration, int bucket_exponent) {
+  Timer timer;
+  PhaseStats stats;
+  stats.iteration = iteration;
+  stats.bucket_exponent = bucket_exponent;
+  stats.links_in = links_.size();
+  stats.num_threads = pool_.num_threads();
+  stats.placement_domains =
+      placement_.active() ? placement_.num_domains() : 1;
+  // Credit any between-round compaction since the last round here.
+  stats.local_unit_tasks += compact_placed_stats_.local_tasks;
+  stats.remote_unit_steals += compact_placed_stats_.remote_steals;
+  compact_placed_stats_ = PlacedLoopStats{};
+
+  EmitPendingLinks(&stats);
+
+  std::vector<ScoreUnit> units;
+  units.reserve(static_cast<size_t>(kNumLevels - bucket_exponent) *
+                static_cast<size_t>(num_shards_));
+  if (config_.scoring_backend == ScoringBackend::kRadixSort) {
+    for (int level = bucket_exponent; level < kNumLevels; ++level) {
+      for (const TieredCountRuns& store : runs_[static_cast<size_t>(level)]) {
+        units.push_back(ScoreUnit(&store));
+      }
+    }
+  } else {
+    for (int level = bucket_exponent; level < kNumLevels; ++level) {
+      for (const FlatCountMap& shard : scores_[static_cast<size_t>(level)]) {
+        units.push_back(ScoreUnit(&shard));
+      }
+    }
+  }
+  size_t accepted = SelectAndCommit(units, &stats);
+
+  stats.new_links = accepted;
+  stats.seconds = timer.Seconds();
+  phases_.push_back(stats);
+  return accepted;
+}
+
+// --- Reference scoring engine ----------------------------------------
+// Literal transcription of the paper's inner loop: rebuild the witness
+// counts for the current bucket from *all* current links via one
+// MapReduce round. Kept as the semantics reference; the incremental
+// engine must produce identical results.
+size_t MatcherState::RoundRecompute(int iteration, int bucket_exponent) {
+  Timer timer;
+  const NodeId dmin = static_cast<NodeId>(1u) << bucket_exponent;
+  PhaseStats stats;
+  stats.iteration = iteration;
+  stats.bucket_exponent = bucket_exponent;
+  stats.links_in = links_.size();
+  stats.num_threads = pool_.num_threads();
+  stats.placement_domains =
+      placement_.active() ? placement_.num_domains() : 1;
+
+  Timer emit_timer;
+  std::atomic<uint64_t> emissions{0};
+  const int num_map_shards = num_shards_ * 4;
+  auto map_fn = [this, dmin, &emissions](size_t item, auto emit) {
+    const auto [a1, a2] = links_[item];
+    uint64_t local_emissions = 0;
+    for (NodeId u : g1_.NeighborsByDegree(a1)) {
+      if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
+      for (NodeId v : g2_.NeighborsByDegree(a2)) {
+        if (g2_.degree(v) < dmin) break;
+        emit(PackPair(u, v));
+        ++local_emissions;
+      }
+    }
+    emissions.fetch_add(local_emissions, std::memory_order_relaxed);
+  };
+
+  std::vector<FlatCountMap> scores;
+  std::vector<SortedCountRun> runs;
+  std::vector<ScoreUnit> units;
+  PlacedLoopStats reduce_placed;
+  if (config_.scoring_backend == ScoringBackend::kRadixSort) {
+    runs = mr::SortCountByKey(
+        &pool_, links_.size(), num_map_shards, num_shards_, map_fn,
+        [this](uint64_t key) { return radix_shard1_[PairFirst(key)]; },
+        scheduler_, &stats.merge_seconds, &placement_, &reduce_placed);
+    units.reserve(runs.size());
+    for (const SortedCountRun& run : runs) units.push_back(ScoreUnit(&run));
+  } else {
+    scores = mr::CountByKey(&pool_, links_.size(), num_map_shards,
+                            num_shards_, map_fn, scheduler_,
+                            &stats.merge_seconds, &placement_,
+                            &reduce_placed);
+    units.reserve(scores.size());
+    for (const FlatCountMap& shard : scores) {
+      units.push_back(ScoreUnit(&shard));
+    }
+  }
+  stats.local_unit_tasks += reduce_placed.local_tasks;
+  stats.remote_unit_steals += reduce_placed.remote_steals;
+  stats.emissions = emissions.load();
+  // The mr round's reduce time is reported as merge; the map phase is the
+  // emit proper.
+  stats.emit_seconds =
+      std::max(0.0, emit_timer.Seconds() - stats.merge_seconds);
+
+  size_t accepted = SelectAndCommit(units, &stats);
+
+  stats.new_links = accepted;
+  stats.seconds = timer.Seconds();
+  phases_.push_back(stats);
+  return accepted;
+}
+
+// --- Snapshot serialization ----------------------------------------------
+
+bool MatcherState::SaveSnapshot(const std::string& path,
+                                std::string* error) const {
+  SnapshotWriter writer;
+
+  writer.BeginSection(kSectionMeta);
+  writer.AppendU32(kMatcherStateVersion);
+  // Graph fingerprint: a snapshot only resumes against the pair it was
+  // taken from.
+  writer.AppendU64(g1_.num_nodes());
+  writer.AppendU64(g1_.num_edges());
+  writer.AppendU64(graph_fp1_);
+  writer.AppendU64(g2_.num_nodes());
+  writer.AppendU64(g2_.num_edges());
+  writer.AppendU64(graph_fp2_);
+  // Config fingerprint: the knobs that change what the matcher computes or
+  // how the score state is laid out. Execution-only knobs (threads,
+  // scheduler, grain, placement, LSM tier policy) are matching-invariant
+  // and intentionally absent — see the class comment.
+  writer.AppendU32(config_.min_score);
+  writer.AppendI32(config_.num_iterations);
+  writer.AppendU8(config_.use_degree_bucketing ? 1 : 0);
+  writer.AppendI32(config_.min_bucket_exponent);
+  writer.AppendU8(config_.stop_when_stable ? 1 : 0);
+  writer.AppendU8(config_.use_incremental_scoring ? 1 : 0);
+  writer.AppendU8(
+      config_.scoring_backend == ScoringBackend::kRadixSort ? 1 : 0);
+  writer.AppendI32(num_shards_);
+  // Round cursor.
+  writer.AppendI32(iteration_);
+  writer.AppendI32(current_bucket_);
+  writer.AppendI32(top_exponent_);
+  writer.AppendI32(bottom_exponent_);
+  writer.AppendU64(new_links_this_iteration_);
+  writer.AppendI32(completed_rounds_);
+  writer.AppendU8(done_ ? 1 : 0);
+  writer.AppendU64(num_seeds_);
+  writer.AppendU64(emitted_links_);
+  writer.AppendU64(links_.size());
+  writer.EndSection();
+
+  writer.BeginSection(kSectionLinks);
+  writer.AppendVector(links_);
+  writer.EndSection();
+
+  if (config_.use_incremental_scoring) {
+    if (config_.scoring_backend == ScoringBackend::kRadixSort) {
+      writer.BeginSection(kSectionScoresRadix);
+      for (const auto& level : runs_) {
+        for (const TieredCountRuns& store : level) {
+          writer.AppendU32(static_cast<uint32_t>(store.num_tiers()));
+          for (const SortedCountRun& tier : store.tiers()) {
+            writer.AppendVector(tier.keys);
+            writer.AppendVector(tier.counts);
+          }
+        }
+      }
+      writer.EndSection();
+    } else {
+      writer.BeginSection(kSectionScoresHash);
+      for (const auto& level : scores_) {
+        for (const FlatCountMap& shard : level) {
+          writer.AppendU64(shard.size());
+          shard.ForEach([&writer](uint64_t key, uint32_t count) {
+            writer.AppendU64(key);
+            writer.AppendU32(count);
+          });
+        }
+      }
+      writer.EndSection();
+    }
+  }
+
+  return writer.Commit(path, error);
+}
+
+bool MatcherState::RebuildMaps(
+    const std::vector<std::pair<NodeId, NodeId>>& links,
+    std::vector<NodeId>* map_1to2, std::vector<NodeId>* map_2to1,
+    std::string* error) const {
+  map_1to2->assign(g1_.num_nodes(), kInvalidNode);
+  map_2to1->assign(g2_.num_nodes(), kInvalidNode);
+  for (const auto& [u, v] : links) {
+    if (u >= g1_.num_nodes() || v >= g2_.num_nodes()) {
+      *error = "link (" + std::to_string(u) + ", " + std::to_string(v) +
+               ") out of range";
+      return false;
+    }
+    if ((*map_1to2)[u] != kInvalidNode || (*map_2to1)[v] != kInvalidNode) {
+      *error = "link (" + std::to_string(u) + ", " + std::to_string(v) +
+               ") conflicts with an earlier link";
+      return false;
+    }
+    (*map_1to2)[u] = v;
+    (*map_2to1)[v] = u;
+  }
+  return true;
+}
+
+bool MatcherState::LoadSnapshot(const std::string& path, std::string* error) {
+  RECONCILE_CHECK(seeded_) << "LoadSnapshot before SeedLinks";
+
+  SnapshotReader reader;
+  if (!reader.Open(path, error)) return false;
+
+  SnapshotReader::Section* meta = reader.Find(kSectionMeta);
+  if (meta == nullptr) {
+    *error = path + ": missing META section";
+    return false;
+  }
+
+  // META: parse and validate everything before touching any member.
+  uint32_t state_version = 0;
+  if (!meta->ReadU32(&state_version)) {
+    *error = path + ": truncated META";
+    return false;
+  }
+  if (state_version != kMatcherStateVersion) {
+    *error = path + ": matcher state version " +
+             std::to_string(state_version) + " (want " +
+             std::to_string(kMatcherStateVersion) + ")";
+    return false;
+  }
+  uint64_t n1 = 0, e1 = 0, fp1 = 0, n2 = 0, e2 = 0, fp2 = 0;
+  meta->ReadU64(&n1);
+  meta->ReadU64(&e1);
+  meta->ReadU64(&fp1);
+  meta->ReadU64(&n2);
+  meta->ReadU64(&e2);
+  meta->ReadU64(&fp2);
+  uint32_t min_score = 0;
+  int32_t num_iterations = 0, min_bucket_exponent = 0, snap_shards = 0;
+  uint8_t bucketing = 0, stop_when_stable = 0, incremental = 0, radix = 0;
+  meta->ReadU32(&min_score);
+  meta->ReadI32(&num_iterations);
+  meta->ReadU8(&bucketing);
+  meta->ReadI32(&min_bucket_exponent);
+  meta->ReadU8(&stop_when_stable);
+  meta->ReadU8(&incremental);
+  meta->ReadU8(&radix);
+  meta->ReadI32(&snap_shards);
+  int32_t iteration = 0, current_bucket = 0, top_exponent = 0,
+          bottom_exponent = 0, completed_rounds = 0;
+  uint64_t new_links_this_iteration = 0, num_seeds = 0, emitted_links = 0,
+           num_links = 0;
+  uint8_t done = 0;
+  meta->ReadI32(&iteration);
+  meta->ReadI32(&current_bucket);
+  meta->ReadI32(&top_exponent);
+  meta->ReadI32(&bottom_exponent);
+  meta->ReadU64(&new_links_this_iteration);
+  meta->ReadI32(&completed_rounds);
+  meta->ReadU8(&done);
+  meta->ReadU64(&num_seeds);
+  meta->ReadU64(&emitted_links);
+  if (!meta->ReadU64(&num_links) || !meta->ok()) {
+    *error = path + ": truncated META";
+    return false;
+  }
+
+  if (n1 != g1_.num_nodes() || e1 != g1_.num_edges() || fp1 != graph_fp1_ ||
+      n2 != g2_.num_nodes() || e2 != g2_.num_edges() || fp2 != graph_fp2_) {
+    *error = path + ": snapshot was taken against a different graph pair";
+    return false;
+  }
+  const bool config_matches =
+      min_score == config_.min_score &&
+      num_iterations == config_.num_iterations &&
+      (bucketing != 0) == config_.use_degree_bucketing &&
+      min_bucket_exponent == config_.min_bucket_exponent &&
+      (stop_when_stable != 0) == config_.stop_when_stable &&
+      (incremental != 0) == config_.use_incremental_scoring &&
+      (radix != 0) ==
+          (config_.scoring_backend == ScoringBackend::kRadixSort) &&
+      snap_shards == num_shards_;
+  if (!config_matches) {
+    *error = path +
+             ": snapshot config mismatch (threshold/iterations/bucketing/"
+             "backend/shards differ from this run — resume with the "
+             "configuration the checkpoint was written under, including an "
+             "explicit shard count if thread counts differ)";
+    return false;
+  }
+  const bool cursor_sane =
+      top_exponent == top_exponent_ && bottom_exponent == bottom_exponent_ &&
+      iteration >= 1 && iteration <= num_iterations &&
+      (bucketing != 0
+           ? current_bucket >= bottom_exponent && current_bucket <= top_exponent
+           : current_bucket == min_bucket_exponent) &&
+      completed_rounds >= 0 && num_seeds <= num_links &&
+      emitted_links <= num_links;
+  if (!cursor_sane) {
+    *error = path + ": snapshot round cursor is inconsistent";
+    return false;
+  }
+  if (num_seeds != num_seeds_) {
+    *error = path + ": snapshot has " + std::to_string(num_seeds) +
+             " seeds, this run has " + std::to_string(num_seeds_);
+    return false;
+  }
+
+  // LINKS: the committed link log; its seed prefix must equal this run's
+  // seeds, and the log must rebuild into a consistent one-to-one mapping.
+  SnapshotReader::Section* links_section = reader.Find(kSectionLinks);
+  if (links_section == nullptr) {
+    *error = path + ": missing LINKS section";
+    return false;
+  }
+  std::vector<std::pair<NodeId, NodeId>> links;
+  if (!links_section->ReadVector(&links) || links.size() != num_links) {
+    *error = path + ": LINKS section does not match its declared size";
+    return false;
+  }
+  for (size_t i = 0; i < num_seeds_; ++i) {
+    if (links[i] != links_[i]) {
+      *error = path + ": snapshot seed links differ from this run's seeds";
+      return false;
+    }
+  }
+  std::vector<NodeId> map_1to2, map_2to1;
+  if (!RebuildMaps(links, &map_1to2, &map_2to1, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+
+  // SCORES: staged fully before commit.
+  std::vector<std::vector<TieredCountRuns>> runs;
+  std::vector<std::vector<FlatCountMap>> scores;
+  if (config_.use_incremental_scoring) {
+    if (config_.scoring_backend == ScoringBackend::kRadixSort) {
+      SnapshotReader::Section* section = reader.Find(kSectionScoresRadix);
+      if (section == nullptr) {
+        *error = path + ": missing radix SCORES section";
+        return false;
+      }
+      runs.resize(kNumLevels);
+      for (auto& level : runs) {
+        level.resize(static_cast<size_t>(num_shards_));
+        for (TieredCountRuns& store : level) {
+          uint32_t num_tiers = 0;
+          if (!section->ReadU32(&num_tiers)) {
+            *error = path + ": truncated radix SCORES section";
+            return false;
+          }
+          // Rebuild the exact tier stack (no policy folding): tier
+          // boundaries affect when future compactions run, and the resumed
+          // process must replay them identically.
+          TierPolicy keep_all{std::numeric_limits<int>::max(), 0.0};
+          for (uint32_t t = 0; t < num_tiers; ++t) {
+            SortedCountRun tier;
+            if (!section->ReadVector(&tier.keys) ||
+                !section->ReadVector(&tier.counts) ||
+                tier.keys.size() != tier.counts.size() || tier.empty()) {
+              *error = path + ": malformed radix SCORES tier";
+              return false;
+            }
+            store.Append(std::move(tier), keep_all);
+          }
+        }
+      }
+      if (!section->AtEnd()) {
+        *error = path + ": trailing bytes in radix SCORES section";
+        return false;
+      }
+    } else {
+      SnapshotReader::Section* section = reader.Find(kSectionScoresHash);
+      if (section == nullptr) {
+        *error = path + ": missing hash SCORES section";
+        return false;
+      }
+      scores.resize(kNumLevels);
+      for (auto& level : scores) {
+        level = std::vector<FlatCountMap>(static_cast<size_t>(num_shards_));
+        for (FlatCountMap& shard : level) {
+          uint64_t entries = 0;
+          if (!section->ReadU64(&entries) ||
+              entries > section->Remaining() / 12) {
+            *error = path + ": truncated hash SCORES section";
+            return false;
+          }
+          shard.Reserve(static_cast<size_t>(entries));
+          for (uint64_t i = 0; i < entries; ++i) {
+            uint64_t key = 0;
+            uint32_t count = 0;
+            section->ReadU64(&key);
+            if (!section->ReadU32(&count)) {
+              *error = path + ": truncated hash SCORES section";
+              return false;
+            }
+            if (key == FlatCountMap::kEmptyKey) {
+              *error = path + ": reserved key in hash SCORES section";
+              return false;
+            }
+            shard.AddCount(key, count);
+          }
+        }
+      }
+      if (!section->AtEnd()) {
+        *error = path + ": trailing bytes in hash SCORES section";
+        return false;
+      }
+    }
+  }
+
+  // Everything validated — commit.
+  links_ = std::move(links);
+  map_1to2_ = std::move(map_1to2);
+  map_2to1_ = std::move(map_2to1);
+  runs_ = std::move(runs);
+  scores_ = std::move(scores);
+  emitted_links_ = static_cast<size_t>(emitted_links);
+  iteration_ = iteration;
+  current_bucket_ = current_bucket;
+  new_links_this_iteration_ = static_cast<size_t>(new_links_this_iteration);
+  completed_rounds_ = completed_rounds;
+  done_ = done != 0;
+  phases_.clear();
+  compact_placed_stats_ = PlacedLoopStats{};
+  return true;
+}
+
+}  // namespace reconcile

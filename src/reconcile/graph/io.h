@@ -14,14 +14,22 @@ bool WriteEdgeListText(const Graph& g, const std::string& path);
 
 /// Reads a text edge list produced by `WriteEdgeListText` (or any
 /// whitespace-separated `u v` lines; `#` lines are comments). Returns false
-/// on I/O or parse failure; `*out` is untouched on failure.
+/// on I/O or parse failure; `*out` is untouched on failure. Every failure
+/// — unreadable file, unparsable line, node-id overflow, a writer header
+/// whose declared counts contradict the body — prints one stderr line
+/// naming the file and the defect; malformed input never aborts.
 bool ReadEdgeListText(const std::string& path, EdgeList* out);
 
 /// Writes `g` in a compact binary format (magic, node count, edge count,
 /// canonical u<v pairs as little-endian uint32). Returns false on failure.
 bool WriteEdgeListBinary(const Graph& g, const std::string& path);
 
-/// Reads the binary format written by `WriteEdgeListBinary`.
+/// Reads the binary format written by `WriteEdgeListBinary`. Validates the
+/// header against the actual file size *before* allocating (a corrupt edge
+/// count cannot trigger an absurd reservation), rejects bad magic, node-id
+/// overflow, out-of-range edge endpoints, truncated or trailing payload
+/// bytes — each with a one-line stderr diagnostic; `*out` is untouched on
+/// failure and malformed input never aborts.
 bool ReadEdgeListBinary(const std::string& path, EdgeList* out);
 
 }  // namespace reconcile

@@ -1,0 +1,74 @@
+#ifndef RECONCILE_UTIL_FAULT_H_
+#define RECONCILE_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace reconcile {
+
+/// Deterministic fault injection for crash-safety testing.
+///
+/// Code under test declares *named fault points*; a process-global injector
+/// is armed with a spec naming which points misbehave and when. Nothing
+/// fires unless armed, and every firing is deterministic (keyed on an
+/// explicit value or a per-point hit counter), so a killed-and-resumed run
+/// can be replayed bit for bit.
+///
+/// Spec grammar — entries separated by `;` or `,`, each `kind:point[=value]`:
+///
+///   crash:after_round=3        kill the process (`_exit(kFaultCrashExitCode)`)
+///                              when value point "after_round" is reached
+///                              with value 3
+///   stop:after_round=2         request a graceful stop (see
+///                              `util/shutdown.h`) at that point — a
+///                              deterministic stand-in for SIGTERM
+///   io:checkpoint_write_fail   fail the 1st hit of that io point
+///   io:checkpoint_truncate=2   fire on the 2nd hit (1-based) instead
+///
+/// Arming sources, in precedence order: `MatcherConfig::fault_spec` (armed
+/// by `UserMatching` when non-empty) overrides the `RECONCILE_FAULT`
+/// environment variable (read once, at first injector use).
+///
+/// Known points (grep for the literals to find the hooks):
+///   after_round            value point; value = completed round count
+///   checkpoint_write_fail  io point in `SnapshotWriter::Commit` — the
+///                          commit reports failure without writing
+///   checkpoint_truncate    io point in `SnapshotWriter::Commit` — the
+///                          commit writes only half the file but reports
+///                          success (simulates a torn write on a
+///                          non-atomic filesystem)
+
+/// Exit code of a `crash:` fault (distinguishable from aborts and clean
+/// exits in kill/resume harnesses).
+inline constexpr int kFaultCrashExitCode = 42;
+
+/// Replaces the armed fault set with `spec` (empty spec = disarm all).
+/// Returns false and fills `*error` on a malformed spec, leaving the
+/// previously armed set untouched.
+bool ArmFaults(const std::string& spec, std::string* error);
+
+/// Parses `spec` without arming anything — for config validation layers
+/// that want to reject a malformed spec early with a good diagnostic.
+bool ValidateFaultSpec(const std::string& spec, std::string* error);
+
+/// Disarms every fault and resets all hit counters.
+void DisarmFaults();
+
+/// The currently armed spec in canonical form ("" when disarmed).
+std::string ArmedFaultSpec();
+
+/// IO fault point: increments the point's hit counter and returns true when
+/// an armed `io:` entry for `point` fires on this hit. Call sites treat
+/// `true` as the injected failure.
+bool FaultPointHit(std::string_view point);
+
+/// Value fault point: fires armed `crash:` entries (terminating the process
+/// via `_exit(kFaultCrashExitCode)` after flushing a diagnostic) and
+/// `stop:` entries (calling `RequestGracefulStop()`) whose armed value
+/// equals `value`.
+void FaultValuePoint(std::string_view point, int64_t value);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_UTIL_FAULT_H_

@@ -1,0 +1,41 @@
+#include "reconcile/util/shutdown.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace reconcile {
+
+namespace {
+
+std::atomic<bool> g_stop_requested{false};
+
+void HandleStopSignal(int /*signum*/) {
+  g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void InstallGracefulShutdownHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a blocked read in a driver loop should see EINTR and
+  // reach its own stop check.
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+void RequestGracefulStop() {
+  g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
+bool GracefulStopRequested() {
+  return g_stop_requested.load(std::memory_order_relaxed);
+}
+
+void ClearGracefulStop() {
+  g_stop_requested.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace reconcile

@@ -1,0 +1,32 @@
+#ifndef RECONCILE_UTIL_SHUTDOWN_H_
+#define RECONCILE_UTIL_SHUTDOWN_H_
+
+namespace reconcile {
+
+/// Cooperative graceful-shutdown flag.
+///
+/// Long computations (the matcher's round loop) poll `GracefulStopRequested`
+/// at safe boundaries and wind down cleanly — finish the current round,
+/// write a final checkpoint, return a partial result. The flag is set
+/// either by the SIGINT/SIGTERM handlers installed via
+/// `InstallGracefulShutdownHandlers` (the CLI does this when checkpointing
+/// is on) or programmatically (`RequestGracefulStop` — also what the
+/// deterministic `stop:` fault kind in `util/fault.h` calls).
+
+/// Installs SIGINT and SIGTERM handlers that set the stop flag. Idempotent.
+/// The handlers only flip an atomic flag, so any signal-safety concerns
+/// stay out of library code.
+void InstallGracefulShutdownHandlers();
+
+/// Sets the stop flag (async-signal-safe).
+void RequestGracefulStop();
+
+/// True once a stop has been requested.
+bool GracefulStopRequested();
+
+/// Clears the flag (tests; a CLI run consumes the request on exit).
+void ClearGracefulStop();
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_UTIL_SHUTDOWN_H_

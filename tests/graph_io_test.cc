@@ -110,6 +110,133 @@ TEST(GraphIoTest, BadMagicFails) {
   std::remove(path.c_str());
 }
 
+// --- Malformed-input sweep: every rejection is a clean `false` (with a
+// stderr diagnostic), never a crash, and leaves `*out` untouched. ---
+
+TEST(GraphIoTest, TextHeaderEdgeCountMismatchFails) {
+  std::string path = TempPath("hdr_edges.txt");
+  {
+    std::ofstream out(path);
+    out << "# nodes=3 edges=3\n0 1\n1 2\n";  // body holds only 2
+  }
+  EdgeList edges;
+  EXPECT_FALSE(ReadEdgeListText(path, &edges));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TextHeaderNodeCountMismatchFails) {
+  std::string path = TempPath("hdr_nodes.txt");
+  {
+    std::ofstream out(path);
+    out << "# nodes=2 edges=1\n0 5\n";  // node 5 beyond the declared 2
+  }
+  EdgeList edges;
+  EXPECT_FALSE(ReadEdgeListText(path, &edges));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TextNodeIdOverflowFails) {
+  std::string path = TempPath("overflow.txt");
+  {
+    std::ofstream out(path);
+    // kInvalidNode itself and a value far past 32 bits.
+    out << "0 4294967295\n";
+  }
+  EdgeList edges;
+  EXPECT_FALSE(ReadEdgeListText(path, &edges));
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "0 99999999999999\n";
+  }
+  EXPECT_FALSE(ReadEdgeListText(path, &edges));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, FailedLoadLeavesOutputUntouched) {
+  std::string good = TempPath("good.txt");
+  {
+    std::ofstream out(good);
+    out << "0 1\n1 2\n2 3\n";
+  }
+  EdgeList edges;
+  ASSERT_TRUE(ReadEdgeListText(good, &edges));
+  ASSERT_EQ(edges.size(), 3u);
+  std::string bad = TempPath("bad.txt");
+  {
+    std::ofstream out(bad);
+    out << "0 x\n";
+  }
+  EXPECT_FALSE(ReadEdgeListText(bad, &edges));
+  EXPECT_EQ(edges.size(), 3u) << "a failed load must not clobber *out";
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(GraphIoTest, BinaryHugeDeclaredEdgeCountFailsWithoutAllocating) {
+  // Header claims 2^40 edges over an 8-byte payload: the size cross-check
+  // must reject this before any reservation happens (an absurd Reserve
+  // would OOM long before the read loop noticed the truncation).
+  std::string path = TempPath("huge.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    uint64_t header[3] = {0x5245434f4e474601ULL, 10, 1ULL << 40};
+    out.write(reinterpret_cast<const char*>(header), sizeof(header));
+    uint32_t pair[2] = {0, 1};
+    out.write(reinterpret_cast<const char*>(pair), sizeof(pair));
+  }
+  EdgeList edges;
+  EXPECT_FALSE(ReadEdgeListBinary(path, &edges));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, BinaryNodeCountOverflowFails) {
+  std::string path = TempPath("hugenodes.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    uint64_t header[3] = {0x5245434f4e474601ULL, 1ULL << 40, 0};
+    out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  }
+  EdgeList edges;
+  EXPECT_FALSE(ReadEdgeListBinary(path, &edges));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, BinaryOutOfRangeEndpointFails) {
+  std::string path = TempPath("range.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    uint64_t header[3] = {0x5245434f4e474601ULL, 2, 1};
+    out.write(reinterpret_cast<const char*>(header), sizeof(header));
+    uint32_t pair[2] = {0, 5};  // node 5 beyond the declared 2
+    out.write(reinterpret_cast<const char*>(pair), sizeof(pair));
+  }
+  EdgeList edges;
+  EXPECT_FALSE(ReadEdgeListBinary(path, &edges));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, BinaryTrailingBytesFail) {
+  Graph g = GenerateErdosRenyi(50, 0.1, 11);
+  std::string path = TempPath("trailing.bin");
+  ASSERT_TRUE(WriteEdgeListBinary(g, path));
+  // A partial record (4 bytes) and a whole extra record both get caught:
+  // the first by the whole-records check, the second by the count check.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    uint32_t half = 7;
+    out.write(reinterpret_cast<const char*>(&half), sizeof(half));
+  }
+  EdgeList edges;
+  EXPECT_FALSE(ReadEdgeListBinary(path, &edges));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    uint32_t half = 9;
+    out.write(reinterpret_cast<const char*>(&half), sizeof(half));
+  }
+  EXPECT_FALSE(ReadEdgeListBinary(path, &edges));
+  std::remove(path.c_str());
+}
+
 TEST(GraphIoTest, EmptyGraphRoundTrips) {
   Graph g;
   std::string path = TempPath("empty.bin");

@@ -1,0 +1,329 @@
+// End-to-end crash safety: a matcher process killed mid-run by an injected
+// crash fault must, when restarted with --resume semantics, finish with a
+// matching byte-identical to an uninterrupted run — across scoring backend,
+// scheduler and placement. Corrupt checkpoints must fall back to older ones
+// (to a fresh start when none survives), an injected checkpoint-write
+// failure must only cost a recovery point, and a graceful stop must exit
+// cleanly with a resumable partial state.
+//
+// Process discipline: the parent NEVER builds a workload or runs the
+// matcher (both spawn the shared thread pool, and forking a threaded
+// process is undefined behaviour waiting to happen). Every matcher run —
+// crashing, resuming or clean — happens in a forked child that regenerates
+// its inputs deterministically and writes its matching to a file; the
+// parent only forks, waits and compares bytes.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/core/matcher.h"
+#include "reconcile/eval/match_io.h"
+#include "reconcile/gen/chung_lu.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/seed/seeding.h"
+#include "reconcile/util/checkpoint.h"
+#include "reconcile/util/fault.h"
+
+namespace reconcile {
+namespace {
+
+constexpr uint64_t kWorkloadSeed = 4242;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<char> Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void RemoveTree(const std::string& dir) {
+  for (const CheckpointFile& file : ListCheckpoints(dir)) {
+    std::remove(file.path.c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+struct ChildSpec {
+  MatcherConfig config;
+  std::string matching_out;  // empty: the child writes no matching
+};
+
+// CHILD-ONLY code path: regenerates the workload and runs the matcher.
+void ChildMain(const ChildSpec& spec) {
+  Graph g = GenerateChungLu(PowerLawWeights(1000, 2.2, 12.0), kWorkloadSeed);
+  IndependentSampleOptions options;
+  options.s1 = 0.6;
+  options.s2 = 0.6;
+  RealizationPair pair = SampleIndependent(g, options, kWorkloadSeed + 1);
+  SeedOptions seeding;
+  seeding.fraction = 0.08;
+  auto seeds = GenerateSeeds(pair, seeding, kWorkloadSeed + 2);
+
+  MatchResult result = UserMatching(pair.g1, pair.g2, seeds, spec.config);
+  if (!spec.matching_out.empty() &&
+      !WriteMatchingText(result, spec.matching_out)) {
+    _exit(3);
+  }
+  _exit(0);
+}
+
+// Forks, runs `spec` in the child, returns the child's exit code (or -1 if
+// it died on a signal).
+int RunChild(const ChildSpec& spec) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ChildMain(spec);  // never returns
+  }
+  if (pid < 0) return -1;
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  if (WIFSIGNALED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+MatcherConfig GridConfig(ScoringBackend backend, Scheduler scheduler,
+                         int placement_domains) {
+  MatcherConfig config;
+  config.scoring_backend = backend;
+  config.scheduler = scheduler;
+  config.num_shards = 4;  // fixed: the snapshot fingerprints the resolved count
+  config.num_threads = 4;
+  if (placement_domains > 0) {
+    config.placement = PlacementPolicy::kDomain;
+    config.placement_domains = placement_domains;
+  }
+  return config;
+}
+
+// One crash/resume cycle: clean run -> file A; crash run (must die with the
+// fault exit code, leaving checkpoints); resume run -> file B; A == B.
+void CheckKillResume(const MatcherConfig& base, const std::string& tag) {
+  const std::string dir = TempPath("kr_" + tag);
+  const std::string clean_out = TempPath("kr_" + tag + "_clean.txt");
+  const std::string resumed_out = TempPath("kr_" + tag + "_resumed.txt");
+
+  ChildSpec clean;
+  clean.config = base;
+  clean.matching_out = clean_out;
+  ASSERT_EQ(RunChild(clean), 0) << tag;
+
+  ChildSpec crash;
+  crash.config = base;
+  crash.config.checkpoint_dir = dir;
+  crash.config.fault_spec = "crash:after_round=5";
+  ASSERT_EQ(RunChild(crash), kFaultCrashExitCode) << tag;
+  ASSERT_FALSE(ListCheckpoints(dir).empty()) << tag;
+
+  ChildSpec resume;
+  resume.config = base;
+  resume.config.checkpoint_dir = dir;
+  resume.config.resume = true;
+  resume.matching_out = resumed_out;
+  ASSERT_EQ(RunChild(resume), 0) << tag;
+
+  const std::vector<char> clean_bytes = Slurp(clean_out);
+  ASSERT_FALSE(clean_bytes.empty()) << tag;
+  EXPECT_EQ(Slurp(resumed_out), clean_bytes)
+      << tag << ": resumed matching differs from the uninterrupted run";
+
+  RemoveTree(dir);
+  std::remove(clean_out.c_str());
+  std::remove(resumed_out.c_str());
+}
+
+// Four corners covering each axis in both settings: backend (radix/hash),
+// scheduler (stealing/static), placement (off / 3 synthetic domains).
+// Split per backend so CI can run the harness once per scoring engine
+// (`--gtest_filter=KillResumeTest.Radix*` / `.Hash*`).
+TEST(KillResumeTest, RadixResumeBitIdentical) {
+  CheckKillResume(
+      GridConfig(ScoringBackend::kRadixSort, Scheduler::kWorkStealing, 0),
+      "radix_steal_flat");
+  CheckKillResume(
+      GridConfig(ScoringBackend::kRadixSort, Scheduler::kStatic, 3),
+      "radix_static_placed");
+}
+
+TEST(KillResumeTest, HashResumeBitIdentical) {
+  CheckKillResume(
+      GridConfig(ScoringBackend::kHashMap, Scheduler::kWorkStealing, 3),
+      "hash_steal_placed");
+  CheckKillResume(
+      GridConfig(ScoringBackend::kHashMap, Scheduler::kStatic, 0),
+      "hash_static_flat");
+}
+
+TEST(KillResumeTest, CheckpointWriteFailureOnlyCostsARecoveryPoint) {
+  // The 3rd checkpoint write fails (injected); the run then crashes after
+  // round 5. Recovery resumes from the newest surviving snapshot and
+  // replays the lost rounds — the final matching is still identical.
+  MatcherConfig base =
+      GridConfig(ScoringBackend::kRadixSort, Scheduler::kWorkStealing, 0);
+  const std::string dir = TempPath("kr_writefail");
+  const std::string clean_out = TempPath("kr_writefail_clean.txt");
+  const std::string resumed_out = TempPath("kr_writefail_resumed.txt");
+
+  ChildSpec clean;
+  clean.config = base;
+  clean.matching_out = clean_out;
+  ASSERT_EQ(RunChild(clean), 0);
+
+  ChildSpec crash;
+  crash.config = base;
+  crash.config.checkpoint_dir = dir;
+  crash.config.fault_spec =
+      "io:checkpoint_write_fail=3;crash:after_round=5";
+  ASSERT_EQ(RunChild(crash), kFaultCrashExitCode);
+  const std::vector<CheckpointFile> left = ListCheckpoints(dir);
+  ASSERT_FALSE(left.empty());
+  EXPECT_LT(left.back().round, 5) << "round 3's write was injected to fail";
+
+  ChildSpec resume;
+  resume.config = base;
+  resume.config.checkpoint_dir = dir;
+  resume.config.resume = true;
+  resume.matching_out = resumed_out;
+  ASSERT_EQ(RunChild(resume), 0);
+  EXPECT_EQ(Slurp(resumed_out), Slurp(clean_out));
+
+  RemoveTree(dir);
+  std::remove(clean_out.c_str());
+  std::remove(resumed_out.c_str());
+}
+
+TEST(KillResumeTest, CorruptNewestCheckpointFallsBackToOlder) {
+  MatcherConfig base =
+      GridConfig(ScoringBackend::kRadixSort, Scheduler::kWorkStealing, 0);
+  const std::string dir = TempPath("kr_corrupt");
+  const std::string clean_out = TempPath("kr_corrupt_clean.txt");
+  const std::string resumed_out = TempPath("kr_corrupt_resumed.txt");
+
+  ChildSpec clean;
+  clean.config = base;
+  clean.matching_out = clean_out;
+  ASSERT_EQ(RunChild(clean), 0);
+
+  ChildSpec crash;
+  crash.config = base;
+  crash.config.checkpoint_dir = dir;
+  crash.config.fault_spec = "crash:after_round=5";
+  ASSERT_EQ(RunChild(crash), kFaultCrashExitCode);
+  std::vector<CheckpointFile> files = ListCheckpoints(dir);
+  ASSERT_GE(files.size(), 2u);
+
+  // Truncate the newest snapshot to half — a torn write survived a crash.
+  {
+    const std::string& victim = files.back().path;
+    std::vector<char> bytes = Slurp(victim);
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  ChildSpec resume;
+  resume.config = base;
+  resume.config.checkpoint_dir = dir;
+  resume.config.resume = true;
+  resume.matching_out = resumed_out;
+  ASSERT_EQ(RunChild(resume), 0)
+      << "a corrupt checkpoint must be skipped, not fatal";
+  EXPECT_EQ(Slurp(resumed_out), Slurp(clean_out));
+
+  RemoveTree(dir);
+  std::remove(clean_out.c_str());
+  std::remove(resumed_out.c_str());
+}
+
+TEST(KillResumeTest, AllCheckpointsCorruptFallsBackToFreshStart) {
+  MatcherConfig base =
+      GridConfig(ScoringBackend::kHashMap, Scheduler::kStatic, 0);
+  const std::string dir = TempPath("kr_allcorrupt");
+  const std::string clean_out = TempPath("kr_allcorrupt_clean.txt");
+  const std::string resumed_out = TempPath("kr_allcorrupt_resumed.txt");
+
+  ChildSpec clean;
+  clean.config = base;
+  clean.matching_out = clean_out;
+  ASSERT_EQ(RunChild(clean), 0);
+
+  ChildSpec crash;
+  crash.config = base;
+  crash.config.checkpoint_dir = dir;
+  crash.config.fault_spec = "crash:after_round=4";
+  ASSERT_EQ(RunChild(crash), kFaultCrashExitCode);
+
+  // Garbage in every snapshot: resume must warn, fall back to the seeds,
+  // and still finish — determinism makes even the fresh start identical.
+  for (const CheckpointFile& file : ListCheckpoints(dir)) {
+    std::ofstream(file.path, std::ios::binary | std::ios::trunc)
+        << "not a snapshot";
+  }
+
+  ChildSpec resume;
+  resume.config = base;
+  resume.config.checkpoint_dir = dir;
+  resume.config.resume = true;
+  resume.matching_out = resumed_out;
+  ASSERT_EQ(RunChild(resume), 0);
+  EXPECT_EQ(Slurp(resumed_out), Slurp(clean_out));
+
+  RemoveTree(dir);
+  std::remove(clean_out.c_str());
+  std::remove(resumed_out.c_str());
+}
+
+TEST(KillResumeTest, GracefulStopCheckpointsAndResumes) {
+  // `stop:` is the deterministic stand-in for SIGTERM: the run finishes its
+  // round, writes a final checkpoint, exits 0 with a partial matching; a
+  // resume run completes it identically to a never-stopped run.
+  MatcherConfig base =
+      GridConfig(ScoringBackend::kRadixSort, Scheduler::kWorkStealing, 0);
+  const std::string dir = TempPath("kr_stop");
+  const std::string clean_out = TempPath("kr_stop_clean.txt");
+  const std::string partial_out = TempPath("kr_stop_partial.txt");
+  const std::string resumed_out = TempPath("kr_stop_resumed.txt");
+
+  ChildSpec clean;
+  clean.config = base;
+  clean.matching_out = clean_out;
+  ASSERT_EQ(RunChild(clean), 0);
+
+  ChildSpec stop;
+  stop.config = base;
+  stop.config.checkpoint_dir = dir;
+  stop.config.checkpoint_every_rounds = 100;  // only the stop writes one
+  stop.config.fault_spec = "stop:after_round=2";
+  stop.matching_out = partial_out;
+  ASSERT_EQ(RunChild(stop), 0) << "graceful stop must exit cleanly";
+  const std::vector<CheckpointFile> files = ListCheckpoints(dir);
+  ASSERT_EQ(files.size(), 1u) << "the stop must flush a final checkpoint";
+  EXPECT_EQ(files[0].round, 2);
+  // The partial matching exists but is shorter than the full one.
+  ASSERT_FALSE(Slurp(partial_out).empty());
+  EXPECT_LT(Slurp(partial_out).size(), Slurp(clean_out).size());
+
+  ChildSpec resume;
+  resume.config = base;
+  resume.config.checkpoint_dir = dir;
+  resume.config.checkpoint_every_rounds = 100;
+  resume.config.resume = true;
+  resume.matching_out = resumed_out;
+  ASSERT_EQ(RunChild(resume), 0);
+  EXPECT_EQ(Slurp(resumed_out), Slurp(clean_out));
+
+  RemoveTree(dir);
+  std::remove(clean_out.c_str());
+  std::remove(partial_out.c_str());
+  std::remove(resumed_out.c_str());
+}
+
+}  // namespace
+}  // namespace reconcile
