@@ -107,6 +107,22 @@ std::unique_ptr<Reconciler> MakeCore(const ReconcilerSpec& spec,
   if (config.resume && config.checkpoint_dir.empty()) {
     reader.AddError("parameter 'resume' requires 'checkpoint-dir'");
   }
+  config.checkpoint_keep =
+      GetIntParam(reader, "checkpoint-keep", config.checkpoint_keep);
+  if (config.checkpoint_keep < 0) {
+    reader.AddError("parameter 'checkpoint-keep' must be >= 0 (0 keeps all)");
+  }
+  const int64_t budget = reader.GetInt(
+      "memory-budget", static_cast<int64_t>(config.memory_budget_bytes));
+  if (budget < 0) {
+    reader.AddError("parameter 'memory-budget' must be >= 0 (0 = unbudgeted)");
+  } else {
+    config.memory_budget_bytes = static_cast<uint64_t>(budget);
+  }
+  config.score_dir = reader.GetString("score-dir", config.score_dir);
+  if (config.memory_budget_bytes > 0 && config.score_dir.empty()) {
+    reader.AddError("parameter 'memory-budget' requires 'score-dir'");
+  }
   config.fault_spec = reader.GetString("fault", config.fault_spec);
   if (!config.fault_spec.empty()) {
     std::string fault_error;
@@ -258,7 +274,7 @@ void RegisterBuiltinReconcilers(Registry& registry) {
                  "scheduler=auto|static|stealing, grain, max-tiers, "
                  "tier-ratio, placement=auto|none|interleave|domain, "
                  "placement-domains, checkpoint-dir, checkpoint-every, "
-                 "resume, fault",
+                 "checkpoint-keep, resume, memory-budget, score-dir, fault",
        .threshold_param = "threshold",
        .factory = MakeCore});
   registry.Register(

@@ -38,11 +38,22 @@ void TryResume(MatcherState* state, const std::string& dir) {
 // Writes the post-round snapshot for the current state. Failure is a
 // warning: the matcher keeps running, it just loses this recovery point
 // (an injected `io:checkpoint_write_fail` exercises exactly this path).
-void WriteCheckpoint(const MatcherState& state, const std::string& dir) {
+// After a *successful* write, retention prunes all but the newest `keep`
+// snapshots — never after a failed one, so a bad write cannot shrink the
+// set of usable recovery points.
+void WriteCheckpoint(const MatcherState& state, const std::string& dir,
+                     int keep) {
   const std::string path = CheckpointPath(dir, state.completed_rounds());
   std::string error;
   if (!state.SaveSnapshot(path, &error)) {
     RECONCILE_LOG(Warning) << "checkpoint write failed: " << error;
+    return;
+  }
+  std::string prune_error;
+  PruneCheckpoints(dir, keep, &prune_error);
+  if (!prune_error.empty()) {
+    RECONCILE_LOG(Warning) << "checkpoint prune failed (non-fatal): "
+                           << prune_error;
   }
 }
 
@@ -82,7 +93,7 @@ MatchResult UserMatching(const Graph& g1, const Graph& g2,
     FaultValuePoint("after_round", state.completed_rounds());
     if (checkpointing &&
         (state.Done() || state.completed_rounds() % every == 0)) {
-      WriteCheckpoint(state, config.checkpoint_dir);
+      WriteCheckpoint(state, config.checkpoint_dir, config.checkpoint_keep);
     }
     if (GracefulStopRequested() && !state.Done()) {
       stopped_early = true;
@@ -93,7 +104,7 @@ MatchResult UserMatching(const Graph& g1, const Graph& g2,
   // the in-flight round, persists it, and returns the partial matching.
   if (stopped_early && checkpointing &&
       state.completed_rounds() % every != 0) {
-    WriteCheckpoint(state, config.checkpoint_dir);
+    WriteCheckpoint(state, config.checkpoint_dir, config.checkpoint_keep);
   }
   return state.TakeResult(timer.Seconds());
 }

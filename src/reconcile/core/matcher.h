@@ -123,6 +123,30 @@ struct MatcherConfig {
   std::string checkpoint_dir;
   /// Checkpoint cadence in completed rounds (values < 1 behave as 1).
   int checkpoint_every_rounds = 1;
+  /// Checkpoint retention: after each successful snapshot write, prune all
+  /// but the newest K snapshots in `checkpoint_dir` (<= 0 keeps everything,
+  /// the pre-retention behavior). A prune failure is non-fatal — a one-line
+  /// stderr note and the run continues; the just-written snapshot is never
+  /// pruned.
+  int checkpoint_keep = 0;
+  /// Memory budget for the persistent score state in bytes (0 = unbudgeted,
+  /// the all-resident behavior). When the radix backend's resident tier
+  /// payload exceeds this after a round's emission, the enforcement pass
+  /// spills the biggest cold tiers to mmap'd files under `score_dir` until
+  /// resident payload fits (largest-first, deterministic tie-breaks);
+  /// selection streams spilled tiers through the same fold, so matchings
+  /// are bit-identical to the unbudgeted run. Requires `score_dir`; with
+  /// the hash backend the budget is ignored with a one-line warning
+  /// (FlatCountMap shards have no spillable flat form). Spill failures —
+  /// ENOSPC, torn writes, failed mmaps — degrade gracefully: the tier stays
+  /// resident (stderr note) and after repeated failures spilling is
+  /// disabled for the run; never a crash, never a wrong matching.
+  uint64_t memory_budget_bytes = 0;
+  /// Directory for spill scratch files (`spill-<pid>-<seq>.spill`). Created
+  /// on first spill; files are removed as tiers unspill and on clean exit
+  /// (including graceful SIGINT/SIGTERM stops). Only meaningful with
+  /// `memory_budget_bytes` > 0.
+  std::string score_dir;
   /// Resume from the newest valid snapshot in `checkpoint_dir` before
   /// running any round. Corrupt, truncated or mismatched snapshots are
   /// skipped with a warning (falling back to the next-older file; a fresh

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <limits>
 
 #include "reconcile/mr/mapreduce.h"
@@ -163,6 +164,25 @@ MatcherState::MatcherState(const Graph& g1, const Graph& g2,
     for (NodeId u = 0; u < g1.num_nodes(); ++u) {
       radix_shard1_[u] = static_cast<uint32_t>(
           static_cast<uint64_t>(u) * static_cast<uint64_t>(num_shards_) / n1);
+    }
+  }
+  if (config.memory_budget_bytes > 0) {
+    // The budget is enforced by spilling radix tier stacks; the hash
+    // backend's open-addressed shards have no flat spillable form, and the
+    // recompute engine keeps no cross-round score state to spill. Both
+    // cases run unbudgeted with a one-line note rather than failing — the
+    // budget is a resource knob, not a semantic one.
+    if (!config.use_incremental_scoring ||
+        config.scoring_backend != ScoringBackend::kRadixSort) {
+      std::fprintf(stderr,
+                   "warning: --memory-budget requires the incremental radix "
+                   "backend; running unbudgeted\n");
+    } else if (config.score_dir.empty()) {
+      std::fprintf(stderr,
+                   "warning: --memory-budget without --score-dir; running "
+                   "unbudgeted\n");
+    } else {
+      spill_store_ = std::make_unique<SpillStore>(config.score_dir);
     }
   }
   if (placement_.active()) {
@@ -693,6 +713,86 @@ void MatcherState::EmitPendingLinksRadix(PhaseStats* stats) {
   }
 }
 
+// --- Memory-budget enforcement -------------------------------------------
+// Runs after a round's emission, before selection: while the resident tier
+// payload exceeds the budget, spill the largest resident tiers to the
+// score directory (largest-first frees the most RAM per file; ties break
+// on (level, shard, tier index) so the spill schedule — and thus the fault
+// points any injected failure lands on — is deterministic). Selection then
+// streams spilled tiers through the same `ForEach` fold, so the matching
+// is unchanged by construction; only the resident footprint moves.
+//
+// Failure policy (the robustness contract): a failed spill leaves its tier
+// resident and is worth one stderr line; after `kMaxSpillFailures` the
+// store disables itself and the run continues all-resident. Running over
+// budget is a degraded mode, never an error — the alternative (aborting a
+// long matching because /tmp filled up) loses work for nothing.
+void MatcherState::EnforceMemoryBudget(PhaseStats* stats) {
+  if (spill_store_ == nullptr) return;
+  constexpr size_t kMaxSpillFailures = 8;
+
+  size_t resident = 0;
+  size_t spilled_bytes = 0;
+  struct Candidate {
+    size_t bytes;
+    size_t level;
+    size_t shard;
+    size_t tier;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t level = 0; level < runs_.size(); ++level) {
+    for (size_t shard = 0; shard < runs_[level].size(); ++shard) {
+      const TieredCountRuns& store = runs_[level][shard];
+      resident += store.resident_bytes();
+      for (size_t t = 0; t < store.num_tiers(); ++t) {
+        const size_t bytes =
+            TieredCountRuns::BytesForEntries(store.tier_size(t));
+        if (store.tier_spilled(t)) {
+          spilled_bytes += bytes;
+        } else if (bytes > 0) {
+          candidates.push_back(Candidate{bytes, level, shard, t});
+        }
+      }
+    }
+  }
+
+  const uint64_t budget = config_.memory_budget_bytes;
+  if (resident > budget && !spill_store_->disabled()) {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.bytes != b.bytes) return a.bytes > b.bytes;
+                if (a.level != b.level) return a.level < b.level;
+                if (a.shard != b.shard) return a.shard < b.shard;
+                return a.tier < b.tier;
+              });
+    for (const Candidate& c : candidates) {
+      if (resident <= budget) break;
+      std::string spill_error;
+      if (runs_[c.level][c.shard].SpillTier(c.tier, *spill_store_,
+                                            &spill_error)) {
+        resident -= c.bytes;
+        spilled_bytes += c.bytes;
+        ++stats->tiers_spilled;
+      } else {
+        std::fprintf(stderr,
+                     "warning: spill of score tier (level %zu, shard %zu) "
+                     "failed, keeping it resident: %s\n",
+                     c.level, c.shard, spill_error.c_str());
+        if (spill_store_->stats().spill_failures >= kMaxSpillFailures) {
+          std::fprintf(stderr,
+                       "warning: %zu spill failures; disabling the score "
+                       "spill layer, continuing over budget\n",
+                       spill_store_->stats().spill_failures);
+          spill_store_->Disable();
+          break;
+        }
+      }
+    }
+  }
+  stats->resident_score_bytes = resident;
+  stats->spilled_score_bytes = spilled_bytes;
+}
+
 size_t MatcherState::RoundIncremental(int iteration, int bucket_exponent) {
   Timer timer;
   PhaseStats stats;
@@ -708,6 +808,7 @@ size_t MatcherState::RoundIncremental(int iteration, int bucket_exponent) {
   compact_placed_stats_ = PlacedLoopStats{};
 
   EmitPendingLinks(&stats);
+  EnforceMemoryBudget(&stats);
 
   std::vector<ScoreUnit> units;
   units.reserve(static_cast<size_t>(kNumLevels - bucket_exponent) *
@@ -855,10 +956,17 @@ bool MatcherState::SaveSnapshot(const std::string& path,
       for (const auto& level : runs_) {
         for (const TieredCountRuns& store : level) {
           writer.AppendU32(static_cast<uint32_t>(store.num_tiers()));
-          for (const SortedCountRun& tier : store.tiers()) {
-            writer.AppendVector(tier.keys);
-            writer.AppendVector(tier.counts);
-          }
+          // Tier contents are serialized through views, so a spilled tier
+          // streams its bytes straight from the mmap and the snapshot is
+          // byte-identical whether the store is resident, spilled or
+          // mixed. Snapshots stay self-contained: spill files are scratch,
+          // never referenced by durable state.
+          store.ForEachTier([&writer](RunView tier) {
+            writer.AppendU64(tier.size);
+            writer.AppendBytes(tier.keys, tier.size * sizeof(uint64_t));
+            writer.AppendU64(tier.size);
+            writer.AppendBytes(tier.counts, tier.size * sizeof(uint32_t));
+          });
         }
       }
       writer.EndSection();

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -123,6 +124,10 @@ class MatcherState {
   void EmitPendingLinksHash(PhaseStats* stats);
   void EmitPendingLinksRadix(PhaseStats* stats);
   size_t EmitGrain(size_t num_items) const;
+  // Memory-budget enforcement (radix backend only): after a round's
+  // emission, spill the biggest cold tiers until resident payload fits
+  // `config_.memory_budget_bytes`. Fills the round's spill telemetry.
+  void EnforceMemoryBudget(PhaseStats* stats);
 
   // Rebuilds map_1to2_/map_2to1_ from a link log; false (with diagnostic)
   // on out-of-range or duplicate endpoints.
@@ -168,6 +173,10 @@ class MatcherState {
   std::vector<std::vector<TieredCountRuns>> runs_;  // [level][shard], radix
   // Radix backend: reduce shard per g1 node (range partition, see ctor).
   std::vector<uint32_t> radix_shard1_;
+  // Out-of-core backing store for the tier stacks (null when unbudgeted or
+  // on the hash backend). Owns every spill file; destroying the state —
+  // clean exit or graceful stop — removes the scratch.
+  std::unique_ptr<SpillStore> spill_store_;
   size_t emitted_links_ = 0;
 
   // Cheap structural fingerprints (nodes, edges, degree sequence) binding a

@@ -40,6 +40,13 @@ struct PhaseStats {
   size_t local_unit_tasks = 0;
   size_t remote_unit_steals = 0;
   int placement_domains = 1;  ///< Memory domains the round placed over.
+  // Out-of-core score store (radix backend under a memory budget): tiers
+  // moved to disk by this round's budget-enforcement pass, and the
+  // resident/spilled byte split after it ran. Zero everywhere when
+  // unbudgeted.
+  size_t tiers_spilled = 0;
+  size_t resident_score_bytes = 0;
+  size_t spilled_score_bytes = 0;
 };
 
 /// Output of a matcher run: a (partial) one-to-one correspondence between

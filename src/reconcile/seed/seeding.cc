@@ -39,15 +39,63 @@ ThreadPool* SeedPool(size_t num_nodes) {
              : nullptr;
 }
 
+// Ordered collect of the marked nodes into (node, map[node]) pairs, in
+// node-id order. Parallel yet bit-identical for any thread count, grain or
+// steal schedule: fixed blocks count their marks, a serial exclusive prefix
+// sum over the (few) block counts fixes every block's output offset, and
+// the blocks then fill disjoint slices of the pre-sized output — each
+// pair's position depends only on the mark vector, never on the schedule.
+std::vector<std::pair<NodeId, NodeId>> CollectMarked(
+    ThreadPool* pool, size_t grain, const std::vector<char>& mark,
+    const std::vector<NodeId>& map_1to2) {
+  const size_t n = mark.size();
+  const size_t num_blocks = n == 0 ? 0 : (n + grain - 1) / grain;
+  std::vector<size_t> offset(num_blocks, 0);
+  ParallelForSched(pool, Scheduler::kAuto, num_blocks, 1,
+                   [&mark, &offset, n, grain](size_t blo, size_t bhi) {
+                     for (size_t b = blo; b < bhi; ++b) {
+                       const size_t lo = b * grain;
+                       const size_t hi = std::min(n, lo + grain);
+                       size_t count = 0;
+                       for (size_t u = lo; u < hi; ++u) count += mark[u] != 0;
+                       offset[b] = count;
+                     }
+                   });
+  size_t total = 0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t count = offset[b];
+    offset[b] = total;
+    total += count;
+  }
+  std::vector<std::pair<NodeId, NodeId>> out(total);
+  ParallelForSched(
+      pool, Scheduler::kAuto, num_blocks, 1,
+      [&mark, &map_1to2, &offset, &out, n, grain](size_t blo, size_t bhi) {
+        for (size_t b = blo; b < bhi; ++b) {
+          const size_t lo = b * grain;
+          const size_t hi = std::min(n, lo + grain);
+          size_t cursor = offset[b];
+          for (size_t u = lo; u < hi; ++u) {
+            if (mark[u]) {
+              const NodeId node = static_cast<NodeId>(u);
+              out[cursor++] = {node, map_1to2[node]};
+            }
+          }
+        }
+      });
+  return out;
+}
+
 }  // namespace
 
 std::vector<std::pair<NodeId, NodeId>> GenerateSeeds(
     const RealizationPair& pair, const SeedOptions& options, uint64_t seed) {
   std::vector<std::pair<NodeId, NodeId>> seeds;
   const size_t n = pair.map_1to2.size();
-  // Per-node decisions run on the shared pool (the last fully serial
-  // pipeline stage before the matcher); the ordered collect below stays a
-  // cheap linear sweep, so the output is the same for every thread count.
+  // Per-node decisions and the ordered collect both run on the shared pool
+  // (this was the last serial pipeline stage before the matcher); the
+  // collect goes through `CollectMarked`'s count/prefix-sum/fill shape, so
+  // the output is the same for every thread count.
   ThreadPool* pool = SeedPool(n);
   const size_t grain = ThreadPool::GrainSize(n, ParallelSlots(pool), 1024);
 
@@ -91,12 +139,7 @@ std::vector<std::pair<NodeId, NodeId>> GenerateSeeds(
                                                    /*salt=*/0, node);
                          }
                        });
-      for (size_t u = 0; u < n; ++u) {
-        if (take[u]) {
-          const NodeId node = static_cast<NodeId>(u);
-          seeds.emplace_back(node, pair.map_1to2[node]);
-        }
-      }
+      seeds = CollectMarked(pool, grain, take, pair.map_1to2);
       break;
     }
     case SeedBias::kDegreeProportional: {
@@ -147,12 +190,7 @@ std::vector<std::pair<NodeId, NodeId>> GenerateSeeds(
                            take[u] = NodeBernoulli(p, seed, /*salt=*/1, node);
                          }
                        });
-      for (size_t u = 0; u < n; ++u) {
-        if (take[u]) {
-          const NodeId node = static_cast<NodeId>(u);
-          seeds.emplace_back(node, pair.map_1to2[node]);
-        }
-      }
+      seeds = CollectMarked(pool, grain, take, pair.map_1to2);
       break;
     }
     case SeedBias::kTopDegree: {
@@ -168,13 +206,8 @@ std::vector<std::pair<NodeId, NodeId>> GenerateSeeds(
                                       pair.g2.degree(v) > 0;
                          }
                        });
-      std::vector<std::pair<NodeId, NodeId>> candidates;
-      for (size_t u = 0; u < n; ++u) {
-        if (valid[u]) {
-          const NodeId node = static_cast<NodeId>(u);
-          candidates.emplace_back(node, pair.map_1to2[node]);
-        }
-      }
+      std::vector<std::pair<NodeId, NodeId>> candidates =
+          CollectMarked(pool, grain, valid, pair.map_1to2);
       std::sort(candidates.begin(), candidates.end(),
                 [&pair](const auto& a, const auto& b) {
                   NodeId da = std::min(pair.g1.degree(a.first),

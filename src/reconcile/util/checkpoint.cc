@@ -322,6 +322,22 @@ std::vector<CheckpointFile> ListCheckpoints(const std::string& dir) {
   return found;
 }
 
+size_t PruneCheckpoints(const std::string& dir, int keep, std::string* error) {
+  if (keep <= 0) return 0;
+  std::vector<CheckpointFile> checkpoints = ListCheckpoints(dir);
+  if (checkpoints.size() <= static_cast<size_t>(keep)) return 0;
+  size_t removed = 0;
+  const size_t excess = checkpoints.size() - static_cast<size_t>(keep);
+  for (size_t i = 0; i < excess; ++i) {  // ascending => oldest first
+    if (::unlink(checkpoints[i].path.c_str()) == 0) {
+      ++removed;
+    } else if (error != nullptr && error->empty()) {
+      *error = "unlink " + checkpoints[i].path + ": " + ErrnoString();
+    }
+  }
+  return removed;
+}
+
 bool EnsureDir(const std::string& dir, std::string* error) {
   if (dir.empty()) {
     *error = "empty directory path";

@@ -141,6 +141,13 @@ struct CheckpointFile {
 /// skipped; a missing/unreadable dir yields an empty list.
 std::vector<CheckpointFile> ListCheckpoints(const std::string& dir);
 
+/// Retention: deletes all but the newest `keep` checkpoints in `dir`
+/// (`keep` <= 0 is a no-op — keep everything). Returns the number of files
+/// removed; an unlink failure skips that file and fills `*error` with the
+/// first diagnostic (callers treat prune failures as non-fatal — the extra
+/// snapshot costs disk, not correctness).
+size_t PruneCheckpoints(const std::string& dir, int keep, std::string* error);
+
 /// mkdir -p. Returns false with a diagnostic if a component cannot be
 /// created.
 bool EnsureDir(const std::string& dir, std::string* error);

@@ -109,8 +109,17 @@ struct Injector {
                    value + "'";
           return false;
         }
-        if (entry.kind == FaultKind::kIo && entry.value < 1) {
-          *error = "fault entry '" + item + "': io hit index must be >= 1";
+        // Threshold points (`FaultPointExhausted`, e.g. enospc_after)
+        // accept 0 ("fail every hit"); ordinary hit-index points fire on
+        // exactly hit N, so 0 there would silently never fire — reject it.
+        const bool threshold_point =
+            entry.point.size() >= 6 &&
+            entry.point.compare(entry.point.size() - 6, 6, "_after") == 0;
+        const int64_t min_value = threshold_point ? 0 : 1;
+        if (entry.kind == FaultKind::kIo && entry.value < min_value) {
+          *error = "fault entry '" + item + "': io " +
+                   (threshold_point ? "threshold must be >= 0"
+                                    : "hit index must be >= 1");
           return false;
         }
       } else {
@@ -186,6 +195,19 @@ bool FaultPointHit(std::string_view point) {
     if (entry.kind != FaultKind::kIo || entry.point != point) continue;
     ++entry.hits;
     if (entry.hits == entry.value) fired = true;
+  }
+  return fired;
+}
+
+bool FaultPointExhausted(std::string_view point) {
+  Injector& injector = Injector::Get();
+  std::lock_guard<std::mutex> lock(injector.mu);
+  injector.MaybeArmFromEnvLocked();
+  bool fired = false;
+  for (FaultEntry& entry : injector.entries) {
+    if (entry.kind != FaultKind::kIo || entry.point != point) continue;
+    ++entry.hits;
+    if (entry.hits > entry.value) fired = true;
   }
   return fired;
 }

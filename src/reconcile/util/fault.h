@@ -25,6 +25,10 @@ namespace reconcile {
 ///                              deterministic stand-in for SIGTERM
 ///   io:checkpoint_write_fail   fail the 1st hit of that io point
 ///   io:checkpoint_truncate=2   fire on the 2nd hit (1-based) instead
+///   io:enospc_after=4          threshold io point (`FaultPointExhausted`):
+///                              fires on every hit *after* the 4th — the
+///                              shape of a disk filling up, where every
+///                              write past the cliff fails, not just one
 ///
 /// Arming sources, in precedence order: `MatcherConfig::fault_spec` (armed
 /// by `UserMatching` when non-empty) overrides the `RECONCILE_FAULT`
@@ -38,6 +42,22 @@ namespace reconcile {
 ///                          commit writes only half the file but reports
 ///                          success (simulates a torn write on a
 ///                          non-atomic filesystem)
+///   spill_write_fail       io point in `SpillStore::Spill` — writing a
+///                          tier's backing file fails outright
+///   spill_truncate         io point in `SpillStore::Spill` — the backing
+///                          file is written half-length but the write
+///                          reports success (torn spill; caught by the
+///                          post-write size validation)
+///   mmap_fail              io point in `SpillStore::Spill` — the write
+///                          succeeds but mapping the file back fails
+///   enospc_after           threshold io point in `SpillStore::Spill` —
+///                          after N successful spill writes every later
+///                          one fails as if the disk ran out of space
+///   spill_commit           value point fired after each successful spill
+///                          (value = spills completed so far this
+///                          process) — `crash:spill_commit=k` kills the
+///                          process in the middle of a budget-enforcement
+///                          pass
 
 /// Exit code of a `crash:` fault (distinguishable from aborts and clean
 /// exits in kill/resume harnesses).
@@ -62,6 +82,13 @@ std::string ArmedFaultSpec();
 /// an armed `io:` entry for `point` fires on this hit. Call sites treat
 /// `true` as the injected failure.
 bool FaultPointHit(std::string_view point);
+
+/// Threshold io fault point: increments the point's hit counter and returns
+/// true when an armed `io:` entry for `point` has a value *smaller* than
+/// this hit's 1-based index — i.e. `io:point=N` lets the first N hits
+/// through and fails every one after (N = 0 fails every hit). Models
+/// resource exhaustion (ENOSPC), which does not clear after one failure.
+bool FaultPointExhausted(std::string_view point);
 
 /// Value fault point: fires armed `crash:` entries (terminating the process
 /// via `_exit(kFaultCrashExitCode)` after flushing a diagnostic) and

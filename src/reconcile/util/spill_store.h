@@ -1,0 +1,125 @@
+#ifndef RECONCILE_UTIL_SPILL_STORE_H_
+#define RECONCILE_UTIL_SPILL_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace reconcile {
+
+struct SortedCountRun;
+
+/// Out-of-core backing store for the LSM-tiered score state.
+///
+/// At the paper's target scale the persistent per-(level, shard) sorted runs
+/// dominate RAM. `SpillStore` moves cold tiers to disk: a tier is written as
+/// one flat file under a score directory and mapped back read-only, so the
+/// matcher keeps only a pointer-sized view resident while every consumer
+/// (the selection `ForEach` k-way merge, snapshot serialization, tier
+/// compaction) streams the same bytes it would have read from the resident
+/// vectors. Scans over spilled tiers are purely sequential — exactly the
+/// access pattern mmap streaming rewards and the radix backend's design
+/// premise — so matchings are bit-identical to the all-resident run by
+/// construction.
+///
+/// File format (host-endian, same-architecture scratch — spill files are
+/// transient per-process state, not durable interchange):
+///
+///   [magic u64][entry count u64][keys u64 × n][counts u32 × n]
+///
+/// The writer fsyncs and validates the on-disk length before mapping; a torn
+/// or short file is a clean spill failure, never a wrong view. Every failure
+/// mode — create/write failure, ENOSPC, a torn write, a failed mmap — makes
+/// `Spill` return null with a diagnostic and leaves no file behind; the
+/// caller keeps the resident copy (graceful degradation: losing the spill
+/// only costs memory headroom, never correctness). Injectable faults (see
+/// `util/fault.h`): `io:spill_write_fail`, `io:spill_truncate`,
+/// `io:mmap_fail`, `io:enospc_after=N`, and the `spill_commit` value point
+/// for `crash:` kills mid-enforcement.
+///
+/// Files are named `spill-<pid>-<seq>.spill`; the store unlinks every file
+/// it created on destruction (and each file as its tier is unspilled), so a
+/// clean exit — including a graceful SIGINT/SIGTERM stop — leaves the score
+/// directory empty. Only a hard crash leaves scratch behind, and a resumed
+/// process never reads stale spill files: checkpoints inline the tier
+/// payloads, so spill files are never part of durable state.
+
+/// A read-only, file-backed sorted `(key, count)` run: the spilled form of
+/// one LSM tier. Owns the mapping and the backing file (unlinked on
+/// destruction). Move-only.
+class SpilledRun {
+ public:
+  ~SpilledRun();
+  SpilledRun(const SpilledRun&) = delete;
+  SpilledRun& operator=(const SpilledRun&) = delete;
+
+  const uint64_t* keys() const { return keys_; }
+  const uint32_t* counts() const { return counts_; }
+  size_t size() const { return size_; }
+  /// Bytes of the backing file (what the spill freed, modulo page cache).
+  size_t file_bytes() const { return file_bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  friend class SpillStore;
+  SpilledRun() = default;
+
+  const uint64_t* keys_ = nullptr;
+  const uint32_t* counts_ = nullptr;
+  size_t size_ = 0;
+  size_t file_bytes_ = 0;
+  void* map_base_ = nullptr;
+  size_t map_length_ = 0;
+  std::string path_;
+};
+
+/// Running totals of a store's spill activity (monotonic per store).
+struct SpillStats {
+  size_t tiers_spilled = 0;   ///< Successful spills.
+  size_t bytes_spilled = 0;   ///< Sum of backing-file bytes written.
+  size_t spill_failures = 0;  ///< Spills that fell back to resident.
+};
+
+/// Creates, tracks and cleans up the spill files of one matcher run.
+/// Not thread-safe: the budget-enforcement pass that calls `Spill` runs on
+/// one thread (readers of the returned `SpilledRun` views are lock-free and
+/// may be many).
+class SpillStore {
+ public:
+  /// Does not touch the filesystem; the directory is created lazily on the
+  /// first spill (a run that never exceeds its budget never does I/O).
+  explicit SpillStore(std::string dir);
+  ~SpillStore();
+
+  SpillStore(const SpillStore&) = delete;
+  SpillStore& operator=(const SpillStore&) = delete;
+
+  /// Writes `run` to a fresh backing file and maps it read-only. Returns
+  /// null with `*error` set on any failure (injected or real); no file is
+  /// left behind on failure. After `Disable()` (or once `disabled()` trips
+  /// internally), returns null immediately without touching the disk.
+  std::unique_ptr<SpilledRun> Spill(const SortedCountRun& run,
+                                    std::string* error);
+
+  /// Permanently stops spilling for this store (graceful degradation after
+  /// repeated failures — the run continues all-resident).
+  void Disable() { disabled_ = true; }
+  bool disabled() const { return disabled_; }
+
+  const SpillStats& stats() const { return stats_; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  bool dir_ready_ = false;
+  bool disabled_ = false;
+  uint64_t next_id_ = 0;
+  SpillStats stats_;
+};
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_UTIL_SPILL_STORE_H_

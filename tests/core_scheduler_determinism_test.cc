@@ -4,6 +4,10 @@
 // tier threshold — including policies that force compaction mid-run. Any
 // divergence means a hot-path loop's aggregation stopped being
 // partition-independent, or a tier fold lost/duplicated a count.
+#include <dirent.h>
+#include <stdlib.h>
+#include <unistd.h>
+
 #include <string>
 #include <vector>
 
@@ -268,6 +272,166 @@ TEST(PlacementDeterminismTest, RecomputeAndSerialSelectionUnaffected) {
             UserMatching(w.pair.g1, w.pair.g2, w.seeds, config);
         ExpectSameMatching(result, reference);
       }
+    }
+  }
+}
+
+// RAII scratch directory for budgeted runs; also lets the tests assert the
+// score-dir hygiene contract (no spill files survive a clean run).
+class ScratchDir {
+ public:
+  ScratchDir() {
+    char tmpl[] = "/tmp/determinism_score_dir_XXXXXX";
+    path_ = ::mkdtemp(tmpl) != nullptr ? tmpl : "";
+  }
+  ~ScratchDir() {
+    if (path_.empty()) return;
+    if (DIR* handle = ::opendir(path_.c_str())) {
+      while (dirent* entry = ::readdir(handle)) {
+        const std::string name = entry->d_name;
+        if (name != "." && name != "..") ::unlink((path_ + "/" + name).c_str());
+      }
+      ::closedir(handle);
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+  size_t NumEntries() const {
+    DIR* handle = ::opendir(path_.c_str());
+    if (handle == nullptr) return 0;
+    size_t n = 0;
+    while (dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") ++n;
+    }
+    ::closedir(handle);
+    return n;
+  }
+
+ private:
+  std::string path_;
+};
+
+// The memory budget must be unobservable in the matching: spilled tiers are
+// the same bytes as resident ones, so any budget — from "everything spills"
+// to "nothing spills" — crossed with scheduler x placement x threads must
+// reproduce the unbudgeted single-thread reference bit for bit. The tight
+// budget legs also assert that spilling actually happened (otherwise the
+// grid silently degenerates to the resident path) and that a clean run
+// leaves no scratch behind.
+TEST(MemoryBudgetDeterminismTest, BudgetsAreUnobservableAcrossGrid) {
+  for (uint64_t rng_seed : {7401u, 7402u}) {
+    SCOPED_TRACE("rng_seed=" + std::to_string(rng_seed));
+    Workload w = MakeWorkload(rng_seed);
+
+    MatcherConfig reference_config;
+    reference_config.scheduler = Scheduler::kStatic;
+    reference_config.num_threads = 1;
+    MatchResult reference =
+        UserMatching(w.pair.g1, w.pair.g2, w.seeds, reference_config);
+    ASSERT_GT(reference.NumNewLinks(), 0u)
+        << "workload too easy to detect divergence";
+
+    // 1 byte forces every tier out; 64 KiB spills the big tiers; 1 GiB
+    // never spills (exercises the accounting pass with an empty schedule).
+    for (uint64_t budget : {uint64_t{1}, uint64_t{64} << 10, uint64_t{1} << 30}) {
+      for (Scheduler scheduler :
+           {Scheduler::kStatic, Scheduler::kWorkStealing}) {
+        for (PlacementPolicy placement :
+             {PlacementPolicy::kNone, PlacementPolicy::kDomain}) {
+          for (int threads : {2, 5}) {
+            SCOPED_TRACE("budget=" + std::to_string(budget) + " scheduler=" +
+                         SchedulerName(scheduler) + " placement=" +
+                         PlacementName(placement) +
+                         " threads=" + std::to_string(threads));
+            ScratchDir scratch;
+            ASSERT_FALSE(scratch.path().empty());
+            MatcherConfig config;
+            config.memory_budget_bytes = budget;
+            config.score_dir = scratch.path();
+            config.scheduler = scheduler;
+            config.placement = placement;
+            config.placement_domains = placement == PlacementPolicy::kDomain
+                                           ? 3
+                                           : 1;
+            config.num_threads = threads;
+            MatchResult result =
+                UserMatching(w.pair.g1, w.pair.g2, w.seeds, config);
+            ExpectSameMatching(result, reference);
+            size_t spilled_rounds = 0;
+            for (const PhaseStats& phase : result.phases) {
+              spilled_rounds += phase.tiers_spilled > 0;
+            }
+            if (budget == 1) {
+              EXPECT_GT(spilled_rounds, 0u)
+                  << "tight budget never spilled; grid is not exercising "
+                     "the out-of-core path";
+            }
+            EXPECT_EQ(scratch.NumEntries(), 0u)
+                << "clean run must leave no spill scratch";
+          }
+        }
+      }
+    }
+  }
+}
+
+// The hash backend has no tier store to spill; a budget there must warn and
+// run unbudgeted, not crash or diverge.
+TEST(MemoryBudgetDeterminismTest, HashBackendRunsUnbudgeted) {
+  Workload w = MakeWorkload(7403);
+  MatcherConfig reference_config;
+  reference_config.scoring_backend = ScoringBackend::kHashMap;
+  MatchResult reference =
+      UserMatching(w.pair.g1, w.pair.g2, w.seeds, reference_config);
+  ScratchDir scratch;
+  MatcherConfig config = reference_config;
+  config.memory_budget_bytes = 1;
+  config.score_dir = scratch.path();
+  MatchResult result = UserMatching(w.pair.g1, w.pair.g2, w.seeds, config);
+  ExpectSameMatching(result, reference);
+  for (const PhaseStats& phase : result.phases) {
+    EXPECT_EQ(phase.tiers_spilled, 0u);
+    EXPECT_EQ(phase.spilled_score_bytes, 0u);
+  }
+}
+
+// The ordered seed-collect sweep runs on the shared pool once the workload
+// crosses the parallel threshold, so its steal schedule differs run to run.
+// The count / prefix-sum / fill shape must make that unobservable: repeated
+// generation returns the identical seed list, in node-id order, each pair
+// mapping through the ground truth. (Small workloads take the serial path,
+// so this uses a graph comfortably above the 2^14-node threshold.)
+TEST(SeedCollectDeterminismTest, ParallelCollectIsScheduleIndependent) {
+  Graph g = GenerateChungLu(PowerLawWeights(40000, 2.2, 10.0), 7501);
+  IndependentSampleOptions sampling;
+  sampling.s1 = 0.6;
+  sampling.s2 = 0.6;
+  RealizationPair pair = SampleIndependent(g, sampling, 7502);
+
+  for (SeedBias bias : {SeedBias::kUniform, SeedBias::kDegreeProportional,
+                        SeedBias::kTopDegree}) {
+    SCOPED_TRACE("bias=" + std::to_string(static_cast<int>(bias)));
+    SeedOptions options;
+    options.bias = bias;
+    options.fraction = 0.05;
+    options.fixed_count = 500;
+    const auto reference = GenerateSeeds(pair, options, 7503);
+    ASSERT_GT(reference.size(), 100u);
+    if (bias != SeedBias::kTopDegree) {
+      // Collected in node-id order, every pair straight off the ground truth.
+      for (size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_EQ(reference[i].second, pair.map_1to2[reference[i].first]);
+        if (i > 0) {
+          ASSERT_LT(reference[i - 1].first, reference[i].first);
+        }
+      }
+    }
+    // Every rerun sees a different steal schedule on the shared pool; the
+    // output must not.
+    for (int run = 0; run < 4; ++run) {
+      ASSERT_EQ(GenerateSeeds(pair, options, 7503), reference)
+          << "run " << run;
     }
   }
 }

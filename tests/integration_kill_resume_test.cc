@@ -12,6 +12,7 @@
 // crashing, resuming or clean — happens in a forked child that regenerates
 // its inputs deterministically and writes its matching to a file; the
 // parent only forks, waits and compares bytes.
+#include <dirent.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -50,6 +51,36 @@ void RemoveTree(const std::string& dir) {
     std::remove(file.path.c_str());
   }
   ::rmdir(dir.c_str());
+}
+
+// Removes every regular file in `dir` then the directory itself; returns
+// how many files were swept (used to observe stale spill scratch a crash
+// left behind).
+size_t SweepDir(const std::string& dir) {
+  size_t swept = 0;
+  if (DIR* handle = ::opendir(dir.c_str())) {
+    while (dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((dir + "/" + name).c_str());
+      ++swept;
+    }
+    ::closedir(handle);
+  }
+  ::rmdir(dir.c_str());
+  return swept;
+}
+
+size_t CountDirEntries(const std::string& dir) {
+  size_t n = 0;
+  if (DIR* handle = ::opendir(dir.c_str())) {
+    while (dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") ++n;
+    }
+    ::closedir(handle);
+  }
+  return n;
 }
 
 struct ChildSpec {
@@ -322,6 +353,93 @@ TEST(KillResumeTest, GracefulStopCheckpointsAndResumes) {
   RemoveTree(dir);
   std::remove(clean_out.c_str());
   std::remove(partial_out.c_str());
+  std::remove(resumed_out.c_str());
+}
+
+TEST(KillResumeTest, CrashMidSpillResumesFromSpilledCheckpoint) {
+  // A 1-byte budget makes every round spill its whole score state, and the
+  // `crash:spill_commit=N` value point kills the process immediately after
+  // the N-th successful spill — mid-way through a budget-enforcement pass,
+  // with earlier rounds already checkpointed while their stores were
+  // spilled. The resume (also budgeted) must reload the newest surviving
+  // snapshot, re-spill on its next round, and finish byte-identical to an
+  // UNBUDGETED clean run — proving both crash recovery and that the
+  // checkpoint format is representation-independent.
+  MatcherConfig base =
+      GridConfig(ScoringBackend::kRadixSort, Scheduler::kWorkStealing, 0);
+  const std::string dir = TempPath("kr_spill");
+  const std::string scratch = TempPath("kr_spill_scratch");
+  const std::string clean_out = TempPath("kr_spill_clean.txt");
+  const std::string resumed_out = TempPath("kr_spill_resumed.txt");
+  std::string error;
+  ASSERT_TRUE(EnsureDir(scratch, &error)) << error;
+
+  ChildSpec clean;
+  clean.config = base;  // unbudgeted reference
+  clean.matching_out = clean_out;
+  ASSERT_EQ(RunChild(clean), 0);
+
+  MatcherConfig budgeted = base;
+  budgeted.memory_budget_bytes = 1;
+  budgeted.score_dir = scratch;
+  budgeted.checkpoint_dir = dir;
+
+  ChildSpec crash;
+  crash.config = budgeted;
+  crash.config.fault_spec = "crash:spill_commit=40";
+  ASSERT_EQ(RunChild(crash), kFaultCrashExitCode);
+  ASSERT_FALSE(ListCheckpoints(dir).empty())
+      << "the crash must land after at least one checkpoint";
+  // A hard crash is the one case that leaves spill scratch behind (the
+  // mapped runs were alive when the process died).
+  EXPECT_GT(CountDirEntries(scratch), 0u);
+
+  ChildSpec resume;
+  resume.config = budgeted;
+  resume.config.resume = true;
+  resume.matching_out = resumed_out;
+  ASSERT_EQ(RunChild(resume), 0);
+  EXPECT_EQ(Slurp(resumed_out), Slurp(clean_out))
+      << "budgeted resume diverged from the unbudgeted clean run";
+
+  RemoveTree(dir);
+  SweepDir(scratch);
+  std::remove(clean_out.c_str());
+  std::remove(resumed_out.c_str());
+}
+
+TEST(KillResumeTest, CheckpointRetentionKeepsNewestAndStillResumes) {
+  // checkpoint_keep=2 prunes after every successful write; a finished run
+  // leaves exactly the two newest snapshots, and a crash/resume cycle under
+  // the same retention still recovers (the newest surviving snapshot is by
+  // construction inside the retained window).
+  MatcherConfig base =
+      GridConfig(ScoringBackend::kRadixSort, Scheduler::kStatic, 0);
+  base.checkpoint_keep = 2;
+  const std::string dir = TempPath("kr_keep");
+  const std::string clean_out = TempPath("kr_keep_clean.txt");
+  const std::string resumed_out = TempPath("kr_keep_resumed.txt");
+
+  ChildSpec clean;
+  clean.config = base;
+  clean.config.checkpoint_dir = dir;
+  clean.matching_out = clean_out;
+  ASSERT_EQ(RunChild(clean), 0);
+  std::vector<CheckpointFile> files = ListCheckpoints(dir);
+  ASSERT_EQ(files.size(), 2u) << "retention must prune to the newest 2";
+  EXPECT_EQ(files[1].round, files[0].round + 1)
+      << "the survivors must be the newest consecutive snapshots";
+
+  ChildSpec resume;
+  resume.config = base;
+  resume.config.checkpoint_dir = dir;
+  resume.config.resume = true;
+  resume.matching_out = resumed_out;
+  ASSERT_EQ(RunChild(resume), 0);
+  EXPECT_EQ(Slurp(resumed_out), Slurp(clean_out));
+
+  RemoveTree(dir);
+  std::remove(clean_out.c_str());
   std::remove(resumed_out.c_str());
 }
 

@@ -43,6 +43,25 @@ TEST_F(FaultTest, ValidSpecsParse) {
   EXPECT_TRUE(ValidateFaultSpec(
       "io:checkpoint_write_fail;stop:after_round=1,io:checkpoint_truncate=3",
       &error));
+  // Threshold points (the `_after` suffix) accept 0: "fail every hit".
+  EXPECT_TRUE(ValidateFaultSpec("io:enospc_after=0", &error));
+  EXPECT_TRUE(ValidateFaultSpec("io:spill_write_fail=2", &error));
+}
+
+TEST_F(FaultTest, ThresholdPointFiresEveryHitPastTheValue) {
+  std::string error;
+  ASSERT_TRUE(ArmFaults("io:enospc_after=2", &error));
+  EXPECT_FALSE(FaultPointExhausted("enospc_after"));  // hit 1
+  EXPECT_FALSE(FaultPointExhausted("enospc_after"));  // hit 2
+  EXPECT_TRUE(FaultPointExhausted("enospc_after"));   // hit 3: disk "full"
+  EXPECT_TRUE(FaultPointExhausted("enospc_after"));   // stays full
+}
+
+TEST_F(FaultTest, ThresholdZeroFailsEveryHit) {
+  std::string error;
+  ASSERT_TRUE(ArmFaults("io:enospc_after=0", &error));
+  EXPECT_TRUE(FaultPointExhausted("enospc_after"));
+  EXPECT_TRUE(FaultPointExhausted("enospc_after"));
 }
 
 TEST_F(FaultTest, MalformedSpecsRejectedWithDiagnostic) {

@@ -9,6 +9,11 @@
 #                         (static vs work-stealing emission, LSM tier store
 #                         on/off; emit_s / merge_s counters carry the
 #                         per-phase split)
+#   BENCH_outofcore.json — memory-budgeted matching under 4x and 16x score
+#                         state pressure vs the unbudgeted baseline; the 4x
+#                         series must stay under 2x the baseline real_time
+#                         (tiers_spilled / spilled_mb confirm the spill
+#                         path ran)
 #
 # Usage: tools/run_bench.sh [extra google-benchmark flags...]
 # The build directory defaults to <repo>/build-bench; override with
@@ -28,7 +33,7 @@ cmake -B "$BUILD" -S "$ROOT" \
   -DRECONCILE_BUILD_BENCHMARKS=ON \
   -DRECONCILE_BUILD_TESTS=OFF \
   -DRECONCILE_BUILD_TOOLS=OFF
-cmake --build "$BUILD" -j "$(nproc)" --target bench_micro bench_table2_scaling bench_skew
+cmake --build "$BUILD" -j "$(nproc)" --target bench_micro bench_table2_scaling bench_skew bench_outofcore
 
 # Refuse to bless a baseline whose context says the measured code was not a
 # Release build. Output goes to a temp file first so a failed check never
@@ -49,7 +54,8 @@ check_release() {
 TMP_MICRO="$(mktemp)"
 TMP_SCALING="$(mktemp)"
 TMP_SKEW="$(mktemp)"
-trap 'rm -f "$TMP_MICRO" "$TMP_SCALING" "$TMP_SKEW"' EXIT
+TMP_OUTOFCORE="$(mktemp)"
+trap 'rm -f "$TMP_MICRO" "$TMP_SCALING" "$TMP_SKEW" "$TMP_OUTOFCORE"' EXIT
 
 "$BUILD/bench_micro" --benchmark_format=json "$@" > "$TMP_MICRO"
 check_release "$TMP_MICRO"
@@ -57,9 +63,13 @@ check_release "$TMP_MICRO"
 check_release "$TMP_SCALING"
 "$BUILD/bench_skew" --benchmark_format=json "$@" > "$TMP_SKEW"
 check_release "$TMP_SKEW"
+"$BUILD/bench_outofcore" --benchmark_format=json "$@" > "$TMP_OUTOFCORE"
+check_release "$TMP_OUTOFCORE"
 
 mv "$TMP_MICRO" "$ROOT/BENCH_micro.json"
 mv "$TMP_SCALING" "$ROOT/BENCH_scaling.json"
 mv "$TMP_SKEW" "$ROOT/BENCH_skew.json"
+mv "$TMP_OUTOFCORE" "$ROOT/BENCH_outofcore.json"
 
-echo "wrote $ROOT/BENCH_micro.json, $ROOT/BENCH_scaling.json and $ROOT/BENCH_skew.json"
+echo "wrote $ROOT/BENCH_micro.json, $ROOT/BENCH_scaling.json," \
+     "$ROOT/BENCH_skew.json and $ROOT/BENCH_outofcore.json"
