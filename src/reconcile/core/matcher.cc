@@ -1,6 +1,7 @@
 #include "reconcile/core/matcher.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "reconcile/core/matcher_state.h"
 #include "reconcile/util/checkpoint.h"
@@ -17,7 +18,14 @@ namespace {
 // snapshot that validates end to end. Corrupt or mismatched files are
 // warnings, not errors — recovery falls back to the previous checkpoint,
 // and to a fresh start if none survives.
-void TryResume(MatcherState* state, const std::string& dir) {
+//
+// With retention enabled, a successful resume also prunes: a killed run
+// can leave more snapshots than `keep` (the prune only ran after
+// successful writes), and without this pass the excess would persist
+// forever across resume cycles. The keep count is raised so the
+// just-resumed file always survives, even when newer — corrupt or
+// mismatched — files occupy the newest retention slots.
+void TryResume(MatcherState* state, const std::string& dir, int keep) {
   std::vector<CheckpointFile> checkpoints = ListCheckpoints(dir);
   for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
     std::string error;
@@ -26,6 +34,17 @@ void TryResume(MatcherState* state, const std::string& dir) {
                           << state->completed_rounds()
                           << " rounds completed, " << state->num_links()
                           << " links)";
+      if (keep > 0) {
+        const int newer =
+            static_cast<int>(std::distance(checkpoints.rbegin(), it));
+        std::string prune_error;
+        PruneCheckpoints(dir, std::max(keep, newer + 1), &prune_error);
+        if (!prune_error.empty()) {
+          RECONCILE_LOG(Warning)
+              << "checkpoint prune on resume failed (non-fatal): "
+              << prune_error;
+        }
+      }
       return;
     }
     RECONCILE_LOG(Warning) << "skipping checkpoint " << it->path << ": "
@@ -80,7 +99,9 @@ MatchResult UserMatching(const Graph& g1, const Graph& g2,
     std::string error;
     RECONCILE_CHECK(EnsureDir(config.checkpoint_dir, &error))
         << "cannot create checkpoint directory: " << error;
-    if (config.resume) TryResume(&state, config.checkpoint_dir);
+    if (config.resume) {
+      TryResume(&state, config.checkpoint_dir, config.checkpoint_keep);
+    }
   }
 
   bool stopped_early = false;

@@ -71,44 +71,6 @@ constexpr uint32_t kMatcherStateVersion = 1;
 
 }  // namespace
 
-// One disjoint slice of the scored-pair multiset handed to selection: a
-// hash-map shard (hash backend), a sorted run (radix recompute engine), or
-// an LSM tier stack (radix incremental engine — its `ForEach` k-way-merges
-// the tiers, so a key split across tiers still surfaces exactly once with
-// its total count). A candidate pair lives in exactly one unit in every
-// representation, and the selection fold is representation-agnostic — it
-// only needs `ForEach(key, score)` — so all backends flow through the same
-// `SelectSerial` / `SelectParallel` engines and stay bit-identical by
-// construction.
-class ScoreUnit {
- public:
-  explicit ScoreUnit(const FlatCountMap* map) : map_(map) {}
-  explicit ScoreUnit(const SortedCountRun* run) : run_(run) {}
-  explicit ScoreUnit(const TieredCountRuns* store) : store_(store) {}
-
-  bool empty() const {
-    if (map_ != nullptr) return map_->empty();
-    if (run_ != nullptr) return run_->empty();
-    return store_->empty();
-  }
-
-  template <typename Fn>
-  void ForEach(Fn&& fn) const {
-    if (map_ != nullptr) {
-      map_->ForEach(fn);
-    } else if (run_ != nullptr) {
-      run_->ForEach(fn);
-    } else {
-      store_->ForEach(fn);
-    }
-  }
-
- private:
-  const FlatCountMap* map_ = nullptr;
-  const SortedCountRun* run_ = nullptr;
-  const TieredCountRuns* store_ = nullptr;
-};
-
 MatcherState::MatcherState(const Graph& g1, const Graph& g2,
                            const MatcherConfig& config)
     : g1_(g1),
@@ -126,10 +88,8 @@ MatcherState::MatcherState(const Graph& g1, const Graph& g2,
                  pool_.num_threads()),
       map_1to2_(g1.num_nodes(), kInvalidNode),
       map_2to1_(g2.num_nodes(), kInvalidNode),
-      best1_(config.use_parallel_selection ? 0 : g1.num_nodes()),
-      best2_(config.use_parallel_selection ? 0 : g2.num_nodes()),
-      atomic_best1_(config.use_parallel_selection ? g1.num_nodes() : 0),
-      atomic_best2_(config.use_parallel_selection ? g2.num_nodes() : 0) {
+      selection_(g1.num_nodes(), g2.num_nodes(),
+                 config.use_parallel_selection) {
   level1_.resize(g1.num_nodes());
   for (NodeId v = 0; v < g1.num_nodes(); ++v) {
     level1_[v] =
@@ -362,141 +322,21 @@ MatchResult MatcherState::TakeResult(double total_seconds) {
   return result;
 }
 
-// --- Shared selection engine -------------------------------------------
 // Applies the mutual-unique-best rule over the scored pairs held in
-// `units` (disjoint score units — hash shards or sorted runs — whose union
-// is the set of live, bucket-eligible entries), then commits accepted
-// links. Returns the
-// number accepted. Two interchangeable engines fill the same stats:
-//  * serial — one thread folds every unit into epoch-stamped tables;
-//  * parallel — one task per unit feeds CAS-max atomic tables (observe
-//    pass), then one task per unit applies the acceptance predicate
-//    (accept pass). A candidate pair lives in exactly one unit, and the
-//    fold is order-independent, so both engines produce bit-identical
-//    matchings for any thread/shard counts.
+// `units` through the shared `SelectionEngine` (`core/selection.h`), which
+// commits accepted links directly into the maps and the link log.
 size_t MatcherState::SelectAndCommit(const std::vector<ScoreUnit>& units,
                                      PhaseStats* stats) {
-  return config_.use_parallel_selection ? SelectParallel(units, stats)
-                                        : SelectSerial(units, stats);
-}
-
-size_t MatcherState::SelectSerial(const std::vector<ScoreUnit>& units,
-                                  PhaseStats* stats) {
-  Timer timer;
-  best1_.NextEpoch();
-  best2_.NextEpoch();
-  size_t candidate_pairs = 0;
-  for (const ScoreUnit& unit : units) {
-    unit.ForEach([this, &candidate_pairs](uint64_t key, uint32_t score) {
-      best1_.Observe(PairFirst(key), score);
-      best2_.Observe(PairSecond(key), score);
-      ++candidate_pairs;
-    });
-  }
-  stats->candidate_pairs = candidate_pairs;
-  stats->scan_seconds = timer.Seconds();
-
-  timer.Reset();
-  std::vector<std::pair<NodeId, NodeId>> accepted;
-  for (const ScoreUnit& unit : units) {
-    unit.ForEach([this, &accepted](uint64_t key, uint32_t score) {
-      if (score < config_.min_score) return;
-      NodeId u = PairFirst(key);
-      NodeId v = PairSecond(key);
-      // Already-matched nodes stay in the scored pool as *blockers* (their
-      // pairs keep outcompeting impostors — this is what defeats the sybil
-      // attack) but are never re-matched.
-      if (map_1to2_[u] != kInvalidNode || map_2to1_[v] != kInvalidNode) {
-        return;
-      }
-      if (best1_.IsUniqueBest(u, score) && best2_.IsUniqueBest(v, score)) {
-        accepted.emplace_back(u, v);
-      }
-    });
-  }
-  Commit(accepted);
-  stats->select_seconds = timer.Seconds();
-  return accepted.size();
-}
-
-size_t MatcherState::SelectParallel(const std::vector<ScoreUnit>& units,
-                                    PhaseStats* stats) {
-  Timer timer;
-  atomic_best1_.NextEpoch();
-  atomic_best2_.NextEpoch();
-  // Both passes run one unit at a time under the configured scheduler
-  // (static: one queued task per unit; stealing: units are claimed
-  // dynamically, so a handful of huge hub-level units no longer pins the
-  // round on whichever worker drew them; an active placement claims
-  // domain-local units first and steals remote only when dry). The
-  // observe fold is a CAS-max — commutative — and the accept pass writes
-  // only per-unit lists, so the schedule is unobservable in the result.
-  std::atomic<size_t> candidate_pairs{0};
-  PlacedLoopStats scan_placed;
-  placement_.ParallelForPlaced(
-      &pool_, scheduler_, units.size(), CellDomainFn(),
-      [this, &units, &candidate_pairs](size_t i) {
-        size_t local_pairs = 0;
-        units[i].ForEach([this, &local_pairs](uint64_t key, uint32_t score) {
-          atomic_best1_.Observe(PairFirst(key), score);
-          atomic_best2_.Observe(PairSecond(key), score);
-          ++local_pairs;
-        });
-        candidate_pairs.fetch_add(local_pairs, std::memory_order_relaxed);
-      },
-      &scan_placed);
-  stats->candidate_pairs = candidate_pairs.load();
-  stats->scan_seconds = timer.Seconds();
-  stats->local_unit_tasks += scan_placed.local_tasks;
-  stats->remote_unit_steals += scan_placed.remote_steals;
-
-  timer.Reset();
-  // Accept pass: reads the maps and the sealed best tables, writes only
-  // its own unit's accept list; commits happen after the barrier.
-  std::vector<std::vector<std::pair<NodeId, NodeId>>> accepted_per_unit(
-      units.size());
-  PlacedLoopStats accept_placed;
-  placement_.ParallelForPlaced(
-      &pool_, scheduler_, units.size(), CellDomainFn(),
-      [this, &units, &accepted_per_unit](size_t i) {
-        auto& list = accepted_per_unit[i];
-        units[i].ForEach([this, &list](uint64_t key, uint32_t score) {
-          if (score < config_.min_score) return;
-          NodeId u = PairFirst(key);
-          NodeId v = PairSecond(key);
-          if (map_1to2_[u] != kInvalidNode || map_2to1_[v] != kInvalidNode) {
-            return;
-          }
-          if (atomic_best1_.IsUniqueBest(u, score) &&
-              atomic_best2_.IsUniqueBest(v, score)) {
-            list.emplace_back(u, v);
-          }
-        });
-      },
-      &accept_placed);
-  stats->local_unit_tasks += accept_placed.local_tasks;
-  stats->remote_unit_steals += accept_placed.remote_steals;
-
-  size_t accepted = 0;
-  for (const auto& list : accepted_per_unit) {
-    Commit(list);
-    accepted += list.size();
-  }
-  stats->select_seconds = timer.Seconds();
-  return accepted;
-}
-
-// The accepted set is a matching on unmatched nodes by construction
-// (unique best on both sides), so commits cannot conflict.
-void MatcherState::Commit(
-    std::span<const std::pair<NodeId, NodeId>> accepted) {
-  for (const auto& [u, v] : accepted) {
-    RECONCILE_CHECK_EQ(map_1to2_[u], kInvalidNode);
-    RECONCILE_CHECK_EQ(map_2to1_[v], kInvalidNode);
-    map_1to2_[u] = v;
-    map_2to1_[v] = u;
-    links_.emplace_back(u, v);
-  }
+  SelectionContext ctx;
+  ctx.pool = &pool_;
+  ctx.scheduler = scheduler_;
+  ctx.placement = &placement_;
+  ctx.domain_of = CellDomainFn();
+  ctx.min_score = config_.min_score;
+  ctx.map_1to2 = &map_1to2_;
+  ctx.map_2to1 = &map_2to1_;
+  ctx.links = &links_;
+  return selection_.SelectAndCommit(units, ctx, stats);
 }
 
 // --- Incremental engine --------------------------------------------------

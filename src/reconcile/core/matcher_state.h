@@ -9,9 +9,9 @@
 #include <utility>
 #include <vector>
 
-#include "reconcile/core/best_table.h"
 #include "reconcile/core/matcher.h"
 #include "reconcile/core/result.h"
+#include "reconcile/core/selection.h"
 #include "reconcile/graph/graph.h"
 #include "reconcile/graph/types.h"
 #include "reconcile/util/flat_hash_map.h"
@@ -23,8 +23,6 @@
 #include "reconcile/util/topology.h"
 
 namespace reconcile {
-
-class ScoreUnit;
 
 /// The matcher's complete cross-round state as a first-class, *resumable*
 /// object — everything `UserMatching` carries from one scoring round to the
@@ -116,10 +114,6 @@ class MatcherState {
   std::function<int(size_t)> CellDomainFn() const;
   size_t SelectAndCommit(const std::vector<ScoreUnit>& units,
                          PhaseStats* stats);
-  size_t SelectSerial(const std::vector<ScoreUnit>& units, PhaseStats* stats);
-  size_t SelectParallel(const std::vector<ScoreUnit>& units,
-                        PhaseStats* stats);
-  void Commit(std::span<const std::pair<NodeId, NodeId>> accepted);
   void EmitPendingLinks(PhaseStats* stats);
   void EmitPendingLinksHash(PhaseStats* stats);
   void EmitPendingLinksRadix(PhaseStats* stats);
@@ -157,12 +151,9 @@ class MatcherState {
   std::vector<NodeId> map_2to1_;
   std::vector<std::pair<NodeId, NodeId>> links_;
   std::vector<PhaseStats> phases_;
-  // Only the engine selected by `config_.use_parallel_selection` allocates
-  // its tables; the other pair stays empty.
-  BestTable best1_;
-  BestTable best2_;
-  AtomicBestTable atomic_best1_;
-  AtomicBestTable atomic_best2_;
+  // The shared mutual-unique-best engine (`core/selection.h`); which of its
+  // two interchangeable engines runs follows `use_parallel_selection`.
+  SelectionEngine selection_;
   std::vector<uint8_t> level1_;
   std::vector<uint8_t> level2_;
   // Incremental engine state: exactly one of the two representations is

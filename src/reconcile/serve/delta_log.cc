@@ -1,0 +1,136 @@
+#include "reconcile/serve/delta_log.h"
+
+#include <iostream>
+#include <sstream>
+
+namespace reconcile {
+
+namespace {
+
+enum class LineKind { kBlank, kCommit, kRecord };
+
+// Parses one line of the delta-log format. Returns false with a diagnostic
+// on malformed input; `*kind` distinguishes blanks/comments, commits and
+// data records.
+bool ParseLine(const std::string& line, uint64_t line_number, LineKind* kind,
+               EdgeDelta* out, std::string* error) {
+  std::istringstream in(line);
+  std::string op;
+  if (!(in >> op) || op[0] == '#') {
+    *kind = LineKind::kBlank;
+    return true;
+  }
+  if (op == "commit") {
+    *kind = LineKind::kCommit;
+    return true;
+  }
+  if (op != "add" && op != "del") {
+    *error = "line " + std::to_string(line_number) + ": unknown op '" + op +
+             "' (expected add/del/commit)";
+    return false;
+  }
+  int graph = 0;
+  long long u = -1, v = -1;
+  if (!(in >> graph >> u >> v) || (graph != 1 && graph != 2) || u < 0 ||
+      v < 0 || u > static_cast<long long>(kInvalidNode) ||
+      v > static_cast<long long>(kInvalidNode)) {
+    *error = "line " + std::to_string(line_number) + ": expected '" + op +
+             " <graph 1|2> <u> <v>', got '" + line + "'";
+    return false;
+  }
+  std::string extra;
+  if (in >> extra) {
+    *error = "line " + std::to_string(line_number) +
+             ": trailing tokens after '" + op + "'";
+    return false;
+  }
+  *kind = LineKind::kRecord;
+  out->graph = graph;
+  out->insert = (op == "add");
+  out->u = static_cast<NodeId>(u);
+  out->v = static_cast<NodeId>(v);
+  return true;
+}
+
+}  // namespace
+
+bool DeltaReader::Open(const std::string& path, std::string* error) {
+  line_number_ = 0;
+  records_consumed_ = 0;
+  if (path == "-") {
+    in_ = &std::cin;
+    return true;
+  }
+  file_.open(path);
+  if (!file_.is_open()) {
+    *error = "cannot open delta log '" + path + "'";
+    return false;
+  }
+  in_ = &file_;
+  return true;
+}
+
+bool DeltaReader::NextRecord(bool pending, EdgeDelta* out, bool* batch_closed,
+                             std::string* error) {
+  *batch_closed = false;
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_number_;
+    LineKind kind;
+    if (!ParseLine(line, line_number_, &kind, out, error)) return false;
+    switch (kind) {
+      case LineKind::kBlank:
+        continue;
+      case LineKind::kCommit:
+        // A commit only closes a non-empty batch; leading commits (e.g.
+        // re-read after a resume skipped past them) are dropped so the
+        // remaining stream re-batches the same way every time.
+        if (pending) {
+          *batch_closed = true;
+          return false;
+        }
+        continue;
+      case LineKind::kRecord:
+        ++records_consumed_;
+        return true;
+    }
+  }
+  return false;  // clean end of stream, *error untouched
+}
+
+bool DeltaReader::NextBatch(size_t max_records, std::vector<EdgeDelta>* out,
+                            bool* end_of_stream, std::string* error) {
+  out->clear();
+  *end_of_stream = false;
+  error->clear();
+  EdgeDelta delta;
+  bool batch_closed = false;
+  while (max_records == 0 || out->size() < max_records) {
+    if (!NextRecord(!out->empty(), &delta, &batch_closed, error)) {
+      if (!error->empty()) return false;
+      if (!batch_closed) *end_of_stream = true;
+      return true;
+    }
+    out->push_back(delta);
+  }
+  return true;
+}
+
+bool DeltaReader::SkipRecords(uint64_t n, std::string* error) {
+  error->clear();
+  EdgeDelta delta;
+  bool batch_closed = false;
+  for (uint64_t i = 0; i < n; ++i) {
+    // pending=false: commits between skipped records are consumed silently.
+    if (!NextRecord(false, &delta, &batch_closed, error)) {
+      if (error->empty()) {
+        *error = "delta log ended after " + std::to_string(i) +
+                 " records while fast-forwarding to " + std::to_string(n);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace reconcile

@@ -1,0 +1,75 @@
+#ifndef RECONCILE_SERVE_DELTA_LOG_H_
+#define RECONCILE_SERVE_DELTA_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "reconcile/graph/types.h"
+
+namespace reconcile {
+
+/// One edge mutation against one side of the reconciliation input.
+struct EdgeDelta {
+  int graph = 1;        // 1 or 2
+  bool insert = true;   // false = delete
+  NodeId u = 0;
+  NodeId v = 0;
+};
+
+/// Streaming reader for the text delta-log format consumed by
+/// `reconcile_serve`:
+///
+///   add <graph> <u> <v>    insert edge {u, v} into graph 1 or 2
+///   del <graph> <u> <v>    delete edge {u, v} from graph 1 or 2
+///   commit                 close the current batch
+///   # ...                  comment (ignored)
+///                          blank lines are ignored
+///
+/// Batch boundaries: `NextBatch` returns on a `commit` line (only when at
+/// least one record is pending — leading/duplicate commits are skipped so a
+/// resumed session re-batches the remaining records deterministically), when
+/// `max_records` records have accumulated, or at end of stream.
+///
+/// `records_consumed()` counts *data* records only (add/del), never commits
+/// or comments; it is the durable stream cursor persisted in serve
+/// checkpoints, and `SkipRecords` fast-forwards a reopened stream to it.
+class DeltaReader {
+ public:
+  /// Opens `path`; "-" reads stdin. Returns false with a diagnostic when
+  /// the file cannot be opened.
+  bool Open(const std::string& path, std::string* error);
+
+  /// Reads the next batch into `*out` (cleared first). Returns false with a
+  /// diagnostic on a malformed line; otherwise true, with `*end_of_stream`
+  /// set when the stream is exhausted (the final batch may be non-empty and
+  /// end-of-stream at once). `max_records` == 0 means unbounded.
+  bool NextBatch(size_t max_records, std::vector<EdgeDelta>* out,
+                 bool* end_of_stream, std::string* error);
+
+  /// Discards the next `n` data records (commits/comments between them are
+  /// consumed silently). Fails if the stream ends or a line is malformed
+  /// before `n` records were skipped.
+  bool SkipRecords(uint64_t n, std::string* error);
+
+  uint64_t records_consumed() const { return records_consumed_; }
+
+ private:
+  // Reads one data record. Returns false at end of stream or on error
+  // (`*error` empty = clean EOF). Commit lines seen while `*pending` is
+  // false are skipped; a commit with pending records sets `*batch_closed`
+  // and returns false without consuming a record.
+  bool NextRecord(bool pending, EdgeDelta* out, bool* batch_closed,
+                  std::string* error);
+
+  std::ifstream file_;
+  std::istream* in_ = nullptr;
+  uint64_t line_number_ = 0;
+  uint64_t records_consumed_ = 0;
+};
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_SERVE_DELTA_LOG_H_

@@ -282,23 +282,28 @@ SnapshotReader::Section* SnapshotReader::Find(uint32_t id) {
   return nullptr;
 }
 
-std::string CheckpointPath(const std::string& dir, int round) {
-  char name[64];
-  std::snprintf(name, sizeof(name), "%s%06d%s", kCheckpointPrefix, round,
-                kCheckpointSuffix);
-  return dir + "/" + name;
+std::string CheckpointPathWithPrefix(const std::string& dir,
+                                     const std::string& prefix, int round) {
+  char digits[32];
+  std::snprintf(digits, sizeof(digits), "%06d", round);
+  return dir + "/" + prefix + digits + kCheckpointSuffix;
 }
 
-std::vector<CheckpointFile> ListCheckpoints(const std::string& dir) {
+std::string CheckpointPath(const std::string& dir, int round) {
+  return CheckpointPathWithPrefix(dir, kCheckpointPrefix, round);
+}
+
+std::vector<CheckpointFile> ListCheckpointsWithPrefix(
+    const std::string& dir, const std::string& prefix) {
   std::vector<CheckpointFile> found;
   DIR* handle = ::opendir(dir.c_str());
   if (handle == nullptr) return found;
   while (dirent* entry = ::readdir(handle)) {
     const std::string name = entry->d_name;
-    const size_t prefix_len = sizeof(kCheckpointPrefix) - 1;
+    const size_t prefix_len = prefix.size();
     const size_t suffix_len = sizeof(kCheckpointSuffix) - 1;
     if (name.size() <= prefix_len + suffix_len ||
-        name.compare(0, prefix_len, kCheckpointPrefix) != 0 ||
+        name.compare(0, prefix_len, prefix) != 0 ||
         name.compare(name.size() - suffix_len, suffix_len,
                      kCheckpointSuffix) != 0) {
       continue;
@@ -322,9 +327,16 @@ std::vector<CheckpointFile> ListCheckpoints(const std::string& dir) {
   return found;
 }
 
-size_t PruneCheckpoints(const std::string& dir, int keep, std::string* error) {
+std::vector<CheckpointFile> ListCheckpoints(const std::string& dir) {
+  return ListCheckpointsWithPrefix(dir, kCheckpointPrefix);
+}
+
+size_t PruneCheckpointsWithPrefix(const std::string& dir,
+                                  const std::string& prefix, int keep,
+                                  std::string* error) {
   if (keep <= 0) return 0;
-  std::vector<CheckpointFile> checkpoints = ListCheckpoints(dir);
+  std::vector<CheckpointFile> checkpoints =
+      ListCheckpointsWithPrefix(dir, prefix);
   if (checkpoints.size() <= static_cast<size_t>(keep)) return 0;
   size_t removed = 0;
   const size_t excess = checkpoints.size() - static_cast<size_t>(keep);
@@ -336,6 +348,10 @@ size_t PruneCheckpoints(const std::string& dir, int keep, std::string* error) {
     }
   }
   return removed;
+}
+
+size_t PruneCheckpoints(const std::string& dir, int keep, std::string* error) {
+  return PruneCheckpointsWithPrefix(dir, kCheckpointPrefix, keep, error);
 }
 
 bool EnsureDir(const std::string& dir, std::string* error) {

@@ -148,6 +148,19 @@ std::vector<CheckpointFile> ListCheckpoints(const std::string& dir);
 /// snapshot costs disk, not correctness).
 size_t PruneCheckpoints(const std::string& dir, int keep, std::string* error);
 
+/// Prefix-parameterized variants of the three helpers above, for
+/// subsystems that keep their own checkpoint families in a directory
+/// (`reconcile_serve` uses prefix "serve-batch-"; the batch matcher's
+/// "state-round-" functions delegate here). The `.ckpt` suffix and the
+/// six-digit zero-padded counter are shared.
+std::string CheckpointPathWithPrefix(const std::string& dir,
+                                     const std::string& prefix, int round);
+std::vector<CheckpointFile> ListCheckpointsWithPrefix(
+    const std::string& dir, const std::string& prefix);
+size_t PruneCheckpointsWithPrefix(const std::string& dir,
+                                  const std::string& prefix, int keep,
+                                  std::string* error);
+
 /// mkdir -p. Returns false with a diagnostic if a component cannot be
 /// created.
 bool EnsureDir(const std::string& dir, std::string* error);

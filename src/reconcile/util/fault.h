@@ -58,6 +58,17 @@ namespace reconcile {
 ///                          process) — `crash:spill_commit=k` kills the
 ///                          process in the middle of a budget-enforcement
 ///                          pass
+///   serve_apply            value point in `IncrementalMatcher::ApplyBatch`
+///                          (value = 1-based batch number, the initial
+///                          match counting as batch 1), fired after the
+///                          overlays absorbed the deltas but before the
+///                          dirty links were re-emitted — the worst crash
+///                          instant: retraction visible, repair pending
+///   after_batch            value point in `reconcile_serve` between
+///                          repairing the matching and writing the batch's
+///                          checkpoint — a crash here loses exactly one
+///                          batch, which the resume re-applies from the
+///                          delta stream
 
 /// Exit code of a `crash:` fault (distinguishable from aborts and clean
 /// exits in kill/resume harnesses).

@@ -1,0 +1,372 @@
+#ifndef RECONCILE_UTIL_STAMPED_RUNS_H_
+#define RECONCILE_UTIL_STAMPED_RUNS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "reconcile/util/logging.h"
+#include "reconcile/util/radix_sort.h"
+
+namespace reconcile {
+
+/// One sorted, signed contribution run tagged with a round stamp. Keys are
+/// strictly increasing; counts are signed so a run can *retract* earlier
+/// contributions (negative counts) as well as add them.
+struct StampedRun {
+  uint32_t stamp = 0;
+  std::vector<uint64_t> keys;
+  std::vector<int32_t> counts;
+
+  size_t size() const { return keys.size(); }
+  bool empty() const { return keys.empty(); }
+};
+
+/// One cell's fold over a contiguous stamp window, materialized as a single
+/// sorted run and maintained incrementally by `StampedRuns::AccumulateInto`
+/// as replay's round stamp advances. Counts are the per-key window nets
+/// (always > 0 — see AccumulateInto). Replay keeps two per cell — a large
+/// *cold* fold and a small *hot* fold over the stamps since the last
+/// promotion (`MergeFrom`) — so selection scans a 2-way merge of sorted
+/// positive runs instead of k-way-merging every stamp on every round.
+struct FoldedRun {
+  std::vector<uint64_t> keys;
+  std::vector<int64_t> counts;
+
+  bool empty() const { return keys.empty(); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (counts[i] > 0) fn(keys[i], static_cast<uint32_t>(counts[i]));
+    }
+  }
+
+  /// Absorbs `other` (a fold of a disjoint stamp window of the same cell),
+  /// summing counts on shared keys and dropping keys whose merged net is
+  /// <= 0. This is the hot-into-cold promotion of replay's two-level fold:
+  /// both operands are per-window nets (>= 0 per key, since retraction is
+  /// stamp-local), so the merge of two disjoint windows is exactly the fold
+  /// of their union. `other` is consumed and left empty.
+  void MergeFrom(FoldedRun&& other) {
+    if (other.empty()) return;
+    if (keys.empty()) {
+      keys = std::move(other.keys);
+      counts = std::move(other.counts);
+    } else {
+      std::vector<uint64_t> merged_keys;
+      std::vector<int64_t> merged_counts;
+      merged_keys.reserve(keys.size() + other.keys.size());
+      merged_counts.reserve(keys.size() + other.keys.size());
+      size_t i = 0, j = 0;
+      while (i < keys.size() && j < other.keys.size()) {
+        const uint64_t ka = keys[i], kb = other.keys[j];
+        if (ka < kb) {
+          merged_keys.push_back(ka);
+          merged_counts.push_back(counts[i++]);
+        } else if (kb < ka) {
+          merged_keys.push_back(kb);
+          merged_counts.push_back(other.counts[j++]);
+        } else {
+          const int64_t total = counts[i++] + other.counts[j++];
+          if (total > 0) {
+            merged_keys.push_back(ka);
+            merged_counts.push_back(total);
+          }
+        }
+      }
+      for (; i < keys.size(); ++i) {
+        merged_keys.push_back(keys[i]);
+        merged_counts.push_back(counts[i]);
+      }
+      for (; j < other.keys.size(); ++j) {
+        merged_keys.push_back(other.keys[j]);
+        merged_counts.push_back(other.counts[j]);
+      }
+      keys = std::move(merged_keys);
+      counts = std::move(merged_counts);
+    }
+    other.keys.clear();
+    other.counts.clear();
+  }
+};
+
+/// The serve-mode score cell: a stack of stamped, signed sorted runs per
+/// (level, shard), replacing `TieredCountRuns` where contributions must be
+/// both *retractable* and *foldable as of a given round*.
+///
+/// The stamp scheme makes the incremental matcher's replay exact: a run
+/// stamped `s` is visible to rounds >= s (seed emissions carry stamp 0; the
+/// links committed by replay round k emit at stamp k+1), so the score
+/// multiset round r selected against is recovered — bit-identically — by
+/// k-way-merging every run with stamp <= r and summing signed counts.
+/// Retraction appends a negative mirror of a stale emission *at the same
+/// stamp*, so the net contribution of a dirty link vanishes for every round
+/// that could ever have seen it. Keys whose net is <= 0 are skipped by the
+/// fold: a from-scratch run never scored them, and even a zero-score
+/// observation would perturb the epoch-stamped best tables.
+///
+/// Unlike `TieredCountRuns` there is no cross-stamp compaction — merging
+/// across stamp boundaries would destroy the "as of round r" cut. Runs
+/// *within* one stamp merge freely (`CompactStamps`), because every fold
+/// either sees all of them or none.
+class StampedRuns {
+ public:
+  StampedRuns() = default;
+  StampedRuns(const StampedRuns&) = delete;
+  StampedRuns& operator=(const StampedRuns&) = delete;
+  StampedRuns(StampedRuns&&) = default;
+  StampedRuns& operator=(StampedRuns&&) = default;
+
+  /// Appends `run`'s entries at `stamp` with every count multiplied by
+  /// `sign` (+1 to contribute, -1 to retract). Empty runs are dropped.
+  void Append(uint32_t stamp, SortedCountRun&& run, int32_t sign) {
+    if (run.empty()) return;
+    StampedRun stamped;
+    stamped.stamp = stamp;
+    stamped.keys = std::move(run.keys);
+    stamped.counts.reserve(run.counts.size());
+    for (uint32_t c : run.counts) {
+      stamped.counts.push_back(sign * static_cast<int32_t>(c));
+    }
+    runs_.push_back(std::move(stamped));
+  }
+
+  /// Appends an already-signed run verbatim (snapshot load path). The keys
+  /// must be strictly increasing and sized like the counts.
+  void AppendRaw(StampedRun&& run) {
+    if (run.empty()) return;
+    RECONCILE_CHECK_EQ(run.keys.size(), run.counts.size());
+    runs_.push_back(std::move(run));
+  }
+
+  /// Drops every run with stamp >= `stamp` — the divergence cut: once a
+  /// replay round's accepted links differ from the old schedule's, every
+  /// later round's contributions are stale in bulk.
+  void TruncateFrom(uint32_t stamp) {
+    size_t out = 0;
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      if (runs_[i].stamp < stamp) {
+        if (out != i) runs_[out] = std::move(runs_[i]);
+        ++out;
+      }
+    }
+    runs_.resize(out);
+  }
+
+  /// Merges all runs sharing a stamp into one and drops keys whose merged
+  /// count is <= 0. Safe only because retraction is stamp-local: a dirty
+  /// link's old contribution and its negative mirror carry the same stamp,
+  /// so the per-key net over *all* runs of a stamp is the value every fold
+  /// would compute anyway (and is >= 0 — a retraction never exceeds the
+  /// original emission).
+  void CompactStamps() {
+    if (runs_.empty()) return;
+    // Group run indices by stamp, preserving first-seen stamp order.
+    std::vector<StampedRun> compacted;
+    std::vector<char> used(runs_.size(), 0);
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      if (used[i]) continue;
+      std::vector<const StampedRun*> group;
+      for (size_t j = i; j < runs_.size(); ++j) {
+        if (!used[j] && runs_[j].stamp == runs_[i].stamp) {
+          used[j] = 1;
+          group.push_back(&runs_[j]);
+        }
+      }
+      StampedRun merged = MergeGroup(runs_[i].stamp, group);
+      if (!merged.empty()) compacted.push_back(std::move(merged));
+    }
+    runs_ = std::move(compacted);
+  }
+
+  /// K-way min-scan over every run with stamp <= `max_stamp`, invoking
+  /// `fn(key, count)` in strictly increasing key order for each key whose
+  /// summed signed count is positive. This is the "score state as of round
+  /// max_stamp" fold selection consumes.
+  template <typename Fn>
+  void ForEachUpTo(uint32_t max_stamp, Fn&& fn) const {
+    std::vector<const StampedRun*> live;
+    live.reserve(runs_.size());
+    for (const StampedRun& run : runs_) {
+      if (run.stamp <= max_stamp && !run.empty()) live.push_back(&run);
+    }
+    if (live.empty()) return;
+    if (live.size() == 1) {
+      const StampedRun& run = *live[0];
+      for (size_t i = 0; i < run.keys.size(); ++i) {
+        if (run.counts[i] > 0) {
+          fn(run.keys[i], static_cast<uint32_t>(run.counts[i]));
+        }
+      }
+      return;
+    }
+    std::vector<size_t> cursor(live.size(), 0);
+    for (;;) {
+      uint64_t min_key = ~0ULL;
+      bool any = false;
+      for (size_t r = 0; r < live.size(); ++r) {
+        if (cursor[r] < live[r]->keys.size()) {
+          const uint64_t key = live[r]->keys[cursor[r]];
+          if (!any || key < min_key) min_key = key;
+          any = true;
+        }
+      }
+      if (!any) break;
+      int64_t total = 0;
+      for (size_t r = 0; r < live.size(); ++r) {
+        if (cursor[r] < live[r]->keys.size() &&
+            live[r]->keys[cursor[r]] == min_key) {
+          total += live[r]->counts[cursor[r]];
+          ++cursor[r];
+        }
+      }
+      if (total > 0) fn(min_key, static_cast<uint32_t>(total));
+    }
+  }
+
+  /// Advances an accumulated fold: merges every run with stamp in
+  /// [`from_stamp`, `up_to`] into `acc`, summing signed counts and dropping
+  /// keys whose merged net is <= 0. Calling this with contiguous stamp
+  /// windows (each stamp covered exactly once) leaves `acc` holding exactly
+  /// the fold of the covered window — `ForEachUpTo(up_to)` when the windows
+  /// started at stamp 0. The drop is sound over *any* stamp window, not
+  /// just prefixes: retraction is stamp-local (a dirty link's negative
+  /// mirror carries the stamp of the emission it cancels), so every single
+  /// stamp's per-key net is >= 0 — the CompactStamps argument — and hence
+  /// so is any sum of whole stamps; a key dropped at net 0 re-enters
+  /// correctly when a later stamp contributes it again. Replay uses this to
+  /// pay each stamp's merge once per batch instead of re-folding every
+  /// stamp on every live round.
+  void AccumulateInto(uint32_t from_stamp, uint32_t up_to,
+                      FoldedRun* acc) const {
+    std::vector<const StampedRun*> fresh;
+    for (const StampedRun& run : runs_) {
+      if (run.stamp >= from_stamp && run.stamp <= up_to && !run.empty()) {
+        fresh.push_back(&run);
+      }
+    }
+    if (fresh.empty()) return;
+    std::vector<uint64_t> keys;
+    std::vector<int64_t> counts;
+    size_t cap = acc->keys.size();
+    for (const StampedRun* run : fresh) cap += run->size();
+    keys.reserve(cap);
+    counts.reserve(cap);
+    std::vector<size_t> cursor(fresh.size(), 0);
+    size_t acc_cursor = 0;
+    for (;;) {
+      // Smallest key still pending in the fresh runs. The accumulator side
+      // advances in bulk below, so this O(runs) loop executes once per
+      // *fresh* key, not once per accumulator key — the merge costs
+      // O(|acc| + |window| * runs), which is what lets replay rebuild over
+      // a large accumulator without an O(|acc| * runs) cursor sweep.
+      uint64_t next_fresh = ~0ULL;
+      bool fresh_any = false;
+      for (size_t r = 0; r < fresh.size(); ++r) {
+        if (cursor[r] < fresh[r]->keys.size()) {
+          next_fresh = std::min(next_fresh, fresh[r]->keys[cursor[r]]);
+          fresh_any = true;
+        }
+      }
+      // Bulk-copy accumulator entries strictly below the next fresh key.
+      while (acc_cursor < acc->keys.size() &&
+             (!fresh_any || acc->keys[acc_cursor] < next_fresh)) {
+        keys.push_back(acc->keys[acc_cursor]);
+        counts.push_back(acc->counts[acc_cursor]);
+        ++acc_cursor;
+      }
+      if (!fresh_any) break;
+      int64_t total = 0;
+      if (acc_cursor < acc->keys.size() &&
+          acc->keys[acc_cursor] == next_fresh) {
+        total += acc->counts[acc_cursor];
+        ++acc_cursor;
+      }
+      for (size_t r = 0; r < fresh.size(); ++r) {
+        if (cursor[r] < fresh[r]->keys.size() &&
+            fresh[r]->keys[cursor[r]] == next_fresh) {
+          total += fresh[r]->counts[cursor[r]];
+          ++cursor[r];
+        }
+      }
+      if (total > 0) {
+        keys.push_back(next_fresh);
+        counts.push_back(total);
+      }
+    }
+    acc->keys = std::move(keys);
+    acc->counts = std::move(counts);
+  }
+
+  /// True when no run carries a stamp <= `max_stamp` (the fold would emit
+  /// nothing; it may still emit nothing on false if every net is <= 0).
+  bool EmptyUpTo(uint32_t max_stamp) const {
+    for (const StampedRun& run : runs_) {
+      if (run.stamp <= max_stamp) return false;
+    }
+    return true;
+  }
+
+  bool empty() const { return runs_.empty(); }
+  size_t num_runs() const { return runs_.size(); }
+  const std::vector<StampedRun>& runs() const { return runs_; }
+
+  size_t total_entries() const {
+    size_t total = 0;
+    for (const StampedRun& run : runs_) total += run.size();
+    return total;
+  }
+
+ private:
+  static StampedRun MergeGroup(uint32_t stamp,
+                               const std::vector<const StampedRun*>& group) {
+    StampedRun merged;
+    merged.stamp = stamp;
+    if (group.size() == 1) {
+      // Still re-filter: a single run may hold net-zero pairs only when it
+      // was produced by AppendRaw from a pre-compaction snapshot; cheap to
+      // keep the invariant uniform.
+      for (size_t i = 0; i < group[0]->keys.size(); ++i) {
+        if (group[0]->counts[i] != 0) {
+          merged.keys.push_back(group[0]->keys[i]);
+          merged.counts.push_back(group[0]->counts[i]);
+        }
+      }
+      return merged;
+    }
+    std::vector<size_t> cursor(group.size(), 0);
+    for (;;) {
+      uint64_t min_key = ~0ULL;
+      bool any = false;
+      for (size_t r = 0; r < group.size(); ++r) {
+        if (cursor[r] < group[r]->keys.size()) {
+          const uint64_t key = group[r]->keys[cursor[r]];
+          if (!any || key < min_key) min_key = key;
+          any = true;
+        }
+      }
+      if (!any) break;
+      int64_t total = 0;
+      for (size_t r = 0; r < group.size(); ++r) {
+        if (cursor[r] < group[r]->keys.size() &&
+            group[r]->keys[cursor[r]] == min_key) {
+          total += group[r]->counts[cursor[r]];
+          ++cursor[r];
+        }
+      }
+      if (total != 0) {
+        merged.keys.push_back(min_key);
+        merged.counts.push_back(static_cast<int32_t>(total));
+      }
+    }
+    return merged;
+  }
+
+  std::vector<StampedRun> runs_;
+};
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_UTIL_STAMPED_RUNS_H_

@@ -1,0 +1,189 @@
+// The delta-log reader is the serve subsystem's durability boundary: batch
+// boundaries must be deterministic under resume (a re-opened stream skipped
+// to the persisted cursor must re-batch the remaining records exactly), so
+// leading commits are dropped, commits only close non-empty batches, and
+// the cursor counts data records only. Malformed lines must fail with a
+// line-numbered diagnostic, never silently skip.
+#include "reconcile/serve/delta_log.h"
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace reconcile {
+namespace {
+
+std::string WriteLog(const std::string& name, const std::string& text) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  return path;
+}
+
+TEST(DeltaLogTest, ParsesOpsCommentsAndCommits) {
+  const std::string path = WriteLog("basic.log",
+                                    "# header comment\n"
+                                    "add 1 3 4\n"
+                                    "del 2 5 6\n"
+                                    "\n"
+                                    "commit\n"
+                                    "add 1 7 8\n");
+  DeltaReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Open(path, &error)) << error;
+
+  std::vector<EdgeDelta> batch;
+  bool eos = false;
+  ASSERT_TRUE(reader.NextBatch(0, &batch, &eos, &error)) << error;
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_FALSE(eos);
+  EXPECT_EQ(batch[0].graph, 1);
+  EXPECT_TRUE(batch[0].insert);
+  EXPECT_EQ(batch[0].u, 3u);
+  EXPECT_EQ(batch[0].v, 4u);
+  EXPECT_EQ(batch[1].graph, 2);
+  EXPECT_FALSE(batch[1].insert);
+  EXPECT_EQ(reader.records_consumed(), 2u);
+
+  ASSERT_TRUE(reader.NextBatch(0, &batch, &eos, &error)) << error;
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(eos);  // final batch and end of stream at once
+  EXPECT_EQ(reader.records_consumed(), 3u);
+
+  ASSERT_TRUE(reader.NextBatch(0, &batch, &eos, &error)) << error;
+  EXPECT_TRUE(batch.empty());
+  EXPECT_TRUE(eos);
+}
+
+TEST(DeltaLogTest, MaxRecordsSplitsBatches) {
+  const std::string path = WriteLog("split.log",
+                                    "add 1 0 1\nadd 1 1 2\nadd 1 2 3\n"
+                                    "add 1 3 4\nadd 1 4 5\n");
+  DeltaReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Open(path, &error)) << error;
+  std::vector<EdgeDelta> batch;
+  bool eos = false;
+  ASSERT_TRUE(reader.NextBatch(2, &batch, &eos, &error));
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_FALSE(eos);
+  ASSERT_TRUE(reader.NextBatch(2, &batch, &eos, &error));
+  EXPECT_EQ(batch.size(), 2u);
+  ASSERT_TRUE(reader.NextBatch(2, &batch, &eos, &error));
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(eos);
+}
+
+TEST(DeltaLogTest, LeadingAndDoubledCommitsAreSkipped) {
+  // Leading commits (what a resumed reader sees after skipping past a
+  // batch whose commit line follows the skipped records) and doubled
+  // commits must not produce empty batches.
+  const std::string path = WriteLog("commits.log",
+                                    "commit\ncommit\n"
+                                    "add 1 0 1\ncommit\ncommit\n"
+                                    "add 1 1 2\ncommit\n");
+  DeltaReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Open(path, &error)) << error;
+  std::vector<EdgeDelta> batch;
+  bool eos = false;
+  ASSERT_TRUE(reader.NextBatch(0, &batch, &eos, &error));
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_FALSE(eos);
+  ASSERT_TRUE(reader.NextBatch(0, &batch, &eos, &error));
+  EXPECT_EQ(batch.size(), 1u);
+  ASSERT_TRUE(reader.NextBatch(0, &batch, &eos, &error));
+  EXPECT_TRUE(batch.empty());
+  EXPECT_TRUE(eos);
+}
+
+TEST(DeltaLogTest, SkipRecordsMatchesResumeCursor) {
+  const std::string text =
+      "add 1 0 1\nadd 1 1 2\ncommit\n"
+      "del 2 3 4\nadd 2 4 5\nadd 2 5 6\ncommit\n"
+      "add 1 9 10\n";
+  const std::string path = WriteLog("skip.log", text);
+
+  // Reference: read everything in one go, remember where batch 1 ended.
+  DeltaReader full;
+  std::string error;
+  ASSERT_TRUE(full.Open(path, &error));
+  std::vector<EdgeDelta> batch;
+  bool eos = false;
+  ASSERT_TRUE(full.NextBatch(0, &batch, &eos, &error));
+  const uint64_t cursor = full.records_consumed();
+  ASSERT_EQ(cursor, 2u);
+  std::vector<std::vector<EdgeDelta>> rest;
+  while (true) {
+    ASSERT_TRUE(full.NextBatch(0, &batch, &eos, &error));
+    if (!batch.empty()) rest.push_back(batch);
+    if (eos) break;
+  }
+
+  // Resume path: fresh reader, skip to the cursor, re-read the remainder.
+  DeltaReader resumed;
+  ASSERT_TRUE(resumed.Open(path, &error));
+  ASSERT_TRUE(resumed.SkipRecords(cursor, &error)) << error;
+  EXPECT_EQ(resumed.records_consumed(), cursor);
+  std::vector<std::vector<EdgeDelta>> replayed;
+  while (true) {
+    ASSERT_TRUE(resumed.NextBatch(0, &batch, &eos, &error));
+    if (!batch.empty()) replayed.push_back(batch);
+    if (eos) break;
+  }
+  ASSERT_EQ(replayed.size(), rest.size());
+  for (size_t b = 0; b < rest.size(); ++b) {
+    ASSERT_EQ(replayed[b].size(), rest[b].size()) << "batch " << b;
+    for (size_t i = 0; i < rest[b].size(); ++i) {
+      EXPECT_EQ(replayed[b][i].graph, rest[b][i].graph);
+      EXPECT_EQ(replayed[b][i].insert, rest[b][i].insert);
+      EXPECT_EQ(replayed[b][i].u, rest[b][i].u);
+      EXPECT_EQ(replayed[b][i].v, rest[b][i].v);
+    }
+  }
+}
+
+TEST(DeltaLogTest, SkipPastEndFails) {
+  const std::string path = WriteLog("short.log", "add 1 0 1\ncommit\n");
+  DeltaReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Open(path, &error));
+  EXPECT_FALSE(reader.SkipRecords(5, &error));
+  EXPECT_NE(error.find("fast-forwarding"), std::string::npos) << error;
+}
+
+TEST(DeltaLogTest, MalformedLinesFailWithLineNumbers) {
+  const char* bad[] = {
+      "frobnicate 1 2 3\n",     // unknown op
+      "add 3 0 1\n",            // graph out of range
+      "add 1 0\n",              // missing operand
+      "add 1 0 1 extra\n",      // trailing tokens
+      "del 1 -2 4\n",           // negative node
+  };
+  int idx = 0;
+  for (const char* text : bad) {
+    const std::string path =
+        WriteLog("bad" + std::to_string(idx++) + ".log",
+                 "add 1 0 1\n" + std::string(text));
+    DeltaReader reader;
+    std::string error;
+    ASSERT_TRUE(reader.Open(path, &error));
+    std::vector<EdgeDelta> batch;
+    bool eos = false;
+    EXPECT_FALSE(reader.NextBatch(0, &batch, &eos, &error)) << text;
+    EXPECT_NE(error.find("line 2"), std::string::npos)
+        << text << " -> " << error;
+  }
+}
+
+TEST(DeltaLogTest, MissingFileFailsToOpen) {
+  DeltaReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.Open(testing::TempDir() + "/nope.log", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -1,0 +1,267 @@
+// The stamped signed-run store is what makes incremental serve repair
+// *exact*: folds must cut precisely at a stamp, retraction must cancel to
+// nothing for every fold that could ever have seen the original emission,
+// truncation must drop whole stamps, and CompactStamps must never change
+// what any fold observes. These tests pin those contracts directly (the
+// end-to-end guarantee rides on them in serve_incremental_differential_test).
+#include "reconcile/util/stamped_runs.h"
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace reconcile {
+namespace {
+
+SortedCountRun MakeRun(std::vector<uint64_t> keys,
+                       std::vector<uint32_t> counts) {
+  SortedCountRun run;
+  run.keys = std::move(keys);
+  run.counts = std::move(counts);
+  return run;
+}
+
+std::map<uint64_t, uint32_t> Fold(const StampedRuns& runs,
+                                  uint32_t max_stamp) {
+  std::map<uint64_t, uint32_t> out;
+  runs.ForEachUpTo(max_stamp, [&](uint64_t key, uint32_t count) {
+    // Strictly increasing key order, each key at most once.
+    if (!out.empty()) {
+      EXPECT_GT(key, out.rbegin()->first);
+    }
+    out[key] = count;
+  });
+  return out;
+}
+
+TEST(StampedRunsTest, FoldCutsAtStamp) {
+  StampedRuns runs;
+  runs.Append(0, MakeRun({10, 20}, {1, 2}), +1);
+  runs.Append(1, MakeRun({20, 30}, {3, 4}), +1);
+  runs.Append(2, MakeRun({10, 30}, {5, 6}), +1);
+
+  EXPECT_EQ(Fold(runs, 0),
+            (std::map<uint64_t, uint32_t>{{10, 1}, {20, 2}}));
+  EXPECT_EQ(Fold(runs, 1),
+            (std::map<uint64_t, uint32_t>{{10, 1}, {20, 5}, {30, 4}}));
+  EXPECT_EQ(Fold(runs, 2),
+            (std::map<uint64_t, uint32_t>{{10, 6}, {20, 5}, {30, 10}}));
+  // Folding far past the max stamp sees everything.
+  EXPECT_EQ(Fold(runs, 1000), Fold(runs, 2));
+}
+
+TEST(StampedRunsTest, RetractionCancelsAtEveryFold) {
+  StampedRuns runs;
+  runs.Append(1, MakeRun({10, 20, 30}, {2, 3, 4}), +1);
+  runs.Append(2, MakeRun({20}, {7}), +1);
+  // Retract the stamp-1 contribution of keys 10 and 30 at the same stamp.
+  runs.Append(1, MakeRun({10, 30}, {2, 4}), -1);
+
+  // Key 10 and 30 vanish from every fold that includes stamp 1; key 20 is
+  // untouched.
+  EXPECT_EQ(Fold(runs, 1), (std::map<uint64_t, uint32_t>{{20, 3}}));
+  EXPECT_EQ(Fold(runs, 2), (std::map<uint64_t, uint32_t>{{20, 10}}));
+  EXPECT_TRUE(Fold(runs, 0).empty());
+}
+
+TEST(StampedRunsTest, PartialRetractionLeavesRemainder) {
+  StampedRuns runs;
+  runs.Append(3, MakeRun({42}, {5}), +1);
+  runs.Append(3, MakeRun({42}, {2}), -1);
+  EXPECT_EQ(Fold(runs, 3), (std::map<uint64_t, uint32_t>{{42, 3}}));
+}
+
+TEST(StampedRunsTest, NetZeroAndNegativeKeysAreSkipped) {
+  StampedRuns runs;
+  runs.Append(0, MakeRun({7, 8}, {1, 2}), +1);
+  runs.Append(0, MakeRun({7}, {1}), -1);   // net 0
+  runs.Append(0, MakeRun({9}, {3}), -1);   // net -3 (transiently, before the
+  runs.Append(1, MakeRun({9}, {3}), +1);   // re-emission lands at stamp 1)
+  EXPECT_EQ(Fold(runs, 0), (std::map<uint64_t, uint32_t>{{8, 2}}));
+  EXPECT_EQ(Fold(runs, 1), (std::map<uint64_t, uint32_t>{{8, 2}}));
+}
+
+TEST(StampedRunsTest, TruncateFromDropsWholeStamps) {
+  StampedRuns runs;
+  runs.Append(0, MakeRun({1}, {1}), +1);
+  runs.Append(1, MakeRun({2}, {1}), +1);
+  runs.Append(2, MakeRun({3}, {1}), +1);
+  runs.Append(1, MakeRun({4}, {1}), +1);
+  runs.TruncateFrom(2);
+  EXPECT_EQ(runs.num_runs(), 3u);
+  EXPECT_EQ(Fold(runs, 10),
+            (std::map<uint64_t, uint32_t>{{1, 1}, {2, 1}, {4, 1}}));
+  runs.TruncateFrom(0);
+  EXPECT_TRUE(runs.empty());
+}
+
+TEST(StampedRunsTest, CompactStampsPreservesEveryFold) {
+  std::mt19937 rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    StampedRuns runs;
+    StampedRuns reference;
+    const int num_appends = 1 + static_cast<int>(rng() % 12);
+    for (int a = 0; a < num_appends; ++a) {
+      const uint32_t stamp = rng() % 4;
+      const int32_t sign = (rng() % 3 == 0) ? -1 : +1;
+      std::vector<uint64_t> keys;
+      std::vector<uint32_t> counts;
+      uint64_t key = rng() % 5;
+      while (keys.size() < 1 + rng() % 6) {
+        keys.push_back(key);
+        counts.push_back(1 + rng() % 3);
+        key += 1 + rng() % 4;
+      }
+      // Retraction in the real system never exceeds the prior emission;
+      // model that by pairing every negative append with a matching
+      // positive one first.
+      if (sign < 0) {
+        runs.Append(stamp, MakeRun(keys, counts), +1);
+        reference.Append(stamp, MakeRun(keys, counts), +1);
+      }
+      runs.Append(stamp, MakeRun(keys, counts), sign);
+      reference.Append(stamp, MakeRun(keys, counts), sign);
+    }
+    runs.CompactStamps();
+    // Compaction leaves at most one run per distinct stamp.
+    std::map<uint32_t, int> per_stamp;
+    for (const StampedRun& run : runs.runs()) ++per_stamp[run.stamp];
+    for (const auto& [stamp, count] : per_stamp) EXPECT_EQ(count, 1);
+    for (uint32_t max_stamp = 0; max_stamp < 5; ++max_stamp) {
+      EXPECT_EQ(Fold(runs, max_stamp), Fold(reference, max_stamp))
+          << "trial " << trial << " max_stamp " << max_stamp;
+    }
+  }
+}
+
+// The accumulated fold replay runs on: advancing a FoldedRun stamp window
+// by stamp window must land on exactly the ForEachUpTo fold at every
+// watermark, whatever the window split (one-at-a-time, batched, or with
+// gaps covered by a later catch-up window).
+TEST(StampedRunsTest, AccumulateIntoMatchesFoldAtEveryWatermark) {
+  std::mt19937 rng(4321);
+  for (int trial = 0; trial < 20; ++trial) {
+    StampedRuns runs;
+    const int num_appends = 1 + static_cast<int>(rng() % 12);
+    for (int a = 0; a < num_appends; ++a) {
+      const uint32_t stamp = rng() % 4;
+      const int32_t sign = (rng() % 3 == 0) ? -1 : +1;
+      std::vector<uint64_t> keys;
+      std::vector<uint32_t> counts;
+      uint64_t key = rng() % 5;
+      while (keys.size() < 1 + rng() % 6) {
+        keys.push_back(key);
+        counts.push_back(1 + rng() % 3);
+        key += 1 + rng() % 4;
+      }
+      if (sign < 0) runs.Append(stamp, MakeRun(keys, counts), +1);
+      runs.Append(stamp, MakeRun(keys, counts), sign);
+    }
+
+    // One stamp per window.
+    FoldedRun acc;
+    for (uint32_t stamp = 0; stamp < 5; ++stamp) {
+      runs.AccumulateInto(stamp, stamp, &acc);
+      std::map<uint64_t, uint32_t> got;
+      acc.ForEach([&](uint64_t key, uint32_t count) { got[key] = count; });
+      EXPECT_EQ(got, Fold(runs, stamp))
+          << "trial " << trial << " watermark " << stamp;
+      // Nets stored in the accumulator are strictly positive (whole-stamp
+      // prefixes cannot go negative, and zeros are dropped).
+      for (int64_t count : acc.counts) EXPECT_GT(count, 0);
+    }
+
+    // One catch-up window covering everything at once agrees.
+    FoldedRun all;
+    runs.AccumulateInto(0, 4, &all);
+    EXPECT_EQ(all.keys, acc.keys);
+    EXPECT_EQ(all.counts, acc.counts);
+
+    // A window with no matching stamps leaves the accumulator untouched.
+    FoldedRun before = acc;
+    runs.AccumulateInto(100, 200, &acc);
+    EXPECT_EQ(acc.keys, before.keys);
+    EXPECT_EQ(acc.counts, before.counts);
+  }
+}
+
+// Replay's two-level fold: a cold fold over a stamp prefix plus a hot fold
+// over the remaining window, merged (at promotion via MergeFrom, or at scan
+// time by summing shared keys) must equal the flat fold — for every split
+// point. Stamp-local retraction makes per-window nets >= 0, which is what
+// licenses folding a non-prefix window on its own.
+TEST(StampedRunsTest, ColdHotSplitMatchesFlatFoldAtEverySplit) {
+  std::mt19937 rng(9876);
+  for (int trial = 0; trial < 20; ++trial) {
+    StampedRuns runs;
+    const int num_appends = 1 + static_cast<int>(rng() % 12);
+    for (int a = 0; a < num_appends; ++a) {
+      const uint32_t stamp = rng() % 4;
+      const int32_t sign = (rng() % 3 == 0) ? -1 : +1;
+      std::vector<uint64_t> keys;
+      std::vector<uint32_t> counts;
+      uint64_t key = rng() % 5;
+      while (keys.size() < 1 + rng() % 6) {
+        keys.push_back(key);
+        counts.push_back(1 + rng() % 3);
+        key += 1 + rng() % 4;
+      }
+      if (sign < 0) runs.Append(stamp, MakeRun(keys, counts), +1);
+      runs.Append(stamp, MakeRun(keys, counts), sign);
+    }
+
+    for (uint32_t split = 0; split < 4; ++split) {
+      FoldedRun cold, hot;
+      runs.AccumulateInto(0, split, &cold);
+      for (uint32_t stamp = split + 1; stamp < 5; ++stamp) {
+        runs.AccumulateInto(stamp, stamp, &hot);  // hot: non-prefix window
+        // Per-window nets stay strictly positive on both levels.
+        for (int64_t count : cold.counts) EXPECT_GT(count, 0);
+        for (int64_t count : hot.counts) EXPECT_GT(count, 0);
+        // Scan-time view: 2-way merge summing shared keys.
+        std::map<uint64_t, int64_t> merged;
+        cold.ForEach([&](uint64_t key, uint32_t c) { merged[key] += c; });
+        hot.ForEach([&](uint64_t key, uint32_t c) { merged[key] += c; });
+        std::map<uint64_t, uint32_t> got;
+        for (const auto& [key, count] : merged) {
+          if (count > 0) got[key] = static_cast<uint32_t>(count);
+        }
+        EXPECT_EQ(got, Fold(runs, stamp))
+            << "trial " << trial << " split " << split << " stamp " << stamp;
+      }
+      // Promotion: folding hot into cold equals the flat fold over all.
+      cold.MergeFrom(std::move(hot));
+      EXPECT_TRUE(hot.empty());
+      std::map<uint64_t, uint32_t> promoted;
+      cold.ForEach([&](uint64_t key, uint32_t c) { promoted[key] = c; });
+      EXPECT_EQ(promoted, Fold(runs, 4))
+          << "trial " << trial << " split " << split;
+    }
+  }
+}
+
+TEST(StampedRunsTest, EmptyUpToAndAppendRaw) {
+  StampedRuns runs;
+  EXPECT_TRUE(runs.EmptyUpTo(100));
+  runs.Append(3, MakeRun({1}, {1}), +1);
+  EXPECT_TRUE(runs.EmptyUpTo(2));
+  EXPECT_FALSE(runs.EmptyUpTo(3));
+  // Empty appends are dropped entirely.
+  runs.Append(0, MakeRun({}, {}), +1);
+  EXPECT_TRUE(runs.EmptyUpTo(2));
+
+  StampedRun raw;
+  raw.stamp = 1;
+  raw.keys = {5, 6};
+  raw.counts = {2, -2};
+  runs.AppendRaw(std::move(raw));
+  EXPECT_EQ(Fold(runs, 1), (std::map<uint64_t, uint32_t>{{5, 2}}));
+  EXPECT_EQ(runs.total_entries(), 3u);
+}
+
+}  // namespace
+}  // namespace reconcile

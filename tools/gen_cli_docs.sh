@@ -1,17 +1,17 @@
 #!/usr/bin/env bash
-# Regenerates docs/cli.md from the live --help output of the three CLI
+# Regenerates docs/cli.md from the live --help output of the four CLI
 # tools, so the reference page can never drift from the binaries: CI runs
 # this script against a fresh build and fails on `git diff docs/cli.md`.
 #
 # Usage: tools/gen_cli_docs.sh [build-dir]     (default: <repo>/build)
-# The build dir must already contain reconcile_cli, graphgen_cli and
-# graphstats_cli (cmake --build <dir> --target reconcile_cli ...).
+# The build dir must already contain reconcile_cli, reconcile_serve,
+# graphgen_cli and graphstats_cli (cmake --build <dir> --target ...).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 
-for tool in reconcile_cli graphgen_cli graphstats_cli; do
+for tool in reconcile_cli reconcile_serve graphgen_cli graphstats_cli; do
   if [[ ! -x "$BUILD/$tool" ]]; then
     echo "error: $BUILD/$tool not found — build the tools first" >&2
     echo "  cmake -B $BUILD -S $ROOT && cmake --build $BUILD -j" >&2
@@ -32,11 +32,13 @@ cat <<'EOF'
      CI re-runs the generator and diffs this file, so a flag added to a
      tool without regenerating the doc fails the build. -->
 
-Three thin front-ends over the library (see [README.md](../README.md) for
+Four thin front-ends over the library (see [README.md](../README.md) for
 the build and [DESIGN.md](../DESIGN.md) for the architecture they sit on):
 
 - [`reconcile_cli`](#reconcile_cli) — run any registered reconciliation
   algorithm on any model × process × seeding scenario.
+- [`reconcile_serve`](#reconcile_serve) — long-lived continuous
+  reconciliation over a stream of edge deltas (DESIGN.md §2.6).
 - [`graphgen_cli`](#graphgen_cli) — generate any supported graph model as
   a text/binary edge list.
 - [`graphstats_cli`](#graphstats_cli) — structural statistics of a stored
@@ -92,6 +94,40 @@ reconcile_cli --seed-bias=top --top-count=200 --attack=0.01
 
 # --phase-table / --degree-table: per-round and per-degree telemetry.
 reconcile_cli --phase-table --degree-table
+```
+
+## reconcile_serve
+
+Continuous reconciliation as a service: hold a live matching over two
+evolving graphs, repair it per delta batch, stay bit-identical to a
+from-scratch batch run at every step.
+
+```text
+EOF
+"$BUILD/reconcile_serve" --help
+cat <<'EOF'
+```
+
+### Runnable examples
+
+```sh
+# Inputs for a serve session: a graph pair and a delta stream.
+graphgen_cli --model=chunglu --nodes=2000 --exponent=2.3 --out=g.txt
+printf 'add 1 7 9\ndel 2 3 4\ncommit\nadd 2 11 12\n' > deltas.log
+
+# Serve with identity seeds, checkpointing every batch, keep the newest 3.
+reconcile_serve --g1=g.txt --g2=g.txt --identity-seeds=200 \
+    --deltas=deltas.log --checkpoint-dir=ckpt --checkpoint-keep=3 \
+    --save-matching=served.txt
+
+# Resume a killed session: restores the newest snapshot, fast-forwards the
+# stream past the consumed records, continues bit-identically.
+reconcile_serve --g1=g.txt --g2=g.txt --identity-seeds=200 \
+    --deltas=deltas.log --checkpoint-dir=ckpt --resume
+
+# Streaming from stdin with per-batch phase tables.
+graph_mutator | reconcile_serve --g1=g.txt --g2=g.txt \
+    --identity-seeds=200 --deltas=- --batch-deltas=128 --phase-table
 ```
 
 ## graphgen_cli
