@@ -1,0 +1,94 @@
+// Multi-process execution benchmark (google-benchmark): end-to-end
+// matching on a Chung-Lu pair with the coordinator/worker pool at 1, 2
+// and 4 workers, plus a 2-worker series under an injected kill storm
+// (one crash per round shape: a pre-handshake death and a mid-scan
+// death), so the respawn/replay repair path is part of the measured
+// time. `tools/run_bench.sh` captures this harness as BENCH_dist.json.
+//
+// Reading it: BM_DistWorkers/1 never enters the dist layer — it IS the
+// in-process baseline, so BM_DistWorkers/{2,4} over it is the
+// coordination overhead (or speedup) of the process pool, and
+// BM_DistWithFailures over BM_DistWorkers/2 is the cost of a failure
+// schedule. The `msgs` / `wire_mb` counters show what actually crossed
+// the socketpairs (per-shard candidate tables and links only — never
+// edges or scores), `retries` / `reassigned` confirm the failure series
+// really exercised the repair path.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_main.h"
+#include "reconcile/core/matcher.h"
+#include "reconcile/gen/chung_lu.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/seed/seeding.h"
+
+namespace reconcile {
+namespace {
+
+RealizationPair MakeDistPair() {
+  std::vector<double> weights = PowerLawWeights(40000, 2.2, 14.0);
+  Graph g = GenerateChungLu(weights, 0x00D157001);
+  IndependentSampleOptions sample;
+  sample.s1 = sample.s2 = 0.6;
+  return SampleIndependent(g, sample, 0x00D157002);
+}
+
+void DistBenchmark(benchmark::State& state, int workers,
+                   const std::string& fault_spec) {
+  static const RealizationPair& pair = *new RealizationPair(MakeDistPair());
+  SeedOptions seed_options;
+  seed_options.fraction = 0.05;
+  static const auto& seeds = *new std::vector<std::pair<NodeId, NodeId>>(
+      GenerateSeeds(pair, seed_options, 0x00D157003));
+
+  MatcherConfig config;
+  config.num_threads = 4;
+  config.num_shards = 8;  // fixed so every worker count splits evenly
+  config.workers = workers;
+  config.fault_spec = fault_spec;
+
+  size_t links = 0;
+  uint64_t messages = 0, wire_bytes = 0, retries = 0, reassigned = 0;
+  for (auto _ : state) {
+    MatchResult result = UserMatching(pair.g1, pair.g2, seeds, config);
+    benchmark::DoNotOptimize(result.NumLinks());
+    links = result.NumLinks();
+    messages = wire_bytes = retries = reassigned = 0;
+    for (const PhaseStats& phase : result.phases) {
+      messages += phase.dist_messages_sent + phase.dist_messages_received;
+      wire_bytes += phase.dist_bytes_sent + phase.dist_bytes_received;
+      retries += phase.dist_worker_retries;
+      reassigned += phase.dist_shards_reassigned;
+    }
+  }
+  state.counters["links"] = static_cast<double>(links);
+  state.counters["msgs"] = static_cast<double>(messages);
+  state.counters["wire_mb"] =
+      static_cast<double>(wire_bytes) / (1024.0 * 1024.0);
+  state.counters["retries"] = static_cast<double>(retries);
+  state.counters["reassigned"] = static_cast<double>(reassigned);
+}
+
+void BM_DistWorkers(benchmark::State& state) {
+  DistBenchmark(state, static_cast<int>(state.range(0)), "");
+}
+BENCHMARK(BM_DistWorkers)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+void BM_DistWithFailures(benchmark::State& state) {
+  // One pre-handshake death plus one mid-scan death per run; each costs a
+  // respawn (stripped of the one-shot fault) and a history replay of the
+  // lost slice.
+  DistBenchmark(state, 2,
+                "worker_crash:worker_start=1;worker_crash:after_shard=5");
+}
+BENCHMARK(BM_DistWithFailures)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace reconcile
+
+RECONCILE_BENCHMARK_MAIN();

@@ -123,6 +123,20 @@ std::unique_ptr<Reconciler> MakeCore(const ReconcilerSpec& spec,
   if (config.memory_budget_bytes > 0 && config.score_dir.empty()) {
     reader.AddError("parameter 'memory-budget' requires 'score-dir'");
   }
+  config.workers = GetIntParam(reader, "workers", config.workers);
+  if (config.workers < 1) {
+    reader.AddError("parameter 'workers' must be >= 1 (1 = in-process)");
+  }
+  config.worker_retry =
+      GetIntParam(reader, "worker-retry", config.worker_retry);
+  if (config.worker_retry < 0) {
+    reader.AddError("parameter 'worker-retry' must be >= 0");
+  }
+  config.worker_timeout_ms =
+      GetIntParam(reader, "worker-timeout-ms", config.worker_timeout_ms);
+  if (config.worker_timeout_ms < 1) {
+    reader.AddError("parameter 'worker-timeout-ms' must be >= 1");
+  }
   config.fault_spec = reader.GetString("fault", config.fault_spec);
   if (!config.fault_spec.empty()) {
     std::string fault_error;
@@ -225,7 +239,11 @@ std::string CoreReconciler::Describe() const {
       << (config_.use_incremental_scoring ? "incremental" : "recompute")
       << ", scheduler=" << SchedulerName(config_.scheduler)
       << ", tiers=" << config_.lsm_max_tiers
-      << ", placement=" << PlacementName(config_.placement) << ")";
+      << ", placement=" << PlacementName(config_.placement);
+  if (config_.workers > 1) {
+    out << ", workers=" << config_.workers;
+  }
+  out << ")";
   return out.str();
 }
 
@@ -274,7 +292,8 @@ void RegisterBuiltinReconcilers(Registry& registry) {
                  "scheduler=auto|static|stealing, grain, max-tiers, "
                  "tier-ratio, placement=auto|none|interleave|domain, "
                  "placement-domains, checkpoint-dir, checkpoint-every, "
-                 "checkpoint-keep, resume, memory-budget, score-dir, fault",
+                 "checkpoint-keep, resume, memory-budget, score-dir, "
+                 "workers, worker-retry, worker-timeout-ms, fault",
        .threshold_param = "threshold",
        .factory = MakeCore});
   registry.Register(

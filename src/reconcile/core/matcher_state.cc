@@ -14,10 +14,8 @@ namespace reconcile {
 
 namespace {
 
-// Degree levels partition candidate pairs by the first bucket in which they
-// become eligible: level(u, v) = min(log2 d1(u), log2 d2(v)), so the pairs
-// eligible at bucket threshold 2^j are exactly those stored at levels >= j.
-constexpr int kNumLevels = 33;
+// Local alias for the exported layout constant (matcher_state.h).
+constexpr int kNumLevels = kScoreLevels;
 
 int FloorLog2(NodeId x) {
   int log = 0;
@@ -71,6 +69,41 @@ constexpr uint32_t kMatcherStateVersion = 1;
 
 }  // namespace
 
+std::vector<uint8_t> DegreeLevels(const Graph& g) {
+  std::vector<uint8_t> levels(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    levels[v] =
+        static_cast<uint8_t>(FloorLog2(std::max<NodeId>(1, g.degree(v))));
+  }
+  return levels;
+}
+
+std::vector<uint32_t> RadixShardTable(NodeId n1, int num_shards) {
+  // Range partition on the high key bits (the g1 node id): shard(u, v) =
+  // u * S / n1, precomputed per node so the emission loop pays one array
+  // load instead of a hash mix or a 64-bit divide. Each shard owns a
+  // contiguous key interval, so per-shard runs stay disjoint and their
+  // concatenation is globally sorted.
+  const uint64_t n = std::max<uint64_t>(1, n1);
+  std::vector<uint32_t> table(n1);
+  for (NodeId u = 0; u < n1; ++u) {
+    table[u] = static_cast<uint32_t>(static_cast<uint64_t>(u) *
+                                     static_cast<uint64_t>(num_shards) / n);
+  }
+  return table;
+}
+
+int ResolveShardCount(const MatcherConfig& config, int num_threads) {
+  return config.num_shards > 0 ? config.num_shards : std::max(4, num_threads);
+}
+
+int TopBucketExponent(const Graph& g1, const Graph& g2,
+                      const MatcherConfig& config) {
+  const NodeId max_degree = std::max(g1.max_degree(), g2.max_degree());
+  return config.use_degree_bucketing && max_degree > 0 ? FloorLog2(max_degree)
+                                                       : 0;
+}
+
 MatcherState::MatcherState(const Graph& g1, const Graph& g2,
                            const MatcherConfig& config)
     : g1_(g1),
@@ -80,9 +113,7 @@ MatcherState::MatcherState(const Graph& g1, const Graph& g2,
                                    : ThreadPool::DefaultThreads()),
       scheduler_(ResolveScheduler(config.scheduler)),
       tier_policy_{config.lsm_max_tiers, config.lsm_size_ratio},
-      num_shards_(config.num_shards > 0
-                      ? config.num_shards
-                      : std::max(4, pool_.num_threads())),
+      num_shards_(ResolveShardCount(config, pool_.num_threads())),
       topology_(PlacementTopology(config)),
       placement_(topology_, config.placement, num_shards_,
                  pool_.num_threads()),
@@ -90,16 +121,8 @@ MatcherState::MatcherState(const Graph& g1, const Graph& g2,
       map_2to1_(g2.num_nodes(), kInvalidNode),
       selection_(g1.num_nodes(), g2.num_nodes(),
                  config.use_parallel_selection) {
-  level1_.resize(g1.num_nodes());
-  for (NodeId v = 0; v < g1.num_nodes(); ++v) {
-    level1_[v] =
-        static_cast<uint8_t>(FloorLog2(std::max<NodeId>(1, g1.degree(v))));
-  }
-  level2_.resize(g2.num_nodes());
-  for (NodeId v = 0; v < g2.num_nodes(); ++v) {
-    level2_[v] =
-        static_cast<uint8_t>(FloorLog2(std::max<NodeId>(1, g2.degree(v))));
-  }
+  level1_ = DegreeLevels(g1);
+  level2_ = DegreeLevels(g2);
   if (config.use_incremental_scoring) {
     if (config.scoring_backend == ScoringBackend::kRadixSort) {
       runs_.resize(kNumLevels);
@@ -114,17 +137,7 @@ MatcherState::MatcherState(const Graph& g1, const Graph& g2,
     }
   }
   if (config.scoring_backend == ScoringBackend::kRadixSort) {
-    // Range partition on the high key bits (the g1 node id): shard(u, v) =
-    // u * S / n1, precomputed per node so the emission loop pays one array
-    // load instead of a hash mix or a 64-bit divide. Each shard owns a
-    // contiguous key interval, so per-shard runs stay disjoint and their
-    // concatenation is globally sorted.
-    const uint64_t n1 = std::max<uint64_t>(1, g1.num_nodes());
-    radix_shard1_.resize(g1.num_nodes());
-    for (NodeId u = 0; u < g1.num_nodes(); ++u) {
-      radix_shard1_[u] = static_cast<uint32_t>(
-          static_cast<uint64_t>(u) * static_cast<uint64_t>(num_shards_) / n1);
-    }
+    radix_shard1_ = RadixShardTable(g1.num_nodes(), num_shards_);
   }
   if (config.memory_budget_bytes > 0) {
     // The budget is enforced by spilling radix tier stacks; the hash
@@ -158,10 +171,7 @@ MatcherState::MatcherState(const Graph& g1, const Graph& g2,
   graph_fp1_ = GraphFingerprint(g1);
   graph_fp2_ = GraphFingerprint(g2);
 
-  const NodeId max_degree = std::max(g1.max_degree(), g2.max_degree());
-  top_exponent_ = config.use_degree_bucketing && max_degree > 0
-                      ? FloorLog2(max_degree)
-                      : 0;
+  top_exponent_ = TopBucketExponent(g1, g2, config);
   bottom_exponent_ = std::min(config.min_bucket_exponent, top_exponent_);
   current_bucket_ = config.use_degree_bucketing ? top_exponent_
                                                 : config.min_bucket_exponent;

@@ -1,0 +1,150 @@
+#include "reconcile/dist/wire.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "reconcile/util/checkpoint.h"
+
+namespace reconcile::dist {
+
+namespace {
+
+int64_t NowMs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return int64_t(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+bool WriteAll(int fd, const uint8_t* data, size_t size, std::string* error) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("write: ") + strerror(errno);
+      return false;
+    }
+    done += size_t(n);
+  }
+  return true;
+}
+
+// Reads exactly `size` bytes within the deadline. Returns kOk / kTimeout /
+// kEof / kError; a close after some-but-not-all bytes is kEof (the peer
+// died mid-frame).
+RecvStatus ReadAll(int fd, uint8_t* data, size_t size, int64_t deadline_ms,
+                   std::string* error) {
+  size_t done = 0;
+  while (done < size) {
+    const int64_t remaining = deadline_ms - NowMs();
+    if (remaining <= 0) return RecvStatus::kTimeout;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready =
+        poll(&pfd, 1, int(std::min<int64_t>(remaining, 60 * 1000)));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("poll: ") + strerror(errno);
+      return RecvStatus::kError;
+    }
+    if (ready == 0) continue;  // re-check the deadline
+    const ssize_t n = read(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("read: ") + strerror(errno);
+      return RecvStatus::kError;
+    }
+    if (n == 0) return RecvStatus::kEof;
+    done += size_t(n);
+  }
+  return RecvStatus::kOk;
+}
+
+void PutU32(uint8_t* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = uint8_t(v >> (8 * i));
+}
+
+uint32_t GetU32(const uint8_t* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t(in[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+const char* RecvStatusName(RecvStatus status) {
+  switch (status) {
+    case RecvStatus::kOk:
+      return "ok";
+    case RecvStatus::kTimeout:
+      return "timeout";
+    case RecvStatus::kEof:
+      return "eof";
+    case RecvStatus::kCorrupt:
+      return "corrupt";
+    case RecvStatus::kError:
+      return "error";
+  }
+  return "?";
+}
+
+bool SendFrame(int fd, MsgType type, std::span<const uint8_t> payload,
+               std::string* error, bool corrupt_payload_byte) {
+  if (payload.size() > kMaxPayloadBytes) {
+    *error = "payload exceeds kMaxPayloadBytes";
+    return false;
+  }
+  // One contiguous buffer per frame: headers and payload reach the socket
+  // in a single write when the kernel allows, and the corrupt-byte fault
+  // below can flip payload bytes after the CRC is sealed.
+  std::vector<uint8_t> frame(16 + payload.size());
+  PutU32(frame.data() + 0, kWireMagic);
+  PutU32(frame.data() + 4, uint32_t(type));
+  PutU32(frame.data() + 8, uint32_t(payload.size()));
+  PutU32(frame.data() + 12,
+         payload.empty() ? 0u : Crc32(payload.data(), payload.size()));
+  std::copy(payload.begin(), payload.end(), frame.begin() + 16);
+  if (corrupt_payload_byte && !payload.empty()) frame[16] ^= 0xFF;
+  return WriteAll(fd, frame.data(), frame.size(), error);
+}
+
+RecvStatus RecvFrame(int fd, int timeout_ms, Frame* out, std::string* error) {
+  const int64_t deadline = NowMs() + std::max(0, timeout_ms);
+  uint8_t header[16];
+  RecvStatus status = ReadAll(fd, header, sizeof(header), deadline, error);
+  if (status != RecvStatus::kOk) return status;
+  if (GetU32(header + 0) != kWireMagic) {
+    *error = "bad frame magic";
+    return RecvStatus::kCorrupt;
+  }
+  const uint32_t type = GetU32(header + 4);
+  const uint32_t len = GetU32(header + 8);
+  const uint32_t crc = GetU32(header + 12);
+  if (type < uint32_t(MsgType::kRound) || type > uint32_t(MsgType::kShutdown)) {
+    *error = "unknown frame type";
+    return RecvStatus::kCorrupt;
+  }
+  if (len > kMaxPayloadBytes) {
+    *error = "frame payload length out of range";
+    return RecvStatus::kCorrupt;
+  }
+  out->type = MsgType(type);
+  out->payload.resize(len);
+  if (len > 0) {
+    status = ReadAll(fd, out->payload.data(), len, deadline, error);
+    if (status != RecvStatus::kOk) return status;
+  }
+  const uint32_t actual =
+      len == 0 ? 0u : Crc32(out->payload.data(), out->payload.size());
+  if (actual != crc) {
+    *error = "frame payload CRC mismatch";
+    return RecvStatus::kCorrupt;
+  }
+  return RecvStatus::kOk;
+}
+
+}  // namespace reconcile::dist

@@ -1,0 +1,115 @@
+#ifndef RECONCILE_DIST_WIRE_H_
+#define RECONCILE_DIST_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace reconcile::dist {
+
+/// The coordinator/worker wire format (DESIGN.md §2.7): length-prefixed,
+/// CRC32-framed messages over a socketpair. Every frame is
+///
+///   [ magic u32 | type u32 | payload_len u32 | payload_crc u32 | payload ]
+///
+/// little-endian, with `payload_crc` the IEEE CRC32 (`util/checkpoint.h`)
+/// of the payload bytes. A frame whose magic, length bound or CRC fails is
+/// *corrupt* — the receiver treats the peer as lost rather than trying to
+/// resync, because a process that writes bad bytes cannot be trusted for
+/// the rest of the round either.
+enum class MsgType : uint32_t {
+  kRound = 1,      ///< coordinator -> worker: one round's work order
+  kResult = 2,     ///< worker -> coordinator: the round's shard results
+  kHeartbeat = 3,  ///< worker -> coordinator: liveness while computing
+  kShutdown = 4,   ///< coordinator -> worker: clean exit request
+};
+
+inline constexpr uint32_t kWireMagic = 0x52444331;  // "RDC1"
+/// Upper bound a receiver accepts for one payload; a length above this is
+/// treated as corruption, not an allocation request.
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+struct Frame {
+  MsgType type = MsgType::kHeartbeat;
+  std::vector<uint8_t> payload;
+};
+
+/// Little-endian append-only payload builder.
+class PayloadWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
+  }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian payload cursor. Every read reports
+/// truncation instead of walking off the buffer, so a corrupt-but-
+/// CRC-colliding payload still cannot crash the receiver.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) out |= uint32_t(data_[pos_++]) << (8 * i);
+    *v = out;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) out |= uint64_t(data_[pos_++]) << (8 * i);
+    *v = out;
+    return true;
+  }
+  bool Done() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+/// Writes one complete frame to `fd` (EINTR-safe, handles short writes).
+/// `corrupt_payload_byte` flips one payload byte *after* the CRC was
+/// computed — the `io:msg_corrupt` fault shape; the receiver must detect
+/// it. Returns false with `*error` set on a write failure (EPIPE when the
+/// peer died counts — callers treat it as peer loss).
+bool SendFrame(int fd, MsgType type, std::span<const uint8_t> payload,
+               std::string* error, bool corrupt_payload_byte = false);
+
+enum class RecvStatus {
+  kOk,       ///< a whole, CRC-clean frame was read
+  kTimeout,  ///< the deadline passed before a whole frame arrived
+  kEof,      ///< orderly close (or close mid-frame) — the peer is gone
+  kCorrupt,  ///< bad magic, oversized length, or CRC mismatch
+  kError,    ///< local read error (errno-level)
+};
+
+const char* RecvStatusName(RecvStatus status);
+
+/// Reads one complete frame from `fd`, spending at most `timeout_ms`
+/// overall (monotonic deadline across partial reads; <= 0 means poll —
+/// return `kTimeout` unless bytes are already buffered and a frame
+/// completes without waiting).
+RecvStatus RecvFrame(int fd, int timeout_ms, Frame* out, std::string* error);
+
+}  // namespace reconcile::dist
+
+#endif  // RECONCILE_DIST_WIRE_H_

@@ -1,0 +1,551 @@
+#include "reconcile/dist/worker.h"
+
+#include <signal.h>
+#include <sys/prctl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "reconcile/core/best_table.h"
+#include "reconcile/core/matcher_state.h"
+#include "reconcile/dist/wire.h"
+#include "reconcile/util/fault.h"
+#include "reconcile/util/logging.h"
+#include "reconcile/util/radix_sort.h"
+#include "reconcile/util/thread_pool.h"
+
+namespace reconcile::dist {
+
+// --- Message codecs ------------------------------------------------------
+
+std::vector<uint8_t> EncodeRound(const RoundOrder& order) {
+  PayloadWriter w;
+  w.U32(order.round);
+  w.U32(uint32_t(order.bucket_exponent));
+  w.U8(order.meta.compact_first ? 1 : 0);
+  w.U64(order.meta.emit_begin);
+  w.U64(order.meta.emit_end);
+  w.U64(order.delta_start);
+  w.U32(uint32_t(order.delta.size()));
+  for (const auto& [u, v] : order.delta) {
+    w.U32(u);
+    w.U32(v);
+  }
+  w.U32(uint32_t(order.shards.size()));
+  for (uint32_t s : order.shards) w.U32(s);
+  return w.Take();
+}
+
+bool DecodeRound(std::span<const uint8_t> payload, RoundOrder* out,
+                 std::string* error) {
+  PayloadReader r(payload);
+  uint32_t bucket = 0;
+  uint8_t compact = 0;
+  uint32_t n = 0;
+  if (!r.U32(&out->round) || !r.U32(&bucket) || !r.U8(&compact) ||
+      !r.U64(&out->meta.emit_begin) || !r.U64(&out->meta.emit_end) ||
+      !r.U64(&out->delta_start) || !r.U32(&n)) {
+    *error = "truncated ROUND payload";
+    return false;
+  }
+  out->bucket_exponent = int32_t(bucket);
+  out->meta.compact_first = compact != 0;
+  out->delta.clear();
+  out->delta.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t u = 0, v = 0;
+    if (!r.U32(&u) || !r.U32(&v)) {
+      *error = "truncated ROUND delta";
+      return false;
+    }
+    out->delta.emplace_back(u, v);
+  }
+  if (!r.U32(&n)) {
+    *error = "truncated ROUND assignment";
+    return false;
+  }
+  out->shards.clear();
+  out->shards.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t s = 0;
+    if (!r.U32(&s)) {
+      *error = "truncated ROUND assignment";
+      return false;
+    }
+    out->shards.push_back(s);
+  }
+  if (!r.Done()) {
+    *error = "trailing bytes in ROUND payload";
+    return false;
+  }
+  return true;
+}
+
+std::vector<uint8_t> EncodeResult(const RoundResult& result) {
+  PayloadWriter w;
+  w.U32(result.round);
+  w.U32(result.worker_slot);
+  w.U64(result.emissions);
+  w.U64(result.scanned_pairs);
+  w.U32(uint32_t(result.shards.size()));
+  for (uint32_t s : result.shards) w.U32(s);
+  w.U32(uint32_t(result.best2.size()));
+  for (const Best2Entry& e : result.best2) {
+    w.U32(e.v);
+    w.U32(e.score);
+    w.U32(e.ties);
+  }
+  w.U32(uint32_t(result.units.size()));
+  for (const UnitBlock& unit : result.units) {
+    w.U32(unit.level);
+    w.U32(unit.shard);
+    w.U32(uint32_t(unit.entries.size()));
+    for (const Candidate& c : unit.entries) {
+      w.U32(c.u);
+      w.U32(c.v);
+      w.U32(c.score);
+    }
+  }
+  return w.Take();
+}
+
+bool DecodeResult(std::span<const uint8_t> payload, RoundResult* out,
+                  std::string* error) {
+  PayloadReader r(payload);
+  uint32_t n = 0;
+  if (!r.U32(&out->round) || !r.U32(&out->worker_slot) ||
+      !r.U64(&out->emissions) || !r.U64(&out->scanned_pairs) || !r.U32(&n)) {
+    *error = "truncated RESULT payload";
+    return false;
+  }
+  out->shards.clear();
+  out->shards.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t s = 0;
+    if (!r.U32(&s)) {
+      *error = "truncated RESULT shard list";
+      return false;
+    }
+    out->shards.push_back(s);
+  }
+  if (!r.U32(&n)) {
+    *error = "truncated RESULT best2 table";
+    return false;
+  }
+  out->best2.clear();
+  out->best2.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Best2Entry e;
+    if (!r.U32(&e.v) || !r.U32(&e.score) || !r.U32(&e.ties)) {
+      *error = "truncated RESULT best2 table";
+      return false;
+    }
+    out->best2.push_back(e);
+  }
+  if (!r.U32(&n)) {
+    *error = "truncated RESULT unit list";
+    return false;
+  }
+  out->units.clear();
+  out->units.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    UnitBlock unit;
+    uint32_t entries = 0;
+    if (!r.U32(&unit.level) || !r.U32(&unit.shard) || !r.U32(&entries)) {
+      *error = "truncated RESULT unit";
+      return false;
+    }
+    unit.entries.reserve(entries);
+    for (uint32_t j = 0; j < entries; ++j) {
+      Candidate c;
+      if (!r.U32(&c.u) || !r.U32(&c.v) || !r.U32(&c.score)) {
+        *error = "truncated RESULT candidate";
+        return false;
+      }
+      unit.entries.push_back(c);
+    }
+    out->units.push_back(std::move(unit));
+  }
+  if (!r.Done()) {
+    *error = "trailing bytes in RESULT payload";
+    return false;
+  }
+  return true;
+}
+
+// --- WorkerEngine --------------------------------------------------------
+
+WorkerEngine::WorkerEngine(const Graph& g1, const Graph& g2,
+                           const MatcherConfig& config,
+                           std::vector<std::pair<NodeId, NodeId>> links,
+                           std::vector<RoundMeta> history)
+    : g1_(g1),
+      g2_(g2),
+      config_(config),
+      tier_policy_{config.lsm_max_tiers, config.lsm_size_ratio},
+      num_shards_(ResolveShardCount(
+          config, config.num_threads > 0 ? config.num_threads
+                                         : ThreadPool::DefaultThreads())),
+      level1_(DegreeLevels(g1)),
+      level2_(DegreeLevels(g2)),
+      radix_shard1_(RadixShardTable(g1.num_nodes(), num_shards_)),
+      links_(std::move(links)),
+      map_1to2_(g1.num_nodes(), kInvalidNode),
+      map_2to1_(g2.num_nodes(), kInvalidNode),
+      history_(std::move(history)),
+      owned_(size_t(num_shards_), 0),
+      applied_round_(size_t(num_shards_), 0),
+      best1_words_(g1.num_nodes(), 0),
+      best2_words_(g2.num_nodes(), 0) {
+  runs_.resize(kScoreLevels);
+  for (auto& level : runs_) level.resize(size_t(num_shards_));
+  for (const auto& [u, v] : links_) {
+    RECONCILE_CHECK_LT(u, g1_.num_nodes());
+    RECONCILE_CHECK_LT(v, g2_.num_nodes());
+    map_1to2_[u] = v;
+    map_2to1_[v] = u;
+  }
+}
+
+// Serial mirror of `MatcherState::EmitPendingLinksRadix`, restricted to the
+// shards in `target`: the owned-shard test sits before the inner loop, so a
+// worker pays the outer neighbour walk but only its own shards' inner
+// products. Sorted-run content per cell is identical to the in-process
+// emission for any partition — concatenation order entering the sort is
+// unobservable.
+void WorkerEngine::EmitRange(uint64_t begin, uint64_t end,
+                             const std::vector<uint8_t>& target,
+                             uint64_t* emissions) {
+  if (begin >= end) return;
+  const NodeId dmin = NodeId(1) << config_.min_bucket_exponent;
+  std::vector<std::vector<std::vector<uint64_t>>> keys(kScoreLevels);
+  for (size_t item = size_t(begin); item < size_t(end); ++item) {
+    const auto [a1, a2] = links_[item];
+    for (NodeId u : g1_.NeighborsByDegree(a1)) {
+      if (g1_.degree(u) < dmin) break;  // prefix is degree-sorted
+      const uint32_t shard = radix_shard1_[u];
+      if (!target[shard]) continue;
+      const uint8_t lu = level1_[u];
+      for (NodeId v : g2_.NeighborsByDegree(a2)) {
+        if (g2_.degree(v) < dmin) break;
+        const uint8_t level = std::min(lu, level2_[v]);
+        if (keys[level].empty()) keys[level].resize(size_t(num_shards_));
+        keys[level][shard].push_back(PackPair(u, v));
+        if (emissions != nullptr) ++*emissions;
+      }
+    }
+  }
+  std::vector<uint64_t> scratch;
+  for (int level = 0; level < kScoreLevels; ++level) {
+    if (keys[level].empty()) continue;
+    for (int s = 0; s < num_shards_; ++s) {
+      auto& chunk = keys[level][size_t(s)];
+      if (chunk.empty()) continue;
+      SortedCountRun run = SortAndCount(std::move(chunk), scratch);
+      runs_[level][size_t(s)].Append(std::move(run), tier_policy_);
+    }
+  }
+}
+
+void WorkerEngine::FilterShards(const std::vector<uint8_t>& target,
+                                const std::vector<NodeId>& m1,
+                                const std::vector<NodeId>& m2) {
+  for (auto& level : runs_) {
+    for (int s = 0; s < num_shards_; ++s) {
+      TieredCountRuns& store = level[size_t(s)];
+      if (!target[size_t(s)] || store.empty()) continue;
+      store.Filter([&m1, &m2](uint64_t key, uint32_t) {
+        return m1[PairFirst(key)] == kInvalidNode ||
+               m2[PairSecond(key)] == kInvalidNode;
+      });
+    }
+  }
+}
+
+// Rebuilds the score state of `stale` shards through round `through` by
+// replaying the history round by round: advance temp node maps to each
+// round's log frontier, apply that round's compaction (if any) against
+// them, then re-emit that round's link range. The per-round interleaving
+// matters — a one-shot emit-then-filter with the final maps would drop
+// blocker pairs that were emitted *after* a compaction point, which the
+// original run deliberately kept scanning.
+void WorkerEngine::ReplayShards(const std::vector<uint32_t>& stale,
+                                uint32_t through) {
+  if (stale.empty()) return;
+  std::vector<uint8_t> target(size_t(num_shards_), 0);
+  for (uint32_t s : stale) target[s] = 1;
+  if (through > 0) {
+    RECONCILE_CHECK_LE(size_t(through), history_.size());
+    std::vector<NodeId> m1(g1_.num_nodes(), kInvalidNode);
+    std::vector<NodeId> m2(g2_.num_nodes(), kInvalidNode);
+    size_t folded = 0;
+    for (uint32_t k = 1; k <= through; ++k) {
+      const RoundMeta& meta = history_[k - 1];
+      for (; folded < meta.emit_end; ++folded) {
+        const auto [u, v] = links_[folded];
+        m1[u] = v;
+        m2[v] = u;
+      }
+      if (meta.compact_first) FilterShards(target, m1, m2);
+      EmitRange(meta.emit_begin, meta.emit_end, target, nullptr);
+    }
+  }
+  for (uint32_t s : stale) applied_round_[s] = through;
+}
+
+bool WorkerEngine::ApplyRound(const RoundOrder& order, uint32_t worker_slot,
+                              bool fault_shard_hook, RoundResult* result,
+                              std::string* error) {
+  if (order.round == 0) {
+    *error = "round 0 in work order";
+    return false;
+  }
+  // History sync: append this round's replay meta (a re-sent or
+  // fork-inherited round already has it).
+  if (order.round == history_.size() + 1) {
+    history_.push_back(order.meta);
+  } else if (order.round != history_.size()) {
+    *error = "work order for round " + std::to_string(order.round) +
+             " but history holds " + std::to_string(history_.size());
+    return false;
+  }
+
+  // Log sync: append the missing suffix of [delta_start, emit_end) and
+  // fold it into the node maps. Already-present entries are skipped, so a
+  // re-sent order is a no-op here.
+  if (order.delta_start > links_.size()) {
+    *error = "link-log gap: delta starts at " +
+             std::to_string(order.delta_start) + ", log holds " +
+             std::to_string(links_.size());
+    return false;
+  }
+  if (links_.size() < order.meta.emit_end) {
+    if (order.delta_start + order.delta.size() < order.meta.emit_end) {
+      *error = "link-log delta too short for round frontier";
+      return false;
+    }
+    for (size_t i = links_.size() - size_t(order.delta_start);
+         i < order.delta.size() && links_.size() < order.meta.emit_end; ++i) {
+      const auto [u, v] = order.delta[i];
+      if (u >= g1_.num_nodes() || v >= g2_.num_nodes()) {
+        *error = "link delta endpoint out of range";
+        return false;
+      }
+      map_1to2_[u] = v;
+      map_2to1_[v] = u;
+      links_.emplace_back(u, v);
+    }
+  }
+
+  // Assignment sync: adopt the ordered shard set; rebuild stale shards
+  // (fresh spawns, reassignments) from history, then advance everything
+  // not already at this round through the round's compact + emit.
+  std::vector<uint32_t> shards = order.shards;
+  std::sort(shards.begin(), shards.end());
+  std::fill(owned_.begin(), owned_.end(), 0);
+  std::vector<uint32_t> stale;
+  std::vector<uint8_t> advance(size_t(num_shards_), 0);
+  for (uint32_t s : shards) {
+    if (s >= uint32_t(num_shards_)) {
+      *error = "assigned shard out of range";
+      return false;
+    }
+    owned_[s] = 1;
+    if (applied_round_[s] == order.round) continue;
+    if (applied_round_[s] != order.round - 1) {
+      for (auto& level : runs_) level[s] = TieredCountRuns();
+      stale.push_back(s);
+    }
+    advance[s] = 1;
+  }
+  ReplayShards(stale, order.round - 1);
+  if (order.meta.compact_first) FilterShards(advance, map_1to2_, map_2to1_);
+  uint64_t round_emissions = 0;
+  EmitRange(order.meta.emit_begin, order.meta.emit_end, advance,
+            &round_emissions);
+  for (uint32_t s : shards) applied_round_[s] = order.round;
+
+  // Scan pass, shard-major over the owned slice (the fold into the best
+  // tables is commutative, so the order difference from the in-process
+  // level-major scan is unobservable). `after_shard` is the mid-round
+  // crash site: a worker that dies here has advanced its tier stacks but
+  // reported nothing, and the repair path must rebuild exactly this.
+  if (++epoch_ > best_internal::kMaxEpoch) {
+    std::fill(best1_words_.begin(), best1_words_.end(), 0);
+    std::fill(best2_words_.begin(), best2_words_.end(), 0);
+    epoch_ = 1;
+  }
+  touched2_.clear();
+  uint64_t scanned = 0;
+  for (uint32_t s : shards) {
+    for (int level = order.bucket_exponent; level < kScoreLevels; ++level) {
+      const TieredCountRuns& store = runs_[level][s];
+      if (store.empty()) continue;
+      store.ForEach([this, &scanned](uint64_t key, uint32_t score) {
+        const NodeId u = PairFirst(key);
+        const NodeId v = PairSecond(key);
+        best1_words_[u] = best_internal::Fold(best1_words_[u], epoch_, score);
+        uint64_t& w2 = best2_words_[v];
+        if (best_internal::EpochOf(w2) != epoch_) touched2_.push_back(v);
+        w2 = best_internal::Fold(w2, epoch_, score);
+        ++scanned;
+      });
+    }
+    if (fault_shard_hook) WorkerFaultPoint("after_shard", int64_t(s));
+  }
+
+  // Accept pass, unit order (level-major like the in-process engine, so
+  // the coordinator can splice blocks from all workers into the global
+  // commit sequence). The g1-side unique-best test is exact — shard(u) is
+  // a function of u alone and this worker owns every level of shard(u);
+  // the g2-side test is a necessary condition the coordinator re-checks
+  // against the merged best2 table.
+  result->units.clear();
+  for (int level = order.bucket_exponent; level < kScoreLevels; ++level) {
+    for (uint32_t s : shards) {
+      const TieredCountRuns& store = runs_[level][s];
+      if (store.empty()) continue;
+      UnitBlock block;
+      block.level = uint32_t(level);
+      block.shard = s;
+      store.ForEach([this, &block](uint64_t key, uint32_t score) {
+        if (score < config_.min_score) return;
+        const NodeId u = PairFirst(key);
+        const NodeId v = PairSecond(key);
+        if (map_1to2_[u] != kInvalidNode || map_2to1_[v] != kInvalidNode) {
+          return;
+        }
+        const uint64_t unique = best_internal::Pack(epoch_, score, 1);
+        if (best1_words_[u] != unique || best2_words_[v] != unique) return;
+        block.entries.push_back(Candidate{u, v, score});
+      });
+      if (!block.entries.empty()) result->units.push_back(std::move(block));
+    }
+  }
+
+  std::sort(touched2_.begin(), touched2_.end());
+  result->best2.clear();
+  result->best2.reserve(touched2_.size());
+  for (NodeId v : touched2_) {
+    const uint64_t word = best2_words_[v];
+    result->best2.push_back(Best2Entry{v, best_internal::ScoreOf(word),
+                                       uint32_t(best_internal::TiesOf(word))});
+  }
+
+  result->round = order.round;
+  result->worker_slot = worker_slot;
+  result->emissions = round_emissions;
+  result->scanned_pairs = scanned;
+  result->shards = std::move(shards);
+  return true;
+}
+
+// --- Worker process body -------------------------------------------------
+
+int WorkerMain(int fd, int worker_slot, const Graph& g1, const Graph& g2,
+               const MatcherConfig& config,
+               std::vector<std::pair<NodeId, NodeId>> links,
+               std::vector<RoundMeta> history, bool respawn) {
+  // Die with the coordinator, whatever kills it — no orphan workers.
+  prctl(PR_SET_PDEATHSIG, SIGKILL);
+  // Terminal signals are the coordinator's to handle (it finishes the
+  // round and shuts us down); a group-delivered SIGINT must not take a
+  // worker out mid-round.
+  signal(SIGINT, SIG_IGN);
+  signal(SIGTERM, SIG_IGN);
+  if (respawn) {
+    // A respawned worker must not re-trip the one-shot failure that killed
+    // its predecessor, or no retry could ever succeed.
+    std::string arm_error;
+    ArmFaults(StripWorkerFaults(ArmedFaultSpec()), &arm_error);
+  }
+
+  WorkerEngine engine(g1, g2, config, std::move(links), std::move(history));
+  WorkerFaultPoint("worker_start", worker_slot + 1);
+
+  std::mutex send_mu;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> silent{false};
+  const int hb_interval_ms = std::max(1, config.worker_timeout_ms / 4);
+  std::thread heartbeat([&] {
+    int elapsed_ms = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      elapsed_ms += 5;
+      if (elapsed_ms < hb_interval_ms) continue;
+      elapsed_ms = 0;
+      if (silent.load(std::memory_order_relaxed)) continue;
+      std::lock_guard<std::mutex> lock(send_mu);
+      std::string hb_error;
+      // A failed send means the coordinator is gone; PDEATHSIG ends us.
+      SendFrame(fd, MsgType::kHeartbeat, {}, &hb_error);
+    }
+  });
+  auto finish = [&](int code) {
+    stop.store(true);
+    heartbeat.join();
+    close(fd);
+    return code;
+  };
+
+  {
+    // Handshake heartbeat: the coordinator learns the worker is up without
+    // waiting a full heartbeat interval, and a pre-handshake crash is a
+    // clean EOF on an otherwise silent socket.
+    std::lock_guard<std::mutex> lock(send_mu);
+    std::string hs_error;
+    if (!SendFrame(fd, MsgType::kHeartbeat, {}, &hs_error)) return finish(0);
+  }
+
+  for (;;) {
+    Frame frame;
+    std::string error;
+    const RecvStatus status = RecvFrame(fd, 3600 * 1000, &frame, &error);
+    if (status == RecvStatus::kTimeout) continue;
+    if (status == RecvStatus::kEof) return finish(0);
+    if (status != RecvStatus::kOk) {
+      std::fprintf(stderr, "dist worker %d: receive failed (%s): %s\n",
+                   worker_slot + 1, RecvStatusName(status), error.c_str());
+      return finish(1);
+    }
+    if (frame.type == MsgType::kShutdown) return finish(0);
+    if (frame.type != MsgType::kRound) continue;
+
+    RoundOrder order;
+    if (!DecodeRound(frame.payload, &order, &error)) {
+      std::fprintf(stderr, "dist worker %d: bad work order: %s\n",
+                   worker_slot + 1, error.c_str());
+      return finish(1);
+    }
+    RoundResult result;
+    if (!engine.ApplyRound(order, uint32_t(worker_slot), true, &result,
+                           &error)) {
+      std::fprintf(stderr, "dist worker %d: round %u failed: %s\n",
+                   worker_slot + 1, order.round, error.c_str());
+      return finish(1);
+    }
+
+    // Transport faults, hit-counted per RESULT: `io:msg_corrupt=n` flips a
+    // payload byte after the CRC is sealed; `io:msg_stall=n` goes silent —
+    // no result, no heartbeats — until the coordinator's deadline fires.
+    const bool corrupt = FaultPointHit("msg_corrupt");
+    if (FaultPointHit("msg_stall")) {
+      silent.store(true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::max(1000, config.worker_timeout_ms * 20)));
+      return finish(1);  // normally SIGKILLed long before this
+    }
+    const std::vector<uint8_t> payload = EncodeResult(result);
+    std::lock_guard<std::mutex> lock(send_mu);
+    if (!SendFrame(fd, MsgType::kResult, payload, &error, corrupt)) {
+      return finish(0);
+    }
+  }
+}
+
+}  // namespace reconcile::dist

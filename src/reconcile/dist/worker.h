@@ -1,0 +1,165 @@
+#ifndef RECONCILE_DIST_WORKER_H_
+#define RECONCILE_DIST_WORKER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "reconcile/core/matcher.h"
+#include "reconcile/graph/graph.h"
+#include "reconcile/graph/types.h"
+#include "reconcile/util/tiered_store.h"
+
+namespace reconcile::dist {
+
+/// Per-round metadata the coordinator and every worker agree on — the
+/// replay script for rebuilding a lost shard's score state from the link
+/// log alone. Round r's score effect on a shard is exactly: (fold the link
+/// log to `emit_end` into node maps;) if `compact_first`, drop dead pairs
+/// against those maps; then emit the witness contributions of links
+/// [emit_begin, emit_end). Replaying rounds 1..r in order reproduces the
+/// shard's tier stack bit-for-bit, which is what makes worker loss
+/// repairable without ever shipping score state over the wire.
+struct RoundMeta {
+  bool compact_first = false;
+  uint64_t emit_begin = 0;
+  uint64_t emit_end = 0;
+};
+
+/// One ROUND message: the work order for round `round` (1-based). Carries
+/// the round cursor, this round's `RoundMeta`, the link-log suffix the
+/// worker is missing ([delta_start, emit_end) — committed links only; edge
+/// data and scores never cross the wire) and the worker's full current
+/// shard assignment. Idempotent: re-sending (after a respawn or a
+/// reassignment) makes the worker rebuild whatever the assignment says it
+/// should own and recompute the round.
+struct RoundOrder {
+  uint32_t round = 0;
+  int32_t bucket_exponent = 0;
+  RoundMeta meta;
+  uint64_t delta_start = 0;
+  std::vector<std::pair<NodeId, NodeId>> delta;
+  std::vector<uint32_t> shards;  // ascending
+};
+
+/// A worker's pre-filtered accept candidate: passed the score threshold,
+/// the round-start matched-endpoint check, the (fully worker-local, exact)
+/// g1-side unique-best test, and the local-necessary g2-side one. The
+/// coordinator applies the global g2-side test from the merged best2
+/// partials.
+struct Candidate {
+  NodeId u = 0;
+  NodeId v = 0;
+  uint32_t score = 0;
+};
+
+/// Candidates of one (level, shard) score unit, in ascending key order —
+/// the same order the in-process engine's unit `ForEach` visits, so the
+/// coordinator can commit accepted links in the exact in-process sequence.
+struct UnitBlock {
+  uint32_t level = 0;
+  uint32_t shard = 0;
+  std::vector<Candidate> entries;
+};
+
+/// One worker's g2-side best partial: for a g2 node it observed this
+/// round, the max score over its owned pairs and the tie count at that
+/// max, saturated at `best_internal::kTieSaturation`. Saturated-tie merge
+/// is exact: min(3, min(3,a)+min(3,b)) == min(3, a+b).
+struct Best2Entry {
+  NodeId v = 0;
+  uint32_t score = 0;
+  uint32_t ties = 0;
+};
+
+/// One RESULT message: everything the coordinator needs from one worker
+/// for one round. `shards` echoes the assignment the result covers — a
+/// result computed under a stale assignment is discarded, which keeps the
+/// kept results an exact partition of the shard space.
+struct RoundResult {
+  uint32_t round = 0;
+  uint32_t worker_slot = 0;
+  uint64_t emissions = 0;
+  uint64_t scanned_pairs = 0;
+  std::vector<uint32_t> shards;
+  std::vector<Best2Entry> best2;  // ascending v
+  std::vector<UnitBlock> units;   // (level, shard) ascending
+};
+
+std::vector<uint8_t> EncodeRound(const RoundOrder& order);
+bool DecodeRound(std::span<const uint8_t> payload, RoundOrder* out,
+                 std::string* error);
+std::vector<uint8_t> EncodeResult(const RoundResult& result);
+bool DecodeResult(std::span<const uint8_t> payload, RoundResult* out,
+                  std::string* error);
+
+/// The worker-side round engine: owns the tier stacks of its assigned
+/// shards, a replica of the link log / node maps, and the round history.
+/// Separate from `WorkerMain` so tests can drive rounds in-process.
+class WorkerEngine {
+ public:
+  /// `links` and `history` seed the replica — at first spawn the seed
+  /// links and no history; at respawn whatever the coordinator had at fork
+  /// time (inherited copy-on-write, so a respawned worker starts with the
+  /// full log and replay script and rebuilds its shards locally).
+  WorkerEngine(const Graph& g1, const Graph& g2, const MatcherConfig& config,
+               std::vector<std::pair<NodeId, NodeId>> links,
+               std::vector<RoundMeta> history);
+
+  /// Applies one work order — sync the log, adopt/rebuild shards, compact,
+  /// emit, scan, pre-filter — and fills `*result`. `fault_shard_hook`
+  /// true fires `WorkerFaultPoint("after_shard", shard)` after each
+  /// shard's scan (the worker process sets it; in-process tests do not).
+  bool ApplyRound(const RoundOrder& order, uint32_t worker_slot,
+                  bool fault_shard_hook, RoundResult* result,
+                  std::string* error);
+
+  size_t num_links() const { return links_.size(); }
+
+ private:
+  void EmitRange(uint64_t begin, uint64_t end,
+                 const std::vector<uint8_t>& target, uint64_t* emissions);
+  void FilterShards(const std::vector<uint8_t>& target,
+                    const std::vector<NodeId>& m1,
+                    const std::vector<NodeId>& m2);
+  void ReplayShards(const std::vector<uint32_t>& stale, uint32_t through);
+
+  const Graph& g1_;
+  const Graph& g2_;
+  MatcherConfig config_;
+  TierPolicy tier_policy_;
+  int num_shards_;
+  std::vector<uint8_t> level1_;
+  std::vector<uint8_t> level2_;
+  std::vector<uint32_t> radix_shard1_;
+  std::vector<std::pair<NodeId, NodeId>> links_;
+  std::vector<NodeId> map_1to2_;
+  std::vector<NodeId> map_2to1_;
+  std::vector<RoundMeta> history_;
+  std::vector<uint8_t> owned_;          // [shard]
+  std::vector<uint32_t> applied_round_;  // [shard]; 0 = no round applied
+  std::vector<std::vector<TieredCountRuns>> runs_;  // [level][shard]
+  // Round-local best tables (epoch-stamped words, best_internal packing)
+  // plus the list of g2 nodes touched this epoch for the best2 export.
+  std::vector<uint64_t> best1_words_;
+  std::vector<uint64_t> best2_words_;
+  uint64_t epoch_ = 0;
+  std::vector<NodeId> touched2_;
+};
+
+/// The forked worker process body: installs PDEATHSIG, starts the
+/// heartbeat thread (a quarter of `config.worker_timeout_ms`), then serves
+/// ROUND orders on `fd` until SHUTDOWN or EOF. `respawn` re-arms the fault
+/// injector with `StripWorkerFaults` of the inherited spec so one-shot
+/// injected worker failures do not re-fire forever. Returns the process
+/// exit code.
+int WorkerMain(int fd, int worker_slot, const Graph& g1, const Graph& g2,
+               const MatcherConfig& config,
+               std::vector<std::pair<NodeId, NodeId>> links,
+               std::vector<RoundMeta> history, bool respawn);
+
+}  // namespace reconcile::dist
+
+#endif  // RECONCILE_DIST_WORKER_H_

@@ -1,13 +1,42 @@
 #include "reconcile/serve/delta_log.h"
 
+#include <cstdio>
 #include <iostream>
 #include <sstream>
+
+#include "reconcile/util/checkpoint.h"
 
 namespace reconcile {
 
 namespace {
 
 enum class LineKind { kBlank, kCommit, kRecord };
+
+// The canonical record text the per-record CRC32 covers: single spaces,
+// decimal fields, no crc token. Writer and verifier must agree on this
+// byte-for-byte.
+std::string CanonicalRecord(const EdgeDelta& delta) {
+  return std::string(delta.insert ? "add" : "del") + " " +
+         std::to_string(delta.graph) + " " + std::to_string(delta.u) + " " +
+         std::to_string(delta.v);
+}
+
+// Parses an 8-hex-digit `crc=` token value. Returns false on any
+// non-hex digit or wrong length.
+bool ParseCrcToken(const std::string& token, uint32_t* out) {
+  if (token.size() != 8) return false;
+  uint32_t value = 0;
+  for (char c : token) {
+    uint32_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<uint32_t>(c - 'a') + 10;
+    else if (c >= 'A' && c <= 'F') digit = static_cast<uint32_t>(c - 'A') + 10;
+    else return false;
+    value = (value << 4) | digit;
+  }
+  *out = value;
+  return true;
+}
 
 // Parses one line of the delta-log format. Returns false with a diagnostic
 // on malformed input; `*kind` distinguishes blanks/comments, commits and
@@ -38,17 +67,36 @@ bool ParseLine(const std::string& line, uint64_t line_number, LineKind* kind,
              " <graph 1|2> <u> <v>', got '" + line + "'";
     return false;
   }
-  std::string extra;
-  if (in >> extra) {
-    *error = "line " + std::to_string(line_number) +
-             ": trailing tokens after '" + op + "'";
-    return false;
-  }
-  *kind = LineKind::kRecord;
   out->graph = graph;
   out->insert = (op == "add");
   out->u = static_cast<NodeId>(u);
   out->v = static_cast<NodeId>(v);
+  std::string extra;
+  if (in >> extra) {
+    uint32_t want = 0;
+    if (extra.rfind("crc=", 0) != 0 ||
+        !ParseCrcToken(extra.substr(4), &want)) {
+      *error = "line " + std::to_string(line_number) +
+               ": trailing tokens after '" + op +
+               "' (expected nothing or crc=XXXXXXXX)";
+      return false;
+    }
+    const std::string canon = CanonicalRecord(*out);
+    const uint32_t got = Crc32(canon.data(), canon.size());
+    if (got != want) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%08x, expected %08x", want, got);
+      *error = "line " + std::to_string(line_number) +
+               ": record checksum mismatch (crc=" + buf + ")";
+      return false;
+    }
+    if (in >> extra) {
+      *error = "line " + std::to_string(line_number) +
+               ": trailing tokens after crc";
+      return false;
+    }
+  }
+  *kind = LineKind::kRecord;
   return true;
 }
 
@@ -57,6 +105,7 @@ bool ParseLine(const std::string& line, uint64_t line_number, LineKind* kind,
 bool DeltaReader::Open(const std::string& path, std::string* error) {
   line_number_ = 0;
   records_consumed_ = 0;
+  truncated_ = false;
   if (path == "-") {
     in_ = &std::cin;
     return true;
@@ -73,11 +122,23 @@ bool DeltaReader::Open(const std::string& path, std::string* error) {
 bool DeltaReader::NextRecord(bool pending, EdgeDelta* out, bool* batch_closed,
                              std::string* error) {
   *batch_closed = false;
+  if (truncated_) return false;  // tolerant mode: stream already cut
   std::string line;
   while (std::getline(*in_, line)) {
     ++line_number_;
     LineKind kind;
-    if (!ParseLine(line, line_number_, &kind, out, error)) return false;
+    if (!ParseLine(line, line_number_, &kind, out, error)) {
+      if (!tolerant_) return false;
+      // Torn-tail recovery: the first corrupt/malformed line ends the
+      // stream. Everything intact before it has already been returned.
+      std::fprintf(stderr,
+                   "warning: delta log truncated at corrupt record (%s); "
+                   "treating as end of stream\n",
+                   error->c_str());
+      error->clear();
+      truncated_ = true;
+      return false;
+    }
     switch (kind) {
       case LineKind::kBlank:
         continue;
@@ -131,6 +192,14 @@ bool DeltaReader::SkipRecords(uint64_t n, std::string* error) {
     }
   }
   return true;
+}
+
+std::string FormatDeltaRecord(const EdgeDelta& delta) {
+  const std::string canon = CanonicalRecord(delta);
+  char token[16];
+  std::snprintf(token, sizeof(token), " crc=%08x",
+                Crc32(canon.data(), canon.size()));
+  return canon + token;
 }
 
 }  // namespace reconcile

@@ -22,11 +22,21 @@ struct EdgeDelta {
 /// Streaming reader for the text delta-log format consumed by
 /// `reconcile_serve`:
 ///
-///   add <graph> <u> <v>    insert edge {u, v} into graph 1 or 2
-///   del <graph> <u> <v>    delete edge {u, v} from graph 1 or 2
+///   add <graph> <u> <v> [crc=XXXXXXXX]   insert edge {u, v} into graph 1|2
+///   del <graph> <u> <v> [crc=XXXXXXXX]   delete edge {u, v} from graph 1|2
 ///   commit                 close the current batch
 ///   # ...                  comment (ignored)
 ///                          blank lines are ignored
+///
+/// The optional trailing `crc=XXXXXXXX` token (8 lowercase/uppercase hex
+/// digits) is the CRC32 of the record's canonical form `"op graph u v"`
+/// (single spaces, decimal, no crc token) — `FormatDeltaRecord` emits it.
+/// A record whose checksum does not match its fields is corrupt; by
+/// default that is a hard parse error. `set_tolerant(true)` switches to
+/// torn-tail recovery: the first corrupt or malformed line is reported
+/// once on stderr and treated as end of stream, so a log whose tail was
+/// cut mid-write (the common crash artifact) yields every intact record
+/// before it instead of failing the whole session.
 ///
 /// Batch boundaries: `NextBatch` returns on a `commit` line (only when at
 /// least one record is pending — leading/duplicate commits are skipped so a
@@ -54,6 +64,11 @@ class DeltaReader {
   /// before `n` records were skipped.
   bool SkipRecords(uint64_t n, std::string* error);
 
+  /// Torn-tail recovery: when true, the first corrupt or malformed line
+  /// downgrades from a parse error to a one-time stderr warning plus end
+  /// of stream. Records already parsed are kept. Default false (strict).
+  void set_tolerant(bool tolerant) { tolerant_ = tolerant; }
+
   uint64_t records_consumed() const { return records_consumed_; }
 
  private:
@@ -68,7 +83,14 @@ class DeltaReader {
   std::istream* in_ = nullptr;
   uint64_t line_number_ = 0;
   uint64_t records_consumed_ = 0;
+  bool tolerant_ = false;
+  bool truncated_ = false;  // tolerant mode hit its first bad line
 };
+
+/// Renders `delta` as one checksummed log line (no trailing newline):
+/// `"add 1 10 20 crc=9a4e1c02"`. The CRC32 covers the canonical record
+/// text before the token, so `DeltaReader` verifies it field-for-field.
+std::string FormatDeltaRecord(const EdgeDelta& delta);
 
 }  // namespace reconcile
 

@@ -1,0 +1,253 @@
+// The dist wire layer is the trust boundary between the coordinator and
+// its workers: every byte that crosses a socketpair is length-prefixed and
+// CRC32-framed, and the receiver must classify any damage — flipped
+// payload bytes, bad magic, oversized lengths, a peer that closes
+// mid-frame, a peer that never writes — as a *status*, never a crash or a
+// silent wrong message. The ROUND/RESULT codecs must round-trip exactly
+// and reject every truncation, because a CRC-colliding payload is the one
+// corruption the frame check cannot catch.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "reconcile/dist/wire.h"
+#include "reconcile/dist/worker.h"
+
+namespace reconcile::dist {
+namespace {
+
+// A connected socketpair whose fds close on scope exit.
+struct Pair {
+  int a = -1;
+  int b = -1;
+  Pair() {
+    int sv[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    a = sv[0];
+    b = sv[1];
+  }
+  ~Pair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+  void CloseA() {
+    ::close(a);
+    a = -1;
+  }
+};
+
+std::vector<uint8_t> Bytes(std::initializer_list<int> values) {
+  std::vector<uint8_t> out;
+  for (int v : values) out.push_back(static_cast<uint8_t>(v));
+  return out;
+}
+
+TEST(DistWireTest, FrameRoundTripsAllTypes) {
+  Pair p;
+  std::string error;
+  const std::vector<uint8_t> payload = Bytes({1, 2, 3, 0xFF, 0});
+  for (MsgType type : {MsgType::kRound, MsgType::kResult, MsgType::kHeartbeat,
+                       MsgType::kShutdown}) {
+    ASSERT_TRUE(SendFrame(p.a, type, payload, &error)) << error;
+    Frame frame;
+    ASSERT_EQ(RecvFrame(p.b, 1000, &frame, &error), RecvStatus::kOk) << error;
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.payload, payload);
+  }
+  // Empty payloads (heartbeats) round-trip too.
+  ASSERT_TRUE(SendFrame(p.a, MsgType::kHeartbeat, {}, &error)) << error;
+  Frame frame;
+  ASSERT_EQ(RecvFrame(p.b, 1000, &frame, &error), RecvStatus::kOk);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(DistWireTest, CorruptPayloadByteIsDetected) {
+  // The io:msg_corrupt fault shape: one payload byte flipped after the
+  // CRC was computed. The receiver must report kCorrupt, not a frame.
+  Pair p;
+  std::string error;
+  ASSERT_TRUE(SendFrame(p.a, MsgType::kResult, Bytes({10, 20, 30}), &error,
+                        /*corrupt_payload_byte=*/true));
+  Frame frame;
+  EXPECT_EQ(RecvFrame(p.b, 1000, &frame, &error), RecvStatus::kCorrupt);
+  EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+}
+
+TEST(DistWireTest, BadMagicIsCorrupt) {
+  Pair p;
+  // 16 garbage header bytes: wrong magic, then nothing sensible.
+  const std::vector<uint8_t> junk(16, 0xAB);
+  ASSERT_EQ(::write(p.a, junk.data(), junk.size()),
+            static_cast<ssize_t>(junk.size()));
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(RecvFrame(p.b, 1000, &frame, &error), RecvStatus::kCorrupt);
+}
+
+TEST(DistWireTest, OversizedLengthIsCorruptNotAnAllocation) {
+  Pair p;
+  // Valid magic and type, then a 3 GiB length: must be rejected before
+  // any allocation attempt.
+  std::vector<uint8_t> header;
+  PayloadWriter w;
+  w.U32(kWireMagic);
+  w.U32(static_cast<uint32_t>(MsgType::kRound));
+  w.U32(0xC0000000u);  // 3 GiB
+  w.U32(0);
+  header = w.Take();
+  ASSERT_EQ(::write(p.a, header.data(), header.size()),
+            static_cast<ssize_t>(header.size()));
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(RecvFrame(p.b, 1000, &frame, &error), RecvStatus::kCorrupt);
+}
+
+TEST(DistWireTest, SilentPeerTimesOut) {
+  Pair p;
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(RecvFrame(p.b, 50, &frame, &error), RecvStatus::kTimeout);
+}
+
+TEST(DistWireTest, PartialFrameThenSilenceTimesOut) {
+  // The io:msg_stall shape: a peer that starts a frame and stops. The
+  // deadline must fire even though bytes arrived.
+  Pair p;
+  PayloadWriter w;
+  w.U32(kWireMagic);
+  w.U32(static_cast<uint32_t>(MsgType::kResult));
+  const std::vector<uint8_t> partial = w.Take();
+  ASSERT_EQ(::write(p.a, partial.data(), partial.size()),
+            static_cast<ssize_t>(partial.size()));
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(RecvFrame(p.b, 50, &frame, &error), RecvStatus::kTimeout);
+}
+
+TEST(DistWireTest, PeerCloseIsEof) {
+  Pair p;
+  p.CloseA();
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(RecvFrame(p.b, 1000, &frame, &error), RecvStatus::kEof);
+}
+
+TEST(DistWireTest, CloseMidFrameIsEof) {
+  Pair p;
+  PayloadWriter w;
+  w.U32(kWireMagic);
+  w.U32(static_cast<uint32_t>(MsgType::kRound));
+  w.U32(100);  // promises 100 payload bytes, delivers none
+  w.U32(0);
+  const std::vector<uint8_t> header = w.Take();
+  ASSERT_EQ(::write(p.a, header.data(), header.size()),
+            static_cast<ssize_t>(header.size()));
+  p.CloseA();
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(RecvFrame(p.b, 1000, &frame, &error), RecvStatus::kEof);
+}
+
+RoundOrder SampleOrder() {
+  RoundOrder order;
+  order.round = 7;
+  order.bucket_exponent = 3;
+  order.meta.compact_first = true;
+  order.meta.emit_begin = 11;
+  order.meta.emit_end = 42;
+  order.delta_start = 11;
+  order.delta = {{1, 2}, {30, 40}, {500, 600}};
+  order.shards = {0, 2, 5};
+  return order;
+}
+
+RoundResult SampleResult() {
+  RoundResult result;
+  result.round = 7;
+  result.worker_slot = 1;
+  result.emissions = 1234;
+  result.scanned_pairs = 99;
+  result.shards = {0, 2, 5};
+  result.best2 = {{4, 10, 1}, {9, 3, 3}};
+  UnitBlock block;
+  block.level = 2;
+  block.shard = 5;
+  block.entries = {{1, 4, 10}, {2, 9, 3}};
+  result.units = {block};
+  return result;
+}
+
+TEST(DistWireTest, RoundCodecRoundTrips) {
+  const RoundOrder order = SampleOrder();
+  const std::vector<uint8_t> payload = EncodeRound(order);
+  RoundOrder decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeRound(payload, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.round, order.round);
+  EXPECT_EQ(decoded.bucket_exponent, order.bucket_exponent);
+  EXPECT_EQ(decoded.meta.compact_first, order.meta.compact_first);
+  EXPECT_EQ(decoded.meta.emit_begin, order.meta.emit_begin);
+  EXPECT_EQ(decoded.meta.emit_end, order.meta.emit_end);
+  EXPECT_EQ(decoded.delta_start, order.delta_start);
+  EXPECT_EQ(decoded.delta, order.delta);
+  EXPECT_EQ(decoded.shards, order.shards);
+}
+
+TEST(DistWireTest, ResultCodecRoundTrips) {
+  const RoundResult result = SampleResult();
+  const std::vector<uint8_t> payload = EncodeResult(result);
+  RoundResult decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeResult(payload, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.round, result.round);
+  EXPECT_EQ(decoded.worker_slot, result.worker_slot);
+  EXPECT_EQ(decoded.emissions, result.emissions);
+  EXPECT_EQ(decoded.scanned_pairs, result.scanned_pairs);
+  EXPECT_EQ(decoded.shards, result.shards);
+  ASSERT_EQ(decoded.best2.size(), result.best2.size());
+  for (size_t i = 0; i < result.best2.size(); ++i) {
+    EXPECT_EQ(decoded.best2[i].v, result.best2[i].v);
+    EXPECT_EQ(decoded.best2[i].score, result.best2[i].score);
+    EXPECT_EQ(decoded.best2[i].ties, result.best2[i].ties);
+  }
+  ASSERT_EQ(decoded.units.size(), 1u);
+  EXPECT_EQ(decoded.units[0].level, 2u);
+  EXPECT_EQ(decoded.units[0].shard, 5u);
+  ASSERT_EQ(decoded.units[0].entries.size(), 2u);
+  EXPECT_EQ(decoded.units[0].entries[1].u, 2u);
+  EXPECT_EQ(decoded.units[0].entries[1].v, 9u);
+  EXPECT_EQ(decoded.units[0].entries[1].score, 3u);
+}
+
+TEST(DistWireTest, CodecsRejectEveryTruncation) {
+  // A CRC collision could hand the decoder any prefix of a valid payload;
+  // every one must fail cleanly, never read out of bounds (ASan-checked).
+  const std::vector<uint8_t> round_payload = EncodeRound(SampleOrder());
+  for (size_t len = 0; len < round_payload.size(); ++len) {
+    RoundOrder decoded;
+    std::string error;
+    EXPECT_FALSE(DecodeRound({round_payload.data(), len}, &decoded, &error))
+        << "prefix length " << len;
+  }
+  const std::vector<uint8_t> result_payload = EncodeResult(SampleResult());
+  for (size_t len = 0; len < result_payload.size(); ++len) {
+    RoundResult decoded;
+    std::string error;
+    EXPECT_FALSE(DecodeResult({result_payload.data(), len}, &decoded, &error))
+        << "prefix length " << len;
+  }
+  // Trailing garbage is rejected too, not silently ignored.
+  std::vector<uint8_t> padded = round_payload;
+  padded.push_back(0);
+  RoundOrder decoded;
+  std::string error;
+  EXPECT_FALSE(DecodeRound(padded, &decoded, &error));
+}
+
+}  // namespace
+}  // namespace reconcile::dist

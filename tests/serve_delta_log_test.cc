@@ -178,6 +178,128 @@ TEST(DeltaLogTest, MalformedLinesFailWithLineNumbers) {
   }
 }
 
+TEST(DeltaLogTest, FormatDeltaRecordRoundTrips) {
+  // The writer helper and the reader's verifier must agree on the
+  // canonical text byte-for-byte, for both ops and both graphs.
+  const EdgeDelta deltas[] = {{1, true, 3, 4},
+                              {2, false, 0, 4294967294u},
+                              {1, false, 123456, 7}};
+  std::string text;
+  for (const EdgeDelta& d : deltas) text += FormatDeltaRecord(d) + "\n";
+  const std::string path = WriteLog("crc_roundtrip.log", text);
+  DeltaReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Open(path, &error));
+  std::vector<EdgeDelta> batch;
+  bool eos = false;
+  ASSERT_TRUE(reader.NextBatch(0, &batch, &eos, &error)) << error;
+  ASSERT_EQ(batch.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(batch[i].graph, deltas[i].graph);
+    EXPECT_EQ(batch[i].insert, deltas[i].insert);
+    EXPECT_EQ(batch[i].u, deltas[i].u);
+    EXPECT_EQ(batch[i].v, deltas[i].v);
+  }
+}
+
+TEST(DeltaLogTest, CorruptionSweepIsAlwaysDetected) {
+  // Flip every field of a checksummed record, one at a time; each must be
+  // a line-numbered checksum error in strict mode. This is what the naked
+  // text format cannot do — a bit flip in a node id silently rewires an
+  // edge.
+  const std::string good = FormatDeltaRecord({1, true, 10, 20});
+  const char* corrupted[] = {
+      "del 1 10 20",  // op flipped
+      "add 2 10 20",  // graph flipped
+      "add 1 11 20",  // u flipped
+      "add 1 10 21",  // v flipped
+  };
+  const std::string crc = good.substr(good.find(" crc="));
+  int idx = 0;
+  for (const char* fields : corrupted) {
+    const std::string path =
+        WriteLog("corrupt" + std::to_string(idx++) + ".log",
+                 good + "\n" + fields + crc + "\n");
+    DeltaReader reader;
+    std::string error;
+    ASSERT_TRUE(reader.Open(path, &error));
+    std::vector<EdgeDelta> batch;
+    bool eos = false;
+    EXPECT_FALSE(reader.NextBatch(0, &batch, &eos, &error)) << fields;
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+  }
+}
+
+TEST(DeltaLogTest, MalformedCrcTokenFails) {
+  const char* bad[] = {
+      "add 1 0 1 crc=12345\n",      // wrong length
+      "add 1 0 1 crc=1234567g\n",   // non-hex digit
+      "add 1 0 1 crc=\n",           // empty value
+  };
+  int idx = 0;
+  for (const char* text : bad) {
+    const std::string path =
+        WriteLog("badcrc" + std::to_string(idx++) + ".log", text);
+    DeltaReader reader;
+    std::string error;
+    ASSERT_TRUE(reader.Open(path, &error));
+    std::vector<EdgeDelta> batch;
+    bool eos = false;
+    EXPECT_FALSE(reader.NextBatch(0, &batch, &eos, &error)) << text;
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  }
+}
+
+TEST(DeltaLogTest, TolerantModeRecoversTornTail) {
+  // A log cut mid-write: two intact records, then a corrupt one. Tolerant
+  // mode must return the intact prefix and report clean end of stream —
+  // repeatedly, including on subsequent NextBatch calls.
+  const std::string good = FormatDeltaRecord({1, true, 10, 20});
+  const std::string torn =  // fields flipped under the intact checksum
+      "add 1 10 21" + good.substr(good.find(" crc="));
+  const std::string path = WriteLog(
+      "torn.log", FormatDeltaRecord({1, true, 0, 1}) + "\n" +
+                      FormatDeltaRecord({2, false, 2, 3}) + "\ncommit\n" +
+                      torn + "\n" +
+                      "add 1 99 99\n");  // intact but after the tear
+  DeltaReader reader;
+  reader.set_tolerant(true);
+  std::string error;
+  ASSERT_TRUE(reader.Open(path, &error));
+  std::vector<EdgeDelta> batch;
+  bool eos = false;
+  ASSERT_TRUE(reader.NextBatch(0, &batch, &eos, &error)) << error;
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_FALSE(eos);  // the commit closed the batch before the tear
+  ASSERT_TRUE(reader.NextBatch(0, &batch, &eos, &error)) << error;
+  EXPECT_TRUE(batch.empty());
+  EXPECT_TRUE(eos);
+  EXPECT_EQ(reader.records_consumed(), 2u);  // nothing after the tear counts
+  ASSERT_TRUE(reader.NextBatch(0, &batch, &eos, &error));
+  EXPECT_TRUE(batch.empty());
+  EXPECT_TRUE(eos);
+}
+
+TEST(DeltaLogTest, TolerantModeKeepsRecordsBeforeTearInSameBatch) {
+  // No commit before the tear: the intact records of the torn batch are
+  // still delivered, as the final batch.
+  const std::string path = WriteLog(
+      "torn_batch.log",
+      FormatDeltaRecord({1, true, 0, 1}) + "\nadd 1 5 6 crc=00000000\n");
+  DeltaReader reader;
+  reader.set_tolerant(true);
+  std::string error;
+  ASSERT_TRUE(reader.Open(path, &error));
+  std::vector<EdgeDelta> batch;
+  bool eos = false;
+  ASSERT_TRUE(reader.NextBatch(0, &batch, &eos, &error)) << error;
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(eos);
+  EXPECT_EQ(batch[0].u, 0u);
+  EXPECT_EQ(batch[0].v, 1u);
+}
+
 TEST(DeltaLogTest, MissingFileFailsToOpen) {
   DeltaReader reader;
   std::string error;
