@@ -210,6 +210,49 @@ std::unique_ptr<Reconciler> MakeFeatures(const ReconcilerSpec& spec,
   return std::make_unique<StructuralFeatureReconciler>(config);
 }
 
+std::unique_ptr<Reconciler> MakeBp(const ReconcilerSpec& spec,
+                                   std::string* error) {
+  BpConfig config;
+  ParamReader reader(spec);
+  config.iterations = GetIntParam(reader, "iterations", config.iterations);
+  config.damping = reader.GetDouble("damping", config.damping);
+  config.prior = reader.GetDouble("prior", config.prior);
+  config.min_belief = reader.GetDouble("min-belief", config.min_belief);
+  config.max_sweeps = GetIntParam(reader, "max-sweeps", config.max_sweeps);
+  const int64_t max_candidates = reader.GetInt(
+      "max-candidates", static_cast<int64_t>(config.max_candidates));
+  if (max_candidates < 1) {
+    reader.AddError("parameter 'max-candidates' must be >= 1");
+  } else {
+    config.max_candidates = static_cast<size_t>(max_candidates);
+  }
+  config.num_threads = GetIntParam(reader, "threads", config.num_threads);
+  std::string scheduler =
+      reader.GetString("scheduler", SchedulerName(config.scheduler));
+  if (!ParseScheduler(scheduler, &config.scheduler)) {
+    reader.AddError("parameter 'scheduler' must be auto, static or stealing: " +
+                    scheduler);
+  }
+  const int64_t grain = reader.GetInt("grain", 0);
+  if (grain < 0) {
+    reader.AddError("parameter 'grain' must be >= 0");
+  } else {
+    config.scheduler_grain = static_cast<size_t>(grain);
+  }
+  // Pre-validate what BpMatch enforces fatally.
+  if (config.iterations < 1) {
+    reader.AddError("parameter 'iterations' must be >= 1");
+  }
+  if (config.damping < 0.0 || config.damping >= 1.0) {
+    reader.AddError("parameter 'damping' must be in [0, 1)");
+  }
+  if (config.max_sweeps < 1) {
+    reader.AddError("parameter 'max-sweeps' must be >= 1");
+  }
+  if (!reader.Finish(error)) return nullptr;
+  return std::make_unique<BpReconciler>(config);
+}
+
 std::unique_ptr<Reconciler> MakePercolation(const ReconcilerSpec& spec,
                                             std::string* error) {
   PercolationConfig config;
@@ -272,6 +315,17 @@ std::string StructuralFeatureReconciler::Describe() const {
   return out.str();
 }
 
+std::string BpReconciler::Describe() const {
+  std::ostringstream out;
+  out << "bp(iterations=" << config_.iterations
+      << ", damping=" << config_.damping << ", prior=" << config_.prior
+      << ", min-belief=" << config_.min_belief
+      << ", max-sweeps=" << config_.max_sweeps
+      << ", max-candidates=" << config_.max_candidates
+      << ", scheduler=" << SchedulerName(config_.scheduler) << ")";
+  return out.str();
+}
+
 std::string PercolationReconciler::Describe() const {
   std::ostringstream out;
   out << "percolation(threshold=" << config_.threshold
@@ -318,6 +372,15 @@ void RegisterBuiltinReconcilers(Registry& registry) {
                  "min-degree",
        .threshold_param = "",
        .factory = MakeFeatures});
+  registry.Register(
+      {.key = "bp",
+       .summary = "belief-propagation matching: min-sum message passing "
+                  "over witness candidates (Halimi-Ayday)",
+       .params = "iterations, damping, prior, min-belief, max-sweeps, "
+                 "max-candidates, threads, scheduler=auto|static|stealing, "
+                 "grain",
+       .threshold_param = "",
+       .factory = MakeBp});
   registry.Register(
       {.key = "percolation",
        .summary = "bootstrap percolation matching "

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "reconcile/api/reconciler.h"
+#include "reconcile/baseline/bp_matcher.h"
 #include "reconcile/baseline/common_neighbors.h"
 #include "reconcile/baseline/feature_matching.h"
 #include "reconcile/baseline/percolation.h"
@@ -20,7 +21,7 @@ namespace reconcile {
 /// adapter's `Run` forwards verbatim — outputs are bit-identical to calling
 /// the free function directly (enforced by api_adapter_differential_test).
 ///
-/// All five register themselves in `Registry::Global()`; the classes are
+/// All six register themselves in `Registry::Global()`; the classes are
 /// also directly constructible for callers that already hold a typed
 /// config. Registry keys and sweep-threshold parameters:
 ///
@@ -30,6 +31,7 @@ namespace reconcile {
 ///   ns09          PropagationMatch            "theta" (eccentricity bar)
 ///   features      StructuralFeatureMatch      none (seed-free)
 ///   percolation   PercolationMatch            "threshold" (marks r)
+///   bp            BpMatch                     none (belief floor is a knob)
 
 /// "core" — the paper's User-Matching algorithm (§3.2).
 class CoreReconciler : public Reconciler {
@@ -112,6 +114,25 @@ class StructuralFeatureReconciler : public Reconciler {
 
  private:
   FeatureMatcherConfig config_;
+};
+
+/// "bp" — belief-propagation profile matching (Halimi & Ayday style).
+class BpReconciler : public Reconciler {
+ public:
+  explicit BpReconciler(BpConfig config = {}) : config_(config) {}
+
+  MatchResult Run(
+      const Graph& g1, const Graph& g2,
+      std::span<const std::pair<NodeId, NodeId>> seeds) const override {
+    return BpMatch(g1, g2, seeds, config_);
+  }
+  std::string_view name() const override { return "bp"; }
+  std::string Describe() const override;
+
+  const BpConfig& config() const { return config_; }
+
+ private:
+  BpConfig config_;
 };
 
 /// "percolation" — bootstrap percolation matching (Yartseva & Grossglauser).

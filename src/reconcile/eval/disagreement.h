@@ -1,0 +1,56 @@
+#ifndef RECONCILE_EVAL_DISAGREEMENT_H_
+#define RECONCILE_EVAL_DISAGREEMENT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "reconcile/core/result.h"
+#include "reconcile/sampling/realization.h"
+
+namespace reconcile {
+
+/// Cross-algorithm disagreement: run two reconcilers on the *same* scenario
+/// and measure where they differ — which correct pairs each recovers that
+/// the other misses, and where their raw matchings conflict. This is the
+/// harness behind "how much does a BP challenger add over the core
+/// matcher?" (ROADMAP open item 4): a challenger whose only-B set is empty
+/// adds nothing; a large only-B set is the upper bound on what ensembling
+/// could recover.
+struct DisagreementReport {
+  /// Identifiable, not-seeded ground-truth pairs (nodes seeded in either
+  /// input are excluded — the scenario's givens, not anyone's discovery).
+  size_t num_targets = 0;
+  /// Partition of the targets by who recovered them correctly. Always:
+  /// `both_good + only_a_good + only_b_good + neither_good == num_targets`.
+  size_t both_good = 0;
+  size_t only_a_good = 0;
+  size_t only_b_good = 0;
+  size_t neither_good = 0;
+  /// Raw matching overlap over discovered (non-seed) links, right or
+  /// wrong: links proposed identically by both, by only one side, and g1
+  /// nodes both matched but to *different* g2 nodes.
+  size_t a_matched = 0;      ///< Discovered links in A.
+  size_t b_matched = 0;      ///< Discovered links in B.
+  size_t agree_links = 0;    ///< Same (u, v) proposed by both.
+  size_t conflict_links = 0; ///< Same u, different v.
+  size_t a_only_links = 0;   ///< u matched by A alone.
+  size_t b_only_links = 0;   ///< u matched by B alone.
+};
+
+/// Compares two matchings of the same realization pair against its ground
+/// truth. Purely a function of the inputs — deterministic, and therefore
+/// reproducible across thread counts whenever the matchings themselves are.
+DisagreementReport CompareMatchings(const RealizationPair& pair,
+                                    const MatchResult& a,
+                                    const MatchResult& b);
+
+/// Two-line rendering with the given side labels, e.g.
+///   "targets 950: both 800 | core-only 63 | bp-only 12 | neither 75
+///    links: agree 850, conflict 9, core-only 70, bp-only 15".
+std::string FormatDisagreementReport(const DisagreementReport& report,
+                                     const std::string& a_name,
+                                     const std::string& b_name);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_EVAL_DISAGREEMENT_H_

@@ -54,6 +54,8 @@ MatchQuality Evaluate(const RealizationPair& pair, const MatchResult& result) {
     }
   }
 
+  // Zero-denominator ratios are vacuously perfect (see MatchQuality docs):
+  // no discoveries means no errors, nothing to find means nothing missed.
   size_t new_total = q.new_good + q.new_bad;
   q.precision = new_total == 0
                     ? 1.0
@@ -61,11 +63,11 @@ MatchQuality Evaluate(const RealizationPair& pair, const MatchResult& result) {
                           static_cast<double>(new_total);
   q.error_rate = 1.0 - q.precision;
   q.recall_all = q.identifiable == 0
-                     ? 0.0
+                     ? 1.0
                      : static_cast<double>(good_links_total) /
                            static_cast<double>(q.identifiable);
   q.recall_new = identifiable_not_seeded == 0
-                     ? 0.0
+                     ? 1.0
                      : static_cast<double>(q.new_good) /
                            static_cast<double>(identifiable_not_seeded);
   return q;
@@ -130,7 +132,7 @@ std::vector<DegreeBandQuality> EvaluateByDegree(
                                 : static_cast<double>(band.new_good) /
                                       static_cast<double>(total);
     band.recall = not_seeded[i] == 0
-                      ? 0.0
+                      ? 1.0  // vacuous: the band had nothing to find
                       : static_cast<double>(band.new_good) /
                             static_cast<double>(not_seeded[i]);
   }

@@ -12,6 +12,15 @@ namespace reconcile {
 /// Quality of a matching relative to the hidden ground truth. "New" links
 /// are the ones beyond the input seeds — the paper's tables report exactly
 /// these as Good / Bad counts.
+///
+/// Degenerate conventions: every zero-denominator ratio is *vacuously
+/// perfect*, never silently zero. A matcher that discovers nothing has made
+/// no errors (`precision = 1`), and a scenario with nothing identifiable to
+/// find (`identifiable == 0`, or every identifiable pair already seeded for
+/// `recall_new`) has no recall obligation (`recall = 1`). This keeps
+/// "perfect run" and "nothing-to-do run" distinguishable from failures in
+/// sweep tables and matches the PAC validation module's conventions
+/// (validation.h). Covered by eval_metrics_test.cc.
 struct MatchQuality {
   size_t num_seeds = 0;
   size_t new_good = 0;       ///< Non-seed links that match the ground truth.
@@ -19,8 +28,8 @@ struct MatchQuality {
   size_t identifiable = 0;   ///< Ground-truth pairs with degree >= 1 in both copies.
   double precision = 1.0;    ///< new_good / (new_good + new_bad); 1 when no new links.
   double error_rate = 0.0;   ///< 1 - precision.
-  double recall_all = 0.0;   ///< (seed-or-new good links) / identifiable.
-  double recall_new = 0.0;   ///< new_good / (identifiable not already seeded).
+  double recall_all = 0.0;   ///< (seed-or-new good links) / identifiable; 1 when identifiable == 0.
+  double recall_new = 0.0;   ///< new_good / (identifiable not seeded); 1 when that count is 0.
 };
 
 /// Scores `result` against the ground truth in `pair`. Seed links are
@@ -34,8 +43,9 @@ struct DegreeBandQuality {
   size_t identifiable = 0;
   size_t new_good = 0;
   size_t new_bad = 0;
-  double precision = 1.0;
-  double recall = 0.0;        ///< new_good / identifiable-not-seeded in band.
+  double precision = 1.0;     ///< Vacuously 1 when the band discovered nothing.
+  double recall = 0.0;        ///< new_good / identifiable-not-seeded in band;
+                              ///< vacuously 1 when that denominator is 0.
 };
 
 /// Degree-stratified evaluation (paper Figure 4): bands are

@@ -5,6 +5,7 @@
 
 #include "reconcile/api/registry.h"
 #include "reconcile/util/logging.h"
+#include "reconcile/util/rng.h"
 #include "reconcile/util/timer.h"
 
 namespace reconcile {
@@ -93,6 +94,12 @@ std::string ThresholdLabel(uint32_t threshold) {
   return threshold == 0 ? "T=-" : "T=" + std::to_string(threshold);
 }
 
+// "[0.94,1.00]" — a compact PAC interval cell.
+std::string IntervalCell(const PacInterval& interval) {
+  return "[" + FormatDouble(interval.lo, 2) + "," +
+         FormatDouble(interval.hi, 2) + "]";
+}
+
 }  // namespace
 
 std::vector<SweepPoint> RunSweep(const RealizationPair& pair,
@@ -130,6 +137,12 @@ std::vector<SweepPoint> RunSweep(const RealizationPair& pair,
         point.threshold = threshold;
         point.num_seeds = seeds.size();
         point.quality = Evaluate(pair, result);
+        // Each cell verifies with its own deterministic sample so budgeted
+        // sweeps don't reuse one draw across the whole grid.
+        ValidationConfig validation = spec.validation;
+        validation.rng_seed =
+            HashMix64(spec.validation.rng_seed + points.size());
+        point.validation = ValidateMatching(pair, result, validation);
         point.seconds = timer.Seconds();
         points.push_back(std::move(point));
       }
@@ -143,6 +156,7 @@ Table SweepToGoodBadTable(const std::vector<SweepPoint>& points) {
   for (uint32_t threshold : DistinctThresholds(points)) {
     headers.push_back(ThresholdLabel(threshold) + " good");
     headers.push_back("bad");
+    headers.push_back("prec CI");
   }
   return RenderGrid(points, std::move(headers),
                     [](const SweepPoint* point, std::vector<std::string>* row) {
@@ -151,6 +165,9 @@ Table SweepToGoodBadTable(const std::vector<SweepPoint>& points) {
                                 : "-");
                       row->push_back(
                           point ? std::to_string(point->quality.new_bad)
+                                : "-");
+                      row->push_back(
+                          point ? IntervalCell(point->validation.precision)
                                 : "-");
                     });
 }
@@ -163,7 +180,8 @@ Table SweepToRecallTable(const std::vector<SweepPoint>& points) {
   return RenderGrid(points, std::move(headers),
                     [](const SweepPoint* point, std::vector<std::string>* row) {
                       row->push_back(
-                          point ? FormatPercent(point->quality.recall_all, 1)
+                          point ? FormatPercent(point->quality.recall_all, 1) +
+                                      " " + IntervalCell(point->validation.recall)
                                 : "-");
                     });
 }
@@ -183,13 +201,19 @@ std::string SweepToCsv(const std::vector<SweepPoint>& points) {
   };
   std::ostringstream out;
   out << "algorithm,seed_fraction,threshold,num_seeds,new_good,new_bad,"
-         "precision,recall_all,recall_new,seconds\n";
+         "precision,precision_lo,precision_hi,recall_all,recall_new,"
+         "recall_lo,recall_hi,validated,validation_delta,seconds\n";
   for (const SweepPoint& point : points) {
     out << csv_field(point.algorithm) << ',' << point.seed_fraction << ','
         << point.threshold << ',' << point.num_seeds << ','
         << point.quality.new_good << ',' << point.quality.new_bad << ','
-        << point.quality.precision << ',' << point.quality.recall_all << ','
-        << point.quality.recall_new << ',' << point.seconds << '\n';
+        << point.quality.precision << ','
+        << point.validation.precision.lo << ','
+        << point.validation.precision.hi << ','
+        << point.quality.recall_all << ',' << point.quality.recall_new << ','
+        << point.validation.recall.lo << ',' << point.validation.recall.hi
+        << ',' << point.validation.verified << ',' << point.validation.delta
+        << ',' << point.seconds << '\n';
   }
   return out.str();
 }

@@ -8,6 +8,7 @@
 #include "reconcile/api/spec.h"
 #include "reconcile/eval/metrics.h"
 #include "reconcile/eval/table.h"
+#include "reconcile/eval/validation.h"
 #include "reconcile/sampling/realization.h"
 #include "reconcile/seed/seeding.h"
 
@@ -24,6 +25,10 @@ struct SweepPoint {
   uint32_t threshold = 0;
   size_t num_seeds = 0;
   MatchQuality quality;
+  /// PAC precision/recall intervals for this cell (validation.h), under the
+  /// sweep's `SweepSpec::validation` budget. With the default unlimited
+  /// budget the intervals are exact and zero-width.
+  ValidationReport validation;
   double seconds = 0.0;
 };
 
@@ -46,6 +51,12 @@ struct SweepSpec {
   std::vector<uint32_t> thresholds = {2, 3, 4, 5};
   SeedBias bias = SeedBias::kUniform;
   uint64_t rng_seed = 1;
+  /// Verification protocol for the per-point PAC intervals. The default
+  /// (unlimited budget) verifies every discovered link — exact intervals;
+  /// set a finite `validation.budget` to simulate a paid-verification
+  /// operator. Each grid cell draws its verification sample from a
+  /// deterministic per-cell fork of `validation.rng_seed`.
+  ValidationConfig validation;
 };
 
 /// Runs the grid; points are ordered fraction-major, then algorithm, then

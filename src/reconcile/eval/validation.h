@@ -1,0 +1,100 @@
+#ifndef RECONCILE_EVAL_VALIDATION_H_
+#define RECONCILE_EVAL_VALIDATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "reconcile/core/result.h"
+#include "reconcile/sampling/realization.h"
+
+namespace reconcile {
+
+/// PAC validation of a matching (Le et al., "Validation of Matching"):
+/// probably-approximately-correct bounds on precision and recall computed
+/// from a small budget of *verified* matches, instead of trusting point
+/// estimates that a production operator cannot afford to re-derive from
+/// full ground truth.
+///
+/// Protocol: draw `budget` discovered (non-seed) links uniformly without
+/// replacement, verify each against ground truth, and invert the binomial
+/// tails of the observed good count into a Clopper–Pearson confidence
+/// interval on the matching's true precision. Sampling without replacement
+/// from the finite set of matches is *more* concentrated than the binomial
+/// (Hoeffding), so the binomial inversion stays valid — and conservative.
+/// The recall interval is derived from the precision interval: every
+/// correct discovered link is one recovered target, so
+/// `recall = precision * matches / targets` maps `[p_lo, p_hi]` onto
+/// `[p_lo*M/T, p_hi*M/T]` with no additional failure probability. Both
+/// intervals therefore hold *simultaneously* with probability >= 1-delta.
+///
+/// Degenerate conventions (mirroring `MatchQuality`, see metrics.h):
+///  * no discovered links: precision is vacuously [1, 1]; recall is the
+///    exact [0, 0] when targets remain, vacuously [1, 1] when none do;
+///  * zero budget: nothing was verified, so the intervals are the vacuous
+///    [0, 1] with point estimate 1 (no observed errors);
+///  * budget >= discovered links: the sample is a census — no sampling
+///    error, so the interval collapses to the exact value.
+struct ValidationConfig {
+  /// Number of discovered (non-seed) links to verify. `kVerifyAllMatches`
+  /// (the default) verifies every one — exact, zero-width intervals.
+  /// 0 verifies none — the vacuous [0, 1] interval.
+  size_t budget = std::numeric_limits<size_t>::max();
+  /// Total failure probability `delta`: the reported intervals cover the
+  /// true precision and recall with probability >= `1 - delta`. Must be in
+  /// (0, 1). Split evenly between the two precision tails.
+  double delta = 0.05;
+  /// Seed for the verification sample draw. Fixed seed => fixed sample =>
+  /// bit-identical report, for any thread count.
+  uint64_t rng_seed = 1;
+};
+
+/// `ValidationConfig::budget` value meaning "verify every discovered link".
+inline constexpr size_t kVerifyAllMatches =
+    std::numeric_limits<size_t>::max();
+
+/// One PAC interval: `lo <= point <= hi` always holds; the true value lies
+/// inside with probability >= 1-delta (exactly, when `exhaustive`).
+struct PacInterval {
+  double point = 1.0;  ///< Sample estimate (the census value if exhaustive).
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// The validation verdict for one matching.
+struct ValidationReport {
+  size_t num_matches = 0;    ///< Discovered (non-seed) links in the matching.
+  size_t num_targets = 0;    ///< Identifiable, not-seeded ground-truth pairs.
+  size_t verified = 0;       ///< Links actually verified (<= budget).
+  size_t verified_good = 0;  ///< Verified links that matched ground truth.
+  double delta = 0.05;       ///< Confidence parameter the bounds used.
+  /// True when every discovered link was verified (budget >= matches, or
+  /// there were none): the intervals are exact, not probabilistic.
+  bool exhaustive = false;
+  PacInterval precision;
+  /// Interval on recall over `num_targets` (the `recall_new` convention of
+  /// metrics.h: discovered good links / identifiable-not-seeded pairs).
+  PacInterval recall;
+};
+
+/// Runs the verification protocol above for `result` against the ground
+/// truth in `pair`. Deterministic for a fixed config.
+ValidationReport ValidateMatching(const RealizationPair& pair,
+                                  const MatchResult& result,
+                                  const ValidationConfig& config);
+
+/// One-line rendering, e.g.
+/// "precision 0.980 in [0.943, 0.996] | recall 0.612 in [0.578, 0.639] | verified 50/1234 (delta=0.05)".
+std::string FormatValidationReport(const ValidationReport& report);
+
+/// Clopper–Pearson binomial bounds, exposed for the coverage tests: the
+/// largest `p` with `P(X <= successes | trials, p) >= tail` (lower) and the
+/// smallest `p` with `P(X >= successes | trials, p) >= tail` (upper).
+/// `BinomialLowerBound(0, n, t) == 0` and `BinomialUpperBound(n, n, t) == 1`.
+double BinomialLowerBound(size_t successes, size_t trials, double tail);
+double BinomialUpperBound(size_t successes, size_t trials, double tail);
+
+}  // namespace reconcile
+
+#endif  // RECONCILE_EVAL_VALIDATION_H_

@@ -56,6 +56,7 @@
 #include "reconcile/core/result.h"           // IWYU pragma: export
 #include "reconcile/core/witness.h"          // IWYU pragma: export
 
+#include "reconcile/baseline/bp_matcher.h"        // IWYU pragma: export
 #include "reconcile/baseline/common_neighbors.h"  // IWYU pragma: export
 #include "reconcile/baseline/feature_matching.h"  // IWYU pragma: export
 #include "reconcile/baseline/percolation.h"       // IWYU pragma: export
@@ -67,10 +68,12 @@
 #include "reconcile/api/spec.h"          // IWYU pragma: export
 
 #include "reconcile/eval/datasets.h"     // IWYU pragma: export
+#include "reconcile/eval/disagreement.h" // IWYU pragma: export
 #include "reconcile/eval/experiment.h"   // IWYU pragma: export
 #include "reconcile/eval/match_io.h"     // IWYU pragma: export
 #include "reconcile/eval/metrics.h"      // IWYU pragma: export
 #include "reconcile/eval/sweep.h"        // IWYU pragma: export
 #include "reconcile/eval/table.h"        // IWYU pragma: export
+#include "reconcile/eval/validation.h"   // IWYU pragma: export
 
 #endif  // RECONCILE_RECONCILE_H_

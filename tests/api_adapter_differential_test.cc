@@ -8,6 +8,7 @@
 
 #include "reconcile/api/registry.h"
 #include "reconcile/api/spec.h"
+#include "reconcile/baseline/bp_matcher.h"
 #include "reconcile/baseline/common_neighbors.h"
 #include "reconcile/baseline/feature_matching.h"
 #include "reconcile/baseline/percolation.h"
@@ -89,6 +90,19 @@ TEST(AdapterDifferentialTest, Features) {
   auto reconciler = Registry::Global().CreateOrDie(
       ReconcilerSpec("features").Set("depth", "1").Set("min-similarity",
                                                        "0.95"));
+  ExpectIdentical(direct, reconciler->Run(f.pair.g1, f.pair.g2, f.seeds));
+}
+
+TEST(AdapterDifferentialTest, Bp) {
+  Fixture f = MakeFixture();
+  BpConfig config;
+  config.iterations = 6;
+  config.damping = 0.3;
+  config.max_sweeps = 3;
+  MatchResult direct = BpMatch(f.pair.g1, f.pair.g2, f.seeds, config);
+  auto reconciler = Registry::Global().CreateOrDie(
+      ReconcilerSpec("bp").Set("iterations", "6").Set("damping", "0.3").Set(
+          "max-sweeps", "3"));
   ExpectIdentical(direct, reconciler->Run(f.pair.g1, f.pair.g2, f.seeds));
 }
 

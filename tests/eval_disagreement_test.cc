@@ -1,0 +1,136 @@
+#include "reconcile/eval/disagreement.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "reconcile/api/registry.h"
+#include "reconcile/api/spec.h"
+#include "reconcile/eval/metrics.h"
+#include "reconcile/gen/sbm.h"
+#include "reconcile/sampling/independent.h"
+#include "reconcile/seed/seeding.h"
+
+namespace reconcile {
+namespace {
+
+// SBM scenario with known (identity) ground truth: four planted
+// communities, two partial copies, uniform seeds — the ISSUE's disagreement
+// scenario.
+struct Scenario {
+  RealizationPair pair;
+  std::vector<std::pair<NodeId, NodeId>> seeds;
+};
+
+Scenario MakeSbmScenario() {
+  SbmParams params;
+  params.block_sizes = {300, 300, 300, 300};
+  params.p_in = 0.04;
+  params.p_out = 0.002;
+  Graph g = GenerateSbm(params, 7701);
+  IndependentSampleOptions options;
+  options.s1 = 0.8;
+  options.s2 = 0.8;
+  Scenario s;
+  s.pair = SampleIndependent(g, options, 7703);
+  SeedOptions seeding;
+  seeding.fraction = 0.08;
+  s.seeds = GenerateSeeds(s.pair, seeding, 7705);
+  return s;
+}
+
+MatchResult RunAlgorithm(const Scenario& s, const std::string& spec_text) {
+  ReconcilerSpec spec;
+  std::string error;
+  EXPECT_TRUE(ReconcilerSpec::Parse(spec_text, &spec, &error)) << error;
+  return Registry::Global().CreateOrDie(spec)->Run(s.pair.g1, s.pair.g2,
+                                                   s.seeds);
+}
+
+TEST(DisagreementTest, PartitionSumsToTargets) {
+  Scenario s = MakeSbmScenario();
+  MatchResult core = RunAlgorithm(s, "core:threshold=2");
+  MatchResult bp = RunAlgorithm(s, "bp");
+  DisagreementReport report = CompareMatchings(s.pair, core, bp);
+
+  // The four cells partition the identifiable-not-seeded targets exactly.
+  EXPECT_GT(report.num_targets, 0u);
+  EXPECT_EQ(report.both_good + report.only_a_good + report.only_b_good +
+                report.neither_good,
+            report.num_targets);
+  // Link-level tallies partition each side's discovered links too.
+  EXPECT_EQ(report.agree_links + report.conflict_links + report.a_only_links,
+            report.a_matched);
+  EXPECT_EQ(report.agree_links + report.conflict_links + report.b_only_links,
+            report.b_matched);
+  // Both algorithms find something on this scenario, and each recovers
+  // pairs the other misses — the reason the harness exists.
+  EXPECT_GT(report.both_good, 0u);
+}
+
+TEST(DisagreementTest, AgreesWithPerAlgorithmMetrics) {
+  Scenario s = MakeSbmScenario();
+  MatchResult core = RunAlgorithm(s, "core:threshold=2");
+  MatchResult bp = RunAlgorithm(s, "bp");
+  DisagreementReport report = CompareMatchings(s.pair, core, bp);
+  MatchQuality core_q = Evaluate(s.pair, core);
+  MatchQuality bp_q = Evaluate(s.pair, bp);
+  // Each side's correct-target total must equal its recall numerator.
+  EXPECT_EQ(report.both_good + report.only_a_good, core_q.new_good);
+  EXPECT_EQ(report.both_good + report.only_b_good, bp_q.new_good);
+}
+
+TEST(DisagreementTest, ReproducibleAcrossThreadCounts) {
+  Scenario s = MakeSbmScenario();
+  DisagreementReport reference;
+  bool have_reference = false;
+  for (int threads : {1, 3, 7}) {
+    MatchResult core = RunAlgorithm(s, "core:threshold=2,threads=" +
+                                           std::to_string(threads));
+    MatchResult bp =
+        RunAlgorithm(s, "bp:threads=" + std::to_string(threads));
+    DisagreementReport report = CompareMatchings(s.pair, core, bp);
+    if (!have_reference) {
+      reference = report;
+      have_reference = true;
+      continue;
+    }
+    EXPECT_EQ(report.num_targets, reference.num_targets);
+    EXPECT_EQ(report.both_good, reference.both_good);
+    EXPECT_EQ(report.only_a_good, reference.only_a_good);
+    EXPECT_EQ(report.only_b_good, reference.only_b_good);
+    EXPECT_EQ(report.neither_good, reference.neither_good);
+    EXPECT_EQ(report.agree_links, reference.agree_links);
+    EXPECT_EQ(report.conflict_links, reference.conflict_links);
+    EXPECT_EQ(report.a_only_links, reference.a_only_links);
+    EXPECT_EQ(report.b_only_links, reference.b_only_links);
+  }
+}
+
+TEST(DisagreementTest, IdenticalInputsShowNoDisagreement) {
+  Scenario s = MakeSbmScenario();
+  MatchResult core = RunAlgorithm(s, "core:threshold=2");
+  DisagreementReport report = CompareMatchings(s.pair, core, core);
+  EXPECT_EQ(report.only_a_good, 0u);
+  EXPECT_EQ(report.only_b_good, 0u);
+  EXPECT_EQ(report.conflict_links, 0u);
+  EXPECT_EQ(report.a_only_links, 0u);
+  EXPECT_EQ(report.b_only_links, 0u);
+  EXPECT_EQ(report.agree_links, report.a_matched);
+}
+
+TEST(DisagreementTest, FormatNamesBothSides) {
+  Scenario s = MakeSbmScenario();
+  MatchResult core = RunAlgorithm(s, "core:threshold=2");
+  MatchResult bp = RunAlgorithm(s, "bp");
+  const std::string text = FormatDisagreementReport(
+      CompareMatchings(s.pair, core, bp), "core", "bp");
+  EXPECT_NE(text.find("core-only"), std::string::npos);
+  EXPECT_NE(text.find("bp-only"), std::string::npos);
+  EXPECT_NE(text.find("targets"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reconcile

@@ -96,6 +96,63 @@ TEST(MetricsTest, MatchOnUnmappableNodeIsBad) {
   EXPECT_EQ(q.new_good, 0u);
 }
 
+// The degenerate conventions promised by metrics.h: zero-denominator
+// ratios are vacuously perfect, never silently zero, so "nothing to do"
+// reads as success rather than total failure.
+TEST(MetricsTest, EmptyMatchingIsVacuouslyPrecise) {
+  RealizationPair pair = ManualPair();
+  MatchQuality q = Evaluate(pair, ResultWith(pair, {}, {}));
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);  // no discoveries, no errors
+  EXPECT_DOUBLE_EQ(q.error_rate, 0.0);
+  // But recall against the 4 real targets is genuinely zero.
+  EXPECT_DOUBLE_EQ(q.recall_all, 0.0);
+  EXPECT_DOUBLE_EQ(q.recall_new, 0.0);
+}
+
+TEST(MetricsTest, NothingIdentifiableMakesRecallVacuous) {
+  RealizationPair pair = ManualPair();
+  pair.g2 = Graph::FromEdgeList(EdgeList(4));  // all g2 degrees 0
+  MatchQuality q = Evaluate(pair, ResultWith(pair, {}, {}));
+  EXPECT_EQ(q.identifiable, 0u);
+  EXPECT_DOUBLE_EQ(q.recall_all, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall_new, 1.0);
+}
+
+TEST(MetricsTest, FullySeededPairHasVacuousNewRecall) {
+  RealizationPair pair = ManualPair();
+  // Every identifiable node is a seed: recall_new has no targets left.
+  MatchResult result =
+      ResultWith(pair, {{0, 0}, {1, 1}, {2, 2}, {3, 3}}, {});
+  MatchQuality q = Evaluate(pair, result);
+  EXPECT_DOUBLE_EQ(q.recall_new, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall_all, 1.0);  // seeds count as correct links
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+}
+
+TEST(MetricsTest, PerfectMatchingScoresPerfectly) {
+  RealizationPair pair = ManualPair();
+  MatchResult result =
+      ResultWith(pair, {{0, 0}}, {{1, 1}, {2, 2}, {3, 3}});
+  MatchQuality q = Evaluate(pair, result);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall_all, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall_new, 1.0);
+}
+
+TEST(MetricsByDegreeTest, EmptyBandsAreVacuouslyPerfect) {
+  RealizationPair pair = ManualPair();  // all degrees are 2
+  std::vector<DegreeBandQuality> bands =
+      EvaluateByDegree(pair, ResultWith(pair, {}, {}), {1, 3});
+  // Bands [1,1] and [4,inf) hold no nodes at all: vacuous on both axes.
+  EXPECT_DOUBLE_EQ(bands[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(bands[0].recall, 1.0);
+  EXPECT_DOUBLE_EQ(bands[2].precision, 1.0);
+  EXPECT_DOUBLE_EQ(bands[2].recall, 1.0);
+  // Band [2,3] holds all 4 targets and found none: recall genuinely 0.
+  EXPECT_DOUBLE_EQ(bands[1].precision, 1.0);
+  EXPECT_DOUBLE_EQ(bands[1].recall, 0.0);
+}
+
 TEST(MetricsByDegreeTest, BandsPartitionNodes) {
   Graph g = GenerateErdosRenyi(2000, 0.01, 3);
   RealizationPair pair = SampleIndependent(g, {}, 5);

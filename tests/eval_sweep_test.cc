@@ -163,8 +163,57 @@ TEST(SweepTest, CsvQuotesAlgorithmLabelsContainingCommas) {
   const std::string csv = SweepToCsv({point});
   EXPECT_NE(csv.find("\"core:backend=hash,iterations=1\""),
             std::string::npos);
-  // 9 header commas + 9 data separators + the 1 comma inside the quotes.
-  EXPECT_EQ(std::count(csv.begin(), csv.end(), ','), 19);
+  // 15 header commas + 15 data separators + the 1 comma inside the quotes.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), ','), 31);
+}
+
+// Tentpole acceptance: every sweep point carries a well-formed PAC
+// interval, the tables render it, and the CSV exports the bounds.
+TEST(SweepTest, EveryPointCarriesWellFormedIntervals) {
+  RealizationPair pair = MakePair();
+  SweepSpec spec;
+  spec.seed_fractions = {0.05, 0.10};
+  spec.thresholds = {2, 3};
+  auto points = RunSweep(pair, spec);
+  for (const SweepPoint& point : points) {
+    EXPECT_LE(point.validation.precision.lo, point.validation.precision.point);
+    EXPECT_GE(point.validation.precision.hi, point.validation.precision.point);
+    EXPECT_LE(point.validation.recall.lo, point.validation.recall.point);
+    EXPECT_GE(point.validation.recall.hi, point.validation.recall.point);
+    // Default budget verifies everything: intervals are exact and match
+    // the census metrics.
+    EXPECT_TRUE(point.validation.exhaustive);
+    EXPECT_DOUBLE_EQ(point.validation.precision.point,
+                     point.quality.precision);
+    EXPECT_DOUBLE_EQ(point.validation.recall.point, point.quality.recall_new);
+  }
+  std::ostringstream out;
+  SweepToGoodBadTable(points).Print(out);
+  EXPECT_NE(out.str().find("prec CI"), std::string::npos);
+  EXPECT_NE(out.str().find('['), std::string::npos);
+  const std::string csv = SweepToCsv(points);
+  EXPECT_NE(csv.find("precision_lo"), std::string::npos);
+  EXPECT_NE(csv.find("recall_hi"), std::string::npos);
+  EXPECT_NE(csv.find("validation_delta"), std::string::npos);
+}
+
+TEST(SweepTest, BudgetedSweepWidensButStillBrackets) {
+  RealizationPair pair = MakePair();
+  SweepSpec spec;
+  spec.seed_fractions = {0.10};
+  spec.thresholds = {2};
+  spec.validation.budget = 25;
+  spec.validation.delta = 0.05;
+  auto points = RunSweep(pair, spec);
+  ASSERT_EQ(points.size(), 1u);
+  const ValidationReport& v = points[0].validation;
+  if (v.num_matches > 25) {
+    EXPECT_FALSE(v.exhaustive);
+    EXPECT_EQ(v.verified, 25u);
+    EXPECT_LT(v.precision.lo, v.precision.hi);  // sampled: nonzero width
+  }
+  EXPECT_LE(v.precision.lo, v.precision.point);
+  EXPECT_GE(v.precision.hi, v.precision.point);
 }
 
 TEST(SweepTest, UnknownAlgorithmDies) {
